@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared command-line handling for the table/figure reproduction
+ * benches. Every bench accepts:
+ *   --scale F     workload footprint scale (default 1.0)
+ *   --warmup N    warmup misses before measuring (default 150k)
+ *   --measure N   measured misses (default 400k)
+ *   --seed S      RNG seed (default 1)
+ *   --workload W  restrict to one workload (default: all six)
+ *   --nodes N     processors (default 16)
+ *   --csv         emit CSV instead of aligned tables
+ */
+
+#ifndef DSP_BENCH_BENCH_COMMON_HH
+#define DSP_BENCH_BENCH_COMMON_HH
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_collector.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+#include "trace/trace.hh"
+#include "workload/presets.hh"
+
+namespace dsp {
+namespace bench {
+
+struct Options {
+    double scale = 1.0;
+    std::uint64_t warmupMisses = 600000;
+    std::uint64_t measureMisses = 200000;
+    std::uint64_t seed = 1;
+    NodeId nodes = 16;
+    bool csv = false;
+    std::vector<std::string> workloads;  ///< empty = all six
+
+    // Execution-driven (Figures 7/8) knobs. Cache/predictor warmup
+    // is functional (trace-style, --warmup misses); the timing warmup
+    // only needs to settle in-flight state.
+    std::uint64_t cpuWarmupInstr = 100000;
+    std::uint64_t cpuMeasureInstr = 1000000;
+    unsigned runs = 1;  ///< perturbed runs averaged per data point
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                dsp_fatal("missing value for option '%s'", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            opt.scale = std::atof(next());
+        } else if (arg == "--warmup") {
+            opt.warmupMisses = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--measure") {
+            opt.measureMisses = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--nodes") {
+            opt.nodes = static_cast<NodeId>(std::atoi(next()));
+        } else if (arg == "--workload") {
+            opt.workloads.push_back(next());
+        } else if (arg == "--cpu-warmup") {
+            opt.cpuWarmupInstr = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--cpu-measure") {
+            opt.cpuMeasureInstr = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--runs") {
+            opt.runs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "options: --scale F --warmup N --measure N "
+                         "--seed S --nodes N --workload W --csv\n");
+            std::exit(0);
+        } else {
+            dsp_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (opt.workloads.empty())
+        opt.workloads = workloadNames();
+    return opt;
+}
+
+/**
+ * Load a cached annotated trace for (workload, options) or collect and
+ * cache one. The cache lives in ./traces/ and is keyed by every
+ * parameter that affects trace contents, so benches sharing a
+ * configuration (the common case) collect each workload exactly once.
+ */
+inline Trace
+getOrCollectTrace(const Options &opt, const std::string &name)
+{
+    char file[512];
+    std::snprintf(file, sizeof(file),
+                  "traces/%s_n%u_s%llu_sc%.3f_w%llu_m%llu.dsptrace",
+                  name.c_str(), opt.nodes,
+                  static_cast<unsigned long long>(opt.seed), opt.scale,
+                  static_cast<unsigned long long>(opt.warmupMisses),
+                  static_cast<unsigned long long>(opt.measureMisses));
+
+    if (std::FILE *f = std::fopen(file, "rb")) {
+        std::fclose(f);
+        Trace trace = readTrace(file);
+        if (trace.workloadName == name && trace.numNodes == opt.nodes &&
+            trace.warmupRecords == opt.warmupMisses &&
+            trace.size() == opt.warmupMisses + opt.measureMisses) {
+            return trace;
+        }
+        dsp_warn("stale trace cache '%s'; recollecting", file);
+    }
+
+    auto workload = makeWorkload(name, opt.nodes, opt.seed, opt.scale);
+    TraceCollector collector(*workload);
+    Trace trace =
+        collector.collect(opt.warmupMisses, opt.measureMisses);
+
+    mkdir("traces", 0755);
+    if (!writeTrace(trace, file))
+        dsp_warn("could not cache trace to '%s'", file);
+    return trace;
+}
+
+} // namespace bench
+} // namespace dsp
+
+#endif // DSP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Figure 2, "Sharing Histogram": for each workload, the
+ * percentage of read and write misses whose directory-protocol
+ * handling must involve 0, 1, 2, or 3+ other processors.
+ *
+ * Paper shape: most misses need 0 or 1 other processors; only ~10% of
+ * requests must reach more than one.
+ */
+
+#include <iostream>
+
+#include "analysis/characterization.hh"
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsp;
+    bench::Options opt = bench::parseOptions(argc, argv);
+
+    stats::Table table({"workload", "kind", "0", "1", "2", "3+",
+                        "shareOfMisses"});
+
+    for (const std::string &name : opt.workloads) {
+        Trace trace = bench::getOrCollectTrace(opt, name);
+        WorkloadCharacterization chars(opt.nodes);
+        chars.beginMeasurement(trace.warmupInstructions);
+        chars.absorbTrace(trace);
+
+        const stats::Histogram &reads = chars.sharingHistogramReads();
+        const stats::Histogram &writes = chars.sharingHistogramWrites();
+        std::uint64_t all = reads.total() + writes.total();
+
+        auto addRow = [&](const char *kind,
+                          const stats::Histogram &hist) {
+            double share =
+                all ? 100.0 * static_cast<double>(hist.total()) /
+                          static_cast<double>(all)
+                    : 0.0;
+            table.addRow({
+                name,
+                kind,
+                stats::Table::percent(hist.percent(0), 1),
+                stats::Table::percent(hist.percent(1), 1),
+                stats::Table::percent(hist.percent(2), 1),
+                stats::Table::percent(hist.percent(3), 1),
+                stats::Table::percent(share, 1),
+            });
+        };
+        addRow("reads", reads);
+        addRow("writes", writes);
+    }
+
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout,
+                    "Figure 2: processors that must observe each miss "
+                    "(percent of that kind's misses)");
+    return 0;
+}

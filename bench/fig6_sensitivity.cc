@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Figure 6, "Sensitivity Analysis Using OLTP":
+ *  (a) program-counter vs data-block indexing (unbounded tables);
+ *  (b) the effect of macroblock size (64 B / 256 B / 1024 B,
+ *      unbounded);
+ *  (c) finite predictor sizes (8k / 32k entries vs unbounded, 1024 B
+ *      macroblocks) and the Sticky-Spatial(1) prior-work baseline
+ *      across sizes.
+ *
+ * Paper shape: block indexing beats PC indexing for Owner and
+ * Owner/Group; macroblocks reduce both traffic and indirections;
+ * 8k-entry predictors perform close to unbounded; the proposed
+ * predictors dominate Sticky-Spatial(1).
+ */
+
+#include <iostream>
+
+#include "analysis/predictor_eval.hh"
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsp;
+    bench::Options opt = bench::parseOptions(argc, argv);
+    // Figure 6 is an OLTP study unless the caller overrides.
+    std::string name =
+        opt.workloads.size() == 1 ? opt.workloads[0] : "oltp";
+
+    Trace trace = bench::getOrCollectTrace(opt, name);
+    PredictorEvaluator evaluator(opt.nodes);
+
+    stats::Table table({"panel", "config", "policy", "reqMsgs/miss",
+                        "indirections", "traffic(B/miss)"});
+
+    auto addRow = [&](const char *panel, const std::string &config,
+                      const EvalResult &r) {
+        table.addRow({
+            panel,
+            config,
+            r.policy,
+            stats::Table::fixed(r.requestMessagesPerMiss, 2),
+            stats::Table::percent(r.indirectionPct, 1),
+            stats::Table::fixed(r.trafficBytesPerMiss, 1),
+        });
+    };
+
+    auto evalWith = [&](PredictorPolicy policy, IndexingMode indexing,
+                        std::size_t entries) {
+        PredictorConfig config;
+        config.numNodes = opt.nodes;
+        config.indexing = indexing;
+        config.entries = entries;
+        return evaluator.evaluatePredictor(trace, policy, config);
+    };
+
+    // (a) PC vs 64 B block indexing, unbounded.
+    for (PredictorPolicy policy : proposedPolicies()) {
+        addRow("a", "block64",
+               evalWith(policy, IndexingMode::Block64, 0));
+        addRow("a", "pc",
+               evalWith(policy, IndexingMode::ProgramCounter, 0));
+    }
+
+    // (b) macroblock size, unbounded.
+    for (PredictorPolicy policy : proposedPolicies()) {
+        addRow("b", "block64",
+               evalWith(policy, IndexingMode::Block64, 0));
+        addRow("b", "macro256",
+               evalWith(policy, IndexingMode::Macroblock256, 0));
+        addRow("b", "macro1024",
+               evalWith(policy, IndexingMode::Macroblock1024, 0));
+    }
+
+    // (c) finite sizes (1024 B macroblock) + Sticky-Spatial(1).
+    for (PredictorPolicy policy : proposedPolicies()) {
+        addRow("c", "unbounded",
+               evalWith(policy, IndexingMode::Macroblock1024, 0));
+        addRow("c", "32768",
+               evalWith(policy, IndexingMode::Macroblock1024, 32768));
+        addRow("c", "8192",
+               evalWith(policy, IndexingMode::Macroblock1024, 8192));
+    }
+    for (std::size_t entries : {4096ul, 8192ul, 32768ul, 0ul}) {
+        addRow("c", entries ? std::to_string(entries) : "unbounded",
+               evalWith(PredictorPolicy::StickySpatial,
+                        IndexingMode::Block64, entries));
+    }
+
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout,
+                    "Figure 6: sensitivity analysis (" + name + ")");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces Figure 8, "Detailed Processor Model Runtime Performance
+ * Results": like Figure 7 but with the dynamically-scheduled
+ * (ROB-window) processor model, for the three workloads the paper
+ * could afford to run under its detailed model: Apache, OLTP, and
+ * SPECjbb. The paper notes normalized results are similar to the
+ * simple model's even though absolute runtimes differ.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+#include "system/system.hh"
+
+namespace {
+
+struct Config {
+    std::string label;
+    dsp::ProtocolKind protocol;
+    dsp::PredictorPolicy policy;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsp;
+    bench::Options opt = bench::parseOptions(argc, argv);
+
+    // The paper simulates an order of magnitude fewer transactions
+    // under the detailed model; mirror that by default.
+    std::vector<std::string> workloads = opt.workloads;
+    if (workloads.size() == workloadNames().size())
+        workloads = {"apache", "oltp", "specjbb"};
+
+    const std::vector<Config> configs = {
+        {"snooping", ProtocolKind::Snooping, PredictorPolicy::Owner},
+        {"directory", ProtocolKind::Directory, PredictorPolicy::Owner},
+        {"owner", ProtocolKind::Multicast, PredictorPolicy::Owner},
+        {"bcast-if-shared", ProtocolKind::Multicast,
+         PredictorPolicy::BroadcastIfShared},
+        {"group", ProtocolKind::Multicast, PredictorPolicy::Group},
+        {"owner-group", ProtocolKind::Multicast,
+         PredictorPolicy::OwnerGroup},
+    };
+
+    stats::Table table({"workload", "config", "runtime(ms)",
+                        "normRuntime", "traffic(B/miss)", "normTraffic",
+                        "missLat(ns)", "misses"});
+
+    for (const std::string &name : workloads) {
+        std::vector<SystemStats> results;
+        for (const Config &config : configs) {
+            auto workload =
+                makeWorkload(name, opt.nodes, opt.seed, opt.scale);
+            SystemParams params;
+            params.nodes = opt.nodes;
+            params.protocol = config.protocol;
+            params.policy = config.policy;
+            params.predictor.entries = 8192;
+            params.predictor.indexing = IndexingMode::Macroblock1024;
+            params.cpuModel = CpuModel::Detailed;
+            params.functionalWarmupMisses = opt.warmupMisses;
+            params.warmupInstrPerCpu = opt.cpuWarmupInstr / 2;
+            params.measureInstrPerCpu = opt.cpuMeasureInstr / 2;
+
+            System system(*workload, params);
+            results.push_back(system.run());
+        }
+
+        const SystemStats &snoop = results[0];
+        const SystemStats &dir = results[1];
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const SystemStats &r = results[i];
+            double norm_runtime =
+                dir.runtimeTicks
+                    ? 100.0 * static_cast<double>(r.runtimeTicks) /
+                          static_cast<double>(dir.runtimeTicks)
+                    : 0.0;
+            double norm_traffic =
+                snoop.trafficPerMiss() > 0.0
+                    ? 100.0 * r.trafficPerMiss() /
+                          snoop.trafficPerMiss()
+                    : 0.0;
+            table.addRow({
+                name,
+                configs[i].label,
+                stats::Table::fixed(r.runtimeMs(), 3),
+                stats::Table::fixed(norm_runtime, 1),
+                stats::Table::fixed(r.trafficPerMiss(), 1),
+                stats::Table::fixed(norm_traffic, 1),
+                stats::Table::fixed(r.avgMissLatencyNs, 1),
+                stats::Table::num(r.misses),
+            });
+        }
+    }
+
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout,
+                    "Figure 8: detailed-CPU runtime vs traffic "
+                    "(normRuntime: directory=100; normTraffic: "
+                    "snooping=100)");
+    return 0;
+}

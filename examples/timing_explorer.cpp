@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Execution-driven timing exploration: run the full 16-node system
+ * (CPUs, caches, predictors, totally-ordered crossbar) on a workload
+ * under a chosen protocol and predictor policy, and report runtime,
+ * traffic, and latency -- the machinery behind Figures 7 and 8.
+ *
+ * Usage:
+ *   timing_explorer [workload] [protocol] [policy] [instrPerCpu]
+ *     workload: apache|barnes|ocean|oltp|slashcode|specjbb (oltp)
+ *     protocol: snooping|directory|multicast        (multicast)
+ *     policy:   owner|bcast-if-shared|group|owner-group|
+ *               sticky-spatial|always-broadcast|always-minimal
+ *                                                   (owner-group)
+ *     instrPerCpu: measured instructions per CPU    (500000)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "stats/table.hh"
+#include "system/system.hh"
+#include "workload/presets.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsp;
+
+    const std::string name = argc > 1 ? argv[1] : "oltp";
+    const std::string protocol = argc > 2 ? argv[2] : "multicast";
+    const std::string policy = argc > 3 ? argv[3] : "owner-group";
+    const std::uint64_t instr =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500000;
+
+    SystemParams params;
+    params.nodes = 16;
+    if (protocol == "snooping")
+        params.protocol = ProtocolKind::Snooping;
+    else if (protocol == "directory")
+        params.protocol = ProtocolKind::Directory;
+    else if (protocol == "multicast")
+        params.protocol = ProtocolKind::Multicast;
+    else
+        dsp_fatal("unknown protocol '%s'", protocol.c_str());
+    params.policy = parsePredictorPolicy(policy);
+    params.predictor.entries = 8192;
+    params.warmupInstrPerCpu = instr / 2;
+    params.measureInstrPerCpu = instr;
+
+    auto workload = makeWorkload(name, params.nodes, 1, 1.0);
+    std::cout << "running '" << name << "' under " << protocol;
+    if (params.protocol == ProtocolKind::Multicast)
+        std::cout << " + " << policy;
+    std::cout << " (" << instr << " instrs/cpu measured)...\n";
+
+    System system(*workload, params);
+    SystemStats stats = system.run();
+
+    stats::Table table({"metric", "value"});
+    table.addRow({"simulated runtime",
+                  stats::Table::fixed(stats.runtimeMs(), 3) + " ms"});
+    table.addRow({"instructions",
+                  stats::Table::num(stats.instructions)});
+    table.addRow({"L2 misses", stats::Table::num(stats.misses)});
+    table.addRow(
+        {"misses / 1k instr",
+         stats::Table::fixed(1000.0 *
+                                 static_cast<double>(stats.misses) /
+                                 static_cast<double>(
+                                     stats.instructions),
+                             2)});
+    table.addRow({"avg miss latency",
+                  stats::Table::fixed(stats.avgMissLatencyNs, 1) +
+                      " ns"});
+    double miss_pct =
+        stats.misses
+            ? 100.0 * static_cast<double>(stats.indirections) /
+                  static_cast<double>(stats.misses)
+            : 0.0;
+    table.addRow({"indirections",
+                  stats::Table::num(stats.indirections) + " (" +
+                      stats::Table::percent(miss_pct, 1) + ")"});
+    table.addRow({"retries", stats::Table::num(stats.retries)});
+    table.addRow({"cache-to-cache transfers",
+                  stats::Table::num(stats.cacheToCache)});
+    table.addRow({"upgrades", stats::Table::num(stats.upgrades)});
+    table.addRow({"request messages",
+                  stats::Table::num(stats.requestMessages)});
+    table.addRow({"interconnect traffic",
+                  stats::Table::fixed(
+                      static_cast<double>(stats.trafficBytes) /
+                          (1 << 20),
+                      2) +
+                      " MB"});
+    table.addRow({"traffic / miss",
+                  stats::Table::fixed(stats.trafficPerMiss(), 1) +
+                      " B"});
+    table.print(std::cout, "");
+    return 0;
+}

@@ -1,0 +1,159 @@
+#include "analysis/characterization.hh"
+
+#include <bit>
+
+namespace dsp {
+
+WorkloadCharacterization::WorkloadCharacterization(NodeId num_nodes)
+    : numNodes_(num_nodes),
+      figure2Reads_(4),   // 0, 1, 2, 3+
+      figure2Writes_(4)
+{
+}
+
+void
+WorkloadCharacterization::attach(TraceCollector &collector)
+{
+    collector.addRefObserver(
+        [this](NodeId p, const MemRef &ref) { onReference(p, ref); });
+    collector.addMissObserver(
+        [this](const TraceRecord &record,
+               const SharingTracker::Transaction &txn) {
+            onMiss(record, txn);
+        });
+}
+
+void
+WorkloadCharacterization::beginMeasurement(
+    std::uint64_t instructions_so_far)
+{
+    measuring_ = true;
+    warmupInstructions_ = instructions_so_far;
+}
+
+void
+WorkloadCharacterization::onReference(NodeId p, const MemRef &ref)
+{
+    BlockInfo &info = blocks_[blockOf(ref.addr)];
+    info.touchedMask |= std::uint64_t{1} << p;
+    macroblocks_.insert(macroblockOf(ref.addr));
+}
+
+void
+WorkloadCharacterization::onMiss(const TraceRecord &record,
+                                 const SharingTracker::Transaction &txn)
+{
+    (void)txn;
+    onMissRecord(record, measuring_);
+}
+
+void
+WorkloadCharacterization::onMissRecord(const TraceRecord &record,
+                                       bool measured)
+{
+    BlockInfo &info = blocks_[blockOf(record.addr)];
+    info.touchedMask |= std::uint64_t{1} << record.requester;
+    macroblocks_.insert(macroblockOf(record.addr));
+
+    if (!measured)
+        return;
+
+    ++measuredMisses_;
+    info.misses += 1;
+    missPcs_.insert(record.pc);
+
+    unsigned required = record.required().count();
+    if (record.requestType() == RequestType::GetShared)
+        figure2Reads_.record(required);
+    else
+        figure2Writes_.record(required);
+
+    if (required > 0)
+        ++indirections_;
+
+    const bool cache_to_cache =
+        record.responder != TraceRecord::memoryResponder &&
+        record.responder != record.requester;
+    if (cache_to_cache) {
+        ++c2cMisses_;
+        c2cByBlock_.record(blockOf(record.addr));
+        c2cByMacroblock_.record(macroblockOf(record.addr));
+        c2cByPc_.record(record.pc);
+    }
+}
+
+void
+WorkloadCharacterization::absorbTrace(const Trace &trace)
+{
+    for (std::size_t i = 0; i < trace.records.size(); ++i)
+        onMissRecord(trace.records[i], i >= trace.warmupRecords);
+}
+
+WorkloadCharacterization::Table2Row
+WorkloadCharacterization::table2(std::uint64_t total_instructions) const
+{
+    Table2Row row;
+    row.touched64Bytes = blocks_.size() * blockBytes;
+    row.touched1024Bytes = macroblocks_.size() * macroblockBytes;
+    row.staticMissPcs = missPcs_.size();
+    row.totalMisses = measuredMisses_;
+
+    std::uint64_t measured_instr =
+        total_instructions > warmupInstructions_
+            ? total_instructions - warmupInstructions_
+            : 0;
+    if (measured_instr > 0) {
+        row.missesPer1kInstr = 1000.0 *
+                               static_cast<double>(measuredMisses_) /
+                               static_cast<double>(measured_instr);
+    }
+    if (measuredMisses_ > 0) {
+        row.directoryIndirectionPct =
+            100.0 * static_cast<double>(indirections_) /
+            static_cast<double>(measuredMisses_);
+    }
+    return row;
+}
+
+stats::Histogram
+WorkloadCharacterization::blocksTouchedBy() const
+{
+    stats::Histogram hist(numNodes_ + 1);
+    for (const auto &kv : blocks_)
+        hist.record(std::popcount(kv.second.touchedMask));
+    return hist;
+}
+
+stats::Histogram
+WorkloadCharacterization::missesToBlocksTouchedBy() const
+{
+    stats::Histogram hist(numNodes_ + 1);
+    for (const auto &kv : blocks_)
+        if (kv.second.misses > 0)
+            hist.record(std::popcount(kv.second.touchedMask),
+                        kv.second.misses);
+    return hist;
+}
+
+std::vector<double>
+WorkloadCharacterization::blockCoverage(
+    const std::vector<std::size_t> &points) const
+{
+    return c2cByBlock_.coverageAt(points);
+}
+
+std::vector<double>
+WorkloadCharacterization::macroblockCoverage(
+    const std::vector<std::size_t> &points) const
+{
+    return c2cByMacroblock_.coverageAt(points);
+}
+
+std::vector<double>
+WorkloadCharacterization::pcCoverage(
+    const std::vector<std::size_t> &points) const
+{
+    return c2cByPc_.coverageAt(points);
+}
+
+} // namespace dsp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Trace-driven predictor evaluation (Section 4): replays an annotated
+ * miss trace through a protocol model with per-node predictors and
+ * accumulates the latency/bandwidth statistics plotted in Figures 5
+ * and 6 -- request messages per miss on one axis, percent of misses
+ * requiring indirection on the other.
+ */
+
+#ifndef DSP_ANALYSIS_PREDICTOR_EVAL_HH
+#define DSP_ANALYSIS_PREDICTOR_EVAL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/trace_protocols.hh"
+#include "core/factory.hh"
+#include "trace/trace.hh"
+
+namespace dsp {
+
+/** One point in the latency/bandwidth plane. */
+struct EvalResult {
+    std::string protocol;
+    std::string policy;          ///< predictor name or "-" for baselines
+    std::uint64_t misses = 0;    ///< measured misses
+
+    double requestMessagesPerMiss = 0.0;  ///< Fig 5/6 x-axis
+    double indirectionPct = 0.0;          ///< Fig 5/6 y-axis
+    double retriesPerMiss = 0.0;
+    double trafficBytesPerMiss = 0.0;     ///< incl. data messages
+    double cacheToCachePct = 0.0;
+
+    /** Average size of the *initial* predicted destination set. */
+    double predictedSetSize = 0.0;
+};
+
+/**
+ * Replays traces. Stateless between calls; construct once per system
+ * size.
+ */
+class PredictorEvaluator
+{
+  public:
+    explicit PredictorEvaluator(NodeId num_nodes)
+        : numNodes_(num_nodes)
+    {
+    }
+
+    /**
+     * Baseline protocols (snooping / directory): no predictors.
+     * Warmup records are replayed (to nothing -- baselines are
+     * stateless) but excluded from statistics.
+     */
+    EvalResult evaluateBaseline(const Trace &trace,
+                                TraceProtocol &protocol) const;
+
+    /**
+     * Multicast snooping with one predictor per node. Predictors are
+     * trained during the warmup prefix, then measured over the rest.
+     */
+    EvalResult
+    evaluatePredictor(const Trace &trace, PredictorPolicy policy,
+                      const PredictorConfig &config) const;
+
+  private:
+    EvalResult
+    replay(const Trace &trace, TraceProtocol &protocol,
+           std::vector<std::unique_ptr<Predictor>> *predictors) const;
+
+    NodeId numNodes_;
+};
+
+} // namespace dsp
+
+#endif // DSP_ANALYSIS_PREDICTOR_EVAL_HH

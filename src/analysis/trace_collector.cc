@@ -1,0 +1,154 @@
+#include "analysis/trace_collector.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+TraceCollector::TraceCollector(Workload &workload,
+                               const CacheParams &caches)
+    : workload_(workload),
+      numNodes_(workload.numNodes()),
+      tracker_(workload.numNodes()),
+      icount_(workload.numNodes(), 0)
+{
+    nodes_.reserve(numNodes_);
+    for (NodeId n = 0; n < numNodes_; ++n)
+        nodes_.emplace_back(caches);
+}
+
+void
+TraceCollector::addRefObserver(RefObserver observer)
+{
+    refObservers_.push_back(std::move(observer));
+}
+
+void
+TraceCollector::addMissObserver(MissObserver observer)
+{
+    missObservers_.push_back(std::move(observer));
+}
+
+std::uint64_t
+TraceCollector::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t count : icount_)
+        total += count;
+    return total;
+}
+
+void
+TraceCollector::handleMiss(NodeId p, const MemRef &ref, bool is_write)
+{
+    BlockId block = blockOf(ref.addr);
+    RequestType type = is_write ? RequestType::GetExclusive
+                                : RequestType::GetShared;
+
+    SharingTracker::Transaction txn = tracker_.apply(block, p, type);
+
+    // Propagate the transaction's side effects into the peer caches.
+    if (type == RequestType::GetShared) {
+        if (txn.cacheToCache)
+            nodes_[txn.responder].downgrade(block);
+    } else {
+        txn.required.forEach([&](NodeId q) {
+            nodes_[q].invalidate(block);
+        });
+    }
+
+    // Install at the requester, reflecting any L2 eviction back into
+    // the global sharing state.
+    NodeCaches::FillResult fill =
+        nodes_[p].fill(ref.addr, txn.grantedState);
+    if (fill.evicted) {
+        if (isOwnerState(fill.victimState))
+            tracker_.evictOwned(fill.victim, p);
+        else if (fill.victimState == MosiState::Shared)
+            tracker_.evictShared(fill.victim, p);
+    }
+
+    ++misses_;
+
+    if (missObservers_.empty())
+        return;
+    TraceRecord record;
+    record.addr = ref.addr;
+    record.pc = ref.pc;
+    record.requiredMask = txn.required.mask();
+    record.requester = p;
+    record.responder = txn.responder == invalidNode
+                           ? TraceRecord::memoryResponder
+                           : txn.responder;
+    record.type = static_cast<std::uint8_t>(type);
+    for (const MissObserver &observer : missObservers_)
+        observer(record, txn);
+}
+
+void
+TraceCollector::step()
+{
+    // The least-advanced processor (by instruction count) goes next.
+    NodeId p = 0;
+    for (NodeId n = 1; n < numNodes_; ++n)
+        if (icount_[n] < icount_[p])
+            p = n;
+
+    MemRef ref = workload_.next(p);
+    icount_[p] += ref.work + 1;
+    ++references_;
+
+    for (const RefObserver &observer : refObservers_)
+        observer(p, ref);
+
+    NodeCaches::AccessResult result =
+        nodes_[p].access(ref.addr, ref.write);
+    if (result.need != CoherenceNeed::None)
+        handleMiss(p, ref, ref.write);
+}
+
+TraceCollector::RunStats
+TraceCollector::run(std::uint64_t misses, std::uint64_t max_refs)
+{
+    RunStats stats;
+    std::uint64_t start_refs = references_;
+    std::uint64_t start_instr = totalInstructions();
+    std::uint64_t start_misses = misses_;
+
+    while (misses_ - start_misses < misses &&
+           references_ - start_refs < max_refs) {
+        step();
+    }
+
+    stats.references = references_ - start_refs;
+    stats.instructions = totalInstructions() - start_instr;
+    stats.misses = misses_ - start_misses;
+    return stats;
+}
+
+Trace
+TraceCollector::collect(std::uint64_t warmup, std::uint64_t measured)
+{
+    Trace trace;
+    trace.workloadName = workload_.name();
+    trace.numNodes = numNodes_;
+    trace.records.reserve(warmup + measured);
+
+    addMissObserver([&trace](const TraceRecord &record,
+                             const SharingTracker::Transaction &) {
+        trace.records.push_back(record);
+    });
+
+    run(warmup);
+    trace.warmupRecords = trace.records.size();
+    trace.warmupInstructions = totalInstructions();
+
+    run(measured);
+    trace.totalInstructions = totalInstructions();
+
+    // Drop the collector-owned observer we just added; the trace
+    // vector must not be appended to after we return it.
+    missObservers_.pop_back();
+    return trace;
+}
+
+} // namespace dsp

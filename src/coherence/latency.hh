@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Latency classes and the calibrated end-to-end miss latencies of the
+ * target system (Section 5.1): 180 ns memory fetch, 112 ns direct
+ * cache-to-cache transfer (snooping / successful multicast), 242 ns for
+ * a directory 3-hop transfer or a retried multicast request.
+ */
+
+#ifndef DSP_COHERENCE_LATENCY_HH
+#define DSP_COHERENCE_LATENCY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dsp {
+
+/** Component latencies (Table 4). */
+struct LatencyParams {
+    double l1_ns = 1.0;            ///< 2 cycles at 2 GHz
+    double l2_ns = 12.0;           ///< L2 / snoop tag access
+    double memory_ns = 80.0;       ///< DRAM + directory access at home
+    double interconnect_ns = 50.0; ///< one crossbar traversal
+
+    /** Memory fetch: request hop + memory + data hop. */
+    double memoryFetch() const
+    {
+        return interconnect_ns + memory_ns + interconnect_ns;
+    }
+
+    /** Direct cache-to-cache: request hop + snoop + data hop. */
+    double directCacheToCache() const
+    {
+        return interconnect_ns + l2_ns + interconnect_ns;
+    }
+
+    /** 3-hop: hop + directory + hop + snoop + data hop. */
+    double indirectCacheToCache() const
+    {
+        return 2 * interconnect_ns + memory_ns + l2_ns
+             + interconnect_ns;
+    }
+};
+
+/** Broad classification of how a miss was serviced. */
+enum class LatencyClass : std::uint8_t {
+    LocalUpgrade,   ///< data already present; ordering-only transaction
+    DirectCache,    ///< cache-to-cache without indirection (112 ns)
+    Memory,         ///< serviced by memory at the home (180 ns)
+    Indirect,       ///< 3-hop / retried request (242 ns)
+};
+
+/** Printable name. */
+inline std::string
+toString(LatencyClass c)
+{
+    switch (c) {
+      case LatencyClass::LocalUpgrade:
+        return "upgrade";
+      case LatencyClass::DirectCache:
+        return "direct";
+      case LatencyClass::Memory:
+        return "memory";
+      case LatencyClass::Indirect:
+        return "indirect";
+    }
+    return "?";
+}
+
+} // namespace dsp
+
+#endif // DSP_COHERENCE_LATENCY_HH

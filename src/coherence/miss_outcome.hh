@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-miss protocol outcome: message counts, bytes, latency class, and
+ * which nodes observed the request. This is the quantity plotted on
+ * both axes of Figures 5-8.
+ */
+
+#ifndef DSP_COHERENCE_MISS_OUTCOME_HH
+#define DSP_COHERENCE_MISS_OUTCOME_HH
+
+#include <cstdint>
+
+#include "coherence/latency.hh"
+#include "mem/destination_set.hh"
+#include "mem/types.hh"
+
+namespace dsp {
+
+/**
+ * Everything a protocol engine decides about one miss.
+ */
+struct MissOutcome {
+    /** The request needed help beyond its initial destination set:
+     *  a directory forward (3-hop) or a multicast retry. */
+    bool indirection = false;
+
+    /** Request-class messages: initial requests + forwards + retries.
+     *  This is the x-axis of Figures 5 and 6. */
+    std::uint32_t requestMessages = 0;
+
+    /** Data-carrying messages (64 B + header). */
+    std::uint32_t dataMessages = 0;
+
+    /** Control messages (grants/acks) that carry no data. */
+    std::uint32_t controlMessages = 0;
+
+    /** Multicast snooping: number of directory-issued retries. */
+    std::uint32_t retries = 0;
+
+    /** Nodes other than the requester that observed the request (and
+     *  can therefore train their predictors, Section 3.2). */
+    DestinationSet observers;
+
+    /** Data source: cache id, invalidNode for memory, or the requester
+     *  itself for an upgrade (no data transfer). */
+    NodeId responder = invalidNode;
+
+    /** True when another cache supplied the data. */
+    bool cacheToCache = false;
+
+    /** How the miss was serviced, for latency reporting. */
+    LatencyClass latency = LatencyClass::Memory;
+
+    /** Total bytes moved on the interconnect for this miss. */
+    std::uint64_t
+    totalBytes() const
+    {
+        return std::uint64_t{requestMessages} * requestMessageBytes
+             + std::uint64_t{controlMessages} * requestMessageBytes
+             + std::uint64_t{dataMessages} * dataMessageBytes;
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_COHERENCE_MISS_OUTCOME_HH

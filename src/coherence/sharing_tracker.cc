@@ -1,0 +1,141 @@
+#include "coherence/sharing_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+SharingTracker::SharingTracker(NodeId num_nodes)
+    : numNodes_(num_nodes)
+{
+    dsp_assert(num_nodes > 0 && num_nodes <= maxNodes,
+               "node count %u out of range", num_nodes);
+}
+
+SharingTracker::Transaction
+SharingTracker::makeTransaction(const BlockState &st, NodeId requester,
+                                RequestType type) const
+{
+    Transaction t;
+    const bool cache_owned = st.owner != invalidNode;
+
+    if (type == RequestType::GetShared) {
+        t.grantedState = MosiState::Shared;
+        if (cache_owned && st.owner != requester) {
+            t.required.add(st.owner);
+            t.responder = st.owner;
+            t.cacheToCache = true;
+        } else if (cache_owned) {
+            // Requester already owns the block; degenerate hit.
+            t.responder = requester;
+            t.grantedState = MosiState::Owned;
+        } else {
+            t.responder = invalidNode;  // memory supplies
+        }
+        return t;
+    }
+
+    // GetExclusive: owner and every sharer other than the requester
+    // must observe the request.
+    t.grantedState = MosiState::Modified;
+    t.required = st.sharers;
+    t.required.remove(requester);
+    if (cache_owned && st.owner != requester)
+        t.required.add(st.owner);
+
+    if (st.owner == requester) {
+        t.responder = requester;           // upgrade from O
+    } else if (cache_owned) {
+        t.responder = st.owner;            // cache-to-cache transfer
+        t.cacheToCache = true;
+    } else if (st.sharers.contains(requester)) {
+        t.responder = requester;           // upgrade from S
+    } else {
+        t.responder = invalidNode;         // memory supplies
+    }
+    return t;
+}
+
+SharingTracker::Transaction
+SharingTracker::inspect(BlockId block, NodeId requester,
+                        RequestType type) const
+{
+    dsp_assert(requester < numNodes_, "requester %u out of range",
+               requester);
+    auto it = blocks_.find(block);
+    static const BlockState memory_owned{};
+    const BlockState &st = it == blocks_.end() ? memory_owned : it->second;
+    return makeTransaction(st, requester, type);
+}
+
+SharingTracker::Transaction
+SharingTracker::apply(BlockId block, NodeId requester, RequestType type)
+{
+    dsp_assert(requester < numNodes_, "requester %u out of range",
+               requester);
+    BlockState &st = blocks_[block];
+    Transaction t = makeTransaction(st, requester, type);
+
+    if (type == RequestType::GetShared) {
+        if (st.owner != requester)
+            st.sharers.add(requester);
+        // A cache owner stays owner (M -> O downgrade is local to it);
+        // a memory owner stays memory.
+    } else {
+        st.owner = requester;
+        st.sharers = DestinationSet{};
+    }
+    return t;
+}
+
+void
+SharingTracker::evictShared(BlockId block, NodeId node)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return;
+    it->second.sharers.remove(node);
+    if (it->second.owner == invalidNode && it->second.sharers.empty())
+        blocks_.erase(it);
+}
+
+void
+SharingTracker::evictOwned(BlockId block, NodeId node)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return;
+    dsp_assert(it->second.owner == node,
+               "writeback from node %u but owner is %u", node,
+               it->second.owner);
+    it->second.owner = invalidNode;
+    if (it->second.sharers.empty())
+        blocks_.erase(it);
+}
+
+NodeId
+SharingTracker::ownerOf(BlockId block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? invalidNode : it->second.owner;
+}
+
+DestinationSet
+SharingTracker::sharersOf(BlockId block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? DestinationSet{} : it->second.sharers;
+}
+
+DestinationSet
+SharingTracker::holdersOf(BlockId block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return DestinationSet{};
+    DestinationSet holders = it->second.sharers;
+    if (it->second.owner != invalidNode)
+        holders.add(it->second.owner);
+    return holders;
+}
+
+} // namespace dsp

@@ -1,0 +1,129 @@
+#include "coherence/trace_protocols.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+namespace {
+
+/** Latency class for a request serviced without indirection. */
+LatencyClass
+directClassFor(const MissInfo &miss)
+{
+    if (miss.responder == miss.requester)
+        return LatencyClass::LocalUpgrade;
+    if (miss.responder == invalidNode)
+        return LatencyClass::Memory;
+    return LatencyClass::DirectCache;
+}
+
+/** Charge the data (or upgrade-grant) message for a miss. */
+void
+chargeResponse(const MissInfo &miss, bool via_directory_grant,
+               MissOutcome &out)
+{
+    if (miss.responder == miss.requester) {
+        // Upgrade in place: no data moves. Directory protocols send an
+        // explicit grant; snooping-style protocols complete when the
+        // requester observes its own ordered request.
+        if (via_directory_grant && miss.home != miss.requester)
+            ++out.controlMessages;
+        return;
+    }
+    ++out.dataMessages;
+    out.cacheToCache = miss.responder != invalidNode;
+}
+
+} // namespace
+
+MissOutcome
+BroadcastSnoopingModel::handleMiss(const MissInfo &miss,
+                                   DestinationSet /* predicted */)
+{
+    MissOutcome out;
+    out.responder = miss.responder;
+
+    DestinationSet everyone = DestinationSet::all(numNodes_);
+    everyone.remove(miss.requester);
+    out.observers = everyone;
+    out.requestMessages = everyone.count();
+
+    out.indirection = false;  // the owner always hears a broadcast
+    chargeResponse(miss, false, out);
+    out.latency = directClassFor(miss);
+    return out;
+}
+
+MissOutcome
+DirectoryModel::handleMiss(const MissInfo &miss,
+                           DestinationSet /* predicted */)
+{
+    MissOutcome out;
+    out.responder = miss.responder;
+
+    // Request to the home (free if the requester is the home node).
+    if (miss.home != miss.requester)
+        ++out.requestMessages;
+
+    // Forward to the owner and/or invalidate sharers.
+    out.requestMessages += miss.required.count();
+    out.observers = miss.required;
+
+    out.indirection = !miss.required.empty();
+    chargeResponse(miss, true, out);
+    if (out.indirection) {
+        out.latency = LatencyClass::Indirect;
+    } else if (miss.responder == miss.requester) {
+        // Upgrades still take the grant round trip through the home.
+        out.latency = LatencyClass::Memory;
+    } else {
+        out.latency = directClassFor(miss);
+    }
+    return out;
+}
+
+MissOutcome
+MulticastSnoopingModel::handleMiss(const MissInfo &miss,
+                                   DestinationSet predicted)
+{
+    dsp_assert(predicted.contains(miss.requester),
+               "multicast destination set must include the requester");
+    dsp_assert(predicted.contains(miss.home),
+               "multicast destination set must include the home node");
+
+    MissOutcome out;
+    out.responder = miss.responder;
+
+    DestinationSet initial = predicted;
+    initial.remove(miss.requester);
+    out.requestMessages = initial.count();
+    out.observers = initial;
+
+    const bool sufficient = predicted.containsAll(miss.required);
+    if (sufficient) {
+        out.indirection = false;
+        chargeResponse(miss, false, out);
+        out.latency = directClassFor(miss);
+        return out;
+    }
+
+    // Insufficient: the home's directory re-issues the request with an
+    // improved destination set (current owner + sharers + requester).
+    // In trace replay no racing request can intervene, so one retry
+    // always suffices; the timing simulator models the window of
+    // vulnerability (Section 4.1).
+    out.indirection = true;
+    out.retries = 1;
+
+    DestinationSet retry = miss.required;
+    retry.add(miss.requester);
+    retry.remove(miss.home);  // home re-issues; self-delivery is free
+    out.requestMessages += retry.count();
+    out.observers |= miss.required;
+
+    chargeResponse(miss, false, out);
+    out.latency = LatencyClass::Indirect;
+    return out;
+}
+
+} // namespace dsp

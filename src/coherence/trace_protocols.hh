@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Trace-level models of the three protocols (Section 4): broadcast
+ * snooping, a GS320-style directory protocol, and multicast snooping
+ * with directory-assisted retries.
+ *
+ * These models consume pre-serialized misses -- the requester, the
+ * ground-truth required observer set, and the responder, all captured at
+ * trace-collection time -- and charge messages/latency according to each
+ * protocol's rules. Because destination sets never change MOSI state
+ * evolution (only who hears about it), replaying the same miss order
+ * through different protocols is exact, which is what makes the paper's
+ * trace-driven methodology valid.
+ */
+
+#ifndef DSP_COHERENCE_TRACE_PROTOCOLS_HH
+#define DSP_COHERENCE_TRACE_PROTOCOLS_HH
+
+#include <cstdint>
+
+#include "coherence/miss_outcome.hh"
+#include "mem/destination_set.hh"
+#include "mem/types.hh"
+
+namespace dsp {
+
+/** One serialized miss, with ground truth from trace collection. */
+struct MissInfo {
+    Addr addr = 0;
+    Addr pc = 0;
+    NodeId requester = 0;
+    RequestType type = RequestType::GetShared;
+
+    /** Caches (excluding requester) that must observe the request. */
+    DestinationSet required;
+
+    /** Data source: cache, invalidNode (memory), or requester
+     *  (upgrade in place). */
+    NodeId responder = invalidNode;
+
+    /** Home node of the block (directory location). */
+    NodeId home = 0;
+};
+
+/**
+ * Common interface: given a miss and (for multicast) a predicted
+ * destination set, produce the protocol's outcome.
+ */
+class TraceProtocol
+{
+  public:
+    virtual ~TraceProtocol() = default;
+
+    /**
+     * Process one miss.
+     *
+     * @param miss the serialized miss with ground truth
+     * @param predicted the predicted destination set (ignored by the
+     *        snooping and directory baselines); must include the
+     *        requester and the home node
+     */
+    virtual MissOutcome
+    handleMiss(const MissInfo &miss,
+               DestinationSet predicted = DestinationSet{}) = 0;
+
+    /** Protocol name for report tables. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Broadcast snooping: every request goes to all nodes. Never indirect
+ * (the owner always observes the request).
+ */
+class BroadcastSnoopingModel : public TraceProtocol
+{
+  public:
+    explicit BroadcastSnoopingModel(NodeId num_nodes)
+        : numNodes_(num_nodes)
+    {
+    }
+
+    MissOutcome
+    handleMiss(const MissInfo &miss,
+               DestinationSet predicted = DestinationSet{}) override;
+    const char *name() const override { return "snooping"; }
+
+  private:
+    NodeId numNodes_;
+};
+
+/**
+ * Directory protocol in the AlphaServer GS320 style: requests go to the
+ * home; the directory forwards to the owner and/or sharers when the
+ * home cannot satisfy the request alone. The totally-ordered
+ * interconnect removes the need for invalidation acknowledgements.
+ */
+class DirectoryModel : public TraceProtocol
+{
+  public:
+    explicit DirectoryModel(NodeId num_nodes)
+        : numNodes_(num_nodes)
+    {
+    }
+
+    MissOutcome
+    handleMiss(const MissInfo &miss,
+               DestinationSet predicted = DestinationSet{}) override;
+    const char *name() const override { return "directory"; }
+
+  private:
+    NodeId numNodes_;
+};
+
+/**
+ * Multicast snooping (Bilir et al. / Sorin et al.): the request is
+ * multicast to the predicted destination set; the home's directory
+ * checks sufficiency and, when the set is insufficient, re-issues the
+ * request with an improved destination set (latency comparable to a
+ * directory 3-hop). In trace replay the retry always succeeds -- the
+ * window-of-vulnerability race needs timing and is modelled by the
+ * execution-driven simulator in src/system.
+ */
+class MulticastSnoopingModel : public TraceProtocol
+{
+  public:
+    explicit MulticastSnoopingModel(NodeId num_nodes)
+        : numNodes_(num_nodes)
+    {
+    }
+
+    MissOutcome
+    handleMiss(const MissInfo &miss,
+               DestinationSet predicted = DestinationSet{}) override;
+    const char *name() const override { return "multicast"; }
+
+  private:
+    NodeId numNodes_;
+};
+
+} // namespace dsp
+
+#endif // DSP_COHERENCE_TRACE_PROTOCOLS_HH

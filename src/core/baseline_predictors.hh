@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Degenerate "predictors" anchoring the two ends of the design space
+ * (Section 3): AlwaysBroadcast makes multicast snooping behave like
+ * broadcast snooping (perfect accuracy, maximal bandwidth);
+ * AlwaysMinimal makes it behave like a directory protocol (minimal
+ * bandwidth, every sharing miss indirects).
+ */
+
+#ifndef DSP_CORE_BASELINE_PREDICTORS_HH
+#define DSP_CORE_BASELINE_PREDICTORS_HH
+
+#include "core/predictor.hh"
+
+namespace dsp {
+
+/** Always predicts the full broadcast set. */
+class AlwaysBroadcastPredictor : public Predictor
+{
+  public:
+    explicit AlwaysBroadcastPredictor(const PredictorConfig &config)
+        : Predictor(config)
+    {
+    }
+
+    DestinationSet
+    predict(Addr, Addr, RequestType, NodeId, NodeId) override
+    {
+        return DestinationSet::all(config_.numNodes);
+    }
+
+    void trainResponse(Addr, Addr, NodeId, bool) override {}
+    void trainExternalRequest(Addr, Addr, RequestType, NodeId) override
+    {
+    }
+
+    std::string name() const override { return "always-broadcast"; }
+    std::size_t entryCount() const override { return 0; }
+    unsigned entryBits() const override { return 0; }
+};
+
+/** Always predicts only the minimal destination set. */
+class AlwaysMinimalPredictor : public Predictor
+{
+  public:
+    explicit AlwaysMinimalPredictor(const PredictorConfig &config)
+        : Predictor(config)
+    {
+    }
+
+    DestinationSet
+    predict(Addr, Addr, RequestType, NodeId requester,
+            NodeId home) override
+    {
+        return minimalSet(requester, home);
+    }
+
+    void trainResponse(Addr, Addr, NodeId, bool) override {}
+    void trainExternalRequest(Addr, Addr, RequestType, NodeId) override
+    {
+    }
+
+    std::string name() const override { return "always-minimal"; }
+    std::size_t entryCount() const override { return 0; }
+    unsigned entryBits() const override { return 0; }
+};
+
+} // namespace dsp
+
+#endif // DSP_CORE_BASELINE_PREDICTORS_HH

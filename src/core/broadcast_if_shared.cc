@@ -1,0 +1,52 @@
+#include "core/broadcast_if_shared.hh"
+
+namespace dsp {
+
+DestinationSet
+BroadcastIfSharedPredictor::predict(Addr addr, Addr pc,
+                                    RequestType /* type */,
+                                    NodeId requester, NodeId home)
+{
+    if (SharedCounterEntry *entry =
+            table_.find(indexKey(config_.indexing, addr, pc))) {
+        if (entry->counter > 1)
+            return DestinationSet::all(config_.numNodes);
+    }
+    return minimalSet(requester, home);
+}
+
+void
+BroadcastIfSharedPredictor::trainResponse(Addr addr, Addr pc,
+                                          NodeId responder,
+                                          bool insufficient)
+{
+    std::uint64_t key = indexKey(config_.indexing, addr, pc);
+    if (responder == invalidNode) {
+        // Memory supplied the data: looks unshared, train down. The
+        // allocation filter keeps such blocks out of the table.
+        SharedCounterEntry *entry = table_.find(key);
+        if (!entry && !config_.allocationFilter)
+            entry = &table_.findOrAllocate(key);
+        if (entry)
+            entry->decrement();
+        return;
+    }
+    SharedCounterEntry *entry = table_.find(key);
+    if (!entry && (insufficient || !config_.allocationFilter))
+        entry = &table_.findOrAllocate(key);
+    if (entry)
+        entry->increment();
+}
+
+void
+BroadcastIfSharedPredictor::trainExternalRequest(Addr addr, Addr pc,
+                                                 RequestType type,
+                                                 NodeId /* requester */)
+{
+    if (type == RequestType::GetShared)
+        return;
+    table_.findOrAllocate(indexKey(config_.indexing, addr, pc))
+        .increment();
+}
+
+} // namespace dsp

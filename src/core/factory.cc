@@ -1,0 +1,102 @@
+#include "core/factory.hh"
+
+#include "core/baseline_predictors.hh"
+#include "core/broadcast_if_shared.hh"
+#include "core/group_predictor.hh"
+#include "core/owner_group_predictor.hh"
+#include "core/owner_predictor.hh"
+#include "core/sticky_spatial.hh"
+#include "sim/logging.hh"
+
+namespace dsp {
+
+std::string
+toString(PredictorPolicy policy)
+{
+    switch (policy) {
+      case PredictorPolicy::Owner:
+        return "owner";
+      case PredictorPolicy::BroadcastIfShared:
+        return "bcast-if-shared";
+      case PredictorPolicy::Group:
+        return "group";
+      case PredictorPolicy::OwnerGroup:
+        return "owner-group";
+      case PredictorPolicy::StickySpatial:
+        return "sticky-spatial";
+      case PredictorPolicy::AlwaysBroadcast:
+        return "always-broadcast";
+      case PredictorPolicy::AlwaysMinimal:
+        return "always-minimal";
+    }
+    return "?";
+}
+
+PredictorPolicy
+parsePredictorPolicy(const std::string &name)
+{
+    static const std::vector<PredictorPolicy> all = {
+        PredictorPolicy::Owner,
+        PredictorPolicy::BroadcastIfShared,
+        PredictorPolicy::Group,
+        PredictorPolicy::OwnerGroup,
+        PredictorPolicy::StickySpatial,
+        PredictorPolicy::AlwaysBroadcast,
+        PredictorPolicy::AlwaysMinimal,
+    };
+    for (PredictorPolicy policy : all)
+        if (toString(policy) == name)
+            return policy;
+    dsp_fatal("unknown predictor policy '%s'", name.c_str());
+}
+
+const std::vector<PredictorPolicy> &
+proposedPolicies()
+{
+    static const std::vector<PredictorPolicy> policies = {
+        PredictorPolicy::Owner,
+        PredictorPolicy::BroadcastIfShared,
+        PredictorPolicy::Group,
+        PredictorPolicy::OwnerGroup,
+    };
+    return policies;
+}
+
+std::unique_ptr<Predictor>
+makePredictor(PredictorPolicy policy, PredictorConfig config)
+{
+    switch (policy) {
+      case PredictorPolicy::Owner:
+        return std::make_unique<OwnerPredictor>(config);
+      case PredictorPolicy::BroadcastIfShared:
+        return std::make_unique<BroadcastIfSharedPredictor>(config);
+      case PredictorPolicy::Group:
+        return std::make_unique<GroupPredictor>(config);
+      case PredictorPolicy::OwnerGroup:
+        return std::make_unique<OwnerGroupPredictor>(config);
+      case PredictorPolicy::StickySpatial:
+        // Faithful reconstruction: direct-mapped, block indexed.
+        config.indexing = IndexingMode::Block64;
+        config.ways = 1;
+        return std::make_unique<StickySpatialPredictor>(config, 1);
+      case PredictorPolicy::AlwaysBroadcast:
+        return std::make_unique<AlwaysBroadcastPredictor>(config);
+      case PredictorPolicy::AlwaysMinimal:
+        return std::make_unique<AlwaysMinimalPredictor>(config);
+    }
+    dsp_fatal("unhandled predictor policy %d",
+              static_cast<int>(policy));
+}
+
+std::vector<std::unique_ptr<Predictor>>
+makePredictorsPerNode(PredictorPolicy policy,
+                      const PredictorConfig &config)
+{
+    std::vector<std::unique_ptr<Predictor>> predictors;
+    predictors.reserve(config.numNodes);
+    for (NodeId n = 0; n < config.numNodes; ++n)
+        predictors.push_back(makePredictor(policy, config));
+    return predictors;
+}
+
+} // namespace dsp

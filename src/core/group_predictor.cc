@@ -1,0 +1,53 @@
+#include "core/group_predictor.hh"
+
+namespace dsp {
+
+DestinationSet
+GroupPredictor::predict(Addr addr, Addr pc, RequestType /* type */,
+                        NodeId requester, NodeId home)
+{
+    DestinationSet set = minimalSet(requester, home);
+    if (GroupEntry *entry =
+            table_.find(indexKey(config_.indexing, addr, pc)))
+        set |= entry->predictedSet(config_.numNodes);
+    return set;
+}
+
+void
+GroupPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
+                              bool insufficient)
+{
+    std::uint64_t key = indexKey(config_.indexing, addr, pc);
+    if (responder == invalidNode) {
+        // Memory response: only the rollover advances, giving the
+        // entry gentle train-down pressure. The allocation filter
+        // keeps never-shared blocks out of the table entirely.
+        GroupEntry *entry = table_.find(key);
+        if (!entry && !config_.allocationFilter)
+            entry = &table_.findOrAllocate(key);
+        if (entry)
+            entry->tickRollover(config_.numNodes);
+        return;
+    }
+    GroupEntry *entry = table_.find(key);
+    if (!entry && (insufficient || !config_.allocationFilter))
+        entry = &table_.findOrAllocate(key);
+    if (entry) {
+        entry->strengthen(responder);
+        entry->tickRollover(config_.numNodes);
+    }
+}
+
+void
+GroupPredictor::trainExternalRequest(Addr addr, Addr pc,
+                                     RequestType type, NodeId requester)
+{
+    if (type == RequestType::GetShared)
+        return;
+    GroupEntry &entry =
+        table_.findOrAllocate(indexKey(config_.indexing, addr, pc));
+    entry.strengthen(requester);
+    entry.tickRollover(config_.numNodes);
+}
+
+} // namespace dsp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Group predictor (Table 3, column 3).
+ *
+ * Targets group sharing: one 2-bit saturating counter per processor
+ * plus a 5-bit rollover counter per entry. Processors whose counters
+ * exceed the threshold join the predicted set; the rollover counter
+ * periodically decays every counter so inactive processors eventually
+ * leave the destination set (explicit train-down, the key advance over
+ * Sticky-Spatial noted in Section 3.5).
+ */
+
+#ifndef DSP_CORE_GROUP_PREDICTOR_HH
+#define DSP_CORE_GROUP_PREDICTOR_HH
+
+#include <array>
+
+#include "core/predictor.hh"
+#include "core/predictor_table.hh"
+
+namespace dsp {
+
+/** Per-entry state: N 2-bit counters + a 5-bit rollover counter. */
+struct GroupEntry {
+    std::array<std::uint8_t, maxNodes> counters{};
+    std::uint8_t rollover = 0;  ///< 5-bit, wraps at 32
+
+    /** Bump one processor's counter (saturating at 3). */
+    void
+    strengthen(NodeId node)
+    {
+        if (counters[node] < 3)
+            ++counters[node];
+    }
+
+    /**
+     * Advance the rollover counter; on wrap, decay every processor's
+     * counter by one (Table 3 footnote).
+     */
+    void
+    tickRollover(NodeId num_nodes)
+    {
+        rollover = static_cast<std::uint8_t>((rollover + 1) & 0x1f);
+        if (rollover == 0)
+            for (NodeId n = 0; n < num_nodes; ++n)
+                if (counters[n] > 0)
+                    --counters[n];
+    }
+
+    /** Processors currently predicted to need the block. */
+    DestinationSet
+    predictedSet(NodeId num_nodes) const
+    {
+        DestinationSet set;
+        for (NodeId n = 0; n < num_nodes; ++n)
+            if (counters[n] > 1)
+                set.add(n);
+        return set;
+    }
+};
+
+class GroupPredictor : public Predictor
+{
+  public:
+    explicit GroupPredictor(const PredictorConfig &config)
+        : Predictor(config), table_(config.entries, config.ways)
+    {
+    }
+
+    DestinationSet
+    predict(Addr addr, Addr pc, RequestType type, NodeId requester,
+            NodeId home) override;
+
+    void trainResponse(Addr addr, Addr pc, NodeId responder,
+                       bool insufficient) override;
+    void trainExternalRequest(Addr addr, Addr pc, RequestType type,
+                              NodeId requester) override;
+
+    std::string name() const override { return "group"; }
+    std::size_t entryCount() const override { return table_.size(); }
+
+    unsigned
+    entryBits() const override
+    {
+        return 2 * config_.numNodes + 5;
+    }
+
+    PredictorTable<GroupEntry> &table() { return table_; }
+
+  private:
+    PredictorTable<GroupEntry> table_;
+};
+
+} // namespace dsp
+
+#endif // DSP_CORE_GROUP_PREDICTOR_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Predictor indexing policies (Section 3.4): data-block address,
+ * coarse-grain macroblock address (256 B or 1024 B), or the program
+ * counter of the missing instruction.
+ */
+
+#ifndef DSP_CORE_INDEXING_HH
+#define DSP_CORE_INDEXING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/types.hh"
+
+namespace dsp {
+
+/** How predictor tables are indexed. */
+enum class IndexingMode : std::uint8_t {
+    Block64,         ///< 64 B data-block address
+    Macroblock256,   ///< 256 B macroblock address
+    Macroblock1024,  ///< 1024 B macroblock address (default)
+    ProgramCounter,  ///< PC of the missing load/store
+};
+
+/** Compute the table key for an access under an indexing mode. */
+constexpr std::uint64_t
+indexKey(IndexingMode mode, Addr addr, Addr pc)
+{
+    switch (mode) {
+      case IndexingMode::Block64:
+        return addr >> 6;
+      case IndexingMode::Macroblock256:
+        return addr >> 8;
+      case IndexingMode::Macroblock1024:
+        return addr >> 10;
+      case IndexingMode::ProgramCounter:
+        return pc >> 2;
+    }
+    return addr >> 6;
+}
+
+/** Printable name. */
+inline std::string
+toString(IndexingMode mode)
+{
+    switch (mode) {
+      case IndexingMode::Block64:
+        return "block64";
+      case IndexingMode::Macroblock256:
+        return "macro256";
+      case IndexingMode::Macroblock1024:
+        return "macro1024";
+      case IndexingMode::ProgramCounter:
+        return "pc";
+    }
+    return "?";
+}
+
+} // namespace dsp
+
+#endif // DSP_CORE_INDEXING_HH

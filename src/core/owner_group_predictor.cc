@@ -1,0 +1,69 @@
+#include "core/owner_group_predictor.hh"
+
+namespace dsp {
+
+DestinationSet
+OwnerGroupPredictor::predict(Addr addr, Addr pc, RequestType type,
+                             NodeId requester, NodeId home)
+{
+    DestinationSet set = minimalSet(requester, home);
+    OwnerGroupEntry *entry =
+        table_.find(indexKey(config_.indexing, addr, pc));
+    if (!entry)
+        return set;
+
+    if (type == RequestType::GetShared) {
+        // Reads only need the owner; keep the request narrow.
+        if (entry->owner.valid)
+            set.add(entry->owner.owner);
+    } else {
+        // Writes must reach every sharer to avoid a retry.
+        set |= entry->group.predictedSet(config_.numNodes);
+        if (entry->owner.valid)
+            set.add(entry->owner.owner);
+    }
+    return set;
+}
+
+void
+OwnerGroupPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
+                                   bool insufficient)
+{
+    std::uint64_t key = indexKey(config_.indexing, addr, pc);
+    if (responder == invalidNode) {
+        OwnerGroupEntry *entry = table_.find(key);
+        if (!entry && !config_.allocationFilter)
+            entry = &table_.findOrAllocate(key);
+        if (entry) {
+            entry->owner.valid = false;
+            entry->group.tickRollover(config_.numNodes);
+        }
+        return;
+    }
+    OwnerGroupEntry *entry = table_.find(key);
+    if (!entry && (insufficient || !config_.allocationFilter))
+        entry = &table_.findOrAllocate(key);
+    if (entry) {
+        entry->owner.owner = responder;
+        entry->owner.valid = true;
+        entry->group.strengthen(responder);
+        entry->group.tickRollover(config_.numNodes);
+    }
+}
+
+void
+OwnerGroupPredictor::trainExternalRequest(Addr addr, Addr pc,
+                                          RequestType type,
+                                          NodeId requester)
+{
+    if (type == RequestType::GetShared)
+        return;
+    OwnerGroupEntry &entry =
+        table_.findOrAllocate(indexKey(config_.indexing, addr, pc));
+    entry.owner.owner = requester;
+    entry.owner.valid = true;
+    entry.group.strengthen(requester);
+    entry.group.tickRollover(config_.numNodes);
+}
+
+} // namespace dsp

@@ -1,0 +1,62 @@
+#include "core/owner_predictor.hh"
+
+namespace dsp {
+
+DestinationSet
+OwnerPredictor::predict(Addr addr, Addr pc, RequestType /* type */,
+                        NodeId requester, NodeId home)
+{
+    DestinationSet set = minimalSet(requester, home);
+    if (OwnerEntry *entry =
+            table_.find(indexKey(config_.indexing, addr, pc))) {
+        if (entry->valid)
+            set.add(entry->owner);
+    }
+    return set;
+}
+
+void
+OwnerPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
+                              bool insufficient)
+{
+    std::uint64_t key = indexKey(config_.indexing, addr, pc);
+    if (responder == invalidNode) {
+        // Response from memory: clear Valid (train down). With the
+        // Section 3.1 allocation filter on (the default), memory
+        // responses never allocate -- there is nothing to learn and
+        // unshared blocks would crowd out sharing-miss entries.
+        OwnerEntry *entry = table_.find(key);
+        if (!entry && !config_.allocationFilter)
+            entry = &table_.findOrAllocate(key);
+        if (entry)
+            entry->valid = false;
+        return;
+    }
+
+    // Response from another cache. Allocation filter (Section 3.1):
+    // only allocate when the minimal set proved insufficient (always
+    // true for cache responses, but kept explicit for clarity).
+    OwnerEntry *entry = table_.find(key);
+    if (!entry && (insufficient || !config_.allocationFilter))
+        entry = &table_.findOrAllocate(key);
+    if (entry) {
+        entry->owner = responder;
+        entry->valid = true;
+    }
+}
+
+void
+OwnerPredictor::trainExternalRequest(Addr addr, Addr pc,
+                                     RequestType type, NodeId requester)
+{
+    if (type == RequestType::GetShared)
+        return;  // Table 3: requests for shared are ignored
+    // An external GETX proves the block is shared with `requester`,
+    // which will own it once the request completes.
+    OwnerEntry &entry =
+        table_.findOrAllocate(indexKey(config_.indexing, addr, pc));
+    entry.owner = requester;
+    entry.valid = true;
+}
+
+} // namespace dsp

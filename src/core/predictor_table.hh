@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Backing store for predictor entries: a tagged set-associative table
+ * with LRU replacement (the paper's finite predictors) or an unbounded
+ * hash map (the paper's "unbounded" sensitivity points, Figure 6c).
+ */
+
+#ifndef DSP_CORE_PREDICTOR_TABLE_HH
+#define DSP_CORE_PREDICTOR_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/cache_array.hh"
+#include "sim/logging.hh"
+
+namespace dsp {
+
+/**
+ * key -> Entry store. entries == 0 selects the unbounded variant.
+ *
+ * find() never allocates: per Section 3.1 predictors return the
+ * minimal destination set on a table miss, and allocation is filtered
+ * (only blocks whose minimal set proved insufficient get entries).
+ */
+template <typename Entry>
+class PredictorTable
+{
+  public:
+    PredictorTable(std::size_t entries, std::size_t ways)
+    {
+        if (entries > 0) {
+            if (ways == 0 || ways > entries)
+                ways = entries;
+            std::size_t sets = entries / ways;
+            if (sets == 0)
+                sets = 1;
+            finite_.emplace(sets, ways);
+        }
+    }
+
+    /** Look up without allocating; nullptr on miss. */
+    Entry *
+    find(std::uint64_t key)
+    {
+        ++lookups_;
+        Entry *entry = nullptr;
+        if (finite_) {
+            entry = finite_->find(key);
+        } else {
+            auto it = unbounded_.find(key);
+            entry = it == unbounded_.end() ? nullptr : &it->second;
+        }
+        if (entry)
+            ++hits_;
+        return entry;
+    }
+
+    /** Look up, allocating a default entry (evicting LRU) on miss. */
+    Entry &
+    findOrAllocate(std::uint64_t key)
+    {
+        if (finite_) {
+            if (Entry *entry = finite_->find(key))
+                return *entry;
+            ++allocations_;
+            if (finite_->insert(key, Entry{}))
+                ++evictions_;
+            Entry *entry = finite_->find(key);
+            dsp_assert(entry, "entry vanished after insert");
+            return *entry;
+        }
+        auto [it, inserted] = unbounded_.try_emplace(key);
+        if (inserted)
+            ++allocations_;
+        return it->second;
+    }
+
+    /** Number of live entries. */
+    std::size_t
+    size() const
+    {
+        return finite_ ? finite_->size() : unbounded_.size();
+    }
+
+    bool unbounded() const { return !finite_.has_value(); }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    std::optional<CacheArray<Entry>> finite_;
+    std::unordered_map<std::uint64_t, Entry> unbounded_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_CORE_PREDICTOR_TABLE_HH

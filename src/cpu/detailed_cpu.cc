@@ -1,0 +1,184 @@
+#include "cpu/detailed_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+DetailedCpu::DetailedCpu(EventQueue &queue, Workload &workload,
+                         NodeId node, MemoryPort &port,
+                         const CpuParams &params)
+    : Cpu(queue, workload, node, port, params)
+{
+    double per_instr_ns = 1.0 / (params.clock_ghz * params.width);
+    fetchTick_ = nsToTicks(per_instr_ns);
+    retireTick_ = nsToTicks(per_instr_ns);
+    if (fetchTick_ == 0)
+        fetchTick_ = 1;
+    if (retireTick_ == 0)
+        retireTick_ = 1;
+    l1Tick_ = nsToTicks(params.l1_ns);
+    l2Tick_ = nsToTicks(params.l2_ns);
+    quantum_ = nsToTicks(params.quantum_ns);
+}
+
+void
+DetailedCpu::runFor(std::uint64_t instructions,
+                    std::function<void()> on_done)
+{
+    dsp_assert(!onDone_, "cpu %u already has a pending target", node_);
+    target_ = retired_ + instructions;
+    onDone_ = std::move(on_done);
+    if (fetchTime_ < queue_.now())
+        fetchTime_ = queue_.now();
+    if (!fetchScheduled_ && !stalledOnMshr_ && stalledOnRetire_ == 0)
+        fetchLoop();
+}
+
+Tick
+DetailedCpu::backProject(std::uint64_t instr_no) const
+{
+    std::uint64_t behind = lastRetireInstr_ - instr_no;
+    Tick delta = behind * retireTick_;
+    return lastRetire_ > delta ? lastRetire_ - delta : 0;
+}
+
+void
+DetailedCpu::scheduleFetch(Tick when)
+{
+    if (fetchScheduled_)
+        return;
+    fetchScheduled_ = true;
+    if (when < queue_.now())
+        when = queue_.now();
+    queue_.schedule(
+        when,
+        [this]() {
+            fetchScheduled_ = false;
+            fetchLoop();
+        },
+        EventPriority::Cpu);
+}
+
+void
+DetailedCpu::fetchLoop()
+{
+    Tick horizon = queue_.now() + quantum_;
+
+    while (fetchedInstrs_ < target_) {
+        if (outstanding_ >= params_.mshrs) {
+            stalledOnMshr_ = true;  // completion wakes us
+            return;
+        }
+        if (!havePending_) {
+            pending_ = workload_.next(node_);
+            havePending_ = true;
+        }
+        std::uint64_t instrs = pending_.work + 1;
+        std::uint64_t end = fetchedInstrs_ + instrs;
+
+        // ROB constraint: instruction (end - rob) must have retired
+        // before this reference can occupy the window. A reference
+        // preceded by more work than the window holds can require at
+        // most a full drain (everything fetched so far) -- without
+        // the clamp it would wait for an instruction that can never
+        // exist and wedge the core.
+        if (end > params_.rob) {
+            std::uint64_t must_retire = end - params_.rob;
+            if (must_retire > fetchedInstrs_)
+                must_retire = fetchedInstrs_;
+            if (must_retire > lastRetireInstr_) {
+                stalledOnRetire_ = must_retire;  // retire wakes us
+                return;
+            }
+            Tick rob_ready = backProject(must_retire);
+            if (rob_ready > fetchTime_)
+                fetchTime_ = rob_ready;
+        }
+
+        Tick fetch = fetchTime_ + instrs * fetchTick_;
+        if (fetch > horizon) {
+            scheduleFetch(fetch);
+            return;
+        }
+
+        fetchTime_ = fetch;
+        fetchedInstrs_ = end;
+        havePending_ = false;
+
+        std::uint64_t seq = nextSeq_++;
+        window_.push_back(WindowRef{end, fetch, 0, false});
+
+        AccessReply reply = port_.access(
+            pending_.addr, pending_.pc, pending_.write, fetch,
+            [this, seq](Tick tick) { onAccessComplete(seq, tick); });
+
+        switch (reply) {
+          case AccessReply::L1Hit:
+            onAccessComplete(seq, fetch + l1Tick_);
+            break;
+          case AccessReply::L2Hit:
+            onAccessComplete(seq, fetch + l2Tick_);
+            break;
+          case AccessReply::Miss: {
+            std::size_t idx =
+                static_cast<std::size_t>(seq - windowBaseSeq_);
+            window_[idx].isMiss = true;
+            ++outstanding_;
+            if (outstanding_ > peakOutstanding_)
+                peakOutstanding_ = outstanding_;
+            break;
+          }
+        }
+    }
+}
+
+void
+DetailedCpu::onAccessComplete(std::uint64_t seq, Tick tick)
+{
+    dsp_assert(seq >= windowBaseSeq_, "completion for retired ref");
+    std::size_t idx = static_cast<std::size_t>(seq - windowBaseSeq_);
+    dsp_assert(idx < window_.size(), "completion out of window");
+
+    WindowRef &ref = window_[idx];
+    if (!ref.done) {
+        ref.done = true;
+        ref.complete = tick;
+        if (ref.isMiss) {
+            dsp_assert(outstanding_ > 0, "mshr underflow");
+            --outstanding_;
+        }
+    }
+    retireSweep();
+
+    if (stalledOnMshr_ && outstanding_ < params_.mshrs) {
+        stalledOnMshr_ = false;
+        scheduleFetch(queue_.now());
+    }
+}
+
+void
+DetailedCpu::retireSweep()
+{
+    while (!window_.empty() && window_.front().done) {
+        WindowRef &head = window_.front();
+        Tick drain =
+            (head.instrEnd - lastRetireInstr_) * retireTick_;
+        Tick retire = std::max(head.complete, lastRetire_ + drain);
+        lastRetire_ = retire;
+        lastRetireInstr_ = head.instrEnd;
+        retired_ = head.instrEnd;
+        window_.pop_front();
+        ++windowBaseSeq_;
+
+        if (retired_ >= target_ && onDone_)
+            reachTarget(retire);
+    }
+
+    if (stalledOnRetire_ != 0 &&
+        lastRetireInstr_ >= stalledOnRetire_) {
+        stalledOnRetire_ = 0;
+        scheduleFetch(queue_.now());
+    }
+}
+
+} // namespace dsp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dynamically-scheduled processor model (Section 5.2): a ROB-window
+ * interval model. Instructions are fetched 4-wide into a 64-entry
+ * window, independent misses inside the window overlap (memory-level
+ * parallelism), and retirement is in order at 4 instructions per
+ * cycle. This captures the first-order effects TFsim models -- miss
+ * overlap and speculative request issue -- without per-cycle pipeline
+ * simulation.
+ */
+
+#ifndef DSP_CPU_DETAILED_CPU_HH
+#define DSP_CPU_DETAILED_CPU_HH
+
+#include <deque>
+
+#include "cpu/cpu.hh"
+
+namespace dsp {
+
+class DetailedCpu : public Cpu
+{
+  public:
+    DetailedCpu(EventQueue &queue, Workload &workload, NodeId node,
+                MemoryPort &port,
+                const CpuParams &params = CpuParams{});
+
+    void runFor(std::uint64_t instructions,
+                std::function<void()> on_done) override;
+
+    /** Peak outstanding misses observed (for MLP reporting). */
+    unsigned peakOutstanding() const { return peakOutstanding_; }
+
+  private:
+    struct WindowRef {
+        std::uint64_t instrEnd;  ///< cumulative instr number (inclusive)
+        Tick fetch = 0;
+        Tick complete = 0;
+        bool done = false;
+        bool isMiss = false;
+    };
+
+    void fetchLoop();
+    void scheduleFetch(Tick when);
+    void retireSweep();
+    void onAccessComplete(std::uint64_t seq, Tick tick);
+
+    /** Approximate retire tick of an already-retired instruction. */
+    Tick backProject(std::uint64_t instr_no) const;
+
+    Tick fetchTick_;   ///< per-instruction fetch time (width-wide)
+    Tick retireTick_;  ///< per-instruction retire time
+    Tick l1Tick_;
+    Tick l2Tick_;
+    Tick quantum_;
+
+    std::deque<WindowRef> window_;
+    std::uint64_t windowBaseSeq_ = 0;  ///< seq of window_.front()
+    std::uint64_t nextSeq_ = 0;
+
+    std::uint64_t fetchedInstrs_ = 0;
+    Tick fetchTime_ = 0;
+    Tick lastRetire_ = 0;
+    std::uint64_t lastRetireInstr_ = 0;
+
+    unsigned outstanding_ = 0;
+    unsigned peakOutstanding_ = 0;
+
+    bool fetchScheduled_ = false;
+    bool stalledOnMshr_ = false;
+    std::uint64_t stalledOnRetire_ = 0;  ///< instr that must retire
+
+    bool havePending_ = false;
+    MemRef pending_{};
+};
+
+} // namespace dsp
+
+#endif // DSP_CPU_DETAILED_CPU_HH

@@ -1,0 +1,80 @@
+#include "cpu/simple_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+SimpleCpu::SimpleCpu(EventQueue &queue, Workload &workload, NodeId node,
+                     MemoryPort &port, const CpuParams &params)
+    : Cpu(queue, workload, node, port, params)
+{
+    instrTick_ =
+        nsToTicks(1.0 / (params.clock_ghz * params.base_ipc));
+    l1Tick_ = nsToTicks(params.l1_ns);
+    l2Tick_ = nsToTicks(params.l2_ns);
+    quantum_ = nsToTicks(params.quantum_ns);
+}
+
+void
+SimpleCpu::runFor(std::uint64_t instructions,
+                  std::function<void()> on_done)
+{
+    dsp_assert(!onDone_, "cpu %u already has a pending target", node_);
+    target_ = retired_ + instructions;
+    onDone_ = std::move(on_done);
+    if (!blocked_)
+        execute(std::max(queue_.now(), localTime_));
+}
+
+void
+SimpleCpu::onMissComplete(Tick tick)
+{
+    blocked_ = false;
+    execute(tick);
+}
+
+void
+SimpleCpu::execute(Tick local)
+{
+    Tick horizon = queue_.now() + quantum_;
+
+    while (true) {
+        localTime_ = local;
+        if (retired_ >= target_) {
+            reachTarget(local);
+            return;
+        }
+        if (local > horizon) {
+            // Yield so other nodes' events interleave; resume at the
+            // accumulated local time.
+            queue_.schedule(
+                local, [this, local]() { execute(local); },
+                EventPriority::Cpu);
+            return;
+        }
+
+        MemRef ref = workload_.next(node_);
+        // Non-memory work plus the memory instruction itself issue at
+        // the base rate; the L1 hit latency is already covered by it.
+        local += (ref.work + 1) * instrTick_;
+        retired_ += ref.work + 1;
+
+        AccessReply reply = port_.access(
+            ref.addr, ref.pc, ref.write, local,
+            [this](Tick tick) { onMissComplete(tick); });
+
+        switch (reply) {
+          case AccessReply::L1Hit:
+            break;
+          case AccessReply::L2Hit:
+            local += l2Tick_;
+            break;
+          case AccessReply::Miss:
+            // Blocking model: stall until the miss returns.
+            blocked_ = true;
+            return;
+        }
+    }
+}
+
+} // namespace dsp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The simple in-order blocking processor model (Section 5.2): one
+ * outstanding miss, 2 sustained IPC at 2 GHz between misses (4 BIPS
+ * with perfect L1s). Used for the Figure 7 runs, where its 10x
+ * simulation speed lets all workloads run to completion.
+ */
+
+#ifndef DSP_CPU_SIMPLE_CPU_HH
+#define DSP_CPU_SIMPLE_CPU_HH
+
+#include "cpu/cpu.hh"
+
+namespace dsp {
+
+class SimpleCpu : public Cpu
+{
+  public:
+    SimpleCpu(EventQueue &queue, Workload &workload, NodeId node,
+              MemoryPort &port, const CpuParams &params = CpuParams{});
+
+    void runFor(std::uint64_t instructions,
+                std::function<void()> on_done) override;
+
+  private:
+    /**
+     * Execute references inline starting at `local` (>= now) until a
+     * miss blocks, the hit-batching quantum expires, or the target is
+     * reached.
+     */
+    void execute(Tick local);
+
+    /** Resume after a miss completes at `tick`. */
+    void onMissComplete(Tick tick);
+
+    Tick instrTick_;  ///< ticks per instruction at base IPC
+    Tick l1Tick_;
+    Tick l2Tick_;
+    Tick quantum_;
+    Tick localTime_ = 0;  ///< CPU-local clock (can run ahead of now)
+    bool blocked_ = false;
+};
+
+} // namespace dsp
+
+#endif // DSP_CPU_SIMPLE_CPU_HH

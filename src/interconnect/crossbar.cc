@@ -1,0 +1,134 @@
+#include "interconnect/crossbar.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+OrderedCrossbar::OrderedCrossbar(EventQueue &queue, NodeId num_nodes,
+                                 const CrossbarParams &params)
+    : queue_(queue),
+      numNodes_(num_nodes),
+      params_(params),
+      halfTraversal_(nsToTicks(params.traversal_ns / 2.0)),
+      orderGap_(nsToTicks(params.ordering_gap_ns)),
+      ingressFree_(num_nodes, 0),
+      egressFree_(num_nodes, 0)
+{
+    dsp_assert(num_nodes > 0 && num_nodes <= maxNodes,
+               "bad crossbar size %u", num_nodes);
+}
+
+void
+OrderedCrossbar::setOrderHandler(OrderHandler handler)
+{
+    onOrder_ = std::move(handler);
+}
+
+void
+OrderedCrossbar::setDeliverHandler(DeliverHandler handler)
+{
+    onDeliver_ = std::move(handler);
+}
+
+Tick
+OrderedCrossbar::bookIngress(NodeId dest, Tick earliest,
+                             std::uint32_t bytes)
+{
+    // Cut-through: the head is delivered when the link becomes free;
+    // the occupancy only delays *later* messages on the same link.
+    Tick occupancy = nsToTicks(static_cast<double>(bytes) /
+                               params_.link_bytes_per_ns);
+    Tick start = std::max(earliest, ingressFree_[dest]);
+    ingressFree_[dest] = start + occupancy;
+    return start;
+}
+
+Tick
+OrderedCrossbar::bookEgress(NodeId src, Tick earliest,
+                            std::uint32_t bytes)
+{
+    Tick occupancy = nsToTicks(static_cast<double>(bytes) /
+                               params_.link_bytes_per_ns);
+    Tick start = std::max(earliest, egressFree_[src]);
+    egressFree_[src] = start + occupancy;
+    return start;
+}
+
+void
+OrderedCrossbar::deliver(const Message &msg, NodeId dest, Tick when)
+{
+    stats_[static_cast<std::size_t>(msg.kind)].add(msg.bytes());
+    queue_.schedule(
+        when,
+        [this, msg, dest, when]() {
+            if (onDeliver_)
+                onDeliver_(msg, dest, when);
+        },
+        EventPriority::Delivery);
+}
+
+void
+OrderedCrossbar::sendOrdered(Message msg)
+{
+    dsp_assert(isOrdered(msg.kind), "sendOrdered with unordered kind");
+    Tick depart = bookEgress(msg.src, queue_.now(), msg.bytes());
+    Tick order = std::max(depart + halfTraversal_,
+                          lastOrder_ + orderGap_);
+    lastOrder_ = order;
+
+    queue_.schedule(
+        order,
+        [this, msg = std::move(msg), order]() mutable {
+            if (onOrder_)
+                onOrder_(msg, order);
+            // Fan out to every destination but the source; each
+            // delivery contends for the destination's ingress link.
+            msg.dests.forEach([&](NodeId dest) {
+                if (dest == msg.src)
+                    return;
+                Tick arrive =
+                    bookIngress(dest, order + halfTraversal_,
+                                msg.bytes());
+                deliver(msg, dest, arrive);
+            });
+        },
+        EventPriority::NetworkOrder);
+}
+
+void
+OrderedCrossbar::sendDirect(Message msg)
+{
+    dsp_assert(!isOrdered(msg.kind), "sendDirect with ordered kind");
+    dsp_assert(msg.dest < numNodes_, "bad destination %u", msg.dest);
+    Tick depart = bookEgress(msg.src, queue_.now(), msg.bytes());
+    Tick arrive = bookIngress(msg.dest,
+                              depart + 2 * halfTraversal_,
+                              msg.bytes());
+    deliver(msg, msg.dest, arrive);
+}
+
+const TrafficStats &
+OrderedCrossbar::traffic(MessageKind kind) const
+{
+    return stats_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+OrderedCrossbar::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const TrafficStats &s : stats_)
+        total += s.bytes;
+    return total;
+}
+
+void
+OrderedCrossbar::resetStats()
+{
+    for (TrafficStats &s : stats_)
+        s = TrafficStats{};
+}
+
+} // namespace dsp

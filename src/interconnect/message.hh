@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Network message taxonomy for the timing-level simulator.
+ *
+ * Sizes follow Section 5.1: requests, forwards, retries, invalidations
+ * and grants are 8-byte control messages; data responses and
+ * writebacks carry 64 B of data plus an 8 B header (72 B).
+ */
+
+#ifndef DSP_INTERCONNECT_MESSAGE_HH
+#define DSP_INTERCONNECT_MESSAGE_HH
+
+#include <cstdint>
+
+#include "mem/destination_set.hh"
+#include "mem/types.hh"
+
+namespace dsp {
+
+/** Unique id of one coherence transaction (miss). */
+using TxnId = std::uint64_t;
+
+/** Kinds of messages that cross the interconnect. */
+enum class MessageKind : std::uint8_t {
+    Request,     ///< coherence request (multicast via ordering point)
+    Retry,       ///< directory-reissued request (ordered multicast)
+    Forward,     ///< directory-protocol forward to the owner
+    Invalidate,  ///< directory-protocol invalidation to a sharer
+    Data,        ///< data response (72 B)
+    Grant,       ///< dataless upgrade grant (directory protocol)
+    Writeback,   ///< dirty eviction to the home (72 B)
+};
+
+/** True for kinds that flow through the total-order point. */
+constexpr bool
+isOrdered(MessageKind kind)
+{
+    return kind == MessageKind::Request || kind == MessageKind::Retry;
+}
+
+/** Wire size in bytes. */
+constexpr std::uint32_t
+messageBytes(MessageKind kind)
+{
+    switch (kind) {
+      case MessageKind::Data:
+      case MessageKind::Writeback:
+        return static_cast<std::uint32_t>(dataMessageBytes);
+      default:
+        return static_cast<std::uint32_t>(requestMessageBytes);
+    }
+}
+
+/** One network message. */
+struct Message {
+    MessageKind kind = MessageKind::Request;
+    TxnId txn = 0;
+    Addr addr = 0;
+    Addr pc = 0;
+    RequestType type = RequestType::GetShared;
+    NodeId src = 0;
+
+    /** Ordered multicasts use `dests`; point-to-point uses `dest`. */
+    DestinationSet dests;
+    NodeId dest = 0;
+
+    /** Retry attempt (0 = original request). */
+    std::uint8_t attempt = 0;
+
+    std::uint32_t
+    bytes() const
+    {
+        return messageBytes(kind);
+    }
+
+    BlockId
+    block() const
+    {
+        return blockOf(addr);
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_INTERCONNECT_MESSAGE_HH

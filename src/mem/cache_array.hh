@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with true-LRU replacement.
+ *
+ * The array tracks tags and a caller-supplied payload per line; it holds
+ * no data (this is a timing/functional simulator, block contents are
+ * never modelled). Used for L1s, L2s, and as the backing store of finite
+ * destination-set predictor tables.
+ */
+
+#ifndef DSP_MEM_CACHE_ARRAY_HH
+#define DSP_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+/** Result of inserting into a CacheArray: the evicted line, if any. */
+template <typename Payload>
+struct Eviction {
+    std::uint64_t key;
+    Payload payload;
+};
+
+/**
+ * Set-associative key -> payload store with per-set true LRU.
+ *
+ * Keys are arbitrary 64-bit values (block numbers, macroblock numbers,
+ * PCs); set index is key % sets and the tag is key / sets, so any
+ * key distribution works.
+ */
+template <typename Payload>
+class CacheArray
+{
+  public:
+    /**
+     * @param sets number of sets (> 0)
+     * @param ways associativity (> 0)
+     */
+    CacheArray(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways), lines_(sets * ways)
+    {
+        dsp_assert(sets > 0 && ways > 0,
+                   "cache geometry %zux%zu invalid", sets, ways);
+    }
+
+    std::size_t sets() const { return sets_; }
+    std::size_t ways() const { return ways_; }
+    std::size_t capacity() const { return lines_.size(); }
+
+    /** Number of valid lines currently held. */
+    std::size_t size() const { return valid_; }
+
+    /**
+     * Look up a key; returns the payload and refreshes LRU on hit,
+     * nullptr on miss.
+     */
+    Payload *
+    find(std::uint64_t key)
+    {
+        Line *line = lookup(key);
+        if (!line)
+            return nullptr;
+        touch(*line);
+        return &line->payload;
+    }
+
+    /** Look up without disturbing LRU state (for inspection/tests). */
+    const Payload *
+    peek(std::uint64_t key) const
+    {
+        const Line *line = lookup(key);
+        return line ? &line->payload : nullptr;
+    }
+
+    /**
+     * Insert (or overwrite) key with payload; evicts the set's LRU line
+     * if the set is full. Returns the eviction, if one occurred.
+     */
+    std::optional<Eviction<Payload>>
+    insert(std::uint64_t key, Payload payload)
+    {
+        if (Line *line = lookup(key)) {
+            line->payload = std::move(payload);
+            touch(*line);
+            return std::nullopt;
+        }
+
+        std::size_t set = setOf(key);
+        Line *victim = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &cand = lines_[set * ways_ + w];
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (!victim || cand.lastUse < victim->lastUse)
+                victim = &cand;
+        }
+
+        std::optional<Eviction<Payload>> evicted;
+        if (victim->valid) {
+            evicted = Eviction<Payload>{victim->key,
+                                        std::move(victim->payload)};
+        } else {
+            ++valid_;
+        }
+        victim->valid = true;
+        victim->key = key;
+        victim->payload = std::move(payload);
+        touch(*victim);
+        return evicted;
+    }
+
+    /** Remove a key if present; returns its payload. */
+    std::optional<Payload>
+    erase(std::uint64_t key)
+    {
+        if (Line *line = lookup(key)) {
+            line->valid = false;
+            --valid_;
+            return std::move(line->payload);
+        }
+        return std::nullopt;
+    }
+
+    /** Invoke fn(key, payload&) on every valid line. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Line &line : lines_)
+            if (line.valid)
+                fn(line.key, line.payload);
+    }
+
+    /** Drop all lines. */
+    void
+    clear()
+    {
+        for (Line &line : lines_)
+            line.valid = false;
+        valid_ = 0;
+    }
+
+  private:
+    struct Line {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        Payload payload{};
+    };
+
+    std::size_t
+    setOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(key % sets_);
+    }
+
+    Line *
+    lookup(std::uint64_t key)
+    {
+        std::size_t set = setOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (line.valid && line.key == key)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    const Line *
+    lookup(std::uint64_t key) const
+    {
+        return const_cast<CacheArray *>(this)->lookup(key);
+    }
+
+    void
+    touch(Line &line)
+    {
+        line.lastUse = ++useClock_;
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Line> lines_;
+    std::size_t valid_ = 0;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * DestinationSet: the set of nodes that receive a coherence request.
+ *
+ * This is the central abstraction of the paper. Represented as a 64-bit
+ * mask (the paper calls it a "multicast mask"), supporting up to 64
+ * nodes; the evaluated systems use 16.
+ */
+
+#ifndef DSP_MEM_DESTINATION_SET_HH
+#define DSP_MEM_DESTINATION_SET_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsp {
+
+/** A set of node identifiers, value semantics, O(1) set algebra. */
+class DestinationSet
+{
+  public:
+    constexpr DestinationSet() = default;
+
+    /** Construct from a raw bit mask (bit i <=> node i). */
+    static constexpr DestinationSet
+    fromMask(std::uint64_t mask)
+    {
+        DestinationSet s;
+        s.mask_ = mask;
+        return s;
+    }
+
+    /** The set containing every node in an n-node system. */
+    static DestinationSet
+    all(NodeId n)
+    {
+        dsp_assert(n > 0 && n <= maxNodes, "bad node count %u", n);
+        return fromMask(n == maxNodes ? ~std::uint64_t{0}
+                                      : ((std::uint64_t{1} << n) - 1));
+    }
+
+    /** The singleton set {node}. */
+    static DestinationSet
+    of(NodeId node)
+    {
+        DestinationSet s;
+        s.add(node);
+        return s;
+    }
+
+    /** Raw mask accessor. */
+    constexpr std::uint64_t mask() const { return mask_; }
+
+    /** Add a node to the set. */
+    void
+    add(NodeId node)
+    {
+        dsp_assert(node < maxNodes, "node %u out of range", node);
+        mask_ |= std::uint64_t{1} << node;
+    }
+
+    /** Remove a node from the set. */
+    void
+    remove(NodeId node)
+    {
+        dsp_assert(node < maxNodes, "node %u out of range", node);
+        mask_ &= ~(std::uint64_t{1} << node);
+    }
+
+    /** Membership test. */
+    constexpr bool
+    contains(NodeId node) const
+    {
+        return node < maxNodes && (mask_ >> node) & 1;
+    }
+
+    /** True if every member of `other` is also a member of this set. */
+    constexpr bool
+    containsAll(DestinationSet other) const
+    {
+        return (other.mask_ & ~mask_) == 0;
+    }
+
+    /** Number of members. */
+    constexpr unsigned count() const { return std::popcount(mask_); }
+
+    /** True if the set is empty. */
+    constexpr bool empty() const { return mask_ == 0; }
+
+    /** Set union / difference / intersection. */
+    constexpr DestinationSet
+    operator|(DestinationSet o) const
+    {
+        return fromMask(mask_ | o.mask_);
+    }
+
+    constexpr DestinationSet
+    operator&(DestinationSet o) const
+    {
+        return fromMask(mask_ & o.mask_);
+    }
+
+    /** Members of this set that are not in `o`. */
+    constexpr DestinationSet
+    minus(DestinationSet o) const
+    {
+        return fromMask(mask_ & ~o.mask_);
+    }
+
+    DestinationSet &
+    operator|=(DestinationSet o)
+    {
+        mask_ |= o.mask_;
+        return *this;
+    }
+
+    constexpr bool
+    operator==(const DestinationSet &) const = default;
+
+    /** Invoke fn(NodeId) for each member, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint64_t m = mask_;
+        while (m) {
+            NodeId n = static_cast<NodeId>(std::countr_zero(m));
+            fn(n);
+            m &= m - 1;
+        }
+    }
+
+    /** Render like "{0,3,7}" for debugging. */
+    std::string
+    toString() const
+    {
+        std::string out = "{";
+        bool first = true;
+        forEach([&](NodeId n) {
+            if (!first)
+                out += ",";
+            out += std::to_string(n);
+            first = false;
+        });
+        out += "}";
+        return out;
+    }
+
+  private:
+    std::uint64_t mask_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_MEM_DESTINATION_SET_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MOSI coherence states, as used by all three protocols in the paper
+ * (broadcast snooping, directory, and multicast snooping are all MOSI
+ * write-invalidate protocols; Section 2.1 / 4.2).
+ */
+
+#ifndef DSP_MEM_MOSI_HH
+#define DSP_MEM_MOSI_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dsp {
+
+/** Stable MOSI states of a block in a node's L2 cache. */
+enum class MosiState : std::uint8_t {
+    Invalid,   ///< not present
+    Shared,    ///< read-only copy; memory or another cache owns the block
+    Owned,     ///< read-only + responsible for supplying data (dirty)
+    Modified,  ///< sole writable copy (dirty)
+};
+
+/** True if the state permits reads. */
+constexpr bool
+canRead(MosiState s)
+{
+    return s != MosiState::Invalid;
+}
+
+/** True if the state permits writes without a coherence request. */
+constexpr bool
+canWrite(MosiState s)
+{
+    return s == MosiState::Modified;
+}
+
+/** True if this cache must supply data for external requests. */
+constexpr bool
+isOwnerState(MosiState s)
+{
+    return s == MosiState::Owned || s == MosiState::Modified;
+}
+
+/** Printable name. */
+inline std::string
+toString(MosiState s)
+{
+    switch (s) {
+      case MosiState::Invalid:
+        return "I";
+      case MosiState::Shared:
+        return "S";
+      case MosiState::Owned:
+        return "O";
+      case MosiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+} // namespace dsp
+
+#endif // DSP_MEM_MOSI_HH

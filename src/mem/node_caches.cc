@@ -1,0 +1,108 @@
+#include "mem/node_caches.hh"
+
+namespace dsp {
+
+NodeCaches::NodeCaches(const CacheParams &params)
+    : l1_(params.l1.sets(), params.l1.ways),
+      l2_(params.l2.sets(), params.l2.ways)
+{
+}
+
+NodeCaches::AccessResult
+NodeCaches::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    BlockId block = blockOf(addr);
+    AccessResult result;
+
+    if (L1Line *l1 = l1_.find(block)) {
+        if (!is_write || l1->writable) {
+            ++l1Hits_;
+            result.l1Hit = true;
+            return result;
+        }
+        // Write to a read-only L1 line: fall through to the L2, which
+        // knows the real MOSI state.
+    }
+
+    if (L2Line *l2 = l2_.find(block)) {
+        result.l2Hit = true;
+        result.l2State = l2->state;
+        if (!is_write) {
+            ++l2Hits_;
+            l1_.insert(block, L1Line{canWrite(l2->state)});
+            return result;
+        }
+        if (canWrite(l2->state)) {
+            ++l2Hits_;
+            l1_.insert(block, L1Line{true});
+            return result;
+        }
+        // Write to S or O: coherence upgrade required. The line stays
+        // put; fill() will promote it to Modified.
+        ++upgrades_;
+        ++l2Misses_;
+        result.need = CoherenceNeed::GetExclusive;
+        return result;
+    }
+
+    ++l2Misses_;
+    result.l2State = MosiState::Invalid;
+    result.need = is_write ? CoherenceNeed::GetExclusive
+                           : CoherenceNeed::GetShared;
+    return result;
+}
+
+NodeCaches::FillResult
+NodeCaches::fill(Addr addr, MosiState new_state)
+{
+    dsp_assert(new_state != MosiState::Invalid,
+               "fill with Invalid state");
+    BlockId block = blockOf(addr);
+    FillResult result;
+
+    auto evicted = l2_.insert(block, L2Line{new_state});
+    if (evicted) {
+        result.evicted = true;
+        result.victim = evicted->key;
+        result.victimState = evicted->payload.state;
+        if (isOwnerState(result.victimState))
+            ++writebacks_;
+        // Maintain inclusion: the victim may no longer live in the L1.
+        l1_.erase(evicted->key);
+    }
+    l1_.insert(block, L1Line{canWrite(new_state)});
+    return result;
+}
+
+MosiState
+NodeCaches::invalidate(BlockId block)
+{
+    l1_.erase(block);
+    auto line = l2_.erase(block);
+    return line ? line->state : MosiState::Invalid;
+}
+
+MosiState
+NodeCaches::downgrade(BlockId block)
+{
+    // The L1 copy, if any, loses write permission but stays readable.
+    if (auto *l1 = l1_.find(block))
+        l1->writable = false;
+
+    if (auto *l2 = l2_.find(block)) {
+        if (l2->state == MosiState::Modified)
+            l2->state = MosiState::Owned;
+        return l2->state;
+    }
+    return MosiState::Invalid;
+}
+
+MosiState
+NodeCaches::stateOf(BlockId block) const
+{
+    const L2Line *line = l2_.peek(block);
+    return line ? line->state : MosiState::Invalid;
+}
+
+} // namespace dsp

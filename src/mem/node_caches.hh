@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-node cache hierarchy: split-L1-style filter plus a unified MOSI L2.
+ *
+ * The L2 is the coherence point (as in the paper: predictors and
+ * controllers sit beside the L2); the L1 is a simple inclusive
+ * valid/writable filter in front of it. Geometry defaults follow
+ * Table 4: 128 kB 4-way L1, 4 MB 4-way unified L2, 64 B blocks.
+ */
+
+#ifndef DSP_MEM_NODE_CACHES_HH
+#define DSP_MEM_NODE_CACHES_HH
+
+#include <cstdint>
+
+#include "mem/cache_array.hh"
+#include "mem/mosi.hh"
+#include "mem/types.hh"
+
+namespace dsp {
+
+/** Geometry of one cache level. */
+struct CacheGeometry {
+    std::uint64_t size_bytes;
+    std::size_t ways;
+
+    /** Number of sets for 64-byte blocks. */
+    std::size_t
+    sets() const
+    {
+        return static_cast<std::size_t>(size_bytes / blockBytes / ways);
+    }
+};
+
+/** Cache configuration for one node (Table 4 defaults). */
+struct CacheParams {
+    CacheGeometry l1{128 * 1024, 4};
+    CacheGeometry l2{4 * 1024 * 1024, 4};
+};
+
+/** What, if anything, a memory access needs from the coherence layer. */
+enum class CoherenceNeed : std::uint8_t {
+    None,          ///< satisfied locally (L1 or L2 hit with permission)
+    GetShared,     ///< L2 miss on a read
+    GetExclusive,  ///< L2 miss on a write, or an upgrade from S/O
+};
+
+/**
+ * The two cache levels of one node, with inclusion maintained
+ * (L1 contents are always a subset of L2 contents).
+ */
+class NodeCaches
+{
+  public:
+    explicit NodeCaches(const CacheParams &params = CacheParams{});
+
+    /** Outcome of NodeCaches::access(). */
+    struct AccessResult {
+        CoherenceNeed need = CoherenceNeed::None;
+        bool l1Hit = false;
+        bool l2Hit = false;          ///< tag present with any permission
+        MosiState l2State = MosiState::Invalid;
+    };
+
+    /**
+     * Attempt a load (is_write=false) or store (is_write=true). If the
+     * result's `need` is not None, the caller must consult the coherence
+     * layer and then call fill() with the granted state.
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Outcome of NodeCaches::fill(): the L2 victim, if any. */
+    struct FillResult {
+        bool evicted = false;
+        BlockId victim = 0;
+        MosiState victimState = MosiState::Invalid;
+    };
+
+    /** Install (or upgrade) a block after a coherence grant. */
+    FillResult fill(Addr addr, MosiState new_state);
+
+    /** External GETX: drop the block entirely. Returns prior state. */
+    MosiState invalidate(BlockId block);
+
+    /**
+     * External GETS to a block this node owns: M -> O (stay owner,
+     * lose write permission). O/S unchanged. Returns new state.
+     */
+    MosiState downgrade(BlockId block);
+
+    /** Current L2 state of a block (Invalid if absent). */
+    MosiState stateOf(BlockId block) const;
+
+    /** Counters for sanity checks and reporting. */
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t l2Misses() const { return l2Misses_; }
+    std::uint64_t upgrades() const { return upgrades_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct L1Line {
+        bool writable = false;
+    };
+
+    struct L2Line {
+        MosiState state = MosiState::Invalid;
+    };
+
+    CacheArray<L1Line> l1_;
+    CacheArray<L2Line> l2_;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Hits_ = 0;
+    std::uint64_t l2Misses_ = 0;
+    std::uint64_t upgrades_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_MEM_NODE_CACHES_HH

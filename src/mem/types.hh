@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Memory-system domain types: addresses, block/macroblock arithmetic,
+ * home-node interleaving, and coherence request kinds.
+ */
+
+#ifndef DSP_MEM_TYPES_HH
+#define DSP_MEM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dsp {
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Cache block (line) number: byte address with the offset dropped. */
+using BlockId = std::uint64_t;
+
+/** 64-byte coherence unit, as in the paper (Table 4). */
+constexpr unsigned blockBits = 6;
+constexpr Addr blockBytes = Addr{1} << blockBits;
+
+/** Default macroblock: 1024 bytes = 16 blocks (Section 3.4). */
+constexpr unsigned macroblockBits = 10;
+constexpr Addr macroblockBytes = Addr{1} << macroblockBits;
+
+/** Block number containing a byte address. */
+constexpr BlockId
+blockOf(Addr a)
+{
+    return a >> blockBits;
+}
+
+/** First byte address of a block. */
+constexpr Addr
+blockBase(BlockId b)
+{
+    return b << blockBits;
+}
+
+/** Macroblock number containing a byte address, for a given size. */
+constexpr std::uint64_t
+macroblockOf(Addr a, unsigned mbBits = macroblockBits)
+{
+    return a >> mbBits;
+}
+
+/**
+ * Home node of a block: memory (and the directory slice for the block)
+ * is block-interleaved across all nodes, as in systems of the Alpha
+ * 21364 class the paper models.
+ */
+constexpr NodeId
+homeOf(BlockId b, NodeId num_nodes)
+{
+    return static_cast<NodeId>(b % num_nodes);
+}
+
+/** Coherence request kinds visible to predictors and protocols. */
+enum class RequestType : std::uint8_t {
+    GetShared,      ///< read miss: needs a readable copy
+    GetExclusive,   ///< write miss or upgrade: needs writable ownership
+};
+
+/** Short printable name for a request type. */
+inline std::string
+toString(RequestType t)
+{
+    return t == RequestType::GetShared ? "GETS" : "GETX";
+}
+
+/** Message sizes from Section 5.1 of the paper. */
+constexpr std::uint64_t requestMessageBytes = 8;
+constexpr std::uint64_t dataMessageBytes = 72;  // 64 B data + 8 B header
+
+} // namespace dsp
+
+#endif // DSP_MEM_TYPES_HH

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    dsp_assert(when >= now_,
+               "cannot schedule in the past (when=%llu now=%llu)",
+               static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
+                     std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback cb, EventPriority prio)
+{
+    schedule(now_ + delay, std::move(cb), prio);
+}
+
+void
+EventQueue::step()
+{
+    dsp_assert(!heap_.empty(), "step() on empty event queue");
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    ++executed_;
+    e.cb();
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        step();
+        ++n;
+    }
+    if (now_ < limit && limit != maxTick)
+        now_ = limit;
+    return n;
+}
+
+} // namespace dsp

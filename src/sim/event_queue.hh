@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal gem5-flavoured event queue: events are callbacks scheduled at
+ * an absolute Tick; ties are broken first by an explicit priority, then by
+ * insertion order, so execution is fully deterministic.
+ */
+
+#ifndef DSP_SIM_EVENT_QUEUE_HH
+#define DSP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dsp {
+
+/** Scheduling priority; lower values run first at equal ticks. */
+enum class EventPriority : int {
+    NetworkOrder = 0,   ///< interconnect ordering-point events
+    Delivery = 10,      ///< message deliveries
+    Controller = 20,    ///< cache/memory controller work
+    Cpu = 30,           ///< processor model ticks
+    Stats = 40,         ///< bookkeeping
+    Default = 50,
+};
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Not thread safe; the whole simulator is single threaded by design (it
+ * models parallelism, it does not use it).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at absolute tick `when` (>= now). */
+    void
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback `delay` ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb,
+               EventPriority prio = EventPriority::Default);
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Execute the single earliest event, advancing time. */
+    void step();
+
+    /**
+     * Run until the queue drains or `limit` ticks is reached (events at
+     * tick > limit remain queued). Returns number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,79 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <stdexcept>
+#include <vector>
+
+namespace dsp {
+
+namespace {
+int panicThrowDepth = 0;
+} // namespace
+
+bool
+panicThrowsForTest()
+{
+    return panicThrowDepth > 0;
+}
+
+PanicGuard::PanicGuard()
+{
+    ++panicThrowDepth;
+}
+
+PanicGuard::~PanicGuard()
+{
+    --panicThrowDepth;
+}
+
+namespace detail {
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+logLine(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = formatString("panic: %s (%s:%d)", msg.c_str(),
+                                    file, line);
+    if (panicThrowsForTest())
+        throw std::runtime_error(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = formatString("fatal: %s (%s:%d)", msg.c_str(),
+                                    file, line);
+    if (panicThrowsForTest())
+        throw std::runtime_error(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace dsp

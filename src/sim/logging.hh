@@ -1,0 +1,82 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  -- an internal simulator invariant was violated (a bug in this
+ *             code base); aborts so that a debugger or core dump can be
+ *             used.
+ * fatal()  -- the simulation cannot continue because of a user error (bad
+ *             configuration, invalid argument); exits with status 1.
+ * warn()   -- something is questionable but the simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef DSP_SIM_LOGGING_HH
+#define DSP_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dsp {
+
+namespace detail {
+
+/** Render a printf-style format into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit one log line with the given severity prefix. */
+void logLine(const char *prefix, const std::string &msg);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** True while a death-test / unit test wants panics to throw instead of
+ *  aborting. Tests toggle this through PanicGuard. */
+bool panicThrowsForTest();
+
+/** Scoped override: while alive, panic()/fatal() throw std::runtime_error
+ *  instead of terminating, so unit tests can assert on them. */
+class PanicGuard
+{
+  public:
+    PanicGuard();
+    ~PanicGuard();
+
+    PanicGuard(const PanicGuard &) = delete;
+    PanicGuard &operator=(const PanicGuard &) = delete;
+};
+
+} // namespace dsp
+
+#define dsp_panic(...)                                                     \
+    ::dsp::detail::panicImpl(__FILE__, __LINE__,                           \
+                             ::dsp::detail::formatString(__VA_ARGS__))
+
+#define dsp_fatal(...)                                                     \
+    ::dsp::detail::fatalImpl(__FILE__, __LINE__,                           \
+                             ::dsp::detail::formatString(__VA_ARGS__))
+
+#define dsp_warn(...)                                                      \
+    ::dsp::detail::logLine("warn: ",                                       \
+                           ::dsp::detail::formatString(__VA_ARGS__))
+
+#define dsp_inform(...)                                                    \
+    ::dsp::detail::logLine("info: ",                                       \
+                           ::dsp::detail::formatString(__VA_ARGS__))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define dsp_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            dsp_panic("assertion '%s' failed: %s", #cond,                  \
+                      ::dsp::detail::formatString(__VA_ARGS__).c_str());   \
+        }                                                                  \
+    } while (0)
+
+#endif // DSP_SIM_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulation.
+ *
+ * Every stochastic component in the simulator draws from its own Rng
+ * stream, seeded from a global seed plus a stream identifier, so that runs
+ * are bit-reproducible and perturbation studies (Section 5.2 of the paper)
+ * can vary a single seed.
+ */
+
+#ifndef DSP_SIM_RNG_HH
+#define DSP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace dsp {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Small, fast, and high
+ * quality; state is seeded through splitmix64 so any 64-bit seed works.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional stream id. Two Rngs with the
+     *  same seed but different streams produce independent sequences. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull,
+                 std::uint64_t stream = 0);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. bound > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial: true with probability p. */
+    bool chance(double p);
+
+    /** Geometric-ish positive integer with given mean (>= 1). */
+    std::uint64_t geometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_RNG_HH

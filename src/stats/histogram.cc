@@ -1,0 +1,102 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace stats {
+
+Histogram::Histogram(std::size_t bins)
+    : counts_(bins, 0)
+{
+    dsp_assert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t w)
+{
+    std::size_t bin = static_cast<std::size_t>(value);
+    if (bin >= counts_.size())
+        bin = counts_.size() - 1;
+    counts_[bin] += w;
+    total_ += w;
+    weightedSum_ += value * w;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    dsp_assert(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i];
+}
+
+double
+Histogram::percent(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(bucket(i)) /
+           static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(weightedSum_) / static_cast<double>(total_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    weightedSum_ = 0;
+}
+
+void
+HotSpotAccumulator::record(std::uint64_t key, std::uint64_t weight)
+{
+    counts_[key] += weight;
+    total_ += weight;
+}
+
+std::vector<std::uint64_t>
+HotSpotAccumulator::sortedWeights() const
+{
+    std::vector<std::uint64_t> w;
+    w.reserve(counts_.size());
+    for (const auto &kv : counts_)
+        w.push_back(kv.second);
+    std::sort(w.begin(), w.end(), std::greater<>());
+    return w;
+}
+
+std::vector<double>
+HotSpotAccumulator::coverageAt(const std::vector<std::size_t> &points) const
+{
+    std::vector<double> result;
+    result.reserve(points.size());
+    if (total_ == 0) {
+        result.assign(points.size(), 0.0);
+        return result;
+    }
+
+    std::vector<std::uint64_t> w = sortedWeights();
+    // Prefix sums once, then answer each query.
+    std::vector<std::uint64_t> prefix(w.size() + 1, 0);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        prefix[i + 1] = prefix[i] + w[i];
+
+    for (std::size_t p : points) {
+        std::size_t n = std::min(p, w.size());
+        result.push_back(100.0 * static_cast<double>(prefix[n]) /
+                         static_cast<double>(total_));
+    }
+    return result;
+}
+
+} // namespace stats
+} // namespace dsp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simple counting statistics: bucketed histograms and hot-spot
+ * accumulators used throughout the workload characterization
+ * (Figures 2, 3, and 4 of the paper).
+ */
+
+#ifndef DSP_STATS_HISTOGRAM_HH
+#define DSP_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dsp {
+namespace stats {
+
+/**
+ * Fixed-bin histogram over small non-negative integer samples
+ * (e.g., "number of processors that must observe a miss").
+ *
+ * Samples >= bins() are clamped into the final bin, which therefore acts
+ * as a "k or more" bucket, exactly like the "3+" bin in Figure 2.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram with `bins` buckets [0, bins-1], clamping. */
+    explicit Histogram(std::size_t bins);
+
+    /** Record one sample with weight `w`. */
+    void record(std::uint64_t value, std::uint64_t w = 1);
+
+    /** Count in bucket i. */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Sum of all bucket counts. */
+    std::uint64_t total() const { return total_; }
+
+    /** Bucket count as a percentage of total (0 if empty). */
+    double percent(std::size_t i) const;
+
+    /** Number of buckets. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Weighted mean of recorded values (clamped values included). */
+    double mean() const;
+
+    /** Reset all buckets to zero. */
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t weightedSum_ = 0;
+};
+
+/**
+ * Accumulates per-key hit counts and answers "how much of the total mass
+ * do the hottest N keys cover?" -- the cumulative-locality question of
+ * Figure 4. Keys are opaque 64-bit identifiers (block addresses,
+ * macroblock addresses, or program counters).
+ */
+class HotSpotAccumulator
+{
+  public:
+    /** Record `weight` events against `key`. */
+    void record(std::uint64_t key, std::uint64_t weight = 1);
+
+    /** Number of distinct keys observed. */
+    std::size_t uniqueKeys() const { return counts_.size(); }
+
+    /** Total recorded weight. */
+    std::uint64_t total() const { return total_; }
+
+    /**
+     * Cumulative coverage: element i of the result is the percentage of
+     * all mass covered by the points[i] hottest keys. Monotone
+     * non-decreasing in points.
+     */
+    std::vector<double>
+    coverageAt(const std::vector<std::size_t> &points) const;
+
+    /** Per-key weights sorted descending (for CDF plotting). */
+    std::vector<std::uint64_t> sortedWeights() const;
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace stats
+} // namespace dsp
+
+#endif // DSP_STATS_HISTOGRAM_HH

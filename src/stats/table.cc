@@ -1,0 +1,132 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    dsp_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    dsp_assert(cells.size() == headers_.size(),
+               "row has %zu cells, table has %zu columns",
+               cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    // Group digits for readability: 1234567 -> "1,234,567".
+    std::string s = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = s.rbegin(); it != s.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Table::fixed(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+Table::percent(double v, int decimals)
+{
+    return fixed(v, decimals) + "%";
+}
+
+const std::string &
+Table::cell(std::size_t r, std::size_t c) const
+{
+    dsp_assert(r < rows_.size() && c < headers_.size(),
+               "table cell (%zu,%zu) out of range", r, c);
+    return rows_[r][c];
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    if (!title.empty())
+        os << title << "\n";
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            // Right-align everything but the first column, which is
+            // typically a name.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        os << "\n";
+    };
+
+    emitRow(headers_);
+    std::size_t totalWidth = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        totalWidth += width[c] + (c ? 2 : 0);
+    os << std::string(totalWidth, '-') << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out.push_back(ch);
+        }
+        out += "\"";
+        return out;
+    };
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quote(row[c]);
+        os << "\n";
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+} // namespace stats
+} // namespace dsp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Aligned text-table and CSV emission. Every bench binary reports its
+ * table/figure through this printer so output formats stay consistent.
+ */
+
+#ifndef DSP_STATS_TABLE_HH
+#define DSP_STATS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsp {
+namespace stats {
+
+/**
+ * A rectangular table of strings with a header row, printable either as
+ * an aligned monospace table or as CSV.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per column. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format helpers for numeric cells. */
+    static std::string num(std::uint64_t v);
+    static std::string fixed(double v, int decimals = 1);
+    static std::string percent(double v, int decimals = 1);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Number of columns. */
+    std::size_t columns() const { return headers_.size(); }
+
+    /** Cell accessor (row-major, excluding the header). */
+    const std::string &cell(std::size_t r, std::size_t c) const;
+
+    /** Render with aligned columns, optionally preceded by a title. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as CSV (RFC-4180-ish quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace stats
+} // namespace dsp
+
+#endif // DSP_STATS_TABLE_HH

@@ -1,0 +1,250 @@
+#include "sim/logging.hh"
+#include "system/system.hh"
+
+namespace dsp {
+
+CacheController::CacheController(System &system, NodeId node)
+    : sys_(system), node_(node), caches_(system.params().caches)
+{
+}
+
+AccessReply
+CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
+                        Completion on_complete)
+{
+    BlockId block = blockOf(addr);
+
+    // Secondary access to an in-flight block: coalesce into the MSHR
+    // and replay once the primary fill returns.
+    if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+        it->second.queued.push_back(
+            Mshr::Queued{addr, pc, is_write, std::move(on_complete)});
+        return AccessReply::Miss;
+    }
+
+    NodeCaches::AccessResult result = caches_.access(addr, is_write);
+    if (result.need == CoherenceNeed::None) {
+        return result.l1Hit ? AccessReply::L1Hit : AccessReply::L2Hit;
+    }
+
+    RequestType type = result.need == CoherenceNeed::GetExclusive
+                           ? RequestType::GetExclusive
+                           : RequestType::GetShared;
+
+    Mshr &mshr = mshrs_[block];
+    mshr.type = type;
+    mshr.waiters.push_back(std::move(on_complete));
+
+    if (when < sys_.queue_.now())
+        when = sys_.queue_.now();
+    sys_.queue_.schedule(
+        when,
+        [this, block, addr, pc, type, when]() {
+            issueRequest(block, addr, pc, type, when);
+        },
+        EventPriority::Controller);
+    return AccessReply::Miss;
+}
+
+void
+CacheController::issueRequest(BlockId block, Addr addr, Addr pc,
+                              RequestType type, Tick when)
+{
+    auto it = mshrs_.find(block);
+    dsp_assert(it != mshrs_.end(), "issue without mshr");
+
+    TxnId id = sys_.nextTxn_++;
+    it->second.txn = id;
+
+    System::Txn txn;
+    txn.requester = node_;
+    txn.addr = addr;
+    txn.pc = pc;
+    txn.type = type;
+    txn.issued = when;
+    sys_.txns_.emplace(id, txn);
+
+    Message msg;
+    msg.kind = MessageKind::Request;
+    msg.txn = id;
+    msg.addr = addr;
+    msg.pc = pc;
+    msg.type = type;
+    msg.src = node_;
+    msg.dests = sys_.destinationsFor(block, addr, pc, type, node_);
+    sys_.crossbar_.sendOrdered(std::move(msg));
+}
+
+void
+CacheController::invalidateLocal(BlockId block)
+{
+    if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+        // The block is in flight; drop it right after the fill so the
+        // waiting access still completes (it held permission at its
+        // serialization point).
+        it->second.invalidateAfterFill = true;
+        return;
+    }
+    caches_.invalidate(block);
+}
+
+void
+CacheController::onSnoop(const Message &msg, Tick tick)
+{
+    auto it = sys_.txns_.find(msg.txn);
+    if (it == sys_.txns_.end())
+        return;  // transaction already completed (stale delivery)
+    System::Txn &txn = it->second;
+
+    // Only the resolving attempt's deliveries carry snoop duties;
+    // earlier (insufficient) attempts are ignored by the caches.
+    if (!txn.resolved || txn.resolvedAttempt != msg.attempt)
+        return;
+
+    BlockId block = msg.block();
+
+    if (txn.responder == node_ && txn.responder != txn.requester) {
+        // We own the block: supply data after the L2 access, no
+        // earlier than our own copy arrived (chained misses).
+        Tick ready = tick;
+        if (auto dr = sys_.dataReady_.find(block);
+            dr != sys_.dataReady_.end()) {
+            ready = std::max(ready, dr->second);
+        }
+        Tick send = ready + nsToTicks(sys_.params().latency.l2_ns);
+
+        if (msg.type == RequestType::GetExclusive)
+            invalidateLocal(block);
+        else
+            caches_.downgrade(block);
+
+        Message data;
+        data.kind = MessageKind::Data;
+        data.txn = msg.txn;
+        data.addr = msg.addr;
+        data.pc = msg.pc;
+        data.type = msg.type;
+        data.src = node_;
+        data.dest = txn.requester;
+        sys_.queue_.schedule(
+            send,
+            [this, data]() { sys_.sendOrLocal(data); },
+            EventPriority::Controller);
+        return;
+    }
+
+    // A sharer (or stale owner) observing a GETX drops its copy.
+    if (msg.type == RequestType::GetExclusive &&
+        txn.required.contains(node_)) {
+        invalidateLocal(block);
+    }
+}
+
+void
+CacheController::onForward(const Message &msg, Tick tick)
+{
+    // Directory protocol: we are (were) the owner; supply the data.
+    BlockId block = msg.block();
+    Tick ready = tick;
+    if (auto dr = sys_.dataReady_.find(block);
+        dr != sys_.dataReady_.end()) {
+        ready = std::max(ready, dr->second);
+    }
+    Tick send = ready + nsToTicks(sys_.params().latency.l2_ns);
+
+    if (msg.type == RequestType::GetExclusive)
+        invalidateLocal(block);
+    else
+        caches_.downgrade(block);
+
+    auto it = sys_.txns_.find(msg.txn);
+    if (it == sys_.txns_.end())
+        return;
+
+    Message data;
+    data.kind = MessageKind::Data;
+    data.txn = msg.txn;
+    data.addr = msg.addr;
+    data.pc = msg.pc;
+    data.type = msg.type;
+    data.src = node_;
+    data.dest = it->second.requester;
+    sys_.queue_.schedule(
+        send, [this, data]() { sys_.sendOrLocal(data); },
+        EventPriority::Controller);
+}
+
+void
+CacheController::onInvalidate(const Message &msg, Tick /* tick */)
+{
+    invalidateLocal(msg.block());
+}
+
+void
+CacheController::onData(const Message &msg, Tick tick)
+{
+    complete(msg.block(), msg.txn, tick);
+}
+
+void
+CacheController::complete(BlockId block, TxnId txn_id, Tick tick)
+{
+    auto it = mshrs_.find(block);
+    if (it == mshrs_.end() || it->second.txn != txn_id)
+        return;  // stale or duplicate completion
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+
+    auto txn_it = sys_.txns_.find(mshr.txn);
+    dsp_assert(txn_it != sys_.txns_.end(), "completion without txn");
+    System::Txn txn = txn_it->second;
+    sys_.txns_.erase(txn_it);
+
+    // Install the granted state; reflect any L2 eviction into the
+    // global sharing state and, for dirty victims, the network.
+    Addr addr = txn.addr;
+    NodeCaches::FillResult fill = caches_.fill(addr, txn.granted);
+    if (fill.evicted) {
+        if (isOwnerState(fill.victimState)) {
+            sys_.tracker_.evictOwned(fill.victim, node_);
+            Message wb;
+            wb.kind = MessageKind::Writeback;
+            wb.addr = blockBase(fill.victim);
+            wb.src = node_;
+            wb.dest = sys_.homeOf_(fill.victim);
+            sys_.sendOrLocal(wb);
+        } else if (fill.victimState == MosiState::Shared) {
+            sys_.tracker_.evictShared(fill.victim, node_);
+        }
+    }
+
+    sys_.dataReady_[block] = tick;
+
+    if (mshr.invalidateAfterFill) {
+        // A racing GETX serialized after our miss; honour it now that
+        // our access has (logically) completed.
+        caches_.invalidate(block);
+    }
+
+    sys_.trainRequester(txn);
+    sys_.recordCompletion(txn, tick);
+
+    for (Completion &waiter : mshr.waiters)
+        waiter(tick);
+
+    // Replay coalesced accesses; they may hit now or start new
+    // misses. Unlike CPU-initiated accesses (whose hit latency the
+    // CPU charges inline), replayed waiters always expect their
+    // completion callback.
+    for (Mshr::Queued &queued : mshr.queued) {
+        AccessReply reply = access(queued.addr, queued.pc,
+                                   queued.write, tick, queued.done);
+        if (reply == AccessReply::L1Hit) {
+            queued.done(tick + nsToTicks(sys_.params().latency.l1_ns));
+        } else if (reply == AccessReply::L2Hit) {
+            queued.done(tick + nsToTicks(sys_.params().latency.l2_ns));
+        }
+    }
+}
+
+} // namespace dsp

@@ -1,0 +1,183 @@
+#include "sim/logging.hh"
+#include "system/system.hh"
+
+namespace dsp {
+
+MemoryController::MemoryController(System &system, NodeId node)
+    : sys_(system), node_(node)
+{
+}
+
+void
+MemoryController::onHomeRequest(const Message &msg, Tick tick)
+{
+    if (sys_.params().protocol == ProtocolKind::Directory)
+        handleDirectory(msg, tick);
+    else
+        handleMulticastHome(msg, tick);
+}
+
+void
+MemoryController::handleDirectory(const Message &msg, Tick tick)
+{
+    auto it = sys_.txns_.find(msg.txn);
+    if (it == sys_.txns_.end())
+        return;
+    const System::Txn txn = it->second;
+    Tick memory = nsToTicks(sys_.params().latency.memory_ns);
+    BlockId block = msg.block();
+
+    // Directory access (co-located with memory, 80 ns) precedes any
+    // response or forward.
+    Tick done = tick + memory;
+    // Memory data also cannot be supplied before an in-flight
+    // writeback of this block lands.
+    if (auto mr = sys_.memReady_.find(block);
+        mr != sys_.memReady_.end()) {
+        done = std::max(done, mr->second + memory);
+    }
+
+    sys_.queue_.schedule(
+        done,
+        [this, msg, txn, block]() {
+            // Invalidate every sharer (GS320: the totally-ordered
+            // interconnect removes the need for acks).
+            if (msg.type == RequestType::GetExclusive) {
+                txn.required.forEach([&](NodeId q) {
+                    if (q == txn.responder)
+                        return;  // the owner learns via the forward
+                    Message inval;
+                    inval.kind = MessageKind::Invalidate;
+                    inval.txn = msg.txn;
+                    inval.addr = msg.addr;
+                    inval.type = msg.type;
+                    inval.src = node_;
+                    inval.dest = q;
+                    sys_.sendOrLocal(inval);
+                });
+            }
+
+            if (txn.responder == invalidNode) {
+                // Memory supplies the data.
+                Message data;
+                data.kind = MessageKind::Data;
+                data.txn = msg.txn;
+                data.addr = msg.addr;
+                data.pc = msg.pc;
+                data.type = msg.type;
+                data.src = node_;
+                data.dest = txn.requester;
+                sys_.sendOrLocal(data);
+            } else if (txn.responder == txn.requester) {
+                // Upgrade: dataless grant back to the requester.
+                Message grant;
+                grant.kind = MessageKind::Grant;
+                grant.txn = msg.txn;
+                grant.addr = msg.addr;
+                grant.type = msg.type;
+                grant.src = node_;
+                grant.dest = txn.requester;
+                sys_.sendOrLocal(grant);
+            } else {
+                // 3-hop: forward to the owner.
+                Message fwd;
+                fwd.kind = MessageKind::Forward;
+                fwd.txn = msg.txn;
+                fwd.addr = msg.addr;
+                fwd.pc = msg.pc;
+                fwd.type = msg.type;
+                fwd.src = node_;
+                fwd.dest = txn.responder;
+                sys_.sendOrLocal(fwd);
+            }
+        },
+        EventPriority::Controller);
+}
+
+void
+MemoryController::handleMulticastHome(const Message &msg, Tick tick)
+{
+    auto it = sys_.txns_.find(msg.txn);
+    if (it == sys_.txns_.end())
+        return;
+    System::Txn &txn = it->second;
+    Tick memory = nsToTicks(sys_.params().latency.memory_ns);
+    BlockId block = msg.block();
+
+    if (!txn.resolved) {
+        // Insufficient destination set: the directory re-issues the
+        // request with an improved set after its access latency. Only
+        // the latest attempt's delivery triggers a retry.
+        if (msg.attempt + 1 != txn.attempts)
+            return;
+        std::uint8_t next_attempt = msg.attempt + 1;
+        Addr addr = msg.addr;
+        sys_.queue_.schedule(
+            tick + memory,
+            [this, msg, addr, next_attempt]() {
+                auto txn_it = sys_.txns_.find(msg.txn);
+                if (txn_it == sys_.txns_.end() ||
+                    txn_it->second.resolved) {
+                    return;
+                }
+                System::Txn &t = txn_it->second;
+
+                Message retry;
+                retry.kind = MessageKind::Retry;
+                retry.txn = msg.txn;
+                retry.addr = addr;
+                retry.pc = msg.pc;
+                retry.type = msg.type;
+                retry.src = node_;
+                retry.attempt = next_attempt;
+
+                if (next_attempt >= 2) {
+                    // Third attempt: broadcast, guaranteed to succeed
+                    // (Section 4.1).
+                    retry.dests =
+                        DestinationSet::all(sys_.params().nodes);
+                } else {
+                    // Improved set: current owner + sharers, plus the
+                    // requester and the home. A racing request can
+                    // still invalidate this between now and the
+                    // retry's ordering (the window of vulnerability).
+                    auto insp = sys_.tracker_.inspect(
+                        blockOf(addr), t.requester, msg.type);
+                    retry.dests = insp.required;
+                    retry.dests.add(t.requester);
+                    retry.dests.add(node_);
+                }
+                sys_.crossbar_.sendOrdered(std::move(retry));
+            },
+            EventPriority::Controller);
+        return;
+    }
+
+    // Resolved transaction: the home only acts when memory is the
+    // responder (and only for the resolving attempt).
+    if (txn.resolvedAttempt != msg.attempt)
+        return;
+    if (txn.responder != invalidNode)
+        return;
+
+    Tick start = tick;
+    if (auto mr = sys_.memReady_.find(block);
+        mr != sys_.memReady_.end()) {
+        start = std::max(start, mr->second);
+    }
+
+    Message data;
+    data.kind = MessageKind::Data;
+    data.txn = msg.txn;
+    data.addr = msg.addr;
+    data.pc = msg.pc;
+    data.type = msg.type;
+    data.src = node_;
+    data.dest = txn.requester;
+    sys_.queue_.schedule(
+        start + memory,
+        [this, data]() { sys_.sendOrLocal(data); },
+        EventPriority::Controller);
+}
+
+} // namespace dsp

@@ -1,0 +1,376 @@
+#include "system/system.hh"
+
+#include "cpu/detailed_cpu.hh"
+#include "cpu/simple_cpu.hh"
+#include "sim/logging.hh"
+
+namespace dsp {
+
+std::string
+toString(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Snooping:
+        return "snooping";
+      case ProtocolKind::Directory:
+        return "directory";
+      case ProtocolKind::Multicast:
+        return "multicast";
+    }
+    return "?";
+}
+
+System::System(Workload &workload, const SystemParams &params)
+    : workload_(workload),
+      params_(params),
+      crossbar_(queue_, params.nodes, params.crossbar),
+      tracker_(params.nodes)
+{
+    dsp_assert(workload.numNodes() == params.nodes,
+               "workload built for %u nodes, system has %u",
+               workload.numNodes(), params.nodes);
+
+    params_.predictor.numNodes = params_.nodes;
+    params_.cpu.l1_ns = params_.latency.l1_ns;
+    params_.cpu.l2_ns = params_.latency.l2_ns;
+
+    if (params_.protocol == ProtocolKind::Multicast) {
+        predictors_ =
+            makePredictorsPerNode(params_.policy, params_.predictor);
+    }
+
+    for (NodeId n = 0; n < params_.nodes; ++n) {
+        cacheCtrls_.push_back(
+            std::make_unique<CacheController>(*this, n));
+        memCtrls_.push_back(
+            std::make_unique<MemoryController>(*this, n));
+        if (params_.cpuModel == CpuModel::Simple) {
+            cpus_.push_back(std::make_unique<SimpleCpu>(
+                queue_, workload_, n, *cacheCtrls_[n], params_.cpu));
+        } else {
+            cpus_.push_back(std::make_unique<DetailedCpu>(
+                queue_, workload_, n, *cacheCtrls_[n], params_.cpu));
+        }
+    }
+
+    crossbar_.setOrderHandler(
+        [this](Message &msg, Tick tick) { onOrder(msg, tick); });
+    crossbar_.setDeliverHandler(
+        [this](const Message &msg, NodeId dest, Tick tick) {
+            onDeliver(msg, dest, tick);
+        });
+}
+
+System::~System() = default;
+
+DestinationSet
+System::destinationsFor(BlockId block, Addr addr, Addr pc,
+                        RequestType type, NodeId requester)
+{
+    switch (params_.protocol) {
+      case ProtocolKind::Snooping:
+        return DestinationSet::all(params_.nodes);
+      case ProtocolKind::Directory:
+        return DestinationSet::of(homeOf_(block));
+      case ProtocolKind::Multicast: {
+        DestinationSet predicted = predictors_[requester]->predict(
+            addr, pc, type, requester, homeOf_(block));
+        dsp_assert(predicted.contains(requester) &&
+                       predicted.contains(homeOf_(block)),
+                   "prediction violates the minimal-set contract");
+        return predicted;
+      }
+    }
+    return DestinationSet::all(params_.nodes);
+}
+
+void
+System::onOrder(Message &msg, Tick tick)
+{
+    auto it = txns_.find(msg.txn);
+    dsp_assert(it != txns_.end(), "ordered message without txn");
+    Txn &txn = it->second;
+    ++txn.attempts;
+
+    BlockId block = msg.block();
+
+    if (params_.protocol == ProtocolKind::Directory) {
+        auto result = tracker_.apply(block, txn.requester, msg.type);
+        txn.resolved = true;
+        txn.resolvedAttempt = msg.attempt;
+        txn.responder = result.responder;
+        txn.required = result.required;
+        txn.granted = result.grantedState;
+    } else {
+        auto inspect = tracker_.inspect(block, txn.requester, msg.type);
+        if (msg.dests.containsAll(inspect.required)) {
+            auto result =
+                tracker_.apply(block, txn.requester, msg.type);
+            txn.resolved = true;
+            txn.resolvedAttempt = msg.attempt;
+            txn.responder = result.responder;
+            txn.required = result.required;
+            txn.granted = result.grantedState;
+            txn.retries = msg.attempt;
+        }
+        // Insufficient requests change no state: the home re-issues
+        // them with an improved destination set (Section 4.1).
+    }
+
+    // The crossbar does not deliver to the source; when the source is
+    // a destination (snooping/multicast requester, or a request whose
+    // requester is the home), observe it via a free self-delivery.
+    if (msg.dests.contains(msg.src)) {
+        Tick when = tick + nsToTicks(params_.crossbar.traversal_ns / 2);
+        Message copy = msg;
+        queue_.schedule(
+            when,
+            [this, copy, when]() { onDeliver(copy, copy.src, when); },
+            EventPriority::Delivery);
+    }
+}
+
+void
+System::onDeliver(const Message &msg, NodeId dest, Tick tick)
+{
+    switch (msg.kind) {
+      case MessageKind::Request:
+      case MessageKind::Retry: {
+        auto it = txns_.find(msg.txn);
+        if (it == txns_.end())
+            return;  // transaction already completed
+        Txn &txn = it->second;
+
+        // External requests are a predictor training cue (Sec. 3.2).
+        if (params_.protocol == ProtocolKind::Multicast &&
+            dest != txn.requester) {
+            predictors_[dest]->trainExternalRequest(
+                msg.addr, msg.pc, msg.type, txn.requester);
+        }
+
+        if (dest == homeOf_(msg.block()))
+            memCtrls_[dest]->onHomeRequest(msg, tick);
+
+        if (params_.protocol != ProtocolKind::Directory)
+            cacheCtrls_[dest]->onSnoop(msg, tick);
+
+        // Upgrades complete when the requester observes its own
+        // ordered request.
+        if (dest == txn.requester && txn.resolved &&
+            txn.resolvedAttempt == msg.attempt &&
+            txn.responder == txn.requester) {
+            cacheCtrls_[dest]->onData(msg, tick);
+        }
+        break;
+      }
+      case MessageKind::Forward:
+        cacheCtrls_[dest]->onForward(msg, tick);
+        break;
+      case MessageKind::Invalidate:
+        cacheCtrls_[dest]->onInvalidate(msg, tick);
+        break;
+      case MessageKind::Data:
+      case MessageKind::Grant:
+        cacheCtrls_[dest]->onData(msg, tick);
+        break;
+      case MessageKind::Writeback: {
+        Tick &ready = memReady_[msg.block()];
+        ready = std::max(ready, tick);
+        break;
+      }
+    }
+}
+
+void
+System::sendOrLocal(Message msg)
+{
+    if (msg.dest == msg.src) {
+        // Node-local transfer: no network traversal, no traffic.
+        Tick now = queue_.now();
+        queue_.schedule(
+            now,
+            [this, msg, now]() { onDeliver(msg, msg.dest, now); },
+            EventPriority::Delivery);
+        return;
+    }
+    crossbar_.sendDirect(std::move(msg));
+}
+
+void
+System::trainRequester(const Txn &txn)
+{
+    if (params_.protocol != ProtocolKind::Multicast)
+        return;
+    Predictor &pred = *predictors_[txn.requester];
+    if (txn.retries > 0)
+        pred.trainRetry(txn.addr, txn.pc, txn.required);
+    if (txn.responder != txn.requester) {
+        pred.trainResponse(txn.addr, txn.pc, txn.responder,
+                           !txn.required.empty());
+    }
+}
+
+void
+System::recordCompletion(const Txn &txn, Tick tick)
+{
+    if (!measuring_)
+        return;
+    ++misses_;
+    latencySum_ += tick > txn.issued ? tick - txn.issued : 0;
+    retriesTotal_ += txn.retries;
+    if (txn.retries >= 2)
+        ++doubleRetries_;
+    if (txn.responder == txn.requester)
+        ++upgrades_;
+    if (txn.responder != invalidNode &&
+        txn.responder != txn.requester) {
+        ++c2c_;
+    }
+    const bool indirect = params_.protocol == ProtocolKind::Directory
+                              ? !txn.required.empty()
+                              : txn.retries > 0;
+    if (indirect)
+        ++indirections_;
+}
+
+void
+System::startPhase(std::uint64_t instructions)
+{
+    phaseDone_ = false;
+    cpusDone_ = 0;
+    for (auto &cpu : cpus_) {
+        cpu->runFor(instructions, [this]() {
+            if (++cpusDone_ == params_.nodes)
+                phaseDone_ = true;
+        });
+    }
+}
+
+void
+System::functionalWarmup(std::uint64_t misses)
+{
+    std::vector<std::uint64_t> icount(params_.nodes, 0);
+    std::uint64_t done = 0;
+
+    while (done < misses) {
+        // Least-advanced processor issues next (same interleaving as
+        // the trace collector).
+        NodeId p = 0;
+        for (NodeId n = 1; n < params_.nodes; ++n)
+            if (icount[n] < icount[p])
+                p = n;
+
+        MemRef ref = workload_.next(p);
+        icount[p] += ref.work + 1;
+
+        NodeCaches &caches = cacheCtrls_[p]->caches();
+        auto result = caches.access(ref.addr, ref.write);
+        if (result.need == CoherenceNeed::None)
+            continue;
+
+        RequestType type = result.need == CoherenceNeed::GetExclusive
+                               ? RequestType::GetExclusive
+                               : RequestType::GetShared;
+        BlockId block = blockOf(ref.addr);
+        auto txn = tracker_.apply(block, p, type);
+
+        if (type == RequestType::GetShared) {
+            if (txn.cacheToCache)
+                cacheCtrls_[txn.responder]->caches().downgrade(block);
+        } else {
+            txn.required.forEach([&](NodeId q) {
+                cacheCtrls_[q]->caches().invalidate(block);
+            });
+        }
+
+        auto fill = caches.fill(ref.addr, txn.grantedState);
+        if (fill.evicted) {
+            if (isOwnerState(fill.victimState))
+                tracker_.evictOwned(fill.victim, p);
+            else if (fill.victimState == MosiState::Shared)
+                tracker_.evictShared(fill.victim, p);
+        }
+        ++done;
+
+        if (params_.protocol != ProtocolKind::Multicast)
+            continue;
+
+        // Train predictors exactly as a trace replay would.
+        NodeId home = homeOf_(block);
+        DestinationSet predicted = predictors_[p]->predict(
+            ref.addr, ref.pc, type, p, home);
+        if (!predicted.containsAll(txn.required))
+            predictors_[p]->trainRetry(ref.addr, ref.pc,
+                                       txn.required);
+        if (txn.responder != p) {
+            predictors_[p]->trainResponse(ref.addr, ref.pc,
+                                          txn.responder,
+                                          !txn.required.empty());
+        }
+        DestinationSet observers = predicted | txn.required;
+        observers.forEach([&](NodeId q) {
+            if (q != p) {
+                predictors_[q]->trainExternalRequest(
+                    ref.addr, ref.pc, type, p);
+            }
+        });
+    }
+}
+
+SystemStats
+System::run()
+{
+    if (params_.functionalWarmupMisses > 0)
+        functionalWarmup(params_.functionalWarmupMisses);
+
+    // Timing warmup: fill caches and train predictors, stats
+    // discarded.
+    if (params_.warmupInstrPerCpu > 0) {
+        startPhase(params_.warmupInstrPerCpu);
+        while (!phaseDone_ && !queue_.empty())
+            queue_.step();
+        dsp_assert(phaseDone_, "warmup wedged: event queue drained "
+                               "with CPUs still running");
+    }
+
+    crossbar_.resetStats();
+    misses_ = indirections_ = retriesTotal_ = upgrades_ = c2c_ = 0;
+    doubleRetries_ = 0;
+    latencySum_ = 0;
+    measuring_ = true;
+    measureStart_ = queue_.now();
+
+    startPhase(params_.measureInstrPerCpu);
+    while (!phaseDone_ && !queue_.empty())
+        queue_.step();
+    dsp_assert(phaseDone_, "measured phase wedged");
+
+    Tick last_finish = measureStart_;
+    for (const auto &cpu : cpus_)
+        last_finish = std::max(last_finish, cpu->finishTick());
+
+    SystemStats stats;
+    stats.runtimeTicks = last_finish - measureStart_;
+    stats.instructions =
+        std::uint64_t{params_.measureInstrPerCpu} * params_.nodes;
+    stats.misses = misses_;
+    stats.indirections = indirections_;
+    stats.retries = retriesTotal_;
+    stats.doubleRetries = doubleRetries_;
+    stats.upgrades = upgrades_;
+    stats.cacheToCache = c2c_;
+    stats.requestMessages =
+        crossbar_.traffic(MessageKind::Request).messages +
+        crossbar_.traffic(MessageKind::Retry).messages +
+        crossbar_.traffic(MessageKind::Forward).messages +
+        crossbar_.traffic(MessageKind::Invalidate).messages;
+    stats.writebacks =
+        crossbar_.traffic(MessageKind::Writeback).messages;
+    stats.trafficBytes = crossbar_.totalBytes();
+    stats.avgMissLatencyNs =
+        misses_ ? ticksToNs(latencySum_) / static_cast<double>(misses_)
+                : 0.0;
+    return stats;
+}
+
+} // namespace dsp

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Execution-driven timing simulation of the full 16-node system
+ * (Section 5): CPUs, two-level caches with MSHRs, destination-set
+ * predictors, a totally-ordered crossbar, directory/memory
+ * controllers, and the three coherence protocols.
+ *
+ * Functional/timing split: coherence transactions are applied to the
+ * global SharingTracker at the crossbar's ordering point (the
+ * serialization point all three protocols rely on); message timing,
+ * link contention, and data-availability chaining are layered on top.
+ * Multicast sufficiency is also evaluated at the ordering point, so
+ * the window-of-vulnerability race between a retry's issue and its
+ * ordering (Section 4.1) arises naturally and the third attempt falls
+ * back to broadcast.
+ */
+
+#ifndef DSP_SYSTEM_SYSTEM_HH
+#define DSP_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/latency.hh"
+#include "coherence/sharing_tracker.hh"
+#include "core/factory.hh"
+#include "cpu/cpu.hh"
+#include "interconnect/crossbar.hh"
+#include "mem/node_caches.hh"
+#include "sim/event_queue.hh"
+#include "workload/workload.hh"
+
+namespace dsp {
+
+class System;
+
+/** Which coherence protocol the system runs. */
+enum class ProtocolKind : std::uint8_t {
+    Snooping,   ///< broadcast snooping (destination set = all)
+    Directory,  ///< GS320-style directory (destination set = home)
+    Multicast,  ///< multicast snooping with destination-set prediction
+};
+
+/** Printable name. */
+std::string toString(ProtocolKind kind);
+
+/** Which processor model drives the system. */
+enum class CpuModel : std::uint8_t {
+    Simple,    ///< in-order blocking (Figure 7)
+    Detailed,  ///< ROB-window out-of-order (Figure 8)
+};
+
+/** Full system configuration (Table 4 defaults). */
+struct SystemParams {
+    NodeId nodes = 16;
+    ProtocolKind protocol = ProtocolKind::Multicast;
+    PredictorPolicy policy = PredictorPolicy::OwnerGroup;
+    PredictorConfig predictor;  ///< numNodes is overridden with nodes
+    CacheParams caches;
+    LatencyParams latency;
+    CrossbarParams crossbar;
+    CpuParams cpu;
+    CpuModel cpuModel = CpuModel::Simple;
+
+    /**
+     * Functional (trace-style) warmup misses before any timing: fills
+     * caches and trains predictors at trace-replay speed, exactly as
+     * the paper warms its timing runs from traces (Section 5.2).
+     */
+    std::uint64_t functionalWarmupMisses = 0;
+
+    std::uint64_t warmupInstrPerCpu = 1000000;
+    std::uint64_t measureInstrPerCpu = 2000000;
+};
+
+/** Results of one execution-driven run (measured phase only). */
+struct SystemStats {
+    Tick runtimeTicks = 0;       ///< first measure start to last finish
+    std::uint64_t instructions = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t indirections = 0;  ///< retried / 3-hop misses
+    std::uint64_t retries = 0;
+    /** Misses retried more than once: the retry itself lost the
+     *  window-of-vulnerability race (Section 4.1). */
+    std::uint64_t doubleRetries = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t cacheToCache = 0;
+    std::uint64_t requestMessages = 0;  ///< requests+retries+fwd+inval
+    std::uint64_t writebacks = 0;       ///< dirty evictions to memory
+    std::uint64_t trafficBytes = 0;
+    double avgMissLatencyNs = 0.0;
+
+    double
+    trafficPerMiss() const
+    {
+        return misses ? static_cast<double>(trafficBytes) /
+                            static_cast<double>(misses)
+                      : 0.0;
+    }
+
+    double
+    runtimeMs() const
+    {
+        return ticksToNs(runtimeTicks) / 1e6;
+    }
+};
+
+/**
+ * Per-node cache controller: the CPU-facing MemoryPort, the MSHR
+ * file, the node's two cache levels, and the snooping-side request /
+ * data handlers.
+ */
+class CacheController : public MemoryPort
+{
+  public:
+    CacheController(System &system, NodeId node);
+
+    // MemoryPort
+    AccessReply access(Addr addr, Addr pc, bool is_write, Tick when,
+                       Completion on_complete) override;
+
+    /** Ordered request delivered to this node (snoop side). */
+    void onSnoop(const Message &msg, Tick tick);
+
+    /** Directory-protocol forward: supply data to the requester. */
+    void onForward(const Message &msg, Tick tick);
+
+    /** Directory-protocol invalidation. */
+    void onInvalidate(const Message &msg, Tick tick);
+
+    /** Data response / upgrade grant for this node's own miss. */
+    void onData(const Message &msg, Tick tick);
+
+    NodeCaches &caches() { return caches_; }
+    std::size_t outstandingMshrs() const { return mshrs_.size(); }
+
+  private:
+    struct Mshr {
+        TxnId txn = 0;
+        RequestType type = RequestType::GetShared;
+        bool invalidateAfterFill = false;
+        std::vector<Completion> waiters;
+        /** Accesses that arrived while the miss was outstanding. */
+        struct Queued {
+            Addr addr;
+            Addr pc;
+            bool write;
+            Completion done;
+        };
+        std::vector<Queued> queued;
+    };
+
+    /** Issue the coherence request for a new miss at tick `when`. */
+    void issueRequest(BlockId block, Addr addr, Addr pc,
+                      RequestType type, Tick when);
+
+    /** Complete the miss: fill, train, wake waiters, replay queue.
+     *  Ignores completions whose txn no longer matches the MSHR. */
+    void complete(BlockId block, TxnId txn, Tick tick);
+
+    /** Invalidate local state, honouring in-flight misses. */
+    void invalidateLocal(BlockId block);
+
+    System &sys_;
+    NodeId node_;
+    NodeCaches caches_;
+    std::unordered_map<BlockId, Mshr> mshrs_;
+};
+
+/**
+ * Per-node memory/directory controller: home-side duties (memory data
+ * responses, directory forwarding, multicast retry re-issue).
+ */
+class MemoryController
+{
+  public:
+    MemoryController(System &system, NodeId node);
+
+    /** Ordered request delivered to (or self-observed at) the home. */
+    void onHomeRequest(const Message &msg, Tick tick);
+
+  private:
+    void handleDirectory(const Message &msg, Tick tick);
+    void handleMulticastHome(const Message &msg, Tick tick);
+
+    System &sys_;
+    NodeId node_;
+};
+
+/**
+ * The complete target machine. Owns the event queue, the crossbar,
+ * the functional sharing state, predictors, and all per-node
+ * components; runs the warmup + measured phases.
+ */
+class System
+{
+  public:
+    System(Workload &workload, const SystemParams &params);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run warmup then the measured phase; returns measured stats. */
+    SystemStats run();
+
+    const SystemParams &params() const { return params_; }
+
+  private:
+    friend class CacheController;
+    friend class MemoryController;
+
+    /** One in-flight coherence transaction. */
+    struct Txn {
+        NodeId requester = 0;
+        Addr addr = 0;
+        Addr pc = 0;
+        RequestType type = RequestType::GetShared;
+        Tick issued = 0;
+        std::uint8_t attempts = 0;       ///< orderings so far
+        bool resolved = false;
+        std::uint8_t resolvedAttempt = 0;
+        NodeId responder = invalidNode;
+        DestinationSet required;
+        MosiState granted = MosiState::Invalid;
+        std::uint32_t retries = 0;
+    };
+
+    // -- crossbar callbacks
+    void onOrder(Message &msg, Tick tick);
+    void onDeliver(const Message &msg, NodeId dest, Tick tick);
+
+    /** Point-to-point send that short-circuits node-local traffic. */
+    void sendOrLocal(Message msg);
+
+    /** Destination set for a new request, per protocol. */
+    DestinationSet destinationsFor(BlockId block, Addr addr, Addr pc,
+                                   RequestType type, NodeId requester);
+
+    /** Record a completed miss in the measured statistics. */
+    void recordCompletion(const Txn &txn, Tick tick);
+
+    /** Train the requester's predictor at completion time. */
+    void trainRequester(const Txn &txn);
+
+    NodeId homeOf_(BlockId block) const
+    {
+        return homeOf(block, params_.nodes);
+    }
+
+    // -- run-phase plumbing
+    void startPhase(std::uint64_t instructions);
+
+    /** Event-free cache/predictor warming (Section 5.2). */
+    void functionalWarmup(std::uint64_t misses);
+
+    Workload &workload_;
+    SystemParams params_;
+
+    EventQueue queue_;
+    OrderedCrossbar crossbar_;
+    SharingTracker tracker_;
+
+    std::vector<std::unique_ptr<Predictor>> predictors_;
+    std::vector<std::unique_ptr<CacheController>> cacheCtrls_;
+    std::vector<std::unique_ptr<MemoryController>> memCtrls_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+
+    std::unordered_map<TxnId, Txn> txns_;
+    TxnId nextTxn_ = 1;
+
+    /** Tick at which the current owner's copy of a block is usable. */
+    std::unordered_map<BlockId, Tick> dataReady_;
+
+    /** Tick at which memory at the home holds the latest data. */
+    std::unordered_map<BlockId, Tick> memReady_;
+
+    // -- phase / stats state
+    bool measuring_ = false;
+    Tick measureStart_ = 0;
+    NodeId cpusDone_ = 0;
+    bool phaseDone_ = false;
+
+    std::uint64_t misses_ = 0;
+    std::uint64_t indirections_ = 0;
+    std::uint64_t retriesTotal_ = 0;
+    std::uint64_t doubleRetries_ = 0;
+    std::uint64_t upgrades_ = 0;
+    std::uint64_t c2c_ = 0;
+    Tick latencySum_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_SYSTEM_SYSTEM_HH

@@ -1,0 +1,104 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+namespace {
+
+constexpr std::uint64_t traceMagic = 0x445350545243ull;  // "DSPTRC"
+constexpr std::uint32_t traceVersion = 1;
+
+struct TraceHeader {
+    std::uint64_t magic = traceMagic;
+    std::uint32_t version = traceVersion;
+    std::uint32_t numNodes = 0;
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t warmupRecords = 0;
+    std::uint64_t warmupInstructions = 0;
+    char name[64] = {};
+};
+
+struct FileCloser {
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        dsp_warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+
+    TraceHeader header;
+    header.numNodes = trace.numNodes;
+    header.totalInstructions = trace.totalInstructions;
+    header.recordCount = trace.records.size();
+    header.warmupRecords = trace.warmupRecords;
+    header.warmupInstructions = trace.warmupInstructions;
+    std::strncpy(header.name, trace.workloadName.c_str(),
+                 sizeof(header.name) - 1);
+
+    if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
+        dsp_warn("short write of trace header to '%s'", path.c_str());
+        return false;
+    }
+    if (!trace.records.empty() &&
+        std::fwrite(trace.records.data(), sizeof(TraceRecord),
+                    trace.records.size(), f.get()) !=
+            trace.records.size()) {
+        dsp_warn("short write of trace records to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        dsp_fatal("cannot open trace file '%s'", path.c_str());
+
+    TraceHeader header;
+    if (std::fread(&header, sizeof(header), 1, f.get()) != 1)
+        dsp_fatal("truncated trace header in '%s'", path.c_str());
+    if (header.magic != traceMagic)
+        dsp_fatal("'%s' is not a dsp trace file", path.c_str());
+    if (header.version != traceVersion)
+        dsp_fatal("trace version %u unsupported (expected %u)",
+                  header.version, traceVersion);
+
+    Trace trace;
+    trace.workloadName.assign(
+        header.name, strnlen(header.name, sizeof(header.name)));
+    trace.numNodes = header.numNodes;
+    trace.totalInstructions = header.totalInstructions;
+    trace.warmupRecords = header.warmupRecords;
+    trace.warmupInstructions = header.warmupInstructions;
+    trace.records.resize(header.recordCount);
+    if (header.recordCount &&
+        std::fread(trace.records.data(), sizeof(TraceRecord),
+                   header.recordCount, f.get()) != header.recordCount) {
+        dsp_fatal("truncated trace records in '%s'", path.c_str());
+    }
+    return trace;
+}
+
+} // namespace dsp

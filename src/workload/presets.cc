@@ -1,0 +1,290 @@
+#include "workload/presets.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+namespace {
+
+/** Regions are laid out 1 GB apart so their PC windows never collide. */
+constexpr Addr regionStride = 0x40000000ull;
+
+/** Round a scaled size up to a whole number of 1 KB macroblocks, with
+ *  a floor large enough for every archetype's per-node partitioning. */
+Addr
+scaled(double scale, Addr bytes, Addr floor_bytes = 64 * 1024)
+{
+    auto scaled_bytes =
+        static_cast<Addr>(static_cast<double>(bytes) * scale);
+    if (scaled_bytes < floor_bytes)
+        scaled_bytes = floor_bytes;
+    constexpr Addr granule = 1024;
+    return (scaled_bytes + granule - 1) / granule * granule;
+}
+
+/** Builder that assigns region base addresses and collects regions. */
+class Mix
+{
+  public:
+    Mix(std::string name, NodeId nodes, double mean_work,
+        std::uint64_t seed)
+        : workload_(std::make_unique<Workload>(std::move(name), nodes,
+                                               mean_work, seed)),
+          nodes_(nodes)
+    {
+    }
+
+    Region::Params
+    params(const char *name, Addr bytes, std::uint32_t pc_sites,
+           double pc_theta = 0.6)
+    {
+        Region::Params p;
+        p.name = name;
+        p.base = nextBase_;
+        p.bytes = bytes;
+        p.pcSites = pc_sites;
+        p.pcTheta = pc_theta;
+        nextBase_ += regionStride;
+        return p;
+    }
+
+    NodeId nodes() const { return nodes_; }
+
+    void
+    add(std::unique_ptr<Region> region, double weight)
+    {
+        workload_->addRegion(std::move(region), weight);
+    }
+
+    std::unique_ptr<Workload>
+    take()
+    {
+        return std::move(workload_);
+    }
+
+  private:
+    std::unique_ptr<Workload> workload_;
+    NodeId nodes_;
+    Addr nextBase_ = regionStride;
+};
+
+constexpr Addr MB = 1024 * 1024;
+constexpr Addr KB = 1024;
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "apache", "barnes", "ocean", "oltp", "slashcode", "specjbb",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeApache(NodeId nodes, std::uint64_t seed, double scale)
+{
+    // Static web serving: migratory connection state, a read-mostly
+    // file cache with occasional updates, kernel/network buffers
+    // streaming between processors, pthread locks. High miss rate,
+    // ~89% of misses need another processor (Table 2).
+    Mix mix("apache", nodes, /* mean_work */ 4.0, seed);
+
+    mix.add(std::make_unique<HotRegion>(
+                mix.params("locks", scaled(scale, 256 * KB), 400, 0.7),
+                nodes, HotRegion::Config{0.80, 0.45}),
+            0.003);
+    mix.add(std::make_unique<MigratoryRegion>(
+                mix.params("connections", scaled(scale, 10 * MB), 3000),
+                nodes, MigratoryRegion::Config{2, 6, 1.10, 0.0}),
+            0.040);
+    mix.add(std::make_unique<ProducerConsumerRegion>(
+                mix.params("netbufs", scaled(scale, 2 * MB), 1500),
+                nodes, ProducerConsumerRegion::Config{16, 4, 0.5, 8}),
+            0.030);
+    mix.add(std::make_unique<ReadMostlyRegion>(
+                mix.params("filecache", scaled(scale, 24 * MB), 6000),
+                nodes, ReadMostlyRegion::Config{12000, 0.9985, 0.0012}),
+            0.440);
+    mix.add(std::make_unique<PrivateRegion>(
+                mix.params("scratch", scaled(scale, 4 * MB), 7000),
+                nodes,
+                PrivateRegion::Config{4096, 1.0, 0.3, 0.02, 16, 8}),
+            0.487);
+    return mix.take();
+}
+
+std::unique_ptr<Workload>
+makeBarnes(NodeId nodes, std::uint64_t seed, double scale)
+{
+    // SPLASH-2 Barnes-Hut, 64k bodies: the octree is read by everyone
+    // and rebuilt/updated in place, bodies migrate between processors.
+    // Tiny footprint, very low miss rate, but ~96% of the misses that
+    // do occur are sharing misses.
+    Mix mix("barnes", nodes, /* mean_work */ 14.0, seed);
+
+    mix.add(std::make_unique<ReadMostlyRegion>(
+                mix.params("octree", scaled(scale, 6 * MB), 2500),
+                nodes, ReadMostlyRegion::Config{15000, 0.9999, 0.00015}),
+            0.50);
+    mix.add(std::make_unique<MigratoryRegion>(
+                mix.params("bodies", scaled(scale, 4 * MB), 3000),
+                nodes, MigratoryRegion::Config{1, 8, 0.90, 0.0}),
+            0.025);
+    mix.add(std::make_unique<PrivateRegion>(
+                mix.params("workspace", scaled(scale, 1 * MB), 2000),
+                nodes,
+                PrivateRegion::Config{1024, 1.0, 0.3, 0.02, 8, 8}),
+            0.418);
+    mix.add(std::make_unique<HotRegion>(
+                mix.params("globals", scaled(scale, 64 * KB), 400, 0.7),
+                nodes, HotRegion::Config{0.80, 0.5}),
+            0.002);
+    return mix.take();
+}
+
+std::unique_ptr<Workload>
+makeOcean(NodeId nodes, std::uint64_t seed, double scale)
+{
+    // SPLASH-2 Ocean, 514x514 grids, column-blocked: each processor
+    // sweeps its own partition (capacity misses to memory) and
+    // exchanges boundary rows with immediate neighbours only -- the
+    // low-degree sharing the paper highlights in Figure 3(b).
+    Mix mix("ocean", nodes, /* mean_work */ 16.0, seed);
+
+    mix.add(std::make_unique<PrivateRegion>(
+                mix.params("grids", scaled(scale, 40 * MB), 5000),
+                nodes,
+                PrivateRegion::Config{12000, 0.9995, 0.45, 0.00008,
+                                      64, 8}),
+            0.300);
+    mix.add(std::make_unique<ProducerConsumerRegion>(
+                mix.params("boundaries", scaled(scale, 2 * MB), 4000),
+                nodes, ProducerConsumerRegion::Config{16, 1, 0.5, 8}),
+            0.025);
+    mix.add(std::make_unique<HotRegion>(
+                mix.params("reductions", scaled(scale, 64 * KB), 300,
+                           0.7),
+                nodes, HotRegion::Config{0.80, 0.5}),
+            0.001);
+    mix.add(std::make_unique<ReadMostlyRegion>(
+                mix.params("constants", scaled(scale, 4 * MB), 2000),
+                nodes, ReadMostlyRegion::Config{12000, 0.9998, 0.00005}),
+            0.668);
+    return mix.take();
+}
+
+std::unique_ptr<Workload>
+makeOltp(NodeId nodes, std::uint64_t seed, double scale)
+{
+    // TPC-C on DB2: migratory row/lock records, hot latches, a
+    // read-mostly B-tree/catalog, private log buffers. The highest
+    // miss rate of the suite, ~73% indirections.
+    Mix mix("oltp", nodes, /* mean_work */ 3.5, seed);
+
+    mix.add(std::make_unique<MigratoryRegion>(
+                mix.params("rows", scaled(scale, 24 * MB), 8000),
+                nodes, MigratoryRegion::Config{2, 6, 1.05, 0.0}),
+            0.040);
+    mix.add(std::make_unique<HotRegion>(
+                mix.params("latches", scaled(scale, 512 * KB), 800,
+                           0.7),
+                nodes, HotRegion::Config{0.80, 0.5}),
+            0.004);
+    mix.add(std::make_unique<ReadMostlyRegion>(
+                mix.params("btree", scaled(scale, 20 * MB), 8000),
+                nodes, ReadMostlyRegion::Config{15000, 0.993, 0.0006}),
+            0.420);
+    mix.add(std::make_unique<PrivateRegion>(
+                mix.params("logbuf", scaled(scale, 12 * MB), 5000),
+                nodes,
+                PrivateRegion::Config{12288, 1.0, 0.5, 0.0015, 64, 8}),
+            0.520);
+    return mix.take();
+}
+
+std::unique_ptr<Workload>
+makeSlashcode(NodeId nodes, std::uint64_t seed, double scale)
+{
+    // Dynamic web (Slashcode on Apache+mod_perl+MySQL): a huge
+    // per-process interpreter heap dominates, so only ~35% of misses
+    // involve another processor -- the lowest of the suite.
+    Mix mix("slashcode", nodes, /* mean_work */ 8.0, seed);
+
+    mix.add(std::make_unique<PrivateRegion>(
+                mix.params("perlheap", scaled(scale, 120 * MB), 18000),
+                nodes,
+                PrivateRegion::Config{18000, 0.9991, 0.3, 0.0001, 32,
+                                      8}),
+            0.620);
+    mix.add(std::make_unique<ReadMostlyRegion>(
+                mix.params("pagecache", scaled(scale, 48 * MB), 14000),
+                nodes, ReadMostlyRegion::Config{12000, 0.9996, 0.0002}),
+            0.300);
+    mix.add(std::make_unique<MigratoryRegion>(
+                mix.params("dbrows", scaled(scale, 12 * MB), 8000),
+                nodes, MigratoryRegion::Config{2, 6, 1.00, 0.0}),
+            0.005);
+    mix.add(std::make_unique<HotRegion>(
+                mix.params("mutexes", scaled(scale, 256 * KB), 2000,
+                           0.7),
+                nodes, HotRegion::Config{0.85, 0.4}),
+            0.001);
+    return mix.take();
+}
+
+std::unique_ptr<Workload>
+makeSpecjbb(NodeId nodes, std::uint64_t seed, double scale)
+{
+    // SPECjbb2000: 24 warehouses over 16 processors. Java heap
+    // allocation streams privately; warehouse state is shared within
+    // small processor groups; the item catalog is read-mostly.
+    Mix mix("specjbb", nodes, /* mean_work */ 4.5, seed);
+
+    // GroupRegion requires the group size to divide the node count;
+    // fall back to pairs for odd machine sizes.
+    NodeId group = nodes % 4 == 0 ? 4 : (nodes % 2 == 0 ? 2 : 1);
+
+    mix.add(std::make_unique<PrivateRegion>(
+                mix.params("javaheap", scaled(scale, 200 * MB), 9000),
+                nodes,
+                PrivateRegion::Config{18000, 0.9971, 0.5, 0.0002, 32,
+                                      8}),
+            0.550);
+    mix.add(std::make_unique<GroupRegion>(
+                mix.params("warehouses", scaled(scale, 120 * MB), 9000),
+                nodes, GroupRegion::Config{group, 12000, 0.997, 0.20}),
+            0.014);
+    mix.add(std::make_unique<ReadMostlyRegion>(
+                mix.params("catalog", scaled(scale, 20 * MB), 4000),
+                nodes, ReadMostlyRegion::Config{12000, 0.9994, 0.0002}),
+            0.420);
+    mix.add(std::make_unique<HotRegion>(
+                mix.params("jvmlocks", scaled(scale, 512 * KB), 1200,
+                           0.7),
+                nodes, HotRegion::Config{0.85, 0.45}),
+            0.002);
+    return mix.take();
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, NodeId num_nodes,
+             std::uint64_t seed, double scale)
+{
+    if (name == "apache")
+        return makeApache(num_nodes, seed, scale);
+    if (name == "barnes")
+        return makeBarnes(num_nodes, seed, scale);
+    if (name == "ocean")
+        return makeOcean(num_nodes, seed, scale);
+    if (name == "oltp")
+        return makeOltp(num_nodes, seed, scale);
+    if (name == "slashcode")
+        return makeSlashcode(num_nodes, seed, scale);
+    if (name == "specjbb")
+        return makeSpecjbb(num_nodes, seed, scale);
+    dsp_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace dsp

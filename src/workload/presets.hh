@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The six benchmark workloads of Table 1, expressed as region mixtures.
+ *
+ * Each preset is a statistical stand-in for the paper's full-system
+ * workload (see DESIGN.md "Substitutions"): the mixture weights, region
+ * sizes, popularity skews, and work densities are chosen so that the
+ * *measured* Table 2 / Figure 2-4 statistics of the generated reference
+ * stream reproduce the paper's characterization qualitatively.
+ */
+
+#ifndef DSP_WORKLOAD_PRESETS_HH
+#define DSP_WORKLOAD_PRESETS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace dsp {
+
+/** Names of the six benchmarks, in the paper's order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Construct a benchmark workload by name ("apache", "barnes", "ocean",
+ * "oltp", "slashcode", "specjbb"; case-sensitive).
+ *
+ * @param name workload name
+ * @param num_nodes processors (the paper evaluates 16)
+ * @param seed RNG seed; vary for perturbed runs
+ * @param scale footprint scale factor (1.0 = the paper's footprints;
+ *        benches default to 0.25 to keep runtimes interactive)
+ */
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, NodeId num_nodes,
+             std::uint64_t seed, double scale = 0.25);
+
+/** Individual factories (same parameters as makeWorkload). */
+std::unique_ptr<Workload> makeApache(NodeId num_nodes,
+                                     std::uint64_t seed, double scale);
+std::unique_ptr<Workload> makeBarnes(NodeId num_nodes,
+                                     std::uint64_t seed, double scale);
+std::unique_ptr<Workload> makeOcean(NodeId num_nodes,
+                                    std::uint64_t seed, double scale);
+std::unique_ptr<Workload> makeOltp(NodeId num_nodes,
+                                   std::uint64_t seed, double scale);
+std::unique_ptr<Workload> makeSlashcode(NodeId num_nodes,
+                                        std::uint64_t seed, double scale);
+std::unique_ptr<Workload> makeSpecjbb(NodeId num_nodes,
+                                      std::uint64_t seed, double scale);
+
+} // namespace dsp
+
+#endif // DSP_WORKLOAD_PRESETS_HH

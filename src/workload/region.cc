@@ -1,0 +1,271 @@
+#include "workload/region.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+namespace {
+
+/** Fixed virtual text segment where synthetic PCs live. */
+constexpr Addr pcSegmentBase = 0x100000000ull;
+
+/** Each region gets its own PC window so pools never overlap. */
+constexpr Addr pcWindowBytes = 0x1000000ull;  // 16 MB of text per region
+
+Addr
+pcWindowFor(Addr region_base)
+{
+    // Derive a stable window index from the region's data base address.
+    return pcSegmentBase + (region_base / pcWindowBytes) * pcWindowBytes;
+}
+
+} // namespace
+
+Region::Region(const Params &params, NodeId num_nodes)
+    : name_(params.name),
+      base_(params.base),
+      bytes_(params.bytes),
+      numNodes_(num_nodes),
+      pcBase_(pcWindowFor(params.base)),
+      pcSampler_(params.pcSites ? params.pcSites : 1, params.pcTheta)
+{
+    dsp_assert(bytes_ >= blockBytes && bytes_ % blockBytes == 0,
+               "region '%s' size %llu not a positive multiple of 64",
+               name_.c_str(),
+               static_cast<unsigned long long>(bytes_));
+    dsp_assert(num_nodes > 0, "region needs at least one node");
+}
+
+Addr
+Region::addrOf(std::uint64_t block_index, Rng &rng) const
+{
+    dsp_assert(block_index < blocks(),
+               "block index %llu outside region '%s'",
+               static_cast<unsigned long long>(block_index),
+               name_.c_str());
+    Addr word = rng.uniformInt(blockBytes / 8) * 8;
+    return base_ + block_index * blockBytes + word;
+}
+
+Addr
+Region::pcFor(Rng &rng) const
+{
+    return pcBase_ + pcSampler_.sample(rng) * 4;
+}
+
+// ---------------------------------------------------------------------
+// PrivateRegion
+
+PrivateRegion::PrivateRegion(const Params &params, NodeId num_nodes,
+                             const Config &cfg)
+    : Region(params, num_nodes),
+      cfg_(cfg),
+      sliceBlocks_(blocks() / num_nodes),
+      slicePick_(sliceBlocks_ ? sliceBlocks_ : 1, cfg.hotBlocks,
+                 cfg.hotProb),
+      procs_(num_nodes)
+{
+    dsp_assert(sliceBlocks_ > 0,
+               "private region too small for %u nodes", num_nodes);
+}
+
+RegionRef
+PrivateRegion::gen(NodeId p, Rng &rng)
+{
+    ProcState &st = procs_[p];
+    std::uint64_t slice_base = static_cast<std::uint64_t>(p)
+                             * sliceBlocks_;
+    std::uint64_t block;
+
+    if (st.refsLeftInBlock > 0) {
+        // Still sweeping the current block (sub-block reuse).
+        --st.refsLeftInBlock;
+        block = slice_base + st.seqCursor;
+    } else if (st.seqRemaining > 0) {
+        --st.seqRemaining;
+        st.seqCursor = (st.seqCursor + 1) % sliceBlocks_;
+        st.refsLeftInBlock =
+            cfg_.seqRefsPerBlock > 0 ? cfg_.seqRefsPerBlock - 1 : 0;
+        block = slice_base + st.seqCursor;
+    } else if (rng.chance(cfg_.seqProb)) {
+        st.seqCursor = rng.uniformInt(sliceBlocks_);
+        st.seqRemaining = rng.geometric(cfg_.seqRunBlocks);
+        st.refsLeftInBlock =
+            cfg_.seqRefsPerBlock > 0 ? cfg_.seqRefsPerBlock - 1 : 0;
+        block = slice_base + st.seqCursor;
+    } else {
+        std::uint64_t rank = slicePick_.sample(rng);
+        block = slice_base + scatterRank(rank, sliceBlocks_);
+    }
+
+    return RegionRef{addrOf(block, rng), pcFor(rng),
+                     rng.chance(cfg_.writeFraction)};
+}
+
+// ---------------------------------------------------------------------
+// ReadMostlyRegion
+
+ReadMostlyRegion::ReadMostlyRegion(const Params &params,
+                                   NodeId num_nodes, const Config &cfg)
+    : Region(params, num_nodes),
+      cfg_(cfg),
+      pick_(blocks(), cfg.hotBlocks, cfg.hotProb)
+{
+}
+
+RegionRef
+ReadMostlyRegion::gen(NodeId /* p */, Rng &rng)
+{
+    std::uint64_t block = scatterRank(pick_.sample(rng), blocks());
+    return RegionRef{addrOf(block, rng), pcFor(rng),
+                     rng.chance(cfg_.writeFraction)};
+}
+
+// ---------------------------------------------------------------------
+// MigratoryRegion
+
+MigratoryRegion::MigratoryRegion(const Params &params, NodeId num_nodes,
+                                 const Config &cfg)
+    : Region(params, num_nodes),
+      cfg_(cfg),
+      items_(blocks() / cfg.itemBlocks),
+      itemPick_(items_ ? items_ : 1, cfg.theta),
+      procs_(num_nodes)
+{
+    dsp_assert(items_ > 0, "migratory region smaller than one item");
+}
+
+RegionRef
+MigratoryRegion::gen(NodeId p, Rng &rng)
+{
+    ProcState &st = procs_[p];
+    if (st.opsLeft == 0) {
+        // Acquire a new record. With pairAffinity, favour the slice of
+        // items this processor's pair ping-pongs on.
+        std::uint64_t item = itemPick_.sample(rng);
+        if (cfg_.pairAffinity > 0.0 && numNodes() >= 2 &&
+            rng.chance(cfg_.pairAffinity)) {
+            std::uint64_t pairs = numNodes() / 2;
+            std::uint64_t pair = p / 2;
+            // Keep the item's popularity rank but steer it into the
+            // pair's congruence class so only {2k, 2k+1} touch it.
+            item = item - (item % pairs) + pair;
+            if (item >= items_)
+                item %= items_;
+        }
+        st.item = item;
+        st.opsLeft = cfg_.burstLen;
+    }
+
+    --st.opsLeft;
+    // Read the record first, write it back at the end of the burst:
+    // the canonical migratory read-then-write sequence.
+    bool write = st.opsLeft < (cfg_.burstLen + 1) / 2;
+    std::uint64_t first = st.item * cfg_.itemBlocks;
+    std::uint64_t block = first + rng.uniformInt(cfg_.itemBlocks);
+    return RegionRef{addrOf(block, rng), pcFor(rng), write};
+}
+
+// ---------------------------------------------------------------------
+// ProducerConsumerRegion
+
+ProducerConsumerRegion::ProducerConsumerRegion(const Params &params,
+                                               NodeId num_nodes,
+                                               const Config &cfg)
+    : Region(params, num_nodes),
+      cfg_(cfg),
+      buffers_(blocks() / cfg.bufferBlocks),
+      buffersPerProc_(buffers_ / num_nodes),
+      procs_(num_nodes)
+{
+    dsp_assert(buffersPerProc_ > 0,
+               "producer-consumer region needs >= 1 buffer per node");
+    // Force a fresh buffer pick on each processor's first reference
+    // (otherwise everyone would start producing into buffer 0).
+    for (ProcState &st : procs_)
+        st.cursor = cfg_.bufferBlocks;
+}
+
+RegionRef
+ProducerConsumerRegion::gen(NodeId p, Rng &rng)
+{
+    ProcState &st = procs_[p];
+    if (st.refsLeftInBlock > 0) {
+        --st.refsLeftInBlock;
+        std::uint64_t cur = st.buffer * cfg_.bufferBlocks
+                          + (st.cursor - 1);
+        return RegionRef{addrOf(cur, rng), pcFor(rng), !st.consuming};
+    }
+    if (st.cursor >= cfg_.bufferBlocks) {
+        // Finished a pass over a buffer; pick the next pass.
+        st.cursor = 0;
+        st.consuming = rng.chance(cfg_.consumeFraction);
+        NodeId owner = p;
+        if (st.consuming && numNodes() > 1) {
+            // Read a buffer produced by a nearby processor.
+            std::uint32_t dist =
+                1 + rng.uniformInt(cfg_.neighborDist);
+            owner = (p + dist) % numNodes();
+        }
+        std::uint64_t which = rng.uniformInt(buffersPerProc_);
+        st.buffer = which * numNodes() + owner;
+    }
+
+    std::uint64_t block = st.buffer * cfg_.bufferBlocks + st.cursor;
+    ++st.cursor;
+    st.refsLeftInBlock =
+        cfg_.refsPerBlock > 0 ? cfg_.refsPerBlock - 1 : 0;
+    return RegionRef{addrOf(block, rng), pcFor(rng), !st.consuming};
+}
+
+// ---------------------------------------------------------------------
+// GroupRegion
+
+GroupRegion::GroupRegion(const Params &params, NodeId num_nodes,
+                         const Config &cfg)
+    : Region(params, num_nodes),
+      cfg_(cfg),
+      groups_(num_nodes / cfg.groupSize),
+      sliceBlocks_(0)
+{
+    dsp_assert(cfg.groupSize > 0 && num_nodes % cfg.groupSize == 0,
+               "group size %u must divide node count %u",
+               cfg.groupSize, num_nodes);
+    sliceBlocks_ = blocks() / groups_;
+    dsp_assert(sliceBlocks_ > 0, "group region too small");
+    slicePick_ = std::make_unique<WorkingSetSampler>(
+        sliceBlocks_, cfg.hotBlocks, cfg.hotProb);
+}
+
+RegionRef
+GroupRegion::gen(NodeId p, Rng &rng)
+{
+    NodeId group = p / cfg_.groupSize;
+    std::uint64_t rank = slicePick_->sample(rng);
+    std::uint64_t block = static_cast<std::uint64_t>(group)
+                        * sliceBlocks_
+                        + scatterRank(rank, sliceBlocks_);
+    return RegionRef{addrOf(block, rng), pcFor(rng),
+                     rng.chance(cfg_.writeFraction)};
+}
+
+// ---------------------------------------------------------------------
+// HotRegion
+
+HotRegion::HotRegion(const Params &params, NodeId num_nodes,
+                     const Config &cfg)
+    : Region(params, num_nodes),
+      cfg_(cfg),
+      pick_(blocks(), cfg.theta)
+{
+}
+
+RegionRef
+HotRegion::gen(NodeId /* p */, Rng &rng)
+{
+    std::uint64_t block = scatterRank(pick_.sample(rng), blocks());
+    return RegionRef{addrOf(block, rng), pcFor(rng),
+                     rng.chance(cfg_.writeFraction)};
+}
+
+} // namespace dsp

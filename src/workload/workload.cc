@@ -1,0 +1,79 @@
+#include "workload/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+Workload::Workload(std::string name, NodeId num_nodes, double mean_work,
+                   std::uint64_t seed, double episode_len)
+    : name_(std::move(name)),
+      numNodes_(num_nodes),
+      meanWork_(mean_work),
+      episodeLen_(episode_len)
+{
+    dsp_assert(num_nodes > 0 && num_nodes <= maxNodes,
+               "bad node count %u", num_nodes);
+    dsp_assert(mean_work >= 0.0, "mean work must be non-negative");
+    dsp_assert(episode_len >= 1.0, "episode length must be >= 1");
+    procs_.reserve(num_nodes);
+    for (NodeId p = 0; p < num_nodes; ++p)
+        procs_.emplace_back(Rng(seed, /* stream */ p + 1));
+}
+
+void
+Workload::addRegion(std::unique_ptr<Region> region, double weight)
+{
+    dsp_assert(weight > 0.0, "region weight must be positive");
+    double prev = cumWeights_.empty() ? 0.0 : cumWeights_.back();
+    regions_.push_back(std::move(region));
+    cumWeights_.push_back(prev + weight);
+}
+
+std::size_t
+Workload::pickRegion(Rng &rng) const
+{
+    dsp_assert(!regions_.empty(), "workload '%s' has no regions",
+               name_.c_str());
+    double u = rng.uniformReal() * cumWeights_.back();
+    // Linear scan: region counts are single digit.
+    for (std::size_t i = 0; i < cumWeights_.size(); ++i)
+        if (u < cumWeights_[i])
+            return i;
+    return cumWeights_.size() - 1;
+}
+
+MemRef
+Workload::next(NodeId p)
+{
+    dsp_assert(p < numNodes_, "processor %u out of range", p);
+    ProcState &st = procs_[p];
+
+    if (st.episodeLeft == 0) {
+        st.region = pickRegion(st.rng);
+        st.episodeLeft = st.rng.geometric(episodeLen_);
+    }
+    --st.episodeLeft;
+
+    RegionRef ref = regions_[st.region]->gen(p, st.rng);
+
+    MemRef out;
+    out.work = meanWork_ == 0.0
+                   ? 0
+                   : static_cast<std::uint32_t>(
+                         st.rng.geometric(meanWork_ + 1.0) - 1);
+    out.addr = ref.addr;
+    out.pc = ref.pc;
+    out.write = ref.write;
+    return out;
+}
+
+Addr
+Workload::totalFootprint() const
+{
+    Addr total = 0;
+    for (const auto &region : regions_)
+        total += region->bytes();
+    return total;
+}
+
+} // namespace dsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A workload is a weighted mixture of sharing-pattern regions plus an
+ * instruction-work model. Each of the 16 simulated processors pulls an
+ * independent, deterministic reference stream from it.
+ */
+
+#ifndef DSP_WORKLOAD_WORKLOAD_HH
+#define DSP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/rng.hh"
+#include "workload/region.hh"
+
+namespace dsp {
+
+/** One memory reference with its preceding non-memory work. */
+struct MemRef {
+    std::uint32_t work = 0;  ///< non-memory instructions before this ref
+    Addr addr = 0;
+    Addr pc = 0;
+    bool write = false;
+};
+
+/**
+ * Weighted mixture of regions with per-processor episode structure:
+ * a processor stays in one region for a geometrically-distributed
+ * number of references (preserving burst locality) before re-drawing.
+ */
+class Workload
+{
+  public:
+    /**
+     * @param name workload name (Table 1 benchmark name)
+     * @param num_nodes processors in the system
+     * @param mean_work mean non-memory instructions per reference
+     * @param seed RNG seed; change for perturbed re-runs (Section 5.2)
+     * @param episode_len mean references per region episode
+     */
+    Workload(std::string name, NodeId num_nodes, double mean_work,
+             std::uint64_t seed, double episode_len = 8.0);
+
+    /** Append a region with a relative selection weight. */
+    void addRegion(std::unique_ptr<Region> region, double weight);
+
+    /** Next reference for processor p. Deterministic per (seed, p). */
+    MemRef next(NodeId p);
+
+    const std::string &name() const { return name_; }
+    NodeId numNodes() const { return numNodes_; }
+    double meanWork() const { return meanWork_; }
+    std::size_t regionCount() const { return regions_.size(); }
+    const Region &region(std::size_t i) const { return *regions_[i]; }
+
+    /** Sum of all region footprints, in bytes. */
+    Addr totalFootprint() const;
+
+  private:
+    std::size_t pickRegion(Rng &rng) const;
+
+    std::string name_;
+    NodeId numNodes_;
+    double meanWork_;
+    double episodeLen_;
+
+    std::vector<std::unique_ptr<Region>> regions_;
+    std::vector<double> cumWeights_;
+
+    struct ProcState {
+        Rng rng;
+        std::size_t region = 0;
+        std::uint64_t episodeLeft = 0;
+
+        explicit ProcState(Rng r) : rng(r) {}
+    };
+    std::vector<ProcState> procs_;
+};
+
+} // namespace dsp
+
+#endif // DSP_WORKLOAD_WORKLOAD_HH

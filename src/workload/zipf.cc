@@ -1,0 +1,99 @@
+#include "workload/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    dsp_assert(n > 0, "zipf sampler needs at least one item");
+    dsp_assert(theta >= 0.0 && theta <= 2.0,
+               "zipf theta %.3f outside [0,2]", theta);
+    if (theta == 0.0)
+        return;  // uniform: no table needed
+
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += std::pow(static_cast<double>(i + 1), -theta);
+        cdf_[i] = sum;
+    }
+    double inv = 1.0 / sum;
+    for (double &v : cdf_)
+        v *= inv;
+    cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (cdf_.empty())
+        return rng.uniformInt(n_);
+    double u = rng.uniformReal();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::headMass(std::uint64_t k) const
+{
+    if (k == 0)
+        return 0.0;
+    if (k >= n_)
+        return 1.0;
+    if (cdf_.empty())
+        return static_cast<double>(k) / static_cast<double>(n_);
+    return cdf_[k - 1];
+}
+
+WorkingSetSampler::WorkingSetSampler(std::uint64_t n,
+                                     std::uint64_t hot_items,
+                                     double hot_prob, double hot_theta)
+    : n_(n),
+      hot_(hot_items < n ? (hot_items > 0 ? hot_items : 1) : n),
+      hotProb_(hot_prob),
+      hotPick_(hot_, hot_theta)
+{
+    dsp_assert(n > 0, "working set sampler needs items");
+    dsp_assert(hot_prob >= 0.0 && hot_prob <= 1.0,
+               "hot probability %.3f outside [0,1]", hot_prob);
+}
+
+std::uint64_t
+WorkingSetSampler::sample(Rng &rng) const
+{
+    if (hot_ >= n_ || rng.chance(hotProb_))
+        return hotPick_.sample(rng);
+    // Cold tail: uniform over the non-hot remainder, so cold accesses
+    // sweep the full footprint and almost always miss.
+    return hot_ + rng.uniformInt(n_ - hot_);
+}
+
+std::uint64_t
+scatterRank(std::uint64_t rank, std::uint64_t blocks, std::uint64_t run)
+{
+    dsp_assert(blocks > 0, "scatterRank over empty region");
+    if (rank >= blocks)
+        rank %= blocks;
+    if (blocks <= run)
+        return rank;
+
+    // Fill one `run`-block cluster at a time; clusters are visited in a
+    // multiplicative-permutation order so the hot clusters spread over
+    // the whole region.
+    std::uint64_t clusters = (blocks + run - 1) / run;
+    std::uint64_t cluster = rank / run;
+    std::uint64_t offset = rank % run;
+    // 0x9E3779B1 is odd, hence coprime with any power of two; for
+    // non-power-of-two cluster counts the modulo still permutes well
+    // enough for our purposes (collisions only merge popularity mass).
+    std::uint64_t scattered = (cluster * 0x9E3779B1ull) % clusters;
+    std::uint64_t block = scattered * run + offset;
+    return block % blocks;
+}
+
+} // namespace dsp

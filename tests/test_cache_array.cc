@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative cache array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace dsp {
+namespace {
+
+struct Payload {
+    int value = 0;
+};
+
+TEST(CacheArray, InsertAndFind)
+{
+    CacheArray<Payload> cache(4, 2);
+    EXPECT_EQ(cache.capacity(), 8u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    cache.insert(10, Payload{42});
+    Payload *p = cache.find(10);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->value, 42);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.find(11), nullptr);
+}
+
+TEST(CacheArray, InsertOverwritesExistingKey)
+{
+    CacheArray<Payload> cache(4, 2);
+    cache.insert(10, Payload{1});
+    auto evicted = cache.insert(10, Payload{2});
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(cache.find(10)->value, 2);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheArray, EvictsLruWithinSet)
+{
+    CacheArray<Payload> cache(1, 2);  // one set, 2 ways
+    cache.insert(1, Payload{1});
+    cache.insert(2, Payload{2});
+    cache.find(1);  // make key 2 the LRU
+    auto evicted = cache.insert(3, Payload{3});
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->key, 2u);
+    EXPECT_EQ(evicted->payload.value, 2);
+    EXPECT_NE(cache.find(1), nullptr);
+    EXPECT_NE(cache.find(3), nullptr);
+    EXPECT_EQ(cache.find(2), nullptr);
+}
+
+TEST(CacheArray, PeekDoesNotRefreshLru)
+{
+    CacheArray<Payload> cache(1, 2);
+    cache.insert(1, Payload{1});
+    cache.insert(2, Payload{2});
+    cache.peek(1);  // must NOT protect key 1
+    auto evicted = cache.insert(3, Payload{3});
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->key, 1u);
+}
+
+TEST(CacheArray, SetIndexingIsolatesConflicts)
+{
+    CacheArray<Payload> cache(4, 1);  // direct mapped, 4 sets
+    // Keys 0 and 4 collide (same set); 1 does not.
+    cache.insert(0, Payload{0});
+    cache.insert(1, Payload{1});
+    auto evicted = cache.insert(4, Payload{4});
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->key, 0u);
+    EXPECT_NE(cache.find(1), nullptr);
+}
+
+TEST(CacheArray, EraseRemoves)
+{
+    CacheArray<Payload> cache(2, 2);
+    cache.insert(5, Payload{5});
+    auto erased = cache.erase(5);
+    ASSERT_TRUE(erased.has_value());
+    EXPECT_EQ(erased->value, 5);
+    EXPECT_EQ(cache.find(5), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.erase(5).has_value());
+}
+
+TEST(CacheArray, ForEachVisitsAllValidLines)
+{
+    CacheArray<Payload> cache(4, 4);
+    for (int i = 0; i < 10; ++i)
+        cache.insert(static_cast<std::uint64_t>(i), Payload{i});
+    int count = 0, sum = 0;
+    cache.forEach([&](std::uint64_t, Payload &p) {
+        ++count;
+        sum += p.value;
+    });
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(sum, 45);
+}
+
+TEST(CacheArray, ClearEmptiesEverything)
+{
+    CacheArray<Payload> cache(4, 4);
+    for (int i = 0; i < 10; ++i)
+        cache.insert(static_cast<std::uint64_t>(i), Payload{i});
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(cache.find(static_cast<std::uint64_t>(i)), nullptr);
+}
+
+TEST(CacheArray, FillsAllWaysBeforeEvicting)
+{
+    CacheArray<Payload> cache(1, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(cache.insert(static_cast<std::uint64_t>(i),
+                                  Payload{i})
+                         .has_value());
+    EXPECT_TRUE(cache.insert(100, Payload{}).has_value());
+}
+
+TEST(CacheArray, ZeroGeometryPanics)
+{
+    PanicGuard guard;
+    EXPECT_THROW((CacheArray<Payload>(0, 4)), std::runtime_error);
+    EXPECT_THROW((CacheArray<Payload>(4, 0)), std::runtime_error);
+}
+
+/** Property: under random ops, size() matches a reference model. */
+TEST(CacheArray, SizeMatchesReferenceModel)
+{
+    CacheArray<Payload> cache(8, 4);
+    Rng rng(99);
+    std::size_t inserted_live = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t key = rng.uniformInt(100);
+        if (rng.chance(0.7)) {
+            bool present = cache.peek(key) != nullptr;
+            bool evicted = cache.insert(key, Payload{}).has_value();
+            if (!present && !evicted)
+                ++inserted_live;
+        } else {
+            if (cache.erase(key).has_value())
+                --inserted_live;
+        }
+        ASSERT_EQ(cache.size(), inserted_live);
+        ASSERT_LE(cache.size(), cache.capacity());
+    }
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit and property tests for DestinationSet.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/destination_set.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace dsp {
+namespace {
+
+TEST(DestinationSet, StartsEmpty)
+{
+    DestinationSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FALSE(s.contains(0));
+}
+
+TEST(DestinationSet, AddRemoveContains)
+{
+    DestinationSet s;
+    s.add(3);
+    s.add(7);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_FALSE(s.contains(5));
+    EXPECT_EQ(s.count(), 2u);
+    s.remove(3);
+    EXPECT_FALSE(s.contains(3));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(DestinationSet, AllCoversExactlyNNodes)
+{
+    for (NodeId n : {1u, 4u, 16u, 63u, 64u}) {
+        DestinationSet s = DestinationSet::all(n);
+        EXPECT_EQ(s.count(), n);
+        for (NodeId i = 0; i < n; ++i)
+            EXPECT_TRUE(s.contains(i));
+        if (n < maxNodes) {
+            EXPECT_FALSE(s.contains(n));
+        }
+    }
+}
+
+TEST(DestinationSet, SingletonOf)
+{
+    DestinationSet s = DestinationSet::of(9);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_TRUE(s.contains(9));
+}
+
+TEST(DestinationSet, UnionIntersectionMinus)
+{
+    DestinationSet a = DestinationSet::fromMask(0b1010);
+    DestinationSet b = DestinationSet::fromMask(0b0110);
+    EXPECT_EQ((a | b).mask(), 0b1110u);
+    EXPECT_EQ((a & b).mask(), 0b0010u);
+    EXPECT_EQ(a.minus(b).mask(), 0b1000u);
+}
+
+TEST(DestinationSet, ContainsAllSemantics)
+{
+    DestinationSet big = DestinationSet::fromMask(0b1111);
+    DestinationSet small = DestinationSet::fromMask(0b0101);
+    EXPECT_TRUE(big.containsAll(small));
+    EXPECT_FALSE(small.containsAll(big));
+    EXPECT_TRUE(small.containsAll(DestinationSet{}));
+    EXPECT_TRUE(small.containsAll(small));
+}
+
+TEST(DestinationSet, ForEachVisitsAscending)
+{
+    DestinationSet s = DestinationSet::fromMask(0b101001);
+    std::vector<NodeId> visited;
+    s.forEach([&](NodeId n) { visited.push_back(n); });
+    EXPECT_EQ(visited, (std::vector<NodeId>{0, 3, 5}));
+}
+
+TEST(DestinationSet, ToStringIsReadable)
+{
+    DestinationSet s;
+    EXPECT_EQ(s.toString(), "{}");
+    s.add(1);
+    s.add(12);
+    EXPECT_EQ(s.toString(), "{1,12}");
+}
+
+TEST(DestinationSet, OutOfRangePanics)
+{
+    DestinationSet s;
+    PanicGuard guard;
+    EXPECT_THROW(s.add(64), std::runtime_error);
+    EXPECT_THROW(DestinationSet::all(0), std::runtime_error);
+    EXPECT_THROW(DestinationSet::all(65), std::runtime_error);
+}
+
+/** Property sweep over random sets: algebraic identities hold. */
+class SetAlgebra : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SetAlgebra, Identities)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        DestinationSet a = DestinationSet::fromMask(rng.next());
+        DestinationSet b = DestinationSet::fromMask(rng.next());
+
+        // union is commutative and contains both operands
+        EXPECT_EQ((a | b), (b | a));
+        EXPECT_TRUE((a | b).containsAll(a));
+        EXPECT_TRUE((a | b).containsAll(b));
+
+        // minus removes exactly the intersection
+        EXPECT_EQ(a.minus(b).count() + (a & b).count(), a.count());
+        EXPECT_TRUE((a.minus(b) & b).empty());
+
+        // containsAll is equivalent to union absorption
+        EXPECT_EQ(a.containsAll(b), (a | b) == a);
+
+        // count matches forEach cardinality
+        unsigned n = 0;
+        a.forEach([&](NodeId) { ++n; });
+        EXPECT_EQ(n, a.count());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetAlgebra,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace dsp

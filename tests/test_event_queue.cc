@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace {
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByPriorityThenInsertion)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(2); },
+               EventPriority::Controller);
+    q.schedule(5, [&]() { order.push_back(1); },
+               EventPriority::NetworkOrder);
+    q.schedule(5, [&]() { order.push_back(3); },
+               EventPriority::Controller);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&q, &seen]() {
+        q.scheduleIn(50, [&q, &seen]() { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.scheduleIn(10, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvancesClock)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(100, [&]() { ++fired; });
+    std::uint64_t n = q.run(50);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, []() {});
+    q.run();
+    PanicGuard guard;
+    EXPECT_THROW(q.schedule(50, []() {}), std::runtime_error);
+}
+
+TEST(EventQueue, StepOnEmptyPanics)
+{
+    EventQueue q;
+    PanicGuard guard;
+    EXPECT_THROW(q.step(), std::runtime_error);
+}
+
+TEST(EventQueue, SameTickSchedulingAllowed)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() {
+        q.schedule(10, [&]() { ++fired; });  // same tick, runs after
+    });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, ExecutedCounterAccumulates)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), []() {});
+    q.run();
+    EXPECT_EQ(q.executed(), 10u);
+}
+
+TEST(EventQueue, DeterministicAcrossIdenticalRuns)
+{
+    auto run_once = []() {
+        EventQueue q;
+        std::vector<int> order;
+        for (int i = 0; i < 100; ++i) {
+            q.schedule(static_cast<Tick>(i % 7),
+                       [&order, i]() { order.push_back(i); });
+        }
+        q.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TickConversion, NsRoundTrip)
+{
+    EXPECT_EQ(nsToTicks(50.0), 50u * ticksPerNs);
+    EXPECT_DOUBLE_EQ(ticksToNs(nsToTicks(112.0)), 112.0);
+    EXPECT_EQ(nsToTicks(0.5), ticksPerNs / 2);
+}
+
+} // namespace
+} // namespace dsp

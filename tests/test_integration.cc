@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cross-module integration tests: the full pipeline from workload
+ * synthesis through trace collection, characterization, predictor
+ * replay, and the timing simulator -- plus forward-progress and
+ * agreement properties between the trace-driven and execution-driven
+ * paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/characterization.hh"
+#include "analysis/predictor_eval.hh"
+#include "analysis/trace_collector.hh"
+#include "system/system.hh"
+#include "workload/presets.hh"
+#include "workload/region.hh"
+
+namespace dsp {
+namespace {
+
+constexpr NodeId kNodes = 16;
+
+/** All 16 processors write one contended block: retry stress. */
+class AllWritersRegion : public Region
+{
+  public:
+    AllWritersRegion(const Params &params, NodeId nodes)
+        : Region(params, nodes)
+    {
+    }
+
+    RegionRef
+    gen(NodeId /* p */, Rng &rng) override
+    {
+        // Block index 3: home is node 3 (not special otherwise).
+        return RegionRef{addrOf(3, rng), pcFor(rng), true};
+    }
+};
+
+TEST(Integration, FullPipelineEndToEnd)
+{
+    // workload -> collector -> characterization + trace -> replay.
+    auto workload = makeWorkload("apache", kNodes, 21, 0.05);
+    TraceCollector collector(*workload);
+    WorkloadCharacterization chars(kNodes);
+    chars.attach(collector);
+
+    collector.run(3000);
+    chars.beginMeasurement(collector.totalInstructions());
+    Trace trace = collector.collect(0, 3000);
+    chars.absorbTrace(trace);
+
+    auto row = chars.table2(collector.totalInstructions());
+    EXPECT_GT(row.totalMisses, 0u);
+    EXPECT_GT(row.touched64Bytes, 0u);
+
+    PredictorEvaluator evaluator(kNodes);
+    PredictorConfig config;
+    config.numNodes = kNodes;
+    config.entries = 4096;
+    EvalResult r = evaluator.evaluatePredictor(
+        trace, PredictorPolicy::OwnerGroup, config);
+    EXPECT_EQ(r.misses, trace.measuredRecords());
+    // Note: a minimal-set request whose requester is also the home
+    // node sends zero network messages, so the floor is below 1.
+    EXPECT_GE(r.requestMessagesPerMiss, 0.8);
+    EXPECT_LE(r.requestMessagesPerMiss, 15.0 + 16.0);
+}
+
+TEST(Integration, TraceAndTimingIndirectionsAgree)
+{
+    // The same workload evaluated trace-driven and execution-driven
+    // should report similar indirection fractions for multicast with
+    // the same policy (timing adds only window-of-vulnerability
+    // retries, a small effect).
+    const double scale = 0.05;
+
+    auto trace_workload = makeWorkload("oltp", kNodes, 31, scale);
+    TraceCollector collector(*trace_workload);
+    Trace trace = collector.collect(20000, 20000);
+    PredictorEvaluator evaluator(kNodes);
+    PredictorConfig config;
+    config.numNodes = kNodes;
+    config.entries = 8192;
+    EvalResult replay = evaluator.evaluatePredictor(
+        trace, PredictorPolicy::Owner, config);
+
+    auto timing_workload = makeWorkload("oltp", kNodes, 31, scale);
+    SystemParams params;
+    params.nodes = kNodes;
+    params.protocol = ProtocolKind::Multicast;
+    params.policy = PredictorPolicy::Owner;
+    params.predictor.entries = 8192;
+    params.functionalWarmupMisses = 20000;
+    params.warmupInstrPerCpu = 10000;
+    params.measureInstrPerCpu = 60000;
+    System system(*timing_workload, params);
+    SystemStats stats = system.run();
+
+    double timing_indir =
+        stats.misses ? 100.0 *
+                           static_cast<double>(stats.indirections) /
+                           static_cast<double>(stats.misses)
+                     : 0.0;
+    EXPECT_NEAR(timing_indir, replay.indirectionPct, 12.0);
+}
+
+TEST(Integration, ContendedBlockMakesForwardProgress)
+{
+    // 16 concurrent writers on one block under AlwaysMinimal: every
+    // request retries, retries race (window of vulnerability), and
+    // the third attempt's broadcast guarantees completion.
+    auto w = std::make_unique<Workload>("stress", kNodes, 0.0, 1);
+    Region::Params rp;
+    rp.name = "stress";
+    rp.base = 0x1000000;
+    rp.bytes = 1 << 20;
+    rp.pcSites = 8;
+    w->addRegion(std::make_unique<AllWritersRegion>(rp, kNodes), 1.0);
+
+    SystemParams params;
+    params.nodes = kNodes;
+    params.protocol = ProtocolKind::Multicast;
+    params.policy = PredictorPolicy::AlwaysMinimal;
+    params.predictor.entries = 64;
+    params.warmupInstrPerCpu = 0;
+    params.measureInstrPerCpu = 3000;
+    params.cpu.quantum_ns = 50;
+
+    System system(*w, params);
+    SystemStats stats = system.run();  // must terminate (no wedge)
+
+    EXPECT_GT(stats.misses, 100u);
+    EXPECT_GT(stats.retries, stats.misses / 2);
+    // Under this much contention some retries lose the race and the
+    // transaction needs a second retry (or the broadcast fallback).
+    EXPECT_GT(stats.doubleRetries, 0u);
+    EXPECT_LE(stats.doubleRetries, stats.retries);
+}
+
+TEST(Integration, PredictorsReduceTimingRetriesVsMinimal)
+{
+    auto run_policy = [&](PredictorPolicy policy) {
+        auto workload = makeWorkload("apache", kNodes, 41, 0.05);
+        SystemParams params;
+        params.nodes = kNodes;
+        params.protocol = ProtocolKind::Multicast;
+        params.policy = policy;
+        params.predictor.entries = 8192;
+        params.functionalWarmupMisses = 15000;
+        params.warmupInstrPerCpu = 5000;
+        params.measureInstrPerCpu = 40000;
+        System system(*workload, params);
+        return system.run();
+    };
+
+    SystemStats minimal = run_policy(PredictorPolicy::AlwaysMinimal);
+    for (PredictorPolicy policy : proposedPolicies()) {
+        SystemStats r = run_policy(policy);
+        double r_rate = static_cast<double>(r.retries) /
+                        static_cast<double>(r.misses);
+        double m_rate = static_cast<double>(minimal.retries) /
+                        static_cast<double>(minimal.misses);
+        EXPECT_LT(r_rate, m_rate) << toString(policy);
+    }
+}
+
+TEST(Integration, SeedPerturbationChangesOutcomesSlightly)
+{
+    // Section 5.2's methodology: perturbed runs differ, but not
+    // wildly. Two seeds of the same workload land within 25% on
+    // per-miss traffic.
+    auto run_seed = [&](std::uint64_t seed) {
+        auto workload = makeWorkload("specjbb", kNodes, seed, 0.05);
+        SystemParams params;
+        params.nodes = kNodes;
+        params.protocol = ProtocolKind::Snooping;
+        params.warmupInstrPerCpu = 10000;
+        params.measureInstrPerCpu = 40000;
+        System system(*workload, params);
+        return system.run();
+    };
+    SystemStats a = run_seed(1);
+    SystemStats b = run_seed(2);
+    EXPECT_NE(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_NEAR(a.trafficPerMiss() / b.trafficPerMiss(), 1.0, 0.25);
+}
+
+TEST(Integration, WorkloadStateIsContinuousAcrossPhases)
+{
+    // The functional warmup, timing warmup, and measurement all pull
+    // from one workload stream; verify the system consumes it without
+    // resetting (misses in measure reflect a warmed cache).
+    auto cold_workload = makeWorkload("slashcode", kNodes, 51, 0.05);
+    SystemParams params;
+    params.nodes = kNodes;
+    params.protocol = ProtocolKind::Directory;
+    params.warmupInstrPerCpu = 0;
+    params.measureInstrPerCpu = 30000;
+
+    System cold(*cold_workload, params);
+    SystemStats cold_stats = cold.run();
+
+    auto warm_workload = makeWorkload("slashcode", kNodes, 51, 0.05);
+    params.functionalWarmupMisses = 30000;
+    System warm(*warm_workload, params);
+    SystemStats warm_stats = warm.run();
+
+    // Warming must cut the measured miss count (at this tiny scale
+    // most misses are coherence misses, so the drop is modest).
+    EXPECT_LT(warm_stats.misses, cold_stats.misses * 19 / 20);
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the logging/error helpers, including the test-only
+ * panic-to-exception redirection used across the suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace {
+
+TEST(Logging, FormatStringBasics)
+{
+    EXPECT_EQ(detail::formatString("plain"), "plain");
+    EXPECT_EQ(detail::formatString("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(detail::formatString("%.2f", 3.14159), "3.14");
+}
+
+TEST(Logging, FormatStringLongOutput)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(detail::formatString("%s", big.c_str()), big);
+}
+
+TEST(Logging, PanicThrowsUnderGuard)
+{
+    PanicGuard guard;
+    EXPECT_TRUE(panicThrowsForTest());
+    try {
+        dsp_panic("bad thing %d", 7);
+        FAIL() << "panic did not throw";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("panic"), std::string::npos);
+        EXPECT_NE(what.find("bad thing 7"), std::string::npos);
+    }
+}
+
+TEST(Logging, FatalThrowsUnderGuard)
+{
+    PanicGuard guard;
+    try {
+        dsp_fatal("user error: %s", "nope");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("fatal"), std::string::npos);
+        EXPECT_NE(what.find("nope"), std::string::npos);
+    }
+}
+
+TEST(Logging, GuardNestsAndRestores)
+{
+    EXPECT_FALSE(panicThrowsForTest());
+    {
+        PanicGuard outer;
+        {
+            PanicGuard inner;
+            EXPECT_TRUE(panicThrowsForTest());
+        }
+        EXPECT_TRUE(panicThrowsForTest());
+    }
+    EXPECT_FALSE(panicThrowsForTest());
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    dsp_assert(1 + 1 == 2, "arithmetic works");
+}
+
+TEST(Logging, AssertThrowsOnFalseUnderGuard)
+{
+    PanicGuard guard;
+    EXPECT_THROW(dsp_assert(false, "value was %d", 3),
+                 std::runtime_error);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    dsp_warn("test warning %d", 1);
+    dsp_inform("test info %s", "ok");
+}
+
+} // namespace
+} // namespace dsp

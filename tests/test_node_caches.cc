@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the per-node two-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/node_caches.hh"
+
+namespace dsp {
+namespace {
+
+CacheParams
+tinyCaches()
+{
+    // 4 kB L1, 16 kB L2 keeps eviction tests small.
+    CacheParams params;
+    params.l1 = CacheGeometry{4 * 1024, 2};
+    params.l2 = CacheGeometry{16 * 1024, 4};
+    return params;
+}
+
+TEST(CacheGeometry, SetsComputation)
+{
+    CacheGeometry g{128 * 1024, 4};
+    EXPECT_EQ(g.sets(), 512u);
+    CacheGeometry l2{4 * 1024 * 1024, 4};
+    EXPECT_EQ(l2.sets(), 16384u);
+}
+
+TEST(NodeCaches, ColdReadNeedsGetShared)
+{
+    NodeCaches caches(tinyCaches());
+    auto result = caches.access(0x1000, false);
+    EXPECT_EQ(result.need, CoherenceNeed::GetShared);
+    EXPECT_FALSE(result.l1Hit);
+    EXPECT_FALSE(result.l2Hit);
+}
+
+TEST(NodeCaches, ColdWriteNeedsGetExclusive)
+{
+    NodeCaches caches(tinyCaches());
+    auto result = caches.access(0x1000, true);
+    EXPECT_EQ(result.need, CoherenceNeed::GetExclusive);
+}
+
+TEST(NodeCaches, FillThenReadHitsL1)
+{
+    NodeCaches caches(tinyCaches());
+    caches.access(0x1000, false);
+    caches.fill(0x1000, MosiState::Shared);
+    auto result = caches.access(0x1008, false);  // same block
+    EXPECT_EQ(result.need, CoherenceNeed::None);
+    EXPECT_TRUE(result.l1Hit);
+}
+
+TEST(NodeCaches, SharedWriteNeedsUpgrade)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Shared);
+    auto result = caches.access(0x1000, true);
+    EXPECT_EQ(result.need, CoherenceNeed::GetExclusive);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_EQ(result.l2State, MosiState::Shared);
+    EXPECT_EQ(caches.upgrades(), 1u);
+}
+
+TEST(NodeCaches, OwnedWriteNeedsUpgrade)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Owned);
+    auto result = caches.access(0x1000, true);
+    EXPECT_EQ(result.need, CoherenceNeed::GetExclusive);
+}
+
+TEST(NodeCaches, ModifiedAllowsReadAndWrite)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Modified);
+    EXPECT_EQ(caches.access(0x1000, true).need, CoherenceNeed::None);
+    EXPECT_EQ(caches.access(0x1000, false).need, CoherenceNeed::None);
+}
+
+TEST(NodeCaches, UpgradeFillPromotesInPlace)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Shared);
+    caches.access(0x1000, true);  // upgrade miss
+    auto fill = caches.fill(0x1000, MosiState::Modified);
+    EXPECT_FALSE(fill.evicted);
+    EXPECT_EQ(caches.stateOf(blockOf(0x1000)), MosiState::Modified);
+    EXPECT_EQ(caches.access(0x1000, true).need, CoherenceNeed::None);
+}
+
+TEST(NodeCaches, InvalidateDropsBothLevels)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Modified);
+    MosiState prior = caches.invalidate(blockOf(0x1000));
+    EXPECT_EQ(prior, MosiState::Modified);
+    auto result = caches.access(0x1000, false);
+    EXPECT_EQ(result.need, CoherenceNeed::GetShared);
+}
+
+TEST(NodeCaches, DowngradeModifiedToOwned)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Modified);
+    EXPECT_EQ(caches.downgrade(blockOf(0x1000)), MosiState::Owned);
+    // Readable without coherence, but a write now needs an upgrade.
+    EXPECT_EQ(caches.access(0x1000, false).need, CoherenceNeed::None);
+    EXPECT_EQ(caches.access(0x1000, true).need,
+              CoherenceNeed::GetExclusive);
+}
+
+TEST(NodeCaches, DowngradeAbsentBlockIsInvalid)
+{
+    NodeCaches caches(tinyCaches());
+    EXPECT_EQ(caches.downgrade(123), MosiState::Invalid);
+    EXPECT_EQ(caches.invalidate(123), MosiState::Invalid);
+}
+
+TEST(NodeCaches, L2EvictionReportsDirtyVictim)
+{
+    CacheParams params;
+    params.l1 = CacheGeometry{1024, 1};
+    params.l2 = CacheGeometry{4096, 1};  // 64 sets, direct mapped
+    NodeCaches caches(params);
+
+    // Two blocks mapping to the same L2 set: 64 sets * 64 B = 4096.
+    Addr a = 0x0;
+    Addr b = 0x1000;  // same set (4096 apart), different tag
+    caches.fill(a, MosiState::Modified);
+    auto fill = caches.fill(b, MosiState::Shared);
+    ASSERT_TRUE(fill.evicted);
+    EXPECT_EQ(fill.victim, blockOf(a));
+    EXPECT_EQ(fill.victimState, MosiState::Modified);
+    EXPECT_EQ(caches.writebacks(), 1u);
+}
+
+TEST(NodeCaches, InclusionL2EvictionPurgesL1)
+{
+    CacheParams params;
+    params.l1 = CacheGeometry{4096, 64};  // fully assoc, 64 lines
+    params.l2 = CacheGeometry{4096, 1};
+    NodeCaches caches(params);
+
+    Addr a = 0x0, b = 0x1000;  // conflict in L2, not in L1
+    caches.fill(a, MosiState::Shared);
+    EXPECT_TRUE(caches.access(a, false).l1Hit);
+    caches.fill(b, MosiState::Shared);  // evicts `a` from L2
+    // Inclusion: `a` must also be gone from the L1.
+    auto result = caches.access(a, false);
+    EXPECT_FALSE(result.l1Hit);
+    EXPECT_EQ(result.need, CoherenceNeed::GetShared);
+}
+
+TEST(NodeCaches, StatsCount)
+{
+    NodeCaches caches(tinyCaches());
+    caches.access(0x1000, false);  // miss
+    caches.fill(0x1000, MosiState::Shared);
+    caches.access(0x1000, false);  // L1 hit
+    caches.invalidate(blockOf(0x1000));
+    caches.access(0x1000, false);  // miss again
+    EXPECT_EQ(caches.accesses(), 3u);
+    EXPECT_EQ(caches.l1Hits(), 1u);
+    EXPECT_EQ(caches.l2Misses(), 2u);
+}
+
+TEST(Mosi, StatePredicates)
+{
+    EXPECT_FALSE(canRead(MosiState::Invalid));
+    EXPECT_TRUE(canRead(MosiState::Shared));
+    EXPECT_TRUE(canRead(MosiState::Owned));
+    EXPECT_TRUE(canRead(MosiState::Modified));
+    EXPECT_TRUE(canWrite(MosiState::Modified));
+    EXPECT_FALSE(canWrite(MosiState::Owned));
+    EXPECT_FALSE(canWrite(MosiState::Shared));
+    EXPECT_TRUE(isOwnerState(MosiState::Modified));
+    EXPECT_TRUE(isOwnerState(MosiState::Owned));
+    EXPECT_FALSE(isOwnerState(MosiState::Shared));
+    EXPECT_EQ(toString(MosiState::Owned), "O");
+}
+
+TEST(MemTypes, BlockAndMacroblockMath)
+{
+    EXPECT_EQ(blockOf(0), 0u);
+    EXPECT_EQ(blockOf(63), 0u);
+    EXPECT_EQ(blockOf(64), 1u);
+    EXPECT_EQ(blockBase(2), 128u);
+    EXPECT_EQ(macroblockOf(1023), 0u);
+    EXPECT_EQ(macroblockOf(1024), 1u);
+    EXPECT_EQ(macroblockOf(512, 8), 2u);  // 256 B macroblocks
+}
+
+TEST(MemTypes, HomeInterleaving)
+{
+    EXPECT_EQ(homeOf(0, 16), 0u);
+    EXPECT_EQ(homeOf(17, 16), 1u);
+    EXPECT_EQ(homeOf(31, 16), 15u);
+    // Consecutive blocks round-robin across nodes.
+    for (BlockId b = 0; b < 64; ++b)
+        EXPECT_EQ(homeOf(b, 16), b % 16);
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit and property tests for the global MOSI sharing tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/sharing_tracker.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace dsp {
+namespace {
+
+constexpr BlockId kBlock = 42;
+
+TEST(SharingTracker, ColdReadFromMemory)
+{
+    SharingTracker tracker(16);
+    auto txn = tracker.apply(kBlock, 3, RequestType::GetShared);
+    EXPECT_TRUE(txn.required.empty());
+    EXPECT_EQ(txn.responder, invalidNode);
+    EXPECT_FALSE(txn.cacheToCache);
+    EXPECT_EQ(txn.grantedState, MosiState::Shared);
+    EXPECT_EQ(tracker.ownerOf(kBlock), invalidNode);
+    EXPECT_TRUE(tracker.sharersOf(kBlock).contains(3));
+}
+
+TEST(SharingTracker, ColdWriteFromMemory)
+{
+    SharingTracker tracker(16);
+    auto txn = tracker.apply(kBlock, 5, RequestType::GetExclusive);
+    EXPECT_TRUE(txn.required.empty());
+    EXPECT_EQ(txn.responder, invalidNode);
+    EXPECT_EQ(txn.grantedState, MosiState::Modified);
+    EXPECT_EQ(tracker.ownerOf(kBlock), 5u);
+    EXPECT_TRUE(tracker.sharersOf(kBlock).empty());
+}
+
+TEST(SharingTracker, ReadAfterWriteIsCacheToCache)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    auto txn = tracker.apply(kBlock, 2, RequestType::GetShared);
+    EXPECT_EQ(txn.required, DestinationSet::of(1));
+    EXPECT_EQ(txn.responder, 1u);
+    EXPECT_TRUE(txn.cacheToCache);
+    // Owner keeps ownership (M -> O); requester becomes a sharer.
+    EXPECT_EQ(tracker.ownerOf(kBlock), 1u);
+    EXPECT_TRUE(tracker.sharersOf(kBlock).contains(2));
+}
+
+TEST(SharingTracker, WriteInvalidatesOwnerAndSharers)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    tracker.apply(kBlock, 2, RequestType::GetShared);
+    tracker.apply(kBlock, 3, RequestType::GetShared);
+
+    auto txn = tracker.apply(kBlock, 4, RequestType::GetExclusive);
+    // Must observe: owner (1) and sharers (2, 3).
+    DestinationSet expected;
+    expected.add(1);
+    expected.add(2);
+    expected.add(3);
+    EXPECT_EQ(txn.required, expected);
+    EXPECT_EQ(txn.responder, 1u);
+    EXPECT_TRUE(txn.cacheToCache);
+    EXPECT_EQ(tracker.ownerOf(kBlock), 4u);
+    EXPECT_TRUE(tracker.sharersOf(kBlock).empty());
+}
+
+TEST(SharingTracker, UpgradeFromSharedNeedsNoData)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetShared);
+    tracker.apply(kBlock, 2, RequestType::GetShared);
+
+    // Node 1 upgrades: it already holds valid data.
+    auto txn = tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    EXPECT_EQ(txn.responder, 1u);
+    EXPECT_FALSE(txn.cacheToCache);
+    EXPECT_EQ(txn.required, DestinationSet::of(2));
+    EXPECT_EQ(tracker.ownerOf(kBlock), 1u);
+}
+
+TEST(SharingTracker, UpgradeFromOwned)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);  // 1 owns M
+    tracker.apply(kBlock, 2, RequestType::GetShared);     // 1 -> O
+    auto txn = tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    EXPECT_EQ(txn.responder, 1u);  // upgrade in place
+    EXPECT_EQ(txn.required, DestinationSet::of(2));
+}
+
+TEST(SharingTracker, RequiredNeverContainsRequester)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetShared);
+    tracker.apply(kBlock, 2, RequestType::GetShared);
+    auto txn = tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    EXPECT_FALSE(txn.required.contains(1));
+}
+
+TEST(SharingTracker, EvictSharedRemovesSharer)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetShared);
+    tracker.apply(kBlock, 2, RequestType::GetShared);
+    tracker.evictShared(kBlock, 1);
+    EXPECT_FALSE(tracker.sharersOf(kBlock).contains(1));
+    EXPECT_TRUE(tracker.sharersOf(kBlock).contains(2));
+}
+
+TEST(SharingTracker, EvictOwnedReturnsToMemory)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    tracker.evictOwned(kBlock, 1);
+    EXPECT_EQ(tracker.ownerOf(kBlock), invalidNode);
+    // Next reader is served by memory again.
+    auto txn = tracker.apply(kBlock, 2, RequestType::GetShared);
+    EXPECT_EQ(txn.responder, invalidNode);
+}
+
+TEST(SharingTracker, FullyEvictedBlockIsForgotten)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetShared);
+    EXPECT_EQ(tracker.trackedBlocks(), 1u);
+    tracker.evictShared(kBlock, 1);
+    EXPECT_EQ(tracker.trackedBlocks(), 0u);
+}
+
+TEST(SharingTracker, InspectDoesNotMutate)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    auto before = tracker.ownerOf(kBlock);
+    auto txn = tracker.inspect(kBlock, 2, RequestType::GetExclusive);
+    EXPECT_EQ(txn.responder, 1u);
+    EXPECT_EQ(tracker.ownerOf(kBlock), before);
+    EXPECT_TRUE(tracker.sharersOf(kBlock).empty());
+}
+
+TEST(SharingTracker, HoldersCombineOwnerAndSharers)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    tracker.apply(kBlock, 2, RequestType::GetShared);
+    tracker.apply(kBlock, 3, RequestType::GetShared);
+    DestinationSet holders = tracker.holdersOf(kBlock);
+    EXPECT_TRUE(holders.contains(1));
+    EXPECT_TRUE(holders.contains(2));
+    EXPECT_TRUE(holders.contains(3));
+    EXPECT_EQ(holders.count(), 3u);
+}
+
+TEST(SharingTracker, IndependentBlocks)
+{
+    SharingTracker tracker(16);
+    tracker.apply(1, 1, RequestType::GetExclusive);
+    tracker.apply(2, 2, RequestType::GetExclusive);
+    EXPECT_EQ(tracker.ownerOf(1), 1u);
+    EXPECT_EQ(tracker.ownerOf(2), 2u);
+}
+
+TEST(SharingTracker, GetsFromOwnerItselfIsDegenerate)
+{
+    SharingTracker tracker(16);
+    tracker.apply(kBlock, 1, RequestType::GetExclusive);
+    auto txn = tracker.apply(kBlock, 1, RequestType::GetShared);
+    EXPECT_EQ(txn.responder, 1u);
+    EXPECT_TRUE(txn.required.empty());
+    EXPECT_EQ(txn.grantedState, MosiState::Owned);
+}
+
+TEST(SharingTracker, BadRequesterPanics)
+{
+    SharingTracker tracker(4);
+    PanicGuard guard;
+    EXPECT_THROW(tracker.apply(kBlock, 4, RequestType::GetShared),
+                 std::runtime_error);
+}
+
+/**
+ * Property sweep: a random request stream maintains the MOSI
+ * invariants -- the owner is never in the sharer set, required sets
+ * exclude the requester, GETX leaves exactly one holder, and a
+ * sufficient-set check for the full-broadcast set always passes.
+ */
+class TrackerProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TrackerProperty, RandomStreamInvariants)
+{
+    const NodeId nodes = 16;
+    SharingTracker tracker(nodes);
+    Rng rng(GetParam());
+
+    for (int i = 0; i < 5000; ++i) {
+        BlockId block = rng.uniformInt(32);
+        NodeId req = static_cast<NodeId>(rng.uniformInt(nodes));
+        RequestType type = rng.chance(0.4)
+                               ? RequestType::GetExclusive
+                               : RequestType::GetShared;
+
+        auto inspect = tracker.inspect(block, req, type);
+        auto apply = tracker.apply(block, req, type);
+        ASSERT_EQ(inspect.required, apply.required);
+        ASSERT_EQ(inspect.responder, apply.responder);
+
+        ASSERT_FALSE(apply.required.contains(req));
+        ASSERT_TRUE(
+            DestinationSet::all(nodes).containsAll(apply.required));
+
+        NodeId owner = tracker.ownerOf(block);
+        DestinationSet sharers = tracker.sharersOf(block);
+        if (owner != invalidNode) {
+            ASSERT_FALSE(sharers.contains(owner));
+        }
+
+        if (type == RequestType::GetExclusive) {
+            ASSERT_EQ(owner, req);
+            ASSERT_TRUE(sharers.empty());
+        } else {
+            ASSERT_TRUE(tracker.holdersOf(block).contains(req));
+        }
+
+        // Occasional random evictions keep the state space moving.
+        if (rng.chance(0.05)) {
+            NodeId victim = static_cast<NodeId>(rng.uniformInt(nodes));
+            if (tracker.ownerOf(block) == victim)
+                tracker.evictOwned(block, victim);
+            else
+                tracker.evictShared(block, victim);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for histograms, hot-spot accumulators, and table output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace dsp {
+namespace {
+
+using stats::Histogram;
+using stats::HotSpotAccumulator;
+using stats::Table;
+
+TEST(Histogram, RecordsAndCounts)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    h.record(2);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 0u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClampsOverflowIntoLastBin)
+{
+    Histogram h(4);
+    h.record(3);
+    h.record(7);
+    h.record(100);
+    EXPECT_EQ(h.bucket(3), 3u);
+}
+
+TEST(Histogram, PercentAndMean)
+{
+    Histogram h(8);
+    h.record(2);
+    h.record(2);
+    h.record(4);
+    h.record(0);
+    EXPECT_DOUBLE_EQ(h.percent(2), 50.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, WeightedRecording)
+{
+    Histogram h(4);
+    h.record(1, 10);
+    h.record(2, 30);
+    EXPECT_EQ(h.total(), 40u);
+    EXPECT_DOUBLE_EQ(h.percent(2), 75.0);
+}
+
+TEST(Histogram, EmptyPercentIsZero)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.percent(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(4);
+    h.record(1, 5);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(Histogram, OutOfRangeBucketPanics)
+{
+    Histogram h(4);
+    PanicGuard guard;
+    EXPECT_THROW(h.bucket(4), std::runtime_error);
+}
+
+TEST(HotSpot, CoverageConcentratesOnHotKeys)
+{
+    HotSpotAccumulator acc;
+    acc.record(1, 80);
+    for (std::uint64_t k = 2; k <= 21; ++k)
+        acc.record(k, 1);
+    auto cov = acc.coverageAt({1, 21});
+    EXPECT_DOUBLE_EQ(cov[0], 80.0);
+    EXPECT_DOUBLE_EQ(cov[1], 100.0);
+    EXPECT_EQ(acc.uniqueKeys(), 21u);
+    EXPECT_EQ(acc.total(), 100u);
+}
+
+TEST(HotSpot, CoverageIsMonotone)
+{
+    HotSpotAccumulator acc;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        acc.record(k, (k * 7919) % 97 + 1);
+    auto cov = acc.coverageAt({1, 5, 10, 50, 100, 1000});
+    for (std::size_t i = 1; i < cov.size(); ++i)
+        EXPECT_GE(cov[i], cov[i - 1]);
+    EXPECT_DOUBLE_EQ(cov.back(), 100.0);
+}
+
+TEST(HotSpot, SortedWeightsDescending)
+{
+    HotSpotAccumulator acc;
+    acc.record(5, 3);
+    acc.record(9, 10);
+    acc.record(2, 7);
+    auto w = acc.sortedWeights();
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], 10u);
+    EXPECT_EQ(w[1], 7u);
+    EXPECT_EQ(w[2], 3u);
+}
+
+TEST(HotSpot, EmptyCoverageIsZero)
+{
+    HotSpotAccumulator acc;
+    auto cov = acc.coverageAt({10});
+    EXPECT_DOUBLE_EQ(cov[0], 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os, "Title");
+    std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CellAccess)
+{
+    Table t({"a", "b"});
+    t.addRow({"x", "y"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.cell(0, 1), "y");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    PanicGuard guard;
+    EXPECT_THROW(t.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters)
+{
+    Table t({"name", "note"});
+    t.addRow({"x,y", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(0), "0");
+    EXPECT_EQ(Table::num(999), "999");
+    EXPECT_EQ(Table::num(1000), "1,000");
+    EXPECT_EQ(Table::num(1234567), "1,234,567");
+    EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::percent(12.345, 1), "12.3%");
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the Zipf samplers, sharing-pattern regions, workload
+ * mixtures, and the six Table 1 presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "workload/presets.hh"
+#include "workload/region.hh"
+#include "workload/workload.hh"
+#include "workload/zipf.hh"
+
+namespace dsp {
+namespace {
+
+constexpr NodeId kNodes = 16;
+
+// ------------------------------------------------------------------- zipf
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    ZipfSampler z(10, 0.0);
+    Rng rng(1);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        counts[z.sample(rng)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, 700);
+        EXPECT_LT(c, 1300);
+    }
+}
+
+TEST(Zipf, SkewFavoursLowRanks)
+{
+    ZipfSampler z(1000, 0.9);
+    Rng rng(2);
+    int head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        head += z.sample(rng) < 10;
+    // Rank 0-9 should take far more than the uniform 1%.
+    EXPECT_GT(head, n / 20);
+}
+
+TEST(Zipf, HeadMassMonotoneInTheta)
+{
+    ZipfSampler flat(10000, 0.2);
+    ZipfSampler steep(10000, 0.95);
+    EXPECT_LT(flat.headMass(100), steep.headMass(100));
+    EXPECT_DOUBLE_EQ(flat.headMass(10000), 1.0);
+    EXPECT_DOUBLE_EQ(flat.headMass(0), 0.0);
+}
+
+TEST(Zipf, SamplesStayInRange)
+{
+    ZipfSampler z(7, 1.2);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(z.sample(rng), 7u);
+}
+
+TEST(Zipf, InvalidParamsPanic)
+{
+    PanicGuard guard;
+    EXPECT_THROW(ZipfSampler(0, 0.5), std::runtime_error);
+    EXPECT_THROW(ZipfSampler(10, -0.1), std::runtime_error);
+    EXPECT_THROW(ZipfSampler(10, 2.5), std::runtime_error);
+}
+
+TEST(WorkingSet, HotProbControlsHitFraction)
+{
+    WorkingSetSampler s(100000, 1000, 0.99);
+    Rng rng(4);
+    int hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hot += s.sample(rng) < 1000;
+    EXPECT_NEAR(hot / static_cast<double>(n), 0.99, 0.01);
+}
+
+TEST(WorkingSet, ColdTailCoversWholeRegion)
+{
+    WorkingSetSampler s(1000, 10, 0.0);  // always cold
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = s.sample(rng);
+        ASSERT_GE(v, 10u);
+        ASSERT_LT(v, 1000u);
+        seen.insert(v);
+    }
+    EXPECT_GT(seen.size(), 900u);
+}
+
+TEST(WorkingSet, HotLargerThanRegionDegenerates)
+{
+    WorkingSetSampler s(10, 100, 0.5);
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LT(s.sample(rng), 10u);
+}
+
+TEST(ScatterRank, IsAPermutationOverClusters)
+{
+    const std::uint64_t blocks = 1024;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t r = 0; r < blocks; ++r)
+        seen.insert(scatterRank(r, blocks, 16));
+    EXPECT_EQ(seen.size(), blocks);
+}
+
+TEST(ScatterRank, KeepsRunsWithinMacroblocks)
+{
+    // Ranks within the same 16-block run stay contiguous.
+    std::uint64_t base = scatterRank(32, 4096, 16);
+    for (std::uint64_t i = 1; i < 16; ++i)
+        EXPECT_EQ(scatterRank(32 + i, 4096, 16), base + i);
+}
+
+// ----------------------------------------------------------------- regions
+
+Region::Params
+regionParams(Addr base, Addr bytes, std::uint32_t pcs = 64)
+{
+    Region::Params p;
+    p.name = "test";
+    p.base = base;
+    p.bytes = bytes;
+    p.pcSites = pcs;
+    return p;
+}
+
+TEST(PrivateRegion, AddressesStayInOwnSlice)
+{
+    PrivateRegion region(regionParams(0x100000, 1 << 20), kNodes,
+                         PrivateRegion::Config{64, 0.9, 0.3, 0.1, 8,
+                                               4});
+    Rng rng(7);
+    Addr slice = (1 << 20) / kNodes;
+    for (NodeId p = 0; p < kNodes; ++p) {
+        for (int i = 0; i < 500; ++i) {
+            RegionRef ref = region.gen(p, rng);
+            ASSERT_GE(ref.addr, 0x100000u + p * slice);
+            ASSERT_LT(ref.addr, 0x100000u + (p + 1) * slice);
+        }
+    }
+}
+
+TEST(ReadMostlyRegion, WriteFractionRespected)
+{
+    ReadMostlyRegion region(
+        regionParams(0x200000, 1 << 20), kNodes,
+        ReadMostlyRegion::Config{1024, 0.99, 0.05});
+    Rng rng(8);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += region.gen(i % kNodes, rng).write;
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.05, 0.01);
+}
+
+TEST(MigratoryRegion, BurstReadsThenWrites)
+{
+    MigratoryRegion region(regionParams(0x300000, 1 << 20), kNodes,
+                           MigratoryRegion::Config{2, 6, 0.5, 0.0});
+    Rng rng(9);
+    // One processor's burst: first half reads, second half writes.
+    std::vector<bool> writes;
+    for (int i = 0; i < 6; ++i)
+        writes.push_back(region.gen(0, rng).write);
+    EXPECT_FALSE(writes[0]);
+    EXPECT_FALSE(writes[1]);
+    EXPECT_FALSE(writes[2]);
+    EXPECT_TRUE(writes[3]);
+    EXPECT_TRUE(writes[4]);
+    EXPECT_TRUE(writes[5]);
+}
+
+TEST(MigratoryRegion, BurstStaysOnOneItem)
+{
+    MigratoryRegion region(regionParams(0x300000, 1 << 20), kNodes,
+                           MigratoryRegion::Config{2, 6, 0.5, 0.0});
+    Rng rng(10);
+    std::set<std::uint64_t> items;
+    for (int i = 0; i < 6; ++i) {
+        RegionRef ref = region.gen(1, rng);
+        items.insert((ref.addr - 0x300000) / (2 * blockBytes));
+    }
+    EXPECT_EQ(items.size(), 1u);
+}
+
+TEST(ProducerConsumerRegion, PassesAreSequentialAndTyped)
+{
+    ProducerConsumerRegion region(
+        regionParams(0x400000, 1 << 20), kNodes,
+        ProducerConsumerRegion::Config{16, 1, 0.0, 1});  // produce only
+    Rng rng(11);
+    // With consumeFraction 0, processor 2 always writes its own
+    // buffers, one block at a time, sequentially.
+    std::vector<BlockId> blocks;
+    for (int i = 0; i < 16; ++i) {
+        RegionRef ref = region.gen(2, rng);
+        EXPECT_TRUE(ref.write);
+        blocks.push_back(blockOf(ref.addr));
+    }
+    for (std::size_t i = 1; i < blocks.size(); ++i)
+        EXPECT_EQ(blocks[i], blocks[i - 1] + 1);
+}
+
+TEST(ProducerConsumerRegion, ConsumerReadsNeighbourBuffer)
+{
+    ProducerConsumerRegion region(
+        regionParams(0x400000, 1 << 20), kNodes,
+        ProducerConsumerRegion::Config{16, 1, 1.0, 1});  // consume only
+    Rng rng(12);
+    RegionRef ref = region.gen(2, rng);
+    EXPECT_FALSE(ref.write);
+    // Buffer index modulo nodes identifies the owner: must be the
+    // immediate neighbour (2 + 1).
+    std::uint64_t buffer =
+        (blockOf(ref.addr) - blockOf(0x400000)) / 16;
+    EXPECT_EQ(buffer % kNodes, 3u);
+}
+
+TEST(GroupRegion, MembersStayInGroupSlice)
+{
+    GroupRegion region(regionParams(0x500000, 1 << 20), kNodes,
+                       GroupRegion::Config{4, 256, 0.9, 0.3});
+    Rng rng(13);
+    Addr slice = (1 << 20) / 4;  // 4 groups
+    for (NodeId p = 0; p < kNodes; ++p) {
+        NodeId group = p / 4;
+        for (int i = 0; i < 200; ++i) {
+            RegionRef ref = region.gen(p, rng);
+            ASSERT_GE(ref.addr, 0x500000u + group * slice);
+            ASSERT_LT(ref.addr, 0x500000u + (group + 1) * slice);
+        }
+    }
+}
+
+TEST(HotRegion, StaysTinyAndWriteHeavy)
+{
+    HotRegion region(regionParams(0x600000, 64 * 1024), kNodes,
+                     HotRegion::Config{0.8, 0.5});
+    Rng rng(14);
+    int writes = 0;
+    for (int i = 0; i < 10000; ++i) {
+        RegionRef ref = region.gen(i % kNodes, rng);
+        ASSERT_GE(ref.addr, 0x600000u);
+        ASSERT_LT(ref.addr, 0x600000u + 64 * 1024);
+        writes += ref.write;
+    }
+    EXPECT_NEAR(writes / 10000.0, 0.5, 0.05);
+}
+
+TEST(Region, PcsComeFromTheRegionPool)
+{
+    HotRegion region(regionParams(0x600000, 64 * 1024, 32), kNodes,
+                     HotRegion::Config{0.8, 0.5});
+    Rng rng(15);
+    std::set<Addr> pcs;
+    for (int i = 0; i < 5000; ++i)
+        pcs.insert(region.gen(0, rng).pc);
+    EXPECT_LE(pcs.size(), 32u);
+    EXPECT_GT(pcs.size(), 10u);
+}
+
+// ---------------------------------------------------------------- workload
+
+TEST(Workload, DeterministicPerSeed)
+{
+    auto make = [](std::uint64_t seed) {
+        return makeWorkload("oltp", kNodes, seed, 0.05);
+    };
+    auto a = make(42), b = make(42), c = make(43);
+    bool all_same = true, any_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+        NodeId p = static_cast<NodeId>(i % kNodes);
+        MemRef ra = a->next(p), rb = b->next(p), rc = c->next(p);
+        all_same &= ra.addr == rb.addr && ra.pc == rb.pc &&
+                    ra.write == rb.write && ra.work == rb.work;
+        any_diff |= ra.addr != rc.addr;
+    }
+    EXPECT_TRUE(all_same);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, MeanWorkApproximatelyHonoured)
+{
+    Workload w("test", kNodes, 4.0, 1);
+    w.addRegion(std::make_unique<HotRegion>(
+                    regionParams(0x1000000, 64 * 1024), kNodes,
+                    HotRegion::Config{0.5, 0.5}),
+                1.0);
+    double total = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        total += w.next(static_cast<NodeId>(i % kNodes)).work;
+    EXPECT_NEAR(total / n, 4.0, 0.25);
+}
+
+TEST(Workload, AllPresetsConstructAndRun)
+{
+    for (const std::string &name : workloadNames()) {
+        auto w = makeWorkload(name, kNodes, 1, 0.05);
+        ASSERT_EQ(w->name(), name);
+        ASSERT_EQ(w->numNodes(), kNodes);
+        ASSERT_GE(w->regionCount(), 4u);
+        EXPECT_GT(w->totalFootprint(), 0u);
+        for (int i = 0; i < 2000; ++i) {
+            MemRef ref = w->next(static_cast<NodeId>(i % kNodes));
+            ASSERT_NE(ref.addr, 0u);
+            ASSERT_NE(ref.pc, 0u);
+        }
+    }
+}
+
+TEST(Workload, UnknownPresetFatals)
+{
+    PanicGuard guard;
+    EXPECT_THROW(makeWorkload("nosuch", kNodes, 1, 1.0),
+                 std::runtime_error);
+}
+
+TEST(Workload, PresetFootprintOrderingMatchesTable2)
+{
+    // specjbb > slashcode > {oltp, ocean, apache} > barnes.
+    std::unordered_map<std::string, Addr> fp;
+    for (const std::string &name : workloadNames())
+        fp[name] = makeWorkload(name, kNodes, 1, 1.0)->totalFootprint();
+    EXPECT_GT(fp["specjbb"], fp["slashcode"]);
+    EXPECT_GT(fp["slashcode"], fp["oltp"]);
+    EXPECT_GT(fp["oltp"], fp["barnes"]);
+    EXPECT_GT(fp["ocean"], fp["barnes"]);
+    EXPECT_GT(fp["apache"], fp["barnes"]);
+}
+
+TEST(Workload, ScaleShrinksFootprint)
+{
+    auto full = makeWorkload("apache", kNodes, 1, 1.0);
+    auto quarter = makeWorkload("apache", kNodes, 1, 0.25);
+    EXPECT_LT(quarter->totalFootprint(), full->totalFootprint());
+}
+
+} // namespace
+} // namespace dsp
