@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Simulator-throughput microbench for the hot path.
+ *
+ * Runs the Figure-7 configuration (16 nodes, simple in-order CPUs)
+ * under the event-heaviest protocol (snooping broadcast) and the
+ * headline predictor configuration (multicast + owner-group) and
+ * reports wall-clock throughput: kernel events per second and
+ * simulated misses per second. Results go to stdout and, as JSON, to
+ * BENCH_hotpath.json so every PR leaves a perf trajectory behind.
+ *
+ * Also emits the event-pool counters; `slab_allocations` staying flat
+ * across configs is the "no per-event heap allocation" invariant made
+ * visible (the unit tests assert it, this bench records it).
+ *
+ * Flags:
+ *   --measure N    measured instructions per CPU (default 1000000)
+ *   --warmup N     functional warmup misses (default 50000)
+ *   --workload W   workload preset (default barnes)
+ *   --nodes N      processors (default 16)
+ *   --seed S       RNG seed (default 1)
+ *   --out FILE     JSON output path (default BENCH_hotpath.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workload/presets.hh"
+
+namespace {
+
+using namespace dsp;
+
+struct HotpathOptions {
+    std::uint64_t measureInstr = 1000000;
+    std::uint64_t warmupMisses = 50000;
+    std::string workload = "barnes";
+    NodeId nodes = 16;
+    std::uint64_t seed = 1;
+    std::string out = "BENCH_hotpath.json";
+};
+
+HotpathOptions
+parseArgs(int argc, char **argv)
+{
+    HotpathOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                dsp_fatal("missing value for option '%s'", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--measure") {
+            opt.measureInstr = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            opt.warmupMisses = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--nodes") {
+            opt.nodes = static_cast<NodeId>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--out") {
+            opt.out = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "options: --measure N --warmup N --workload W "
+                         "--nodes N --seed S --out FILE\n");
+            std::exit(0);
+        } else {
+            dsp_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+struct ConfigResult {
+    std::string name;
+    double wallSeconds = 0.0;
+    SystemStats stats;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(stats.eventsExecuted) /
+                         wallSeconds
+                   : 0.0;
+    }
+
+    double
+    missesPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(stats.misses) / wallSeconds
+                   : 0.0;
+    }
+};
+
+ConfigResult
+runConfig(const HotpathOptions &opt, const std::string &name,
+          ProtocolKind protocol, PredictorPolicy policy)
+{
+    auto workload =
+        makeWorkload(opt.workload, opt.nodes, opt.seed, 0.25);
+
+    SystemParams params;
+    params.nodes = opt.nodes;
+    params.protocol = protocol;
+    params.policy = policy;
+    params.cpuModel = CpuModel::Simple;
+    params.functionalWarmupMisses = opt.warmupMisses;
+    params.warmupInstrPerCpu = opt.measureInstr / 10;
+    params.measureInstrPerCpu = opt.measureInstr;
+
+    System system(*workload, params);
+
+    ConfigResult result;
+    result.name = name;
+    result.stats = system.run();
+    // Wall time of the measured phase only, so warmup does not dilute
+    // the throughput numbers.
+    result.wallSeconds = result.stats.wallSeconds;
+    return result;
+}
+
+bool
+writeJson(const HotpathOptions &opt,
+          const std::vector<ConfigResult> &results)
+{
+    std::FILE *f = std::fopen(opt.out.c_str(), "w");
+    if (!f) {
+        dsp_warn("cannot write '%s'", opt.out.c_str());
+        return false;
+    }
+
+    std::uint64_t total_events = 0;
+    std::uint64_t total_misses = 0;
+    double total_wall = 0.0;
+    for (const ConfigResult &r : results) {
+        total_events += r.stats.eventsExecuted;
+        total_misses += r.stats.misses;
+        total_wall += r.wallSeconds;
+    }
+
+    EventPoolStats pools = eventPoolStats();
+
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"perf_hotpath\",\n");
+    std::fprintf(f, "  \"workload\": \"%s\",\n",
+                 opt.workload.c_str());
+    std::fprintf(f, "  \"nodes\": %u,\n", opt.nodes);
+    std::fprintf(f, "  \"measure_instr_per_cpu\": %llu,\n",
+                 static_cast<unsigned long long>(opt.measureInstr));
+    std::fprintf(f, "  \"configs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f, "      \"wall_seconds\": %.6f,\n",
+                     r.wallSeconds);
+        std::fprintf(f, "      \"events\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         r.stats.eventsExecuted));
+        std::fprintf(f, "      \"events_per_sec\": %.0f,\n",
+                     r.eventsPerSec());
+        std::fprintf(f, "      \"misses\": %llu,\n",
+                     static_cast<unsigned long long>(r.stats.misses));
+        std::fprintf(f, "      \"misses_per_sec\": %.0f,\n",
+                     r.missesPerSec());
+        std::fprintf(f, "      \"sim_runtime_ms\": %.3f\n",
+                     r.stats.runtimeMs());
+        std::fprintf(f, "    }%s\n",
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"totals\": {\n");
+    std::fprintf(f, "    \"wall_seconds\": %.6f,\n", total_wall);
+    std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+                 total_wall > 0.0
+                     ? static_cast<double>(total_events) / total_wall
+                     : 0.0);
+    std::fprintf(f, "    \"misses_per_sec\": %.0f\n",
+                 total_wall > 0.0
+                     ? static_cast<double>(total_misses) / total_wall
+                     : 0.0);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"event_pools\": {\n");
+    std::fprintf(f, "    \"acquires\": %llu,\n",
+                 static_cast<unsigned long long>(pools.acquires));
+    std::fprintf(f, "    \"releases\": %llu,\n",
+                 static_cast<unsigned long long>(pools.releases));
+    std::fprintf(f, "    \"live\": %llu,\n",
+                 static_cast<unsigned long long>(pools.live()));
+    std::fprintf(f, "    \"slab_allocations\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     pools.slabAllocations));
+    std::fprintf(f, "    \"slab_bytes\": %llu\n",
+                 static_cast<unsigned long long>(pools.slabBytes));
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    HotpathOptions opt = parseArgs(argc, argv);
+
+    std::vector<ConfigResult> results;
+    results.push_back(runConfig(opt, "snooping",
+                                ProtocolKind::Snooping,
+                                PredictorPolicy::OwnerGroup));
+    results.push_back(runConfig(opt, "multicast-owner-group",
+                                ProtocolKind::Multicast,
+                                PredictorPolicy::OwnerGroup));
+
+    std::printf("%-24s %12s %14s %12s %14s\n", "config", "events",
+                "events/sec", "misses", "misses/sec");
+    for (const ConfigResult &r : results) {
+        std::printf("%-24s %12llu %14.0f %12llu %14.0f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(
+                        r.stats.eventsExecuted),
+                    r.eventsPerSec(),
+                    static_cast<unsigned long long>(r.stats.misses),
+                    r.missesPerSec());
+    }
+
+    EventPoolStats pools = eventPoolStats();
+    std::printf("event pools: %llu acquires, %llu slab allocations "
+                "(%llu KiB resident)\n",
+                static_cast<unsigned long long>(pools.acquires),
+                static_cast<unsigned long long>(pools.slabAllocations),
+                static_cast<unsigned long long>(pools.slabBytes /
+                                                1024));
+
+    if (!writeJson(opt, results))
+        return 1;
+    std::printf("wrote %s\n", opt.out.c_str());
+    return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification plus the hot-path perf bench. Run from anywhere;
+# everything happens in the repo root. This is what CI runs, and what
+# every PR should pass locally:
+#
+#   1. configure + build (Release, warnings-as-errors for src/)
+#   2. ctest unit suite
+#   3. bench_perf_hotpath with a small --measure, writing
+#      BENCH_hotpath.json so perf regressions are visible per PR
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+# Small measured run: enough events for a stable events/sec figure,
+# quick enough for CI (a few seconds).
+./build/bench_perf_hotpath --measure 200000 --warmup 20000 \
+    --out BENCH_hotpath.json
+
+echo "check.sh: build + tests + hotpath bench OK"

@@ -8,11 +8,10 @@
 #define DSP_ANALYSIS_CHARACTERIZATION_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "analysis/trace_collector.hh"
+#include "sim/flat_map.hh"
 #include "stats/histogram.hh"
 #include "trace/trace.hh"
 
@@ -105,9 +104,9 @@ class WorkloadCharacterization
         std::uint64_t touchedMask = 0;
         std::uint32_t misses = 0;
     };
-    std::unordered_map<BlockId, BlockInfo> blocks_;
-    std::unordered_set<std::uint64_t> macroblocks_;
-    std::unordered_set<Addr> missPcs_;
+    FlatMap<BlockId, BlockInfo> blocks_;
+    FlatSet<std::uint64_t> macroblocks_;
+    FlatSet<Addr> missPcs_;
 
     std::uint64_t measuredMisses_ = 0;
     std::uint64_t indirections_ = 0;

@@ -67,14 +67,10 @@ SharingTracker::inspect(BlockId block, NodeId requester,
     return makeTransaction(st, requester, type);
 }
 
-SharingTracker::Transaction
-SharingTracker::apply(BlockId block, NodeId requester, RequestType type)
+void
+SharingTracker::applyTo(BlockState &st, NodeId requester,
+                        RequestType type)
 {
-    dsp_assert(requester < numNodes_, "requester %u out of range",
-               requester);
-    BlockState &st = blocks_[block];
-    Transaction t = makeTransaction(st, requester, type);
-
     if (type == RequestType::GetShared) {
         if (st.owner != requester)
             st.sharers.add(requester);
@@ -84,6 +80,34 @@ SharingTracker::apply(BlockId block, NodeId requester, RequestType type)
         st.owner = requester;
         st.sharers = DestinationSet{};
     }
+}
+
+SharingTracker::Transaction
+SharingTracker::apply(BlockId block, NodeId requester, RequestType type)
+{
+    dsp_assert(requester < numNodes_, "requester %u out of range",
+               requester);
+    BlockState &st = blocks_[block];
+    Transaction t = makeTransaction(st, requester, type);
+    applyTo(st, requester, type);
+    return t;
+}
+
+SharingTracker::Transaction
+SharingTracker::applyIfSufficient(BlockId block, NodeId requester,
+                                  RequestType type,
+                                  const DestinationSet &dests,
+                                  bool &sufficient)
+{
+    dsp_assert(requester < numNodes_, "requester %u out of range",
+               requester);
+    BlockState &st = blocks_[block];
+    Transaction t = makeTransaction(st, requester, type);
+    // An absent/default entry requires no observers, so any dests is
+    // sufficient there -- insufficiency implies real existing state.
+    sufficient = dests.containsAll(t.required);
+    if (sufficient)
+        applyTo(st, requester, type);
     return t;
 }
 

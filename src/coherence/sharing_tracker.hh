@@ -15,11 +15,11 @@
 #define DSP_COHERENCE_SHARING_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "mem/destination_set.hh"
 #include "mem/mosi.hh"
 #include "mem/types.hh"
+#include "sim/flat_map.hh"
 
 namespace dsp {
 
@@ -75,6 +75,18 @@ class SharingTracker
      */
     Transaction apply(BlockId block, NodeId requester, RequestType type);
 
+    /**
+     * Snooping/multicast ordering point: serialize the request only if
+     * `dests` covers the required observers (Section 4.1), with a
+     * single state lookup. Returns the transaction and sets
+     * `sufficient`; when insufficient, no state changes and the
+     * transaction reflects what *would* be required.
+     */
+    Transaction applyIfSufficient(BlockId block, NodeId requester,
+                                  RequestType type,
+                                  const DestinationSet &dests,
+                                  bool &sufficient);
+
     /** A sharer dropped its S copy (clean eviction). */
     void evictShared(BlockId block, NodeId node);
 
@@ -103,11 +115,15 @@ class SharingTracker
     };
 
     NodeId numNodes_;
-    std::unordered_map<BlockId, BlockState> blocks_;
+    FlatMap<BlockId, BlockState> blocks_;
 
     Transaction
     makeTransaction(const BlockState &st, NodeId requester,
                     RequestType type) const;
+
+    /** Mutate `st` as the serialized request dictates. */
+    static void applyTo(BlockState &st, NodeId requester,
+                        RequestType type);
 };
 
 } // namespace dsp

@@ -20,17 +20,37 @@
 
 namespace dsp {
 
-/** Per-entry state: N 2-bit counters + a 5-bit rollover counter. */
+/**
+ * Per-entry state: N 2-bit counters + a 5-bit rollover counter.
+ *
+ * The counters are packed two bits per processor into uint64 words
+ * (16 bytes for the full 64-node limit, vs. 64 bytes as a byte array)
+ * so predictor table lines stay small, and decay/extract are SWAR
+ * operations instead of per-node loops.
+ */
 struct GroupEntry {
-    std::array<std::uint8_t, maxNodes> counters{};
+    static constexpr unsigned fieldsPerWord = 32;  ///< 2 bits each
+
+    std::array<std::uint64_t, maxNodes / fieldsPerWord> packed{};
     std::uint8_t rollover = 0;  ///< 5-bit, wraps at 32
+
+    /** Current counter value for one processor (0..3). */
+    unsigned
+    counter(NodeId node) const
+    {
+        return (packed[node / fieldsPerWord] >>
+                (2 * (node % fieldsPerWord))) &
+               0x3;
+    }
 
     /** Bump one processor's counter (saturating at 3). */
     void
     strengthen(NodeId node)
     {
-        if (counters[node] < 3)
-            ++counters[node];
+        std::uint64_t &word = packed[node / fieldsPerWord];
+        unsigned shift = 2 * (node % fieldsPerWord);
+        if (((word >> shift) & 0x3) < 3)
+            word += std::uint64_t{1} << shift;
     }
 
     /**
@@ -38,24 +58,39 @@ struct GroupEntry {
      * counter by one (Table 3 footnote).
      */
     void
-    tickRollover(NodeId num_nodes)
+    tickRollover(NodeId /* num_nodes */)
     {
         rollover = static_cast<std::uint8_t>((rollover + 1) & 0x1f);
-        if (rollover == 0)
-            for (NodeId n = 0; n < num_nodes; ++n)
-                if (counters[n] > 0)
-                    --counters[n];
+        if (rollover != 0)
+            return;
+        for (std::uint64_t &word : packed) {
+            // Subtract one from every non-zero 2-bit field: the low
+            // bit of (v | v>>1) is set exactly when v > 0, and v > 0
+            // fields never borrow.
+            constexpr std::uint64_t low =
+                0x5555555555555555ULL;
+            word -= ((word >> 1) | word) & low;
+        }
     }
 
-    /** Processors currently predicted to need the block. */
+    /** Processors currently predicted to need the block (counter > 1,
+     *  i.e. the field's high bit is set). */
     DestinationSet
-    predictedSet(NodeId num_nodes) const
+    predictedSet(NodeId /* num_nodes */) const
     {
-        DestinationSet set;
-        for (NodeId n = 0; n < num_nodes; ++n)
-            if (counters[n] > 1)
-                set.add(n);
-        return set;
+        std::uint64_t mask = 0;
+        for (unsigned w = 0; w < packed.size(); ++w) {
+            std::uint64_t high =
+                (packed[w] >> 1) & 0x5555555555555555ULL;
+            while (high != 0) {
+                unsigned bit = static_cast<unsigned>(
+                    __builtin_ctzll(high));
+                mask |= std::uint64_t{1}
+                        << (w * fieldsPerWord + bit / 2);
+                high &= high - 1;
+            }
+        }
+        return DestinationSet::fromMask(mask);
     }
 };
 

@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "mem/cache_array.hh"
+#include "sim/flat_map.hh"
 #include "sim/logging.hh"
 
 namespace dsp {
@@ -33,10 +33,15 @@ class PredictorTable
         if (entries > 0) {
             if (ways == 0 || ways > entries)
                 ways = entries;
-            std::size_t sets = entries / ways;
-            if (sets == 0)
-                sets = 1;
+            // Round the set count up: flooring would silently build a
+            // smaller table than requested whenever entries % ways != 0
+            // (e.g. 10 entries 4-way used to yield capacity 8).
+            std::size_t sets = (entries + ways - 1) / ways;
             finite_.emplace(sets, ways);
+            dsp_assert(finite_->capacity() >= entries,
+                       "predictor table capacity %zu below requested "
+                       "%zu entries",
+                       finite_->capacity(), entries);
         }
     }
 
@@ -86,6 +91,13 @@ class PredictorTable
 
     bool unbounded() const { return !finite_.has_value(); }
 
+    /** Constructed capacity (>= requested entries); 0 if unbounded. */
+    std::size_t
+    capacity() const
+    {
+        return finite_ ? finite_->capacity() : 0;
+    }
+
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t allocations() const { return allocations_; }
@@ -93,7 +105,7 @@ class PredictorTable
 
   private:
     std::optional<CacheArray<Entry>> finite_;
-    std::unordered_map<std::uint64_t, Entry> unbounded_;
+    FlatMap<std::uint64_t, Entry> unbounded_;
 
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;

@@ -18,10 +18,10 @@
 #define DSP_CORE_STICKY_SPATIAL_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/predictor.hh"
+#include "sim/flat_map.hh"
 
 namespace dsp {
 
@@ -67,7 +67,7 @@ class StickySpatialPredictor : public Predictor
 
     unsigned spatialDegree_;
     std::vector<Entry> finite_;                        ///< direct-mapped
-    std::unordered_map<std::uint64_t, std::uint64_t> unbounded_;
+    FlatMap<std::uint64_t, std::uint64_t> unbounded_;
 };
 
 } // namespace dsp

@@ -45,11 +45,13 @@ class MemoryPort
     /**
      * Issue one access. `when` (>= now) is the tick at which the
      * access logically executes; on a miss the coherence request
-     * enters the network at that tick.
+     * enters the network at that tick. The completion is only copied
+     * on a miss, so callers can reuse one Completion across calls
+     * instead of constructing a std::function per access.
      */
     virtual AccessReply
     access(Addr addr, Addr pc, bool is_write, Tick when,
-           Completion on_complete) = 0;
+           const Completion &on_complete) = 0;
 };
 
 /** CPU timing parameters (Table 4). */

@@ -21,6 +21,12 @@ DetailedCpu::DetailedCpu(EventQueue &queue, Workload &workload,
     quantum_ = nsToTicks(params.quantum_ns);
 }
 
+DetailedCpu::~DetailedCpu()
+{
+    if (fetchEvent_.scheduled())
+        queue_.deschedule(fetchEvent_);
+}
+
 void
 DetailedCpu::runFor(std::uint64_t instructions,
                     std::function<void()> on_done)
@@ -30,8 +36,10 @@ DetailedCpu::runFor(std::uint64_t instructions,
     onDone_ = std::move(on_done);
     if (fetchTime_ < queue_.now())
         fetchTime_ = queue_.now();
-    if (!fetchScheduled_ && !stalledOnMshr_ && stalledOnRetire_ == 0)
+    if (!fetchEvent_.scheduled() && !stalledOnMshr_ &&
+        stalledOnRetire_ == 0) {
         fetchLoop();
+    }
 }
 
 Tick
@@ -45,18 +53,11 @@ DetailedCpu::backProject(std::uint64_t instr_no) const
 void
 DetailedCpu::scheduleFetch(Tick when)
 {
-    if (fetchScheduled_)
+    if (fetchEvent_.scheduled())
         return;
-    fetchScheduled_ = true;
     if (when < queue_.now())
         when = queue_.now();
-    queue_.schedule(
-        when,
-        [this]() {
-            fetchScheduled_ = false;
-            fetchLoop();
-        },
-        EventPriority::Cpu);
+    queue_.schedule(fetchEvent_, when, EventPriority::Cpu);
 }
 
 void

@@ -24,6 +24,7 @@ class DetailedCpu : public Cpu
     DetailedCpu(EventQueue &queue, Workload &workload, NodeId node,
                 MemoryPort &port,
                 const CpuParams &params = CpuParams{});
+    ~DetailedCpu() override;
 
     void runFor(std::uint64_t instructions,
                 std::function<void()> on_done) override;
@@ -38,6 +39,17 @@ class DetailedCpu : public Cpu
         Tick complete = 0;
         bool done = false;
         bool isMiss = false;
+    };
+
+    /**
+     * Fetch continuation. At most one fetch wakeup is outstanding
+     * (scheduleFetch() is a no-op while it is pending), so a member
+     * event keeps the fetch path off the event pools entirely.
+     */
+    struct FetchEvent final : Event {
+        explicit FetchEvent(DetailedCpu &c) : cpu(c) {}
+        void process() override { cpu.fetchLoop(); }
+        DetailedCpu &cpu;
     };
 
     void fetchLoop();
@@ -66,12 +78,12 @@ class DetailedCpu : public Cpu
     unsigned outstanding_ = 0;
     unsigned peakOutstanding_ = 0;
 
-    bool fetchScheduled_ = false;
     bool stalledOnMshr_ = false;
     std::uint64_t stalledOnRetire_ = 0;  ///< instr that must retire
 
     bool havePending_ = false;
     MemRef pending_{};
+    FetchEvent fetchEvent_{*this};
 };
 
 } // namespace dsp

@@ -15,6 +15,12 @@ SimpleCpu::SimpleCpu(EventQueue &queue, Workload &workload, NodeId node,
     quantum_ = nsToTicks(params.quantum_ns);
 }
 
+SimpleCpu::~SimpleCpu()
+{
+    if (resumeEvent_.scheduled())
+        queue_.deschedule(resumeEvent_);
+}
+
 void
 SimpleCpu::runFor(std::uint64_t instructions,
                   std::function<void()> on_done)
@@ -47,9 +53,8 @@ SimpleCpu::execute(Tick local)
         if (local > horizon) {
             // Yield so other nodes' events interleave; resume at the
             // accumulated local time.
-            queue_.schedule(
-                local, [this, local]() { execute(local); },
-                EventPriority::Cpu);
+            resumeEvent_.at = local;
+            queue_.schedule(resumeEvent_, local, EventPriority::Cpu);
             return;
         }
 
@@ -59,9 +64,8 @@ SimpleCpu::execute(Tick local)
         local += (ref.work + 1) * instrTick_;
         retired_ += ref.work + 1;
 
-        AccessReply reply = port_.access(
-            ref.addr, ref.pc, ref.write, local,
-            [this](Tick tick) { onMissComplete(tick); });
+        AccessReply reply =
+            port_.access(ref.addr, ref.pc, ref.write, local, missDone_);
 
         switch (reply) {
           case AccessReply::L1Hit:

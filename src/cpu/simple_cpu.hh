@@ -18,11 +18,24 @@ class SimpleCpu : public Cpu
   public:
     SimpleCpu(EventQueue &queue, Workload &workload, NodeId node,
               MemoryPort &port, const CpuParams &params = CpuParams{});
+    ~SimpleCpu() override;
 
     void runFor(std::uint64_t instructions,
                 std::function<void()> on_done) override;
 
   private:
+    /**
+     * Quantum-yield continuation. A blocking CPU has at most one
+     * resume pending, so a single member event suffices and the resume
+     * path never touches the event pools.
+     */
+    struct ResumeEvent final : Event {
+        explicit ResumeEvent(SimpleCpu &c) : cpu(c) {}
+        void process() override { cpu.execute(at); }
+        SimpleCpu &cpu;
+        Tick at = 0;
+    };
+
     /**
      * Execute references inline starting at `local` (>= now) until a
      * miss blocks, the hit-batching quantum expires, or the target is
@@ -39,6 +52,11 @@ class SimpleCpu : public Cpu
     Tick quantum_;
     Tick localTime_ = 0;  ///< CPU-local clock (can run ahead of now)
     bool blocked_ = false;
+    ResumeEvent resumeEvent_{*this};
+
+    /** Reused across all accesses; never rebuilt on the hot path. */
+    MemoryPort::Completion missDone_{
+        [this](Tick tick) { onMissComplete(tick); }};
 };
 
 } // namespace dsp

@@ -6,6 +6,55 @@
 
 namespace dsp {
 
+/**
+ * The two hot event types of the interconnect: both carry their
+ * Message payload inside the pooled slot, so a fully-loaded network
+ * schedules hops without ever touching the heap.
+ */
+struct OrderedCrossbar::OrderEvent final : Event {
+    OrderEvent(OrderedCrossbar &x, Message &&m, Tick o)
+        : xbar(x), msg(std::move(m)), order(o)
+    {
+    }
+
+    void process() override { xbar.orderAndFanOut(msg, order); }
+
+    void
+    release() override
+    {
+        EventPool<OrderEvent>::instance().release(this);
+    }
+
+    OrderedCrossbar &xbar;
+    Message msg;
+    Tick order;
+};
+
+struct OrderedCrossbar::DeliverEvent final : Event {
+    DeliverEvent(OrderedCrossbar &x, const Message &m, NodeId d, Tick w)
+        : xbar(x), msg(m), dest(d), when(w)
+    {
+    }
+
+    void
+    process() override
+    {
+        if (xbar.onDeliver_)
+            xbar.onDeliver_(msg, dest, when);
+    }
+
+    void
+    release() override
+    {
+        EventPool<DeliverEvent>::instance().release(this);
+    }
+
+    OrderedCrossbar &xbar;
+    Message msg;
+    NodeId dest;
+    Tick when;
+};
+
 OrderedCrossbar::OrderedCrossbar(EventQueue &queue, NodeId num_nodes,
                                  const CrossbarParams &params)
     : queue_(queue),
@@ -60,13 +109,25 @@ void
 OrderedCrossbar::deliver(const Message &msg, NodeId dest, Tick when)
 {
     stats_[static_cast<std::size_t>(msg.kind)].add(msg.bytes());
-    queue_.schedule(
-        when,
-        [this, msg, dest, when]() {
-            if (onDeliver_)
-                onDeliver_(msg, dest, when);
-        },
-        EventPriority::Delivery);
+    queue_.schedule(*EventPool<DeliverEvent>::instance().acquire(
+                        *this, msg, dest, when),
+                    when, EventPriority::Delivery);
+}
+
+void
+OrderedCrossbar::orderAndFanOut(Message &msg, Tick order)
+{
+    if (onOrder_)
+        onOrder_(msg, order);
+    // Fan out to every destination but the source; each delivery
+    // contends for the destination's ingress link.
+    msg.dests.forEach([&](NodeId dest) {
+        if (dest == msg.src)
+            return;
+        Tick arrive =
+            bookIngress(dest, order + halfTraversal_, msg.bytes());
+        deliver(msg, dest, arrive);
+    });
 }
 
 void
@@ -78,23 +139,9 @@ OrderedCrossbar::sendOrdered(Message msg)
                           lastOrder_ + orderGap_);
     lastOrder_ = order;
 
-    queue_.schedule(
-        order,
-        [this, msg = std::move(msg), order]() mutable {
-            if (onOrder_)
-                onOrder_(msg, order);
-            // Fan out to every destination but the source; each
-            // delivery contends for the destination's ingress link.
-            msg.dests.forEach([&](NodeId dest) {
-                if (dest == msg.src)
-                    return;
-                Tick arrive =
-                    bookIngress(dest, order + halfTraversal_,
-                                msg.bytes());
-                deliver(msg, dest, arrive);
-            });
-        },
-        EventPriority::NetworkOrder);
+    queue_.schedule(*EventPool<OrderEvent>::instance().acquire(
+                        *this, std::move(msg), order),
+                    order, EventPriority::NetworkOrder);
 }
 
 void

@@ -91,12 +91,21 @@ class OrderedCrossbar
     NodeId numNodes() const { return numNodes_; }
 
   private:
+    /** Pooled event: one message reaching the ordering point. */
+    struct OrderEvent;
+
+    /** Pooled event: one (message, destination) delivery. */
+    struct DeliverEvent;
+
     /** Earliest time dest's ingress link is free; returns delivery
      *  completion tick and books the occupancy. */
     Tick bookIngress(NodeId dest, Tick earliest, std::uint32_t bytes);
 
     /** Book the source's egress link. */
     Tick bookEgress(NodeId src, Tick earliest, std::uint32_t bytes);
+
+    /** Serialize `msg`, then fan deliveries out to its destinations. */
+    void orderAndFanOut(Message &msg, Tick order);
 
     void deliver(const Message &msg, NodeId dest, Tick when);
 

@@ -11,7 +11,9 @@
 #ifndef DSP_MEM_CACHE_ARRAY_HH
 #define DSP_MEM_CACHE_ARRAY_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -46,6 +48,10 @@ class CacheArray
     {
         dsp_assert(sets > 0 && ways > 0,
                    "cache geometry %zux%zu invalid", sets, ways);
+        // Real cache geometries have power-of-two set counts; index
+        // with a mask there instead of a (much slower) division.
+        if ((sets & (sets - 1)) == 0)
+            setMask_ = sets - 1;
     }
 
     std::size_t sets() const { return sets_; }
@@ -84,22 +90,26 @@ class CacheArray
     std::optional<Eviction<Payload>>
     insert(std::uint64_t key, Payload payload)
     {
-        if (Line *line = lookup(key)) {
-            line->payload = std::move(payload);
-            touch(*line);
-            return std::nullopt;
-        }
-
+        // Single pass over the set: find the key, a free way, and the
+        // LRU victim at the same time.
         std::size_t set = setOf(key);
         Line *victim = nullptr;
         for (std::size_t w = 0; w < ways_; ++w) {
             Line &cand = lines_[set * ways_ + w];
-            if (!cand.valid) {
-                victim = &cand;
-                break;
+            if (cand.valid && cand.key == key) {
+                cand.payload = std::move(payload);
+                touch(cand);
+                return std::nullopt;
             }
-            if (!victim || cand.lastUse < victim->lastUse)
+            if (!cand.valid) {
+                if (!victim || victim->valid)
+                    victim = &cand;
+                continue;
+            }
+            if (!victim ||
+                (victim->valid && cand.lastUse < victim->lastUse)) {
                 victim = &cand;
+            }
         }
 
         std::optional<Eviction<Payload>> evicted;
@@ -148,16 +158,22 @@ class CacheArray
     }
 
   private:
+    /** Packed to 16 bytes for small payloads, so a whole 4-way set is
+     *  one host cache line per lookup. lastUse is a 32-bit timestamp;
+     *  on wrap the array renormalizes (order-preserving), so LRU
+     *  behaviour is exact at any run length. */
     struct Line {
-        bool valid = false;
         std::uint64_t key = 0;
-        std::uint64_t lastUse = 0;
+        std::uint32_t lastUse = 0;
+        bool valid = false;
         Payload payload{};
     };
 
     std::size_t
     setOf(std::uint64_t key) const
     {
+        if (setMask_ != 0 || sets_ == 1)
+            return static_cast<std::size_t>(key) & setMask_;
         return static_cast<std::size_t>(key % sets_);
     }
 
@@ -182,14 +198,40 @@ class CacheArray
     void
     touch(Line &line)
     {
+        if (useClock_ == std::numeric_limits<std::uint32_t>::max())
+            renormalizeUse();
         line.lastUse = ++useClock_;
+    }
+
+    /**
+     * Compress all timestamps into [1, lines] preserving their order,
+     * so the 32-bit use clock can wrap without disturbing LRU. Runs
+     * once every ~4 billion touches; amortized cost is nil.
+     */
+    void
+    renormalizeUse()
+    {
+        std::vector<Line *> valid_lines;
+        valid_lines.reserve(valid_);
+        for (Line &line : lines_)
+            if (line.valid)
+                valid_lines.push_back(&line);
+        std::sort(valid_lines.begin(), valid_lines.end(),
+                  [](const Line *a, const Line *b) {
+                      return a->lastUse < b->lastUse;
+                  });
+        std::uint32_t next = 0;
+        for (Line *line : valid_lines)
+            line->lastUse = ++next;
+        useClock_ = next;
     }
 
     std::size_t sets_;
     std::size_t ways_;
+    std::size_t setMask_ = 0;  ///< sets-1 when sets is a power of two
     std::vector<Line> lines_;
     std::size_t valid_ = 0;
-    std::uint64_t useClock_ = 0;
+    std::uint32_t useClock_ = 0;
 };
 
 } // namespace dsp

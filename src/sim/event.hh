@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Intrusive events and slab/free-list event pools.
+ *
+ * The discrete-event kernel schedules hundreds of events per simulated
+ * miss; with the original std::function design every one of them cost
+ * a heap allocation. Here an event is an intrusive object: its queue
+ * linkage (tick, priority, sequence number, heap slot) lives inside the
+ * Event itself, and short-lived events are recycled through per-type
+ * slab pools, so the steady-state schedule/execute path performs no
+ * heap allocation at all.
+ *
+ * Two usage styles:
+ *
+ *  - Member events: a component owns the Event as a field and
+ *    reschedules it (at most one outstanding). release() is a no-op;
+ *    the owner must deschedule() it before destruction.
+ *  - Pooled events: acquired from an EventPool, automatically returned
+ *    to the pool after process() (or on deschedule). CallbackEvent
+ *    wraps any callable this way, giving each distinct callable type
+ *    its own pool; EventQueue's template schedule() uses it.
+ */
+
+#ifndef DSP_SIM_EVENT_HH
+#define DSP_SIM_EVENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dsp {
+
+class EventQueue;
+
+/**
+ * Base class of everything the EventQueue can schedule.
+ *
+ * An Event may be in at most one queue at a time. process() runs at
+ * the scheduled tick; release() is called by the queue once the event
+ * leaves it (after process(), on deschedule, or at queue destruction)
+ * and returns pooled events to their pool. An event whose process()
+ * reschedules itself must therefore keep the default no-op release().
+ */
+class Event
+{
+  public:
+    Event() = default;
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Execute the event at its scheduled tick. */
+    virtual void process() = 0;
+
+    /**
+     * Hand the event back to its allocator once it has left the queue.
+     * Default: no-op (member / statically-owned events).
+     */
+    virtual void release() {}
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Scheduled tick (meaningful only while scheduled). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    static constexpr std::size_t invalidHeapIndex =
+        std::numeric_limits<std::size_t>::max();
+
+    // The ordering key (tick, priority, sequence) lives inline in the
+    // queue's heap entries, not here, so heap comparisons never chase
+    // this pointer; the event only records where it sits.
+    Tick when_ = 0;
+    std::size_t heapIndex_ = invalidHeapIndex;
+    bool scheduled_ = false;
+};
+
+/** Aggregate counters for one pool (or, summed, for all pools). */
+struct EventPoolStats {
+    std::uint64_t acquires = 0;         ///< events handed out
+    std::uint64_t releases = 0;         ///< events returned
+    std::uint64_t slabAllocations = 0;  ///< backing-store mallocs
+    std::uint64_t slabBytes = 0;        ///< backing-store footprint
+
+    /** Events currently live (scheduled or executing). */
+    std::uint64_t live() const { return acquires - releases; }
+};
+
+EventPoolStats eventPoolStats();
+
+/** Registry node so aggregate statistics can walk every pool. */
+class EventPoolBase
+{
+  public:
+    const EventPoolStats &stats() const { return stats_; }
+
+  protected:
+    EventPoolBase() { registry().push_back(this); }
+    ~EventPoolBase() = default;
+
+    EventPoolStats stats_;
+
+  private:
+    friend EventPoolStats eventPoolStats();
+
+    static std::vector<EventPoolBase *> &
+    registry()
+    {
+        static std::vector<EventPoolBase *> pools;
+        return pools;
+    }
+};
+
+/**
+ * Total pool activity across the process. The hot-path invariant the
+ * tests pin down: once pools are warm, slabAllocations stays constant
+ * while acquires keeps growing -- i.e. zero heap allocations per event.
+ */
+inline EventPoolStats
+eventPoolStats()
+{
+    EventPoolStats total;
+    for (const EventPoolBase *pool : EventPoolBase::registry()) {
+        total.acquires += pool->stats_.acquires;
+        total.releases += pool->stats_.releases;
+        total.slabAllocations += pool->stats_.slabAllocations;
+        total.slabBytes += pool->stats_.slabBytes;
+    }
+    return total;
+}
+
+/**
+ * Slab allocator with an intrusive free list for one concrete event
+ * type. Slots are carved out of fixed-size slabs (one malloc per
+ * `slabSlots` events, kept for the lifetime of the pool); the free
+ * list threads through the slots themselves, so acquire/release touch
+ * no allocator.
+ *
+ * Pools are accessed through instance() -- a function-local static, so
+ * they outlive every simulator object and events pending at queue
+ * destruction can always be returned safely.
+ */
+template <typename T>
+class EventPool : public EventPoolBase
+{
+    static_assert(std::is_base_of_v<Event, T>,
+                  "EventPool manages Event subclasses");
+
+  public:
+    static constexpr std::size_t slabSlots = 256;
+
+    static EventPool &
+    instance()
+    {
+        static EventPool pool;
+        return pool;
+    }
+
+    /** Construct a T in a recycled (or fresh) slot. */
+    template <typename... Args>
+    T *
+    acquire(Args &&...args)
+    {
+        if (freeList_ == nullptr)
+            grow();
+        FreeNode *node = freeList_;
+        freeList_ = node->next;
+        ++stats_.acquires;
+        return new (static_cast<void *>(node))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy a T and thread its slot back onto the free list. */
+    void
+    release(T *event)
+    {
+        event->~T();
+        auto *node = new (static_cast<void *>(event)) FreeNode;
+        node->next = freeList_;
+        freeList_ = node;
+        ++stats_.releases;
+    }
+
+  private:
+    struct FreeNode {
+        FreeNode *next;
+    };
+
+    union Slot {
+        FreeNode node;
+        alignas(T) unsigned char storage[sizeof(T)];
+    };
+
+    void
+    grow()
+    {
+        slabs_.push_back(std::make_unique<Slot[]>(slabSlots));
+        ++stats_.slabAllocations;
+        stats_.slabBytes += slabSlots * sizeof(Slot);
+        Slot *slab = slabs_.back().get();
+        for (std::size_t i = slabSlots; i-- > 0;) {
+            auto *node = new (static_cast<void *>(&slab[i])) FreeNode;
+            node->next = freeList_;
+            freeList_ = node;
+        }
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    FreeNode *freeList_ = nullptr;
+};
+
+/**
+ * Pooled event wrapping an arbitrary callable. Each distinct callable
+ * type (in practice: each lambda at each call site) gets its own slab
+ * pool, and the captures live inside the slot -- scheduling a lambda
+ * through this path is heap-allocation free.
+ */
+template <typename F>
+class CallbackEvent final : public Event
+{
+  public:
+    explicit CallbackEvent(F &&fn) : fn_(std::move(fn)) {}
+
+    static CallbackEvent *
+    make(F fn)
+    {
+        return EventPool<CallbackEvent>::instance().acquire(
+            std::move(fn));
+    }
+
+    void process() override { fn_(); }
+
+    void
+    release() override
+    {
+        EventPool<CallbackEvent>::instance().release(this);
+    }
+
+  private:
+    F fn_;
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_EVENT_HH

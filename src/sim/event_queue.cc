@@ -1,44 +1,142 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
+#include <algorithm>
 
 #include "sim/logging.hh"
 
 namespace dsp {
 
+namespace {
+
+/** 56 bits of insertion sequence below one byte of priority. */
+constexpr std::uint64_t seqBits = 56;
+constexpr std::uint64_t seqMask = (std::uint64_t{1} << seqBits) - 1;
+
+} // namespace
+
+EventQueue::~EventQueue()
+{
+    // Events still pending go back to their pools; member events are
+    // simply detached.
+    for (HeapEntry &entry : heap_) {
+        entry.ev->scheduled_ = false;
+        entry.ev->heapIndex_ = Event::invalidHeapIndex;
+        entry.ev->release();
+    }
+}
+
 void
-EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+EventQueue::assertSchedulable(Tick when) const
 {
     dsp_assert(when >= now_,
                "cannot schedule in the past (when=%llu now=%llu)",
                static_cast<unsigned long long>(when),
                static_cast<unsigned long long>(now_));
-    heap_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
-                     std::move(cb)});
 }
 
 void
-EventQueue::scheduleIn(Tick delay, Callback cb, EventPriority prio)
+EventQueue::schedule(Event &ev, Tick when, EventPriority prio)
 {
-    schedule(now_ + delay, std::move(cb), prio);
+    assertSchedulable(when);
+    dsp_assert(!ev.scheduled_, "event already scheduled (when=%llu)",
+               static_cast<unsigned long long>(ev.when_));
+    const auto prio_bits = static_cast<std::uint64_t>(prio);
+    dsp_assert(prio_bits < 256, "priority %d does not fit the packed "
+                                "tiebreak key",
+               static_cast<int>(prio));
+    dsp_assert(nextSeq_ <= seqMask, "insertion sequence overflow");
+
+    ev.when_ = when;
+    ev.scheduled_ = true;
+    ev.heapIndex_ = heap_.size();
+    heap_.push_back(
+        HeapEntry{when, (prio_bits << seqBits) | nextSeq_++, &ev});
+    siftUp(heap_.size() - 1);
+}
+
+void
+EventQueue::deschedule(Event &ev)
+{
+    dsp_assert(ev.scheduled_, "deschedule of unscheduled event");
+    dsp_assert(ev.heapIndex_ < heap_.size() &&
+                   heap_[ev.heapIndex_].ev == &ev,
+               "event/queue mismatch in deschedule");
+    removeAt(ev.heapIndex_);
+    ev.release();
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    HeapEntry entry = heap_[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / heapArity;
+        if (!earlier(entry, heap_[parent]))
+            break;
+        place(i, heap_[parent]);
+        i = parent;
+    }
+    place(i, entry);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    HeapEntry entry = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t first = heapArity * i + 1;
+        if (first >= n)
+            break;
+        std::size_t last = std::min(first + heapArity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], entry))
+            break;
+        place(i, heap_[best]);
+        i = best;
+    }
+    place(i, entry);
+}
+
+Event *
+EventQueue::removeAt(std::size_t i)
+{
+    Event *ev = heap_[i].ev;
+    HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+        place(i, last);
+        // The displaced entry may need to move either way; siftUp from
+        // wherever siftDown left it is a no-op if it already sank.
+        siftDown(i);
+        siftUp(last.ev->heapIndex_);
+    }
+    ev->scheduled_ = false;
+    ev->heapIndex_ = Event::invalidHeapIndex;
+    return ev;
 }
 
 void
 EventQueue::step()
 {
     dsp_assert(!heap_.empty(), "step() on empty event queue");
-    Entry e = heap_.top();
-    heap_.pop();
-    now_ = e.when;
+    Tick when = heap_.front().when;
+    Event *ev = removeAt(0);
+    now_ = when;
     ++executed_;
-    e.cb();
+    ev->process();
+    ev->release();
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= limit) {
+    while (!heap_.empty() && heap_.front().when <= limit) {
         step();
         ++n;
     }

@@ -2,24 +2,31 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A minimal gem5-flavoured event queue: events are callbacks scheduled at
- * an absolute Tick; ties are broken first by an explicit priority, then by
- * insertion order, so execution is fully deterministic.
+ * A gem5-flavoured event queue over intrusive events. The binary heap
+ * stores compact (tick, priority|sequence, event*) entries: ordering
+ * comparisons touch only the contiguous heap array (no pointer chase)
+ * and sift operations move 24 bytes, while the events themselves --
+ * recycled through slab pools, see sim/event.hh -- never move. The
+ * schedule/execute path performs zero heap allocations. Ties are
+ * broken first by an explicit priority, then by insertion order, so
+ * execution is fully deterministic.
  */
 
 #ifndef DSP_SIM_EVENT_QUEUE_HH
 #define DSP_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/event.hh"
 #include "sim/types.hh"
 
 namespace dsp {
 
-/** Scheduling priority; lower values run first at equal ticks. */
+/** Scheduling priority; lower values run first at equal ticks.
+ *  Values must fit in a byte (the queue packs them above the 56-bit
+ *  insertion sequence to form one 64-bit tiebreak key). */
 enum class EventPriority : int {
     NetworkOrder = 0,   ///< interconnect ordering-point events
     Delivery = 10,      ///< message deliveries
@@ -38,22 +45,58 @@ enum class EventPriority : int {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
-
     EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule a callback at absolute tick `when` (>= now). */
-    void
-    schedule(Tick when, Callback cb,
-             EventPriority prio = EventPriority::Default);
+    /** Schedule an intrusive event at absolute tick `when` (>= now). */
+    void schedule(Event &ev, Tick when,
+                  EventPriority prio = EventPriority::Default);
 
-    /** Schedule a callback `delay` ticks from now. */
+    /** Schedule an intrusive event `delay` ticks from now. */
     void
-    scheduleIn(Tick delay, Callback cb,
-               EventPriority prio = EventPriority::Default);
+    scheduleIn(Event &ev, Tick delay,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(ev, now_ + delay, prio);
+    }
+
+    /**
+     * Schedule a callable at absolute tick `when` (>= now). The
+     * callable is moved into a pooled CallbackEvent; its captures live
+     * in the slab slot, so no heap allocation occurs.
+     */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    void
+    schedule(Tick when, F cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        assertSchedulable(when);
+        schedule(*CallbackEvent<F>::make(std::move(cb)), when, prio);
+    }
+
+    /** Schedule a callable `delay` ticks from now. */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    void
+    scheduleIn(Tick delay, F cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delay, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a scheduled event: remove it from the queue and release()
+     * it (pooled events are recycled immediately; member events become
+     * reschedulable).
+     */
+    void deschedule(Event &ev);
 
     /** True if no events remain. */
     bool empty() const { return heap_.empty(); }
@@ -74,26 +117,45 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Entry {
+    /**
+     * One heap slot: the full ordering key plus the event. Priority
+     * (one byte) is packed above a 56-bit insertion sequence, so the
+     * (tick, priority, sequence) contract is two integer compares.
+     */
+    struct HeapEntry {
         Tick when;
-        int prio;
-        std::uint64_t seq;
-        Callback cb;
+        std::uint64_t key;
+        Event *ev;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
-    };
+    /** 4-ary heap: half the depth of a binary heap, and the four
+     *  children of a node share one or two cache lines. */
+    static constexpr std::size_t heapArity = 4;
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.key < b.key;
+    }
+
+    void assertSchedulable(Tick when) const;
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Detach the event at heap slot `i`, restoring the heap. */
+    Event *removeAt(std::size_t i);
+
+    void
+    place(std::size_t i, const HeapEntry &entry)
+    {
+        heap_[i] = entry;
+        entry.ev->heapIndex_ = i;
+    }
+
+    std::vector<HeapEntry> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -18,12 +18,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed, std::uint64_t stream)
@@ -34,62 +28,12 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream)
         word = splitmix64(x);
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::uniformInt(std::uint64_t bound)
-{
-    dsp_assert(bound > 0, "uniformInt bound must be positive");
-    // Lemire's multiply-shift rejection method.
-    std::uint64_t x = next();
-    __uint128_t m = static_cast<__uint128_t>(x) * bound;
-    std::uint64_t lo = static_cast<std::uint64_t>(m);
-    if (lo < bound) {
-        std::uint64_t threshold = -bound % bound;
-        while (lo < threshold) {
-            x = next();
-            m = static_cast<__uint128_t>(x) * bound;
-            lo = static_cast<std::uint64_t>(m);
-        }
-    }
-    return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t
 Rng::uniformRange(std::int64_t lo, std::int64_t hi)
 {
     dsp_assert(lo <= hi, "uniformRange requires lo <= hi");
     std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(uniformInt(span));
-}
-
-double
-Rng::uniformReal()
-{
-    // 53 random mantissa bits.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniformReal() < p;
 }
 
 std::uint64_t
@@ -101,6 +45,28 @@ Rng::geometric(double mean)
     // Inverse-CDF sampling of a geometric with success prob 1/mean.
     double u = uniformReal();
     double p = 1.0 / mean;
+    double v = std::log1p(-u) / std::log1p(-p);
+    std::uint64_t k = static_cast<std::uint64_t>(v) + 1;
+    return k == 0 ? 1 : k;
+}
+
+GeometricSampler::GeometricSampler(double mean) : mean_(mean)
+{
+    dsp_assert(mean >= 1.0, "geometric mean must be >= 1");
+    if (mean == 1.0)
+        return;
+    double p = 1.0 / mean;
+    double survive = 1.0;
+    for (std::size_t k = 0; k < tableSize; ++k) {
+        survive *= 1.0 - p;         // (1-p)^(k+1)
+        cdf_[k] = 1.0 - survive;    // P(X <= k+1)
+    }
+}
+
+std::uint64_t
+GeometricSampler::tailSample(double u) const
+{
+    double p = 1.0 / mean_;
     double v = std::log1p(-u) / std::log1p(-p);
     std::uint64_t k = static_cast<std::uint64_t>(v) + 1;
     return k == 0 ? 1 : k;

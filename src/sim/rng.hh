@@ -6,12 +6,18 @@
  * stream, seeded from a global seed plus a stream identifier, so that runs
  * are bit-reproducible and perturbation studies (Section 5.2 of the paper)
  * can vary a single seed.
+ *
+ * The draw methods are header-inline: workload synthesis draws tens of
+ * millions of values per simulated second, all on the hot path.
  */
 
 #ifndef DSP_SIM_RNG_HH
 #define DSP_SIM_RNG_HH
 
+#include <array>
 #include <cstdint>
+
+#include "sim/logging.hh"
 
 namespace dsp {
 
@@ -28,25 +34,116 @@ class Rng
                  std::uint64_t stream = 0);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) using Lemire's method. bound > 0. */
-    std::uint64_t uniformInt(std::uint64_t bound);
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        dsp_assert(bound > 0, "uniformInt bound must be positive");
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double uniformReal();
+    double
+    uniformReal()
+    {
+        // 53 random mantissa bits.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial: true with probability p. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniformReal() < p;
+    }
 
     /** Geometric-ish positive integer with given mean (>= 1). */
     std::uint64_t geometric(double mean);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
+};
+
+/**
+ * Repeated geometric draws with a fixed mean (per-reference work
+ * counts, episode lengths). Rng::geometric costs two log1p calls per
+ * draw; this caches the distribution in a small cumulative table and
+ * answers the common short draws with a cache-resident scan, falling
+ * back to the exact log form only in the far tail. Draws follow the
+ * same inverse-CDF mapping as Rng::geometric(mean); floating-point
+ * rounding at bin boundaries can differ by one in rare cases, so the
+ * two are distribution-equivalent, not draw-identical.
+ */
+class GeometricSampler
+{
+  public:
+    /** mean >= 1; mean == 1 always draws 1. */
+    explicit GeometricSampler(double mean);
+
+    std::uint64_t
+    sample(Rng &rng)
+    {
+        if (mean_ == 1.0)
+            return 1;
+        double u = rng.uniformReal();
+        if (u < cdf_[tableSize - 1]) {
+            // The table covers all but the far tail of the mass.
+            std::uint64_t k = 0;
+            while (u >= cdf_[k])
+                ++k;
+            return k + 1;
+        }
+        return tailSample(u);
+    }
+
+    double mean() const { return mean_; }
+
+  private:
+    static constexpr std::size_t tableSize = 32;
+
+    std::uint64_t tailSample(double u) const;
+
+    double mean_;
+    std::array<double, tableSize> cdf_{};  ///< cdf_[k] = P(X <= k+1)
 };
 
 } // namespace dsp

@@ -9,8 +9,9 @@
 #define DSP_STATS_HISTOGRAM_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/flat_map.hh"
 
 namespace dsp {
 namespace stats {
@@ -85,7 +86,7 @@ class HotSpotAccumulator
     std::vector<std::uint64_t> sortedWeights() const;
 
   private:
-    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    FlatMap<std::uint64_t, std::uint64_t> counts_;
     std::uint64_t total_ = 0;
 };
 

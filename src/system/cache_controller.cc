@@ -10,7 +10,7 @@ CacheController::CacheController(System &system, NodeId node)
 
 AccessReply
 CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
-                        Completion on_complete)
+                        const Completion &on_complete)
 {
     BlockId block = blockOf(addr);
 
@@ -18,7 +18,7 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
     // and replay once the primary fill returns.
     if (auto it = mshrs_.find(block); it != mshrs_.end()) {
         it->second.queued.push_back(
-            Mshr::Queued{addr, pc, is_write, std::move(on_complete)});
+            Mshr::Queued{addr, pc, is_write, on_complete});
         return AccessReply::Miss;
     }
 
@@ -33,7 +33,7 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
 
     Mshr &mshr = mshrs_[block];
     mshr.type = type;
-    mshr.waiters.push_back(std::move(on_complete));
+    mshr.waiters.push_back(on_complete);
 
     if (when < sys_.queue_.now())
         when = sys_.queue_.now();
@@ -89,13 +89,9 @@ CacheController::invalidateLocal(BlockId block)
 }
 
 void
-CacheController::onSnoop(const Message &msg, Tick tick)
+CacheController::onSnoop(const Message &msg, CoherenceTxn &txn,
+                         Tick tick)
 {
-    auto it = sys_.txns_.find(msg.txn);
-    if (it == sys_.txns_.end())
-        return;  // transaction already completed (stale delivery)
-    System::Txn &txn = it->second;
-
     // Only the resolving attempt's deliveries carry snoop duties;
     // earlier (insufficient) attempts are ignored by the caches.
     if (!txn.resolved || txn.resolvedAttempt != msg.attempt)
@@ -104,14 +100,8 @@ CacheController::onSnoop(const Message &msg, Tick tick)
     BlockId block = msg.block();
 
     if (txn.responder == node_ && txn.responder != txn.requester) {
-        // We own the block: supply data after the L2 access, no
-        // earlier than our own copy arrived (chained misses).
-        Tick ready = tick;
-        if (auto dr = sys_.dataReady_.find(block);
-            dr != sys_.dataReady_.end()) {
-            ready = std::max(ready, dr->second);
-        }
-        Tick send = ready + nsToTicks(sys_.params().latency.l2_ns);
+        // We own the block: supply data after the L2 access.
+        Tick send = tick + nsToTicks(sys_.params().latency.l2_ns);
 
         if (msg.type == RequestType::GetExclusive)
             invalidateLocal(block);
@@ -126,10 +116,7 @@ CacheController::onSnoop(const Message &msg, Tick tick)
         data.type = msg.type;
         data.src = node_;
         data.dest = txn.requester;
-        sys_.queue_.schedule(
-            send,
-            [this, data]() { sys_.sendOrLocal(data); },
-            EventPriority::Controller);
+        sys_.sendLater(std::move(data), send);
         return;
     }
 
@@ -145,12 +132,7 @@ CacheController::onForward(const Message &msg, Tick tick)
 {
     // Directory protocol: we are (were) the owner; supply the data.
     BlockId block = msg.block();
-    Tick ready = tick;
-    if (auto dr = sys_.dataReady_.find(block);
-        dr != sys_.dataReady_.end()) {
-        ready = std::max(ready, dr->second);
-    }
-    Tick send = ready + nsToTicks(sys_.params().latency.l2_ns);
+    Tick send = tick + nsToTicks(sys_.params().latency.l2_ns);
 
     if (msg.type == RequestType::GetExclusive)
         invalidateLocal(block);
@@ -169,9 +151,7 @@ CacheController::onForward(const Message &msg, Tick tick)
     data.type = msg.type;
     data.src = node_;
     data.dest = it->second.requester;
-    sys_.queue_.schedule(
-        send, [this, data]() { sys_.sendOrLocal(data); },
-        EventPriority::Controller);
+    sys_.sendLater(std::move(data), send);
 }
 
 void
@@ -217,8 +197,6 @@ CacheController::complete(BlockId block, TxnId txn_id, Tick tick)
             sys_.tracker_.evictShared(fill.victim, node_);
         }
     }
-
-    sys_.dataReady_[block] = tick;
 
     if (mshr.invalidateAfterFill) {
         // A racing GETX serialized after our miss; honour it now that

@@ -9,37 +9,31 @@ MemoryController::MemoryController(System &system, NodeId node)
 }
 
 void
-MemoryController::onHomeRequest(const Message &msg, Tick tick)
+MemoryController::onHomeRequest(const Message &msg, CoherenceTxn &txn,
+                                Tick tick)
 {
     if (sys_.params().protocol == ProtocolKind::Directory)
-        handleDirectory(msg, tick);
+        handleDirectory(msg, txn, tick);
     else
-        handleMulticastHome(msg, tick);
+        handleMulticastHome(msg, txn, tick);
 }
 
 void
-MemoryController::handleDirectory(const Message &msg, Tick tick)
+MemoryController::handleDirectory(const Message &msg,
+                                  const CoherenceTxn &txn_ref,
+                                  Tick tick)
 {
-    auto it = sys_.txns_.find(msg.txn);
-    if (it == sys_.txns_.end())
-        return;
-    const System::Txn txn = it->second;
+    // Copy: the scheduled response runs after the reference may die.
+    const System::Txn txn = txn_ref;
     Tick memory = nsToTicks(sys_.params().latency.memory_ns);
-    BlockId block = msg.block();
 
     // Directory access (co-located with memory, 80 ns) precedes any
     // response or forward.
     Tick done = tick + memory;
-    // Memory data also cannot be supplied before an in-flight
-    // writeback of this block lands.
-    if (auto mr = sys_.memReady_.find(block);
-        mr != sys_.memReady_.end()) {
-        done = std::max(done, mr->second + memory);
-    }
 
     sys_.queue_.schedule(
         done,
-        [this, msg, txn, block]() {
+        [this, msg, txn]() {
             // Invalidate every sharer (GS320: the totally-ordered
             // interconnect removes the need for acks).
             if (msg.type == RequestType::GetExclusive) {
@@ -95,14 +89,10 @@ MemoryController::handleDirectory(const Message &msg, Tick tick)
 }
 
 void
-MemoryController::handleMulticastHome(const Message &msg, Tick tick)
+MemoryController::handleMulticastHome(const Message &msg,
+                                      CoherenceTxn &txn, Tick tick)
 {
-    auto it = sys_.txns_.find(msg.txn);
-    if (it == sys_.txns_.end())
-        return;
-    System::Txn &txn = it->second;
     Tick memory = nsToTicks(sys_.params().latency.memory_ns);
-    BlockId block = msg.block();
 
     if (!txn.resolved) {
         // Insufficient destination set: the directory re-issues the
@@ -160,12 +150,6 @@ MemoryController::handleMulticastHome(const Message &msg, Tick tick)
     if (txn.responder != invalidNode)
         return;
 
-    Tick start = tick;
-    if (auto mr = sys_.memReady_.find(block);
-        mr != sys_.memReady_.end()) {
-        start = std::max(start, mr->second);
-    }
-
     Message data;
     data.kind = MessageKind::Data;
     data.txn = msg.txn;
@@ -174,10 +158,7 @@ MemoryController::handleMulticastHome(const Message &msg, Tick tick)
     data.type = msg.type;
     data.src = node_;
     data.dest = txn.requester;
-    sys_.queue_.schedule(
-        start + memory,
-        [this, data]() { sys_.sendOrLocal(data); },
-        EventPriority::Controller);
+    sys_.sendLater(std::move(data), tick + memory);
 }
 
 } // namespace dsp

@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include <chrono>
+
 #include "cpu/detailed_cpu.hh"
 #include "cpu/simple_cpu.hh"
 #include "sim/logging.hh"
@@ -29,6 +31,9 @@ System::System(Workload &workload, const SystemParams &params)
     dsp_assert(workload.numNodes() == params.nodes,
                "workload built for %u nodes, system has %u",
                workload.numNodes(), params.nodes);
+
+    if ((params_.nodes & (params_.nodes - 1)) == 0)
+        homeMask_ = params_.nodes - 1;
 
     params_.predictor.numNodes = params_.nodes;
     params_.cpu.l1_ns = params_.latency.l1_ns;
@@ -62,6 +67,50 @@ System::System(Workload &workload, const SystemParams &params)
 }
 
 System::~System() = default;
+
+struct System::LocalDeliverEvent final : Event {
+    LocalDeliverEvent(System &s, Message m, NodeId d, Tick t)
+        : sys(s), msg(std::move(m)), dest(d), at(t)
+    {
+    }
+
+    void process() override { sys.onDeliver(msg, dest, at); }
+
+    void
+    release() override
+    {
+        EventPool<LocalDeliverEvent>::instance().release(this);
+    }
+
+    System &sys;
+    Message msg;
+    NodeId dest;
+    Tick at;
+};
+
+struct System::SendEvent final : Event {
+    SendEvent(System &s, Message m) : sys(s), msg(std::move(m)) {}
+
+    void process() override { sys.sendOrLocal(std::move(msg)); }
+
+    void
+    release() override
+    {
+        EventPool<SendEvent>::instance().release(this);
+    }
+
+    System &sys;
+    Message msg;
+};
+
+void
+System::sendLater(Message msg, Tick when)
+{
+    queue_.schedule(
+        *EventPool<SendEvent>::instance().acquire(*this,
+                                                  std::move(msg)),
+        when, EventPriority::Controller);
+}
 
 DestinationSet
 System::destinationsFor(BlockId block, Addr addr, Addr pc,
@@ -102,10 +151,10 @@ System::onOrder(Message &msg, Tick tick)
         txn.required = result.required;
         txn.granted = result.grantedState;
     } else {
-        auto inspect = tracker_.inspect(block, txn.requester, msg.type);
-        if (msg.dests.containsAll(inspect.required)) {
-            auto result =
-                tracker_.apply(block, txn.requester, msg.type);
+        bool sufficient = false;
+        auto result = tracker_.applyIfSufficient(
+            block, txn.requester, msg.type, msg.dests, sufficient);
+        if (sufficient) {
             txn.resolved = true;
             txn.resolvedAttempt = msg.attempt;
             txn.responder = result.responder;
@@ -122,11 +171,9 @@ System::onOrder(Message &msg, Tick tick)
     // requester is the home), observe it via a free self-delivery.
     if (msg.dests.contains(msg.src)) {
         Tick when = tick + nsToTicks(params_.crossbar.traversal_ns / 2);
-        Message copy = msg;
-        queue_.schedule(
-            when,
-            [this, copy, when]() { onDeliver(copy, copy.src, when); },
-            EventPriority::Delivery);
+        queue_.schedule(*EventPool<LocalDeliverEvent>::instance()
+                             .acquire(*this, msg, msg.src, when),
+                        when, EventPriority::Delivery);
     }
 }
 
@@ -149,10 +196,10 @@ System::onDeliver(const Message &msg, NodeId dest, Tick tick)
         }
 
         if (dest == homeOf_(msg.block()))
-            memCtrls_[dest]->onHomeRequest(msg, tick);
+            memCtrls_[dest]->onHomeRequest(msg, txn, tick);
 
         if (params_.protocol != ProtocolKind::Directory)
-            cacheCtrls_[dest]->onSnoop(msg, tick);
+            cacheCtrls_[dest]->onSnoop(msg, txn, tick);
 
         // Upgrades complete when the requester observes its own
         // ordered request.
@@ -173,11 +220,10 @@ System::onDeliver(const Message &msg, NodeId dest, Tick tick)
       case MessageKind::Grant:
         cacheCtrls_[dest]->onData(msg, tick);
         break;
-      case MessageKind::Writeback: {
-        Tick &ready = memReady_[msg.block()];
-        ready = std::max(ready, tick);
+      case MessageKind::Writeback:
+        // Functional state already moved to memory at the eviction;
+        // the message only models link traffic and delivery timing.
         break;
-      }
     }
 }
 
@@ -187,10 +233,10 @@ System::sendOrLocal(Message msg)
     if (msg.dest == msg.src) {
         // Node-local transfer: no network traversal, no traffic.
         Tick now = queue_.now();
-        queue_.schedule(
-            now,
-            [this, msg, now]() { onDeliver(msg, msg.dest, now); },
-            EventPriority::Delivery);
+        NodeId dest = msg.dest;
+        queue_.schedule(*EventPool<LocalDeliverEvent>::instance()
+                             .acquire(*this, std::move(msg), dest, now),
+                        now, EventPriority::Delivery);
         return;
     }
     crossbar_.sendDirect(std::move(msg));
@@ -339,11 +385,18 @@ System::run()
     latencySum_ = 0;
     measuring_ = true;
     measureStart_ = queue_.now();
+    std::uint64_t events_before = queue_.executed();
+    auto wall_start = std::chrono::steady_clock::now();
 
     startPhase(params_.measureInstrPerCpu);
     while (!phaseDone_ && !queue_.empty())
         queue_.step();
     dsp_assert(phaseDone_, "measured phase wedged");
+
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     Tick last_finish = measureStart_;
     for (const auto &cpu : cpus_)
@@ -367,6 +420,8 @@ System::run()
     stats.writebacks =
         crossbar_.traffic(MessageKind::Writeback).messages;
     stats.trafficBytes = crossbar_.totalBytes();
+    stats.eventsExecuted = queue_.executed() - events_before;
+    stats.wallSeconds = wall_seconds;
     stats.avgMissLatencyNs =
         misses_ ? ticksToNs(latencySum_) / static_cast<double>(misses_)
                 : 0.0;

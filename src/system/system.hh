@@ -20,7 +20,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/latency.hh"
@@ -30,6 +29,7 @@
 #include "interconnect/crossbar.hh"
 #include "mem/node_caches.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "workload/workload.hh"
 
 namespace dsp {
@@ -90,6 +90,11 @@ struct SystemStats {
     std::uint64_t requestMessages = 0;  ///< requests+retries+fwd+inval
     std::uint64_t writebacks = 0;       ///< dirty evictions to memory
     std::uint64_t trafficBytes = 0;
+    /** Kernel events executed during the measured phase (simulator
+     *  throughput is events/sec over this count). */
+    std::uint64_t eventsExecuted = 0;
+    /** Host wall-clock seconds spent in the measured phase. */
+    double wallSeconds = 0.0;
     double avgMissLatencyNs = 0.0;
 
     double
@@ -107,6 +112,22 @@ struct SystemStats {
     }
 };
 
+/** One in-flight coherence transaction. */
+struct CoherenceTxn {
+    NodeId requester = 0;
+    Addr addr = 0;
+    Addr pc = 0;
+    RequestType type = RequestType::GetShared;
+    Tick issued = 0;
+    std::uint8_t attempts = 0;       ///< orderings so far
+    bool resolved = false;
+    std::uint8_t resolvedAttempt = 0;
+    NodeId responder = invalidNode;
+    DestinationSet required;
+    MosiState granted = MosiState::Invalid;
+    std::uint32_t retries = 0;
+};
+
 /**
  * Per-node cache controller: the CPU-facing MemoryPort, the MSHR
  * file, the node's two cache levels, and the snooping-side request /
@@ -119,10 +140,11 @@ class CacheController : public MemoryPort
 
     // MemoryPort
     AccessReply access(Addr addr, Addr pc, bool is_write, Tick when,
-                       Completion on_complete) override;
+                       const Completion &on_complete) override;
 
-    /** Ordered request delivered to this node (snoop side). */
-    void onSnoop(const Message &msg, Tick tick);
+    /** Ordered request delivered to this node (snoop side). `txn` is
+     *  the in-flight transaction (already looked up by the caller). */
+    void onSnoop(const Message &msg, CoherenceTxn &txn, Tick tick);
 
     /** Directory-protocol forward: supply data to the requester. */
     void onForward(const Message &msg, Tick tick);
@@ -166,7 +188,7 @@ class CacheController : public MemoryPort
     System &sys_;
     NodeId node_;
     NodeCaches caches_;
-    std::unordered_map<BlockId, Mshr> mshrs_;
+    FlatMap<BlockId, Mshr> mshrs_;
 };
 
 /**
@@ -178,12 +200,16 @@ class MemoryController
   public:
     MemoryController(System &system, NodeId node);
 
-    /** Ordered request delivered to (or self-observed at) the home. */
-    void onHomeRequest(const Message &msg, Tick tick);
+    /** Ordered request delivered to (or self-observed at) the home.
+     *  `txn` is the in-flight transaction (caller already found it). */
+    void onHomeRequest(const Message &msg, CoherenceTxn &txn,
+                       Tick tick);
 
   private:
-    void handleDirectory(const Message &msg, Tick tick);
-    void handleMulticastHome(const Message &msg, Tick tick);
+    void handleDirectory(const Message &msg, const CoherenceTxn &txn,
+                         Tick tick);
+    void handleMulticastHome(const Message &msg, CoherenceTxn &txn,
+                             Tick tick);
 
     System &sys_;
     NodeId node_;
@@ -212,21 +238,14 @@ class System
     friend class CacheController;
     friend class MemoryController;
 
-    /** One in-flight coherence transaction. */
-    struct Txn {
-        NodeId requester = 0;
-        Addr addr = 0;
-        Addr pc = 0;
-        RequestType type = RequestType::GetShared;
-        Tick issued = 0;
-        std::uint8_t attempts = 0;       ///< orderings so far
-        bool resolved = false;
-        std::uint8_t resolvedAttempt = 0;
-        NodeId responder = invalidNode;
-        DestinationSet required;
-        MosiState granted = MosiState::Invalid;
-        std::uint32_t retries = 0;
-    };
+    using Txn = CoherenceTxn;
+
+    /** Pooled event: deliver `msg` to `dest` without the network
+     *  (self-observation of ordered requests, node-local transfers). */
+    struct LocalDeliverEvent;
+
+    /** Pooled event: hand `msg` to sendOrLocal() at its tick. */
+    struct SendEvent;
 
     // -- crossbar callbacks
     void onOrder(Message &msg, Tick tick);
@@ -234,6 +253,9 @@ class System
 
     /** Point-to-point send that short-circuits node-local traffic. */
     void sendOrLocal(Message msg);
+
+    /** Schedule sendOrLocal(msg) at tick `when` (controller action). */
+    void sendLater(Message msg, Tick when);
 
     /** Destination set for a new request, per protocol. */
     DestinationSet destinationsFor(BlockId block, Addr addr, Addr pc,
@@ -247,6 +269,11 @@ class System
 
     NodeId homeOf_(BlockId block) const
     {
+        // Power-of-two node counts (the common case, incl. the
+        // paper's 16) take the mask path: this runs per delivery and
+        // a hardware divide is ~30 cycles.
+        if (homeMask_ != 0)
+            return static_cast<NodeId>(block & homeMask_);
         return homeOf(block, params_.nodes);
     }
 
@@ -258,6 +285,8 @@ class System
 
     Workload &workload_;
     SystemParams params_;
+    /** nodes-1 when nodes is a power of two, else 0 (slow path). */
+    BlockId homeMask_ = 0;
 
     EventQueue queue_;
     OrderedCrossbar crossbar_;
@@ -268,14 +297,17 @@ class System
     std::vector<std::unique_ptr<MemoryController>> memCtrls_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
 
-    std::unordered_map<TxnId, Txn> txns_;
+    FlatMap<TxnId, Txn> txns_;
     TxnId nextTxn_ = 1;
 
-    /** Tick at which the current owner's copy of a block is usable. */
-    std::unordered_map<BlockId, Tick> dataReady_;
-
-    /** Tick at which memory at the home holds the latest data. */
-    std::unordered_map<BlockId, Tick> memReady_;
+    // Earlier revisions kept per-block "data ready" / "memory ready"
+    // tick maps to chain dependent misses. Every value they stored was
+    // the tick of an already-executed event, and every reader max()ed
+    // it against the current tick at a later simulation time, so the
+    // maps provably never changed an outcome -- they only cost a
+    // cache-missing hash write per miss. Real data-availability
+    // chaining needs expected-completion (future) ticks recorded at
+    // issue time; see ROADMAP "Open items".
 
     // -- phase / stats state
     bool measuring_ = false;

@@ -9,7 +9,9 @@ Workload::Workload(std::string name, NodeId num_nodes, double mean_work,
     : name_(std::move(name)),
       numNodes_(num_nodes),
       meanWork_(mean_work),
-      episodeLen_(episode_len)
+      episodeLen_(episode_len),
+      workGeo_(mean_work + 1.0),
+      episodeGeo_(episode_len)
 {
     dsp_assert(num_nodes > 0 && num_nodes <= maxNodes,
                "bad node count %u", num_nodes);
@@ -50,7 +52,7 @@ Workload::next(NodeId p)
 
     if (st.episodeLeft == 0) {
         st.region = pickRegion(st.rng);
-        st.episodeLeft = st.rng.geometric(episodeLen_);
+        st.episodeLeft = episodeGeo_.sample(st.rng);
     }
     --st.episodeLeft;
 
@@ -60,7 +62,7 @@ Workload::next(NodeId p)
     out.work = meanWork_ == 0.0
                    ? 0
                    : static_cast<std::uint32_t>(
-                         st.rng.geometric(meanWork_ + 1.0) - 1);
+                         workGeo_.sample(st.rng) - 1);
     out.addr = ref.addr;
     out.pc = ref.pc;
     out.write = ref.write;

@@ -67,6 +67,9 @@ class Workload
     NodeId numNodes_;
     double meanWork_;
     double episodeLen_;
+    /** Precomputed geometric draws (log-free on the common path). */
+    GeometricSampler workGeo_;
+    GeometricSampler episodeGeo_;
 
     std::vector<std::unique_ptr<Region>> regions_;
     std::vector<double> cumWeights_;

@@ -26,6 +26,38 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
     for (double &v : cdf_)
         v *= inv;
     cdf_.back() = 1.0;  // guard against rounding
+
+    if (n > aliasMaxItems)
+        return;
+
+    // Walker alias construction: split the mass into n equal columns,
+    // each covered by at most two items.
+    alias_.resize(n);
+    std::vector<double> scaled(n);  // P(i) * n
+    double prev = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        scaled[i] = (cdf_[i] - prev) * static_cast<double>(n);
+        prev = cdf_[i];
+    }
+    std::vector<std::uint64_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    while (!small.empty() && !large.empty()) {
+        std::uint64_t s = small.back();
+        std::uint64_t l = large.back();
+        small.pop_back();
+        large.pop_back();
+        alias_[s] = AliasCell{scaled[s], l};
+        scaled[l] -= 1.0 - scaled[s];
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftovers are numerically-full columns.
+    for (std::uint64_t s : small)
+        alias_[s] = AliasCell{1.0, s};
+    for (std::uint64_t l : large)
+        alias_[l] = AliasCell{1.0, l};
 }
 
 std::uint64_t
@@ -33,6 +65,17 @@ ZipfSampler::sample(Rng &rng) const
 {
     if (cdf_.empty())
         return rng.uniformInt(n_);
+    if (!alias_.empty()) {
+        // One draw covers both the column pick and the coin: the
+        // integer part selects the column, the fraction is the coin.
+        double u = rng.uniformReal() * static_cast<double>(n_);
+        auto col = static_cast<std::uint64_t>(u);
+        if (col >= n_)
+            col = n_ - 1;  // guard against u == 1.0 rounding
+        double coin = u - static_cast<double>(col);
+        const AliasCell &cell = alias_[col];
+        return coin < cell.threshold ? col : cell.alias;
+    }
     double u = rng.uniformReal();
     auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
     return static_cast<std::uint64_t>(it - cdf_.begin());

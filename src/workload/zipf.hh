@@ -4,11 +4,14 @@
  *
  * Commercial-workload miss streams are highly skewed (Figure 4 of the
  * paper: the hottest ~1000 blocks cover most cache-to-cache misses).
- * We use an exact discrete Zipf: P(rank r) proportional to 1/(r+1)^theta,
- * sampled by binary search over a precomputed CDF. This keeps the head
- * realistic (no single mega-hot item, unlike the continuous power-law
- * shortcut) while preserving the heavy tail that produces capacity
- * misses.
+ * We use an exact discrete Zipf: P(rank r) proportional to 1/(r+1)^theta.
+ * Small tables sample in O(1) by Walker's alias method (one uniform
+ * draw, one table load that stays cache-resident); large tables keep
+ * the CDF binary search, whose probe path through the hot head is far
+ * cache-friendlier than the alias method's uniformly-random column
+ * access. This keeps the head realistic (no single mega-hot item,
+ * unlike the continuous power-law shortcut) while preserving the heavy
+ * tail that produces capacity misses.
  */
 
 #ifndef DSP_WORKLOAD_ZIPF_HH
@@ -43,9 +46,23 @@ class ZipfSampler
     double theta() const { return theta_; }
 
   private:
+    /** One alias-table cell: take the column if the coin lands below
+     *  `threshold`, otherwise take `alias`. */
+    struct AliasCell {
+        double threshold;
+        std::uint64_t alias;
+    };
+
+    /** Largest table the alias method is built for (1 MiB of cells);
+     *  beyond that the CDF search wins on cache behaviour. */
+    static constexpr std::uint64_t aliasMaxItems = 1u << 16;
+
     std::uint64_t n_;
     double theta_;
-    std::vector<double> cdf_;  ///< empty when theta == 0 (uniform)
+    std::vector<double> cdf_;        ///< kept for headMass(); empty
+                                     ///< when theta == 0 (uniform)
+    std::vector<AliasCell> alias_;   ///< empty when theta == 0 or
+                                     ///< n > aliasMaxItems
 };
 
 /**

@@ -34,7 +34,7 @@ class MockPort : public MemoryPort
     unsigned peakOutstanding = 0;
 
     AccessReply
-    access(Addr, Addr, bool, Tick when, Completion done) override
+    access(Addr, Addr, bool, Tick when, const Completion &done) override
     {
         ++accesses;
         if (missEvery == 0 || accesses % missEvery != 0)

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for PredictorTable: finite sizing invariants (requested
+ * capacity is never silently shrunk), allocation/eviction accounting,
+ * and the unbounded (flat-map backed) variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_table.hh"
+
+namespace dsp {
+namespace {
+
+struct Entry {
+    int value = 0;
+};
+
+TEST(PredictorTable, CapacityNeverBelowRequestedEntries)
+{
+    // 10 entries 4-way used to floor to 2 sets = capacity 8; the set
+    // count must round up instead.
+    PredictorTable<Entry> t(10, 4);
+    EXPECT_FALSE(t.unbounded());
+    EXPECT_GE(t.capacity(), 10u);
+    EXPECT_EQ(t.capacity(), 12u);  // 3 sets x 4 ways
+
+    PredictorTable<Entry> exact(8192, 4);
+    EXPECT_EQ(exact.capacity(), 8192u);
+
+    PredictorTable<Entry> prime(13, 4);
+    EXPECT_GE(prime.capacity(), 13u);
+
+    // ways > entries clamps to fully-associative over `entries`.
+    PredictorTable<Entry> clamped(3, 8);
+    EXPECT_EQ(clamped.capacity(), 3u);
+}
+
+TEST(PredictorTable, FindNeverAllocates)
+{
+    PredictorTable<Entry> t(16, 4);
+    EXPECT_EQ(t.find(1), nullptr);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.allocations(), 0u);
+    EXPECT_EQ(t.lookups(), 1u);
+    EXPECT_EQ(t.hits(), 0u);
+}
+
+TEST(PredictorTable, FindOrAllocateFillsAndEvicts)
+{
+    // 4 entries, 2 ways -> 2 sets.
+    PredictorTable<Entry> t(4, 2);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        t.findOrAllocate(k).value = static_cast<int>(k);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.allocations(), 4u);
+    EXPECT_EQ(t.evictions(), 0u);
+
+    // A fifth key lands in some set and evicts its LRU way.
+    t.findOrAllocate(4).value = 4;
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.evictions(), 1u);
+    Entry *entry = t.find(4);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->value, 4);
+}
+
+TEST(PredictorTable, UnboundedVariantGrowsWithoutEviction)
+{
+    PredictorTable<Entry> t(0, 0);
+    EXPECT_TRUE(t.unbounded());
+    EXPECT_EQ(t.capacity(), 0u);
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        t.findOrAllocate(k).value = static_cast<int>(k);
+    EXPECT_EQ(t.size(), 5000u);
+    EXPECT_EQ(t.evictions(), 0u);
+    for (std::uint64_t k = 0; k < 5000; ++k) {
+        Entry *entry = t.find(k);
+        ASSERT_NE(entry, nullptr);
+        EXPECT_EQ(entry->value, static_cast<int>(k));
+    }
+    EXPECT_EQ(t.hits(), 5000u);
+}
+
+} // namespace
+} // namespace dsp
