@@ -20,10 +20,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/trace_collector.hh"
+#include "sim/flat_map.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 #include "trace/trace.hh"
@@ -94,13 +96,31 @@ parseOptions(int argc, char **argv)
     return opt;
 }
 
+/** FNV-1a hash of a C string: the in-process trace-cache key. */
+inline std::uint64_t
+traceCacheKey(const char *s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (; *s != '\0'; ++s) {
+        h ^= static_cast<unsigned char>(*s);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 /**
  * Load a cached annotated trace for (workload, options) or collect and
- * cache one. The cache lives in ./traces/ and is keyed by every
- * parameter that affects trace contents, so benches sharing a
- * configuration (the common case) collect each workload exactly once.
+ * cache one. Two cache levels, both keyed by every parameter that
+ * affects trace contents: a FlatMap memo inside the process (so a
+ * bench that revisits a configuration never re-reads, let alone
+ * re-collects, and no caller copies the record vector) and ./traces/
+ * on disk shared across bench binaries.
+ *
+ * The returned reference points at the memo-owned trace; it stays
+ * valid across further getOrCollectTrace calls (entries are held by
+ * pointer, so map growth never moves a Trace).
  */
-inline Trace
+inline const Trace &
 getOrCollectTrace(const Options &opt, const std::string &name)
 {
     char file[512];
@@ -111,26 +131,38 @@ getOrCollectTrace(const Options &opt, const std::string &name)
                   static_cast<unsigned long long>(opt.warmupMisses),
                   static_cast<unsigned long long>(opt.measureMisses));
 
+    // The file name encodes the full parameter tuple, so its hash is
+    // the memo key. (Cold table; FlatMap to finish the repo-wide
+    // flat-map adoption rather than for speed.)
+    static FlatMap<std::uint64_t, std::unique_ptr<Trace>> memo;
+    const std::uint64_t key = traceCacheKey(file);
+    if (auto it = memo.find(key); it != memo.end() &&
+                                  it->second->workloadName == name) {
+        return *it->second;
+    }
+
     if (std::FILE *f = std::fopen(file, "rb")) {
         std::fclose(f);
-        Trace trace = readTrace(file);
-        if (trace.workloadName == name && trace.numNodes == opt.nodes &&
-            trace.warmupRecords == opt.warmupMisses &&
-            trace.size() == opt.warmupMisses + opt.measureMisses) {
-            return trace;
+        auto trace = std::make_unique<Trace>(readTrace(file));
+        if (trace->workloadName == name &&
+            trace->numNodes == opt.nodes &&
+            trace->warmupRecords == opt.warmupMisses &&
+            trace->size() == opt.warmupMisses + opt.measureMisses) {
+            return *memo.emplace(key, std::move(trace))
+                        .first->second;
         }
         dsp_warn("stale trace cache '%s'; recollecting", file);
     }
 
     auto workload = makeWorkload(name, opt.nodes, opt.seed, opt.scale);
     TraceCollector collector(*workload);
-    Trace trace =
-        collector.collect(opt.warmupMisses, opt.measureMisses);
+    auto trace = std::make_unique<Trace>(
+        collector.collect(opt.warmupMisses, opt.measureMisses));
 
     mkdir("traces", 0755);
-    if (!writeTrace(trace, file))
+    if (!writeTrace(*trace, file))
         dsp_warn("could not cache trace to '%s'", file);
-    return trace;
+    return *memo.emplace(key, std::move(trace)).first->second;
 }
 
 } // namespace bench

@@ -24,7 +24,7 @@ main(int argc, char **argv)
                         "shareOfMisses"});
 
     for (const std::string &name : opt.workloads) {
-        Trace trace = bench::getOrCollectTrace(opt, name);
+        const Trace &trace = bench::getOrCollectTrace(opt, name);
         WorkloadCharacterization chars(opt.nodes);
         chars.beginMeasurement(trace.warmupInstructions);
         chars.absorbTrace(trace);

@@ -28,7 +28,7 @@ main(int argc, char **argv)
                         "@4k", "@6k", "@8k", "@10k", "c2cMisses"});
 
     for (const std::string &name : opt.workloads) {
-        Trace trace = bench::getOrCollectTrace(opt, name);
+        const Trace &trace = bench::getOrCollectTrace(opt, name);
         WorkloadCharacterization chars(opt.nodes);
         chars.beginMeasurement(trace.warmupInstructions);
         chars.absorbTrace(trace);

@@ -36,7 +36,7 @@ main(int argc, char **argv)
     PredictorEvaluator evaluator(opt.nodes);
 
     for (const std::string &name : opt.workloads) {
-        Trace trace = bench::getOrCollectTrace(opt, name);
+        const Trace &trace = bench::getOrCollectTrace(opt, name);
 
         auto addRow = [&](const std::string &label,
                           const EvalResult &r) {

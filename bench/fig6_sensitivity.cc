@@ -29,7 +29,7 @@ main(int argc, char **argv)
     std::string name =
         opt.workloads.size() == 1 ? opt.workloads[0] : "oltp";
 
-    Trace trace = bench::getOrCollectTrace(opt, name);
+    const Trace &trace = bench::getOrCollectTrace(opt, name);
     PredictorEvaluator evaluator(opt.nodes);
 
     stats::Table table({"panel", "config", "policy", "reqMsgs/miss",

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "interconnect/message.hh"
 #include "sim/event.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
@@ -45,6 +46,8 @@ struct HotpathOptions {
     NodeId nodes = 16;
     std::uint64_t seed = 1;
     std::string out = "BENCH_hotpath.json";
+    bool outExplicit = false;
+    std::string onlyConfig;  ///< run just this config (profiling aid)
 };
 
 HotpathOptions
@@ -70,10 +73,13 @@ parseArgs(int argc, char **argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--out") {
             opt.out = next();
+            opt.outExplicit = true;
+        } else if (arg == "--config") {
+            opt.onlyConfig = next();
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "options: --measure N --warmup N --workload W "
-                         "--nodes N --seed S --out FILE\n");
+                         "--nodes N --seed S --out FILE --config NAME\n");
             std::exit(0);
         } else {
             dsp_fatal("unknown option '%s'", arg.c_str());
@@ -107,7 +113,8 @@ struct ConfigResult {
 
 ConfigResult
 runConfig(const HotpathOptions &opt, const std::string &name,
-          ProtocolKind protocol, PredictorPolicy policy)
+          ProtocolKind protocol, PredictorPolicy policy,
+          CpuModel cpu_model)
 {
     auto workload =
         makeWorkload(opt.workload, opt.nodes, opt.seed, 0.25);
@@ -116,7 +123,7 @@ runConfig(const HotpathOptions &opt, const std::string &name,
     params.nodes = opt.nodes;
     params.protocol = protocol;
     params.policy = policy;
-    params.cpuModel = CpuModel::Simple;
+    params.cpuModel = cpu_model;
     params.functionalWarmupMisses = opt.warmupMisses;
     params.warmupInstrPerCpu = opt.measureInstr / 10;
     params.measureInstrPerCpu = opt.measureInstr;
@@ -205,6 +212,20 @@ writeJson(const HotpathOptions &opt,
                      pools.slabAllocations));
     std::fprintf(f, "    \"slab_bytes\": %llu\n",
                  static_cast<unsigned long long>(pools.slabBytes));
+    std::fprintf(f, "  },\n");
+
+    // Zero-copy multicast accounting: refs_shared counts deliveries
+    // that reused a pooled payload instead of copying a Message.
+    const MessagePoolStats &msgs = MessageRef::stats();
+    std::fprintf(f, "  \"message_pool\": {\n");
+    std::fprintf(f, "    \"payloads\": %llu,\n",
+                 static_cast<unsigned long long>(msgs.acquires));
+    std::fprintf(f, "    \"refs_shared\": %llu,\n",
+                 static_cast<unsigned long long>(msgs.refsShared));
+    std::fprintf(f, "    \"live\": %llu,\n",
+                 static_cast<unsigned long long>(msgs.live()));
+    std::fprintf(f, "    \"slab_bytes\": %llu\n",
+                 static_cast<unsigned long long>(msgs.slabBytes));
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -218,13 +239,32 @@ main(int argc, char **argv)
 {
     HotpathOptions opt = parseArgs(argc, argv);
 
+    // The Figure-7 configs (simple CPU) plus the Figure-8 headline
+    // config (detailed out-of-order CPU), so the bench covers both
+    // processor models' hot paths.
+    struct Config {
+        const char *name;
+        ProtocolKind protocol;
+        CpuModel cpuModel;
+    };
+    const Config configs[] = {
+        {"snooping", ProtocolKind::Snooping, CpuModel::Simple},
+        {"multicast-owner-group", ProtocolKind::Multicast,
+         CpuModel::Simple},
+        {"multicast-owner-group-detailed", ProtocolKind::Multicast,
+         CpuModel::Detailed},
+    };
+
     std::vector<ConfigResult> results;
-    results.push_back(runConfig(opt, "snooping",
-                                ProtocolKind::Snooping,
-                                PredictorPolicy::OwnerGroup));
-    results.push_back(runConfig(opt, "multicast-owner-group",
-                                ProtocolKind::Multicast,
-                                PredictorPolicy::OwnerGroup));
+    for (const Config &config : configs) {
+        if (!opt.onlyConfig.empty() && opt.onlyConfig != config.name)
+            continue;
+        results.push_back(runConfig(opt, config.name, config.protocol,
+                                    PredictorPolicy::OwnerGroup,
+                                    config.cpuModel));
+    }
+    if (results.empty())
+        dsp_fatal("no config named '%s'", opt.onlyConfig.c_str());
 
     std::printf("%-24s %12s %14s %12s %14s\n", "config", "events",
                 "events/sec", "misses", "misses/sec");
@@ -246,6 +286,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(pools.slabBytes /
                                                 1024));
 
+    // A --config subset run is a profiling aid; never let it clobber
+    // the full 3-config baseline JSON (check.sh's perf guard would
+    // silently stop guarding the missing configs).
+    if (!opt.onlyConfig.empty() && !opt.outExplicit) {
+        std::printf("single-config run: skipping JSON (pass --out to "
+                    "write one)\n");
+        return 0;
+    }
     if (!writeJson(opt, results))
         return 1;
     std::printf("wrote %s\n", opt.out.c_str());

@@ -37,7 +37,7 @@ main(int argc, char **argv)
                         "dirIndirections"});
 
     for (const std::string &name : opt.workloads) {
-        Trace trace = bench::getOrCollectTrace(opt, name);
+        const Trace &trace = bench::getOrCollectTrace(opt, name);
         WorkloadCharacterization chars(opt.nodes);
         chars.beginMeasurement(trace.warmupInstructions);
         chars.absorbTrace(trace);

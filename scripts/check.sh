@@ -6,22 +6,78 @@
 #
 #   1. configure + build (Release, warnings-as-errors for src/)
 #   2. ctest unit suite
-#   3. bench_perf_hotpath with a small --measure, writing
-#      BENCH_hotpath.json so perf regressions are visible per PR
+#   3. bench_perf_hotpath with a small --measure, checked against the
+#      committed BENCH_hotpath.json: a >15% events/sec regression on
+#      any config fails the run. Pass --allow-perf-regression (or set
+#      ALLOW_PERF_REGRESSION=1) for intentional perf changes; the
+#      fresh numbers are then (as always, on success) written back to
+#      BENCH_hotpath.json so every PR leaves a perf trajectory behind.
 #
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+ALLOW_PERF_REGRESSION="${ALLOW_PERF_REGRESSION:-0}"
+for arg in "$@"; do
+    case "$arg" in
+      --allow-perf-regression) ALLOW_PERF_REGRESSION=1 ;;
+      *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
+    esac
+done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B build -S .
 cmake --build build -j"$JOBS"
 
-ctest --test-dir build --output-on-failure -j"$JOBS"
+# --no-tests=error: a missing GTest only warns at configure time; an
+# empty test set must fail loudly here, not report green.
+ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS"
 
 # Small measured run: enough events for a stable events/sec figure,
 # quick enough for CI (a few seconds).
+BASELINE=BENCH_hotpath.json
+FRESH=build/BENCH_hotpath_fresh.json
 ./build/bench_perf_hotpath --measure 200000 --warmup 20000 \
-    --out BENCH_hotpath.json
+    --out "$FRESH"
+
+# Per-config events/sec guard. Bench noise on a busy machine is well
+# under the 15% bar; a real regression from a hot-path change is not.
+# With --allow-perf-regression the comparison still prints, but only
+# informationally (intentional perf changes, non-comparable hardware).
+if [[ -f "$BASELINE" ]]; then
+    extract() {
+        awk -F: '
+            /"name"/   { gsub(/[ ",]/, "", $2); name = $2 }
+            /"events_per_sec"/ && name != "" {
+                gsub(/[ ,]/, "", $2); print name, $2; name = ""
+            }' "$1"
+    }
+    if ! { extract "$BASELINE"; echo "--"; extract "$FRESH"; } | awk -v \
+        enforce="$([[ "$ALLOW_PERF_REGRESSION" == "1" ]] || echo 1)" '
+        $1 == "--"  { fresh_section = 1; next }
+        !fresh_section { base[$1] = $2; next }
+        { fresh[$1] = $2 }
+        END {
+            status = 0
+            for (name in fresh) {
+                if (!(name in base) || base[name] <= 0) continue
+                ratio = fresh[name] / base[name]
+                printf "perf guard: %-32s %12.0f -> %12.0f ev/s (%.2fx)\n", \
+                       name, base[name], fresh[name], ratio
+                if (ratio < 0.85 && enforce == "1") {
+                    printf "perf guard: FAIL %s regressed >15%%\n", name
+                    status = 1
+                }
+            }
+            exit status
+        }'; then
+        echo "check.sh: events/sec regression vs committed" \
+             "BENCH_hotpath.json (rerun with --allow-perf-regression" \
+             "if intentional)" >&2
+        exit 1
+    fi
+fi
+
+cp "$FRESH" "$BASELINE"
 
 echo "check.sh: build + tests + hotpath bench OK"

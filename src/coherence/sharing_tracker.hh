@@ -108,6 +108,13 @@ class SharingTracker
     /** Number of blocks with any non-default state. */
     std::size_t trackedBlocks() const { return blocks_.size(); }
 
+    /**
+     * Pre-size the block table for `blocks` entries (e.g. the
+     * workload's whole footprint), so the hot ordering-point path
+     * never pays an incremental rehash.
+     */
+    void reserve(std::size_t blocks) { blocks_.reserve(blocks); }
+
   private:
     struct BlockState {
         NodeId owner = invalidNode;  ///< invalidNode = memory owns

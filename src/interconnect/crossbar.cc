@@ -7,12 +7,13 @@
 namespace dsp {
 
 /**
- * The two hot event types of the interconnect: both carry their
- * Message payload inside the pooled slot, so a fully-loaded network
- * schedules hops without ever touching the heap.
+ * The two hot event types of the interconnect: both live in pooled
+ * slots and carry only a handle to the shared payload, so a
+ * fully-loaded network schedules hops without touching the heap and
+ * a multicast fan-out never copies the Message.
  */
 struct OrderedCrossbar::OrderEvent final : Event {
-    OrderEvent(OrderedCrossbar &x, Message &&m, Tick o)
+    OrderEvent(OrderedCrossbar &x, MessageRef &&m, Tick o)
         : xbar(x), msg(std::move(m)), order(o)
     {
     }
@@ -26,12 +27,13 @@ struct OrderedCrossbar::OrderEvent final : Event {
     }
 
     OrderedCrossbar &xbar;
-    Message msg;
+    MessageRef msg;
     Tick order;
 };
 
 struct OrderedCrossbar::DeliverEvent final : Event {
-    DeliverEvent(OrderedCrossbar &x, const Message &m, NodeId d, Tick w)
+    DeliverEvent(OrderedCrossbar &x, const MessageRef &m, NodeId d,
+                 Tick w)
         : xbar(x), msg(m), dest(d), when(w)
     {
     }
@@ -40,7 +42,7 @@ struct OrderedCrossbar::DeliverEvent final : Event {
     process() override
     {
         if (xbar.onDeliver_)
-            xbar.onDeliver_(msg, dest, when);
+            xbar.onDeliver_(*msg, dest, when);
     }
 
     void
@@ -50,7 +52,7 @@ struct OrderedCrossbar::DeliverEvent final : Event {
     }
 
     OrderedCrossbar &xbar;
-    Message msg;
+    MessageRef msg;
     NodeId dest;
     Tick when;
 };
@@ -106,26 +108,27 @@ OrderedCrossbar::bookEgress(NodeId src, Tick earliest,
 }
 
 void
-OrderedCrossbar::deliver(const Message &msg, NodeId dest, Tick when)
+OrderedCrossbar::deliver(const MessageRef &msg, NodeId dest, Tick when)
 {
-    stats_[static_cast<std::size_t>(msg.kind)].add(msg.bytes());
+    stats_[static_cast<std::size_t>(msg->kind)].add(msg->bytes());
     queue_.schedule(*EventPool<DeliverEvent>::instance().acquire(
                         *this, msg, dest, when),
                     when, EventPriority::Delivery);
 }
 
 void
-OrderedCrossbar::orderAndFanOut(Message &msg, Tick order)
+OrderedCrossbar::orderAndFanOut(const MessageRef &msg, Tick order)
 {
     if (onOrder_)
         onOrder_(msg, order);
     // Fan out to every destination but the source; each delivery
-    // contends for the destination's ingress link.
-    msg.dests.forEach([&](NodeId dest) {
-        if (dest == msg.src)
+    // contends for the destination's ingress link and shares the one
+    // pooled payload.
+    msg->dests.forEach([&](NodeId dest) {
+        if (dest == msg->src)
             return;
         Tick arrive =
-            bookIngress(dest, order + halfTraversal_, msg.bytes());
+            bookIngress(dest, order + halfTraversal_, msg->bytes());
         deliver(msg, dest, arrive);
     });
 }
@@ -140,7 +143,7 @@ OrderedCrossbar::sendOrdered(Message msg)
     lastOrder_ = order;
 
     queue_.schedule(*EventPool<OrderEvent>::instance().acquire(
-                        *this, std::move(msg), order),
+                        *this, MessageRef(std::move(msg)), order),
                     order, EventPriority::NetworkOrder);
 }
 
@@ -153,7 +156,8 @@ OrderedCrossbar::sendDirect(Message msg)
     Tick arrive = bookIngress(msg.dest,
                               depart + 2 * halfTraversal_,
                               msg.bytes());
-    deliver(msg, msg.dest, arrive);
+    NodeId dest = msg.dest;
+    deliver(MessageRef(std::move(msg)), dest, arrive);
 }
 
 const TrafficStats &

@@ -53,11 +53,15 @@ struct TrafficStats {
  * onOrder fires once per ordered message at its serialization tick
  * (where the functional coherence transaction is applied), and
  * onDeliver fires per (message, destination) at its delivery tick.
+ *
+ * The order handler receives the shared payload handle so the owner
+ * can enqueue further zero-copy deliveries (e.g. self-observation of
+ * an ordered request) against the same pooled payload.
  */
 class OrderedCrossbar
 {
   public:
-    using OrderHandler = std::function<void(Message &, Tick)>;
+    using OrderHandler = std::function<void(const MessageRef &, Tick)>;
     using DeliverHandler =
         std::function<void(const Message &, NodeId, Tick)>;
 
@@ -68,11 +72,12 @@ class OrderedCrossbar
     void setDeliverHandler(DeliverHandler handler);
 
     /**
-     * Send an ordered multicast (Request/Retry). The message is
-     * serialized at the ordering point, the order handler runs, then
-     * a copy is delivered to every member of msg.dests except the
-     * source (self-delivery is free and instantaneous at the order
-     * tick -- modelled by the order handler itself).
+     * Send an ordered multicast (Request/Retry). The message moves
+     * into one pooled payload, is serialized at the ordering point,
+     * the order handler runs, then every member of msg.dests except
+     * the source receives a delivery that shares that payload
+     * (self-delivery is free and instantaneous at the order tick --
+     * modelled by the order handler itself).
      */
     void sendOrdered(Message msg);
 
@@ -94,7 +99,7 @@ class OrderedCrossbar
     /** Pooled event: one message reaching the ordering point. */
     struct OrderEvent;
 
-    /** Pooled event: one (message, destination) delivery. */
+    /** Pooled event: one (payload handle, destination) delivery. */
     struct DeliverEvent;
 
     /** Earliest time dest's ingress link is free; returns delivery
@@ -104,10 +109,11 @@ class OrderedCrossbar
     /** Book the source's egress link. */
     Tick bookEgress(NodeId src, Tick earliest, std::uint32_t bytes);
 
-    /** Serialize `msg`, then fan deliveries out to its destinations. */
-    void orderAndFanOut(Message &msg, Tick order);
+    /** Serialize `msg`, then fan deliveries out to its destinations;
+     *  all of them share the one pooled payload. */
+    void orderAndFanOut(const MessageRef &msg, Tick order);
 
-    void deliver(const Message &msg, NodeId dest, Tick when);
+    void deliver(const MessageRef &msg, NodeId dest, Tick when);
 
     EventQueue &queue_;
     NodeId numNodes_;

@@ -11,9 +11,13 @@
 #define DSP_INTERCONNECT_MESSAGE_HH
 
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "mem/destination_set.hh"
 #include "mem/types.hh"
+#include "sim/logging.hh"
 
 namespace dsp {
 
@@ -78,6 +82,151 @@ struct Message {
     {
         return blockOf(addr);
     }
+};
+
+/** Aggregate counters for the shared-payload pool. */
+struct MessagePoolStats {
+    std::uint64_t acquires = 0;    ///< payloads moved into the pool
+    std::uint64_t releases = 0;    ///< payloads whose last ref dropped
+    std::uint64_t refsShared = 0;  ///< extra refs taken (copies avoided)
+    std::uint64_t slabAllocations = 0;  ///< backing-store mallocs
+    std::uint64_t slabBytes = 0;        ///< backing-store footprint
+
+    /** Payloads currently alive (some handle still references them). */
+    std::uint64_t live() const { return acquires - releases; }
+};
+
+/**
+ * Refcounted handle to an immutable pooled Message payload.
+ *
+ * A multicast fan-out used to copy the full Message into every
+ * per-destination delivery event; with MessageRef the payload is moved
+ * into a slab-pooled slot exactly once and every delivery shares it,
+ * carrying only (handle, destination, tick). Handles give const-only
+ * access, so sharing is safe by construction. Single-threaded, like
+ * the rest of the kernel: refcounts are plain integers.
+ */
+class MessageRef
+{
+  public:
+    MessageRef() = default;
+
+    /** Move a message into a pooled slot; the handle owns one ref. */
+    explicit MessageRef(Message &&msg) : slot_(acquireSlot())
+    {
+        slot_->msg = std::move(msg);
+        slot_->refs = 1;
+        ++poolStats().acquires;
+    }
+
+    MessageRef(const MessageRef &other) : slot_(other.slot_)
+    {
+        if (slot_ != nullptr) {
+            ++slot_->refs;
+            ++poolStats().refsShared;
+        }
+    }
+
+    MessageRef(MessageRef &&other) noexcept : slot_(other.slot_)
+    {
+        other.slot_ = nullptr;
+    }
+
+    MessageRef &
+    operator=(const MessageRef &other)
+    {
+        MessageRef copy(other);
+        std::swap(slot_, copy.slot_);
+        return *this;
+    }
+
+    MessageRef &
+    operator=(MessageRef &&other) noexcept
+    {
+        std::swap(slot_, other.slot_);
+        return *this;
+    }
+
+    ~MessageRef() { reset(); }
+
+    /** Drop this handle's reference. */
+    void
+    reset()
+    {
+        if (slot_ != nullptr && --slot_->refs == 0)
+            releaseSlot(slot_);
+        slot_ = nullptr;
+    }
+
+    explicit operator bool() const { return slot_ != nullptr; }
+
+    const Message &operator*() const { return slot_->msg; }
+    const Message *operator->() const { return &slot_->msg; }
+    const Message *get() const { return slot_ ? &slot_->msg : nullptr; }
+
+    /** Number of handles sharing this payload (0 for empty handles). */
+    std::uint32_t refCount() const { return slot_ ? slot_->refs : 0; }
+
+    /** Process-wide pool counters (tests assert copy-freedom here). */
+    static const MessagePoolStats &stats() { return poolStats(); }
+
+  private:
+    /** A pooled payload slot; `next` threads the free list when the
+     *  slot is vacant. */
+    struct Slot {
+        Message msg;
+        std::uint32_t refs = 0;
+        Slot *next = nullptr;
+    };
+
+    static constexpr std::size_t slabSlots = 256;
+
+    struct Pool {
+        std::vector<std::unique_ptr<Slot[]>> slabs;
+        Slot *freeList = nullptr;
+        MessagePoolStats stats;
+    };
+
+    /** Function-local static so the pool outlives every simulator
+     *  object; handles pending at teardown always release safely. */
+    static Pool &
+    pool()
+    {
+        static Pool p;
+        return p;
+    }
+
+    static MessagePoolStats &poolStats() { return pool().stats; }
+
+    static Slot *
+    acquireSlot()
+    {
+        Pool &p = pool();
+        if (p.freeList == nullptr) {
+            p.slabs.push_back(std::make_unique<Slot[]>(slabSlots));
+            ++p.stats.slabAllocations;
+            p.stats.slabBytes += slabSlots * sizeof(Slot);
+            Slot *slab = p.slabs.back().get();
+            for (std::size_t i = slabSlots; i-- > 0;) {
+                slab[i].next = p.freeList;
+                p.freeList = &slab[i];
+            }
+        }
+        Slot *slot = p.freeList;
+        p.freeList = slot->next;
+        return slot;
+    }
+
+    static void
+    releaseSlot(Slot *slot)
+    {
+        Pool &p = pool();
+        slot->next = p.freeList;
+        p.freeList = slot;
+        ++p.stats.releases;
+    }
+
+    Slot *slot_ = nullptr;
 };
 
 } // namespace dsp

@@ -6,6 +6,21 @@
  * no data (this is a timing/functional simulator, block contents are
  * never modelled). Used for L1s, L2s, and as the backing store of finite
  * destination-set predictor tables.
+ *
+ * Storage is structure-of-arrays: a dense tag plane, a parallel LRU
+ * plane, and a payload plane, all indexed by set * ways + way. The
+ * simulated L2s are far larger than the host's caches, so the miss
+ * path -- the common case for L2 probes -- walks one short run of tags
+ * per set instead of dragging a whole array-of-structs set (tags, LRU
+ * words, and payloads interleaved) through the host cache. The LRU and
+ * payload planes are touched only on tag matches and fills.
+ *
+ * Tags are stored compressed: tag = key / sets (a shift for the usual
+ * power-of-two set counts), which with the set index reconstructs the
+ * key exactly. The `Tag` template parameter picks the stored width;
+ * the default 64-bit plane accepts any key, while callers whose keys
+ * are known-small (block numbers) can halve the plane's footprint
+ * with Tag = std::uint32_t -- an insert-time assert guards the range.
  */
 
 #ifndef DSP_MEM_CACHE_ARRAY_HH
@@ -35,28 +50,37 @@ struct Eviction {
  * PCs); set index is key % sets and the tag is key / sets, so any
  * key distribution works.
  */
-template <typename Payload>
+template <typename Payload, typename Tag = std::uint64_t>
 class CacheArray
 {
+    static_assert(std::is_unsigned_v<Tag>, "tags are unsigned");
+
   public:
     /**
      * @param sets number of sets (> 0)
      * @param ways associativity (> 0)
      */
     CacheArray(std::size_t sets, std::size_t ways)
-        : sets_(sets), ways_(ways), lines_(sets * ways)
+        : sets_(sets),
+          ways_(ways),
+          tags_(sets * ways, 0),
+          lastUse_(sets * ways, 0),
+          payloads_(sets * ways)
     {
         dsp_assert(sets > 0 && ways > 0,
                    "cache geometry %zux%zu invalid", sets, ways);
         // Real cache geometries have power-of-two set counts; index
-        // with a mask there instead of a (much slower) division.
-        if ((sets & (sets - 1)) == 0)
+        // with a shift/mask there instead of a (much slower) division.
+        if ((sets & (sets - 1)) == 0) {
             setMask_ = sets - 1;
+            while ((std::size_t{1} << log2Sets_) < sets)
+                ++log2Sets_;
+        }
     }
 
     std::size_t sets() const { return sets_; }
     std::size_t ways() const { return ways_; }
-    std::size_t capacity() const { return lines_.size(); }
+    std::size_t capacity() const { return tags_.size(); }
 
     /** Number of valid lines currently held. */
     std::size_t size() const { return valid_; }
@@ -68,19 +92,19 @@ class CacheArray
     Payload *
     find(std::uint64_t key)
     {
-        Line *line = lookup(key);
-        if (!line)
+        std::size_t line = lookup(key);
+        if (line == npos)
             return nullptr;
-        touch(*line);
-        return &line->payload;
+        touch(line);
+        return &payloads_[line];
     }
 
     /** Look up without disturbing LRU state (for inspection/tests). */
     const Payload *
     peek(std::uint64_t key) const
     {
-        const Line *line = lookup(key);
-        return line ? &line->payload : nullptr;
+        std::size_t line = lookup(key);
+        return line == npos ? nullptr : &payloads_[line];
     }
 
     /**
@@ -90,39 +114,41 @@ class CacheArray
     std::optional<Eviction<Payload>>
     insert(std::uint64_t key, Payload payload)
     {
-        // Single pass over the set: find the key, a free way, and the
-        // LRU victim at the same time.
+        // Single pass over the set's tag/LRU runs: find the key, a
+        // free way, and the LRU victim at the same time.
         std::size_t set = setOf(key);
-        Line *victim = nullptr;
+        Tag tag = tagOf(key);
+        std::size_t base = set * ways_;
+        std::size_t victim = npos;
+        std::uint32_t victimUse = 0;
         for (std::size_t w = 0; w < ways_; ++w) {
-            Line &cand = lines_[set * ways_ + w];
-            if (cand.valid && cand.key == key) {
-                cand.payload = std::move(payload);
-                touch(cand);
+            std::size_t line = base + w;
+            std::uint32_t use = lastUse_[line];
+            if (use != 0 && tags_[line] == tag) {
+                payloads_[line] = std::move(payload);
+                touch(line);
                 return std::nullopt;
             }
-            if (!cand.valid) {
-                if (!victim || victim->valid)
-                    victim = &cand;
-                continue;
-            }
-            if (!victim ||
-                (victim->valid && cand.lastUse < victim->lastUse)) {
-                victim = &cand;
+            // First way seeds the victim unconditionally so one is
+            // always chosen (a stamp can legitimately be UINT32_MAX
+            // right before a renormalization); free ways (use 0)
+            // always win thereafter.
+            if (victim == npos || use < victimUse) {
+                victim = line;
+                victimUse = use;
             }
         }
 
         std::optional<Eviction<Payload>> evicted;
-        if (victim->valid) {
-            evicted = Eviction<Payload>{victim->key,
-                                        std::move(victim->payload)};
+        if (victimUse != 0) {
+            evicted = Eviction<Payload>{keyAt(victim),
+                                        std::move(payloads_[victim])};
         } else {
             ++valid_;
         }
-        victim->valid = true;
-        victim->key = key;
-        victim->payload = std::move(payload);
-        touch(*victim);
+        tags_[victim] = tag;
+        payloads_[victim] = std::move(payload);
+        touch(victim);
         return evicted;
     }
 
@@ -130,12 +156,12 @@ class CacheArray
     std::optional<Payload>
     erase(std::uint64_t key)
     {
-        if (Line *line = lookup(key)) {
-            line->valid = false;
-            --valid_;
-            return std::move(line->payload);
-        }
-        return std::nullopt;
+        std::size_t line = lookup(key);
+        if (line == npos)
+            return std::nullopt;
+        lastUse_[line] = 0;
+        --valid_;
+        return std::move(payloads_[line]);
     }
 
     /** Invoke fn(key, payload&) on every valid line. */
@@ -143,31 +169,22 @@ class CacheArray
     void
     forEach(Fn &&fn)
     {
-        for (Line &line : lines_)
-            if (line.valid)
-                fn(line.key, line.payload);
+        for (std::size_t line = 0; line < tags_.size(); ++line)
+            if (lastUse_[line] != 0)
+                fn(keyAt(line), payloads_[line]);
     }
 
     /** Drop all lines. */
     void
     clear()
     {
-        for (Line &line : lines_)
-            line.valid = false;
+        std::fill(lastUse_.begin(), lastUse_.end(), 0);
         valid_ = 0;
     }
 
   private:
-    /** Packed to 16 bytes for small payloads, so a whole 4-way set is
-     *  one host cache line per lookup. lastUse is a 32-bit timestamp;
-     *  on wrap the array renormalizes (order-preserving), so LRU
-     *  behaviour is exact at any run length. */
-    struct Line {
-        std::uint64_t key = 0;
-        std::uint32_t lastUse = 0;
-        bool valid = false;
-        Payload payload{};
-    };
+    static constexpr std::size_t npos =
+        std::numeric_limits<std::size_t>::max();
 
     std::size_t
     setOf(std::uint64_t key) const
@@ -177,30 +194,55 @@ class CacheArray
         return static_cast<std::size_t>(key % sets_);
     }
 
-    Line *
-    lookup(std::uint64_t key)
+    /** Compressed tag: with setOf it reconstructs the key exactly. */
+    Tag
+    tagOf(std::uint64_t key) const
     {
-        std::size_t set = setOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line &line = lines_[set * ways_ + w];
-            if (line.valid && line.key == key)
-                return &line;
-        }
-        return nullptr;
+        std::uint64_t quotient =
+            setMask_ != 0 || sets_ == 1 ? key >> log2Sets_
+                                        : key / sets_;
+        dsp_assert(quotient <= std::numeric_limits<Tag>::max(),
+                   "key %llu exceeds this array's tag width",
+                   static_cast<unsigned long long>(key));
+        return static_cast<Tag>(quotient);
     }
 
-    const Line *
+    /** Reconstruct a line's key from its stored tag and set index. */
+    std::uint64_t
+    keyAt(std::size_t line) const
+    {
+        std::uint64_t set = line / ways_;
+        std::uint64_t quotient = tags_[line];
+        if (setMask_ != 0 || sets_ == 1)
+            return (quotient << log2Sets_) | set;
+        return quotient * sets_ + set;
+    }
+
+    /**
+     * Line index holding `key`, or npos. The scan reads only the tag
+     * plane until a tag matches (a line is valid iff its lastUse word
+     * is non-zero, checked second), so the common L2-probe miss stays
+     * within one dense run of tags.
+     */
+    std::size_t
     lookup(std::uint64_t key) const
     {
-        return const_cast<CacheArray *>(this)->lookup(key);
+        std::size_t base = setOf(key) * ways_;
+        Tag tag = tagOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            std::size_t line = base + w;
+            if (tags_[line] == tag && lastUse_[line] != 0)
+                return line;
+        }
+        return npos;
     }
 
     void
-    touch(Line &line)
+    touch(std::size_t line)
     {
         if (useClock_ == std::numeric_limits<std::uint32_t>::max())
             renormalizeUse();
-        line.lastUse = ++useClock_;
+        lastUse_[line] = ++useClock_;
     }
 
     /**
@@ -211,25 +253,36 @@ class CacheArray
     void
     renormalizeUse()
     {
-        std::vector<Line *> valid_lines;
+        std::vector<std::size_t> valid_lines;
         valid_lines.reserve(valid_);
-        for (Line &line : lines_)
-            if (line.valid)
-                valid_lines.push_back(&line);
+        for (std::size_t line = 0; line < lastUse_.size(); ++line)
+            if (lastUse_[line] != 0)
+                valid_lines.push_back(line);
         std::sort(valid_lines.begin(), valid_lines.end(),
-                  [](const Line *a, const Line *b) {
-                      return a->lastUse < b->lastUse;
+                  [this](std::size_t a, std::size_t b) {
+                      return lastUse_[a] < lastUse_[b];
                   });
         std::uint32_t next = 0;
-        for (Line *line : valid_lines)
-            line->lastUse = ++next;
+        for (std::size_t line : valid_lines)
+            lastUse_[line] = ++next;
         useClock_ = next;
     }
 
     std::size_t sets_;
     std::size_t ways_;
     std::size_t setMask_ = 0;  ///< sets-1 when sets is a power of two
-    std::vector<Line> lines_;
+    std::size_t log2Sets_ = 0; ///< log2(sets) when sets is a power of two
+
+    /**
+     * The three planes. A line is valid iff lastUse_ is non-zero
+     * (touch() never hands out zero, and renormalization keeps valid
+     * timestamps >= 1), so validity costs no extra plane and the
+     * lookup loop stays in the tag stream.
+     */
+    std::vector<Tag> tags_;
+    std::vector<std::uint32_t> lastUse_;
+    std::vector<Payload> payloads_;
+
     std::size_t valid_ = 0;
     std::uint32_t useClock_ = 0;
 };

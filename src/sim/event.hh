@@ -78,10 +78,22 @@ class Event
     static constexpr std::size_t invalidHeapIndex =
         std::numeric_limits<std::size_t>::max();
 
-    // The ordering key (tick, priority, sequence) lives inline in the
-    // queue's heap entries, not here, so heap comparisons never chase
-    // this pointer; the event only records where it sits.
+    /**
+     * Queue linkage. A scheduled event lives in exactly one of the
+     * queue's two planes:
+     *
+     *  - the calendar ring (short horizon): a per-bucket doubly-linked
+     *    list sorted by (when, key), threaded through prev_/next_;
+     *  - the overflow heap (far future): heapIndex_ records its slot.
+     *
+     * heapIndex_ == invalidHeapIndex distinguishes the two. The full
+     * ordering key (priority byte above a 56-bit insertion sequence)
+     * is cached in key_ so list insertion never recomputes it.
+     */
     Tick when_ = 0;
+    std::uint64_t key_ = 0;
+    Event *prev_ = nullptr;
+    Event *next_ = nullptr;
     std::size_t heapIndex_ = invalidHeapIndex;
     bool scheduled_ = false;
 };

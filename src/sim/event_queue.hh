@@ -2,14 +2,21 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A gem5-flavoured event queue over intrusive events. The binary heap
- * stores compact (tick, priority|sequence, event*) entries: ordering
- * comparisons touch only the contiguous heap array (no pointer chase)
- * and sift operations move 24 bytes, while the events themselves --
- * recycled through slab pools, see sim/event.hh -- never move. The
+ * A two-level calendar/bucket queue over intrusive events. Coherence
+ * traffic is overwhelmingly short-horizon (link hops, controller
+ * latencies, CPU quanta -- all well under a microsecond), so the queue
+ * keeps a power-of-two ring of tick buckets covering the next ~2 us:
+ * schedule and execute are O(1) there, with a two-level occupancy
+ * bitmap skipping empty buckets in a handful of bit operations. Events
+ * beyond the ring's horizon -- rare -- wait in a small 4-ary overflow
+ * heap and migrate into the ring as the window advances past them.
+ *
+ * Events are intrusive (sim/event.hh): bucket linkage lives inside the
+ * Event, events are recycled through slab pools, and the whole
  * schedule/execute path performs zero heap allocations. Ties are
  * broken first by an explicit priority, then by insertion order, so
- * execution is fully deterministic.
+ * execution is fully deterministic and identical to the total order
+ * the previous heap-based kernel produced.
  */
 
 #ifndef DSP_SIM_EVENT_QUEUE_HH
@@ -45,7 +52,7 @@ enum class EventPriority : int {
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -99,10 +106,10 @@ class EventQueue
     void deschedule(Event &ev);
 
     /** True if no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return ringLive_ == 0 && heap_.empty(); }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return ringLive_ + heap_.size(); }
 
     /** Execute the single earliest event, advancing time. */
     void step();
@@ -116,11 +123,41 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
-  private:
+    // ---- calendar geometry (public so tests can straddle it) -------------
+
+    /** log2 of the tick width of one calendar bucket. */
+    static constexpr std::size_t bucketShift = 9;
+
+    /** Number of ring buckets (power of two). */
+    static constexpr std::size_t bucketCount = 4096;
+
+    /** Tick span of one bucket (512 ticks ~ half a nanosecond). */
+    static constexpr Tick bucketWidth = Tick{1} << bucketShift;
+
     /**
-     * One heap slot: the full ordering key plus the event. Priority
-     * (one byte) is packed above a 56-bit insertion sequence, so the
-     * (tick, priority, sequence) contract is two integer compares.
+     * Tick span the ring covers ahead of the window start (~2.1 us).
+     * Events scheduled farther out go to the overflow heap first.
+     */
+    static constexpr Tick ringHorizon = bucketWidth * bucketCount;
+
+  private:
+    static constexpr std::size_t bucketMask = bucketCount - 1;
+
+    /** Bitmap words covering the ring (64 buckets per word). */
+    static constexpr std::size_t bitmapWords = bucketCount / 64;
+
+    /** One calendar bucket: a (when, key)-sorted doubly-linked list
+     *  threaded through the events themselves. */
+    struct Bucket {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    /**
+     * One overflow-heap slot: the full ordering key plus the event.
+     * Priority (one byte) is packed above a 56-bit insertion sequence,
+     * so the (tick, priority, sequence) contract is two integer
+     * compares.
      */
     struct HeapEntry {
         Tick when;
@@ -142,11 +179,55 @@ class EventQueue
 
     void assertSchedulable(Tick when) const;
 
+    // ---- ring plane -------------------------------------------------------
+
+    static std::size_t
+    bucketOf(Tick when)
+    {
+        return static_cast<std::size_t>(when >> bucketShift) &
+               bucketMask;
+    }
+
+    /** Index of the bucket the window starts at (== bucketOf of the
+     *  window start, which aliases bucketOf(ringLimit_)). */
+    std::size_t cursor() const { return bucketOf(ringLimit_); }
+
+    void setOccupied(std::size_t b);
+    void clearOccupied(std::size_t b);
+
+    /** First occupied bucket in window order from the cursor; the
+     *  ring must be non-empty. */
+    std::size_t firstOccupiedBucket() const;
+
+    /** Insert a prepared event (when_/key_ set) into its bucket's
+     *  sorted list. */
+    void ringInsert(Event &ev);
+
+    /** Unlink a ring event from its bucket. */
+    void ringRemove(Event &ev);
+
+    /**
+     * Grow the ring window so `upTo` lies strictly below ringLimit_,
+     * migrating overflow events that fall inside the new window.
+     */
+    void advanceWindow(Tick upTo);
+
+    /** Earliest pending event, whichever plane holds it; no side
+     *  effects. The queue must be non-empty. */
+    Event *peekEarliest() const;
+
+    /** Detach and run one event (the current minimum, from either
+     *  plane). */
+    void execute(Event *ev);
+
+    // ---- overflow plane ---------------------------------------------------
+
+    void heapPush(Event &ev);
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);
 
     /** Detach the event at heap slot `i`, restoring the heap. */
-    Event *removeAt(std::size_t i);
+    Event *heapRemoveAt(std::size_t i);
 
     void
     place(std::size_t i, const HeapEntry &entry)
@@ -155,7 +236,14 @@ class EventQueue
         entry.ev->heapIndex_ = i;
     }
 
+    std::vector<Bucket> buckets_;
+    std::vector<std::uint64_t> occupied_;  ///< per-word bucket bitmap
+    std::uint64_t occupiedSummary_ = 0;    ///< bit per bitmap word
+    std::size_t ringLive_ = 0;
+    Tick ringLimit_ = ringHorizon;  ///< exclusive upper ring coverage
+
     std::vector<HeapEntry> heap_;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

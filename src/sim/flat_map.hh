@@ -264,13 +264,12 @@ class FlatMap
     std::pair<iterator, bool>
     tryEmplaceIndex(K key)
     {
-        // When the load limit trips, rebuild at a capacity sized for
-        // the *live* count: a churn-heavy map (insert+erase steady
-        // state) hits the limit through tombstones and must rebuild in
-        // place, not double forever.
-        if (ctrl_.empty() || used_ + 1 > loadLimit(ctrl_.size()))
-            rehash(ctrl_.empty() ? minCapacity : ctrl_.size());
+        if (ctrl_.empty())
+            rehash(minCapacity);
 
+        // Probe first: a hit on an existing key is a pure lookup and
+        // must never rehash (the documented contract is that only
+        // insertion invalidates references).
         std::size_t mask = ctrl_.size() - 1;
         std::size_t insert_at = ctrl_.size();
         for (std::size_t i = indexOf(key);; i = (i + 1) & mask) {
@@ -287,12 +286,28 @@ class FlatMap
                 continue;
             }
             // Empty: the key is definitely absent.
-            if (insert_at == ctrl_.size()) {
+            if (insert_at == ctrl_.size())
                 insert_at = i;
-                ++used_;  // consuming a fresh slot, not a tombstone
-            }
             break;
         }
+
+        // The key is absent, so this is a real insertion. When the
+        // load limit trips, rebuild at a capacity sized for the *live*
+        // count: a churn-heavy map (insert+erase steady state) hits
+        // the limit through tombstones and must rebuild in place, not
+        // double forever. Rebuilding drops all tombstones, so the slot
+        // is re-found on a clean chain.
+        if (used_ + 1 > loadLimit(ctrl_.size())) {
+            rehash(ctrl_.size());
+            mask = ctrl_.size() - 1;
+            std::size_t i = indexOf(key);
+            while (ctrl_[i] == slotFull)
+                i = (i + 1) & mask;
+            insert_at = i;
+        }
+
+        if (ctrl_[insert_at] == slotEmpty)
+            ++used_;  // consuming a fresh slot, not a tombstone
         ctrl_[insert_at] = slotFull;
         slots_[insert_at].first = key;
         ++size_;
@@ -310,7 +325,9 @@ class FlatMap
         std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
         std::vector<value_type> old_slots = std::move(slots_);
         ctrl_.assign(new_capacity, slotEmpty);
-        slots_.assign(new_capacity, value_type{});
+        // Default-construct (not copy-fill) the new slots so move-only
+        // values (e.g. unique_ptr payloads) work.
+        slots_ = std::vector<value_type>(new_capacity);
         used_ = size_;
 
         std::size_t mask = new_capacity - 1;

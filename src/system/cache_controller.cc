@@ -15,11 +15,15 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
     BlockId block = blockOf(addr);
 
     // Secondary access to an in-flight block: coalesce into the MSHR
-    // and replay once the primary fill returns.
-    if (auto it = mshrs_.find(block); it != mshrs_.end()) {
-        it->second.queued.push_back(
-            Mshr::Queued{addr, pc, is_write, on_complete});
-        return AccessReply::Miss;
+    // and replay once the primary fill returns. The MSHR file is
+    // empty for the vast majority of accesses (L1/L2 hits with no
+    // outstanding miss), so skip the hash probe outright then.
+    if (!mshrs_.empty()) {
+        if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+            it->second.queued.push_back(
+                Mshr::Queued{addr, pc, is_write, on_complete});
+            return AccessReply::Miss;
+        }
     }
 
     NodeCaches::AccessResult result = caches_.access(addr, is_write);

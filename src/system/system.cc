@@ -35,6 +35,13 @@ System::System(Workload &workload, const SystemParams &params)
     if ((params_.nodes & (params_.nodes - 1)) == 0)
         homeMask_ = params_.nodes - 1;
 
+    // Pre-size the hot tables: the tracker can hold at most one entry
+    // per footprint block, and in-flight transactions are bounded by
+    // one blocking miss per node (plus slack for completion races).
+    tracker_.reserve(static_cast<std::size_t>(
+        workload_.totalFootprint() / blockBytes));
+    txns_.reserve(4 * params_.nodes);
+
     params_.predictor.numNodes = params_.nodes;
     params_.cpu.l1_ns = params_.latency.l1_ns;
     params_.cpu.l2_ns = params_.latency.l2_ns;
@@ -59,7 +66,9 @@ System::System(Workload &workload, const SystemParams &params)
     }
 
     crossbar_.setOrderHandler(
-        [this](Message &msg, Tick tick) { onOrder(msg, tick); });
+        [this](const MessageRef &msg, Tick tick) {
+            onOrder(msg, tick);
+        });
     crossbar_.setDeliverHandler(
         [this](const Message &msg, NodeId dest, Tick tick) {
             onDeliver(msg, dest, tick);
@@ -69,12 +78,12 @@ System::System(Workload &workload, const SystemParams &params)
 System::~System() = default;
 
 struct System::LocalDeliverEvent final : Event {
-    LocalDeliverEvent(System &s, Message m, NodeId d, Tick t)
+    LocalDeliverEvent(System &s, MessageRef m, NodeId d, Tick t)
         : sys(s), msg(std::move(m)), dest(d), at(t)
     {
     }
 
-    void process() override { sys.onDeliver(msg, dest, at); }
+    void process() override { sys.onDeliver(*msg, dest, at); }
 
     void
     release() override
@@ -83,7 +92,7 @@ struct System::LocalDeliverEvent final : Event {
     }
 
     System &sys;
-    Message msg;
+    MessageRef msg;
     NodeId dest;
     Tick at;
 };
@@ -134,8 +143,9 @@ System::destinationsFor(BlockId block, Addr addr, Addr pc,
 }
 
 void
-System::onOrder(Message &msg, Tick tick)
+System::onOrder(const MessageRef &msgref, Tick tick)
 {
+    const Message &msg = *msgref;
     auto it = txns_.find(msg.txn);
     dsp_assert(it != txns_.end(), "ordered message without txn");
     Txn &txn = it->second;
@@ -168,11 +178,12 @@ System::onOrder(Message &msg, Tick tick)
 
     // The crossbar does not deliver to the source; when the source is
     // a destination (snooping/multicast requester, or a request whose
-    // requester is the home), observe it via a free self-delivery.
+    // requester is the home), observe it via a free self-delivery
+    // that shares the ordered message's pooled payload.
     if (msg.dests.contains(msg.src)) {
         Tick when = tick + nsToTicks(params_.crossbar.traversal_ns / 2);
         queue_.schedule(*EventPool<LocalDeliverEvent>::instance()
-                             .acquire(*this, msg, msg.src, when),
+                             .acquire(*this, msgref, msg.src, when),
                         when, EventPriority::Delivery);
     }
 }
@@ -234,9 +245,10 @@ System::sendOrLocal(Message msg)
         // Node-local transfer: no network traversal, no traffic.
         Tick now = queue_.now();
         NodeId dest = msg.dest;
-        queue_.schedule(*EventPool<LocalDeliverEvent>::instance()
-                             .acquire(*this, std::move(msg), dest, now),
-                        now, EventPriority::Delivery);
+        queue_.schedule(
+            *EventPool<LocalDeliverEvent>::instance().acquire(
+                *this, MessageRef(std::move(msg)), dest, now),
+            now, EventPriority::Delivery);
         return;
     }
     crossbar_.sendDirect(std::move(msg));

@@ -240,15 +240,16 @@ class System
 
     using Txn = CoherenceTxn;
 
-    /** Pooled event: deliver `msg` to `dest` without the network
-     *  (self-observation of ordered requests, node-local transfers). */
+    /** Pooled event: deliver a shared payload to `dest` without the
+     *  network (self-observation of ordered requests, node-local
+     *  transfers). Shares the payload instead of copying it. */
     struct LocalDeliverEvent;
 
     /** Pooled event: hand `msg` to sendOrLocal() at its tick. */
     struct SendEvent;
 
     // -- crossbar callbacks
-    void onOrder(Message &msg, Tick tick);
+    void onOrder(const MessageRef &msg, Tick tick);
     void onDeliver(const Message &msg, NodeId dest, Tick tick);
 
     /** Point-to-point send that short-circuits node-local traffic. */

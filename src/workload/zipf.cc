@@ -49,15 +49,16 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
         std::uint64_t l = large.back();
         small.pop_back();
         large.pop_back();
-        alias_[s] = AliasCell{scaled[s], l};
+        alias_[s] = AliasCell{static_cast<float>(scaled[s]),
+                              static_cast<std::uint32_t>(l)};
         scaled[l] -= 1.0 - scaled[s];
         (scaled[l] < 1.0 ? small : large).push_back(l);
     }
     // Leftovers are numerically-full columns.
     for (std::uint64_t s : small)
-        alias_[s] = AliasCell{1.0, s};
+        alias_[s] = AliasCell{1.0f, static_cast<std::uint32_t>(s)};
     for (std::uint64_t l : large)
-        alias_[l] = AliasCell{1.0, l};
+        alias_[l] = AliasCell{1.0f, static_cast<std::uint32_t>(l)};
 }
 
 std::uint64_t
@@ -74,7 +75,9 @@ ZipfSampler::sample(Rng &rng) const
             col = n_ - 1;  // guard against u == 1.0 rounding
         double coin = u - static_cast<double>(col);
         const AliasCell &cell = alias_[col];
-        return coin < cell.threshold ? col : cell.alias;
+        return coin < static_cast<double>(cell.threshold)
+                   ? col
+                   : cell.alias;
     }
     double u = rng.uniformReal();
     auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);

@@ -47,13 +47,17 @@ class ZipfSampler
 
   private:
     /** One alias-table cell: take the column if the coin lands below
-     *  `threshold`, otherwise take `alias`. */
+     *  `threshold`, otherwise take `alias`. Packed to 8 bytes (float
+     *  threshold, 32-bit alias -- both lossless at aliasMaxItems
+     *  scale up to float rounding of ~1e-7 on the split point): the
+     *  sample path indexes this table uniformly at random, so halving
+     *  the cell halves the host cache footprint of every draw. */
     struct AliasCell {
-        double threshold;
-        std::uint64_t alias;
+        float threshold;
+        std::uint32_t alias;
     };
 
-    /** Largest table the alias method is built for (1 MiB of cells);
+    /** Largest table the alias method is built for (512 KiB of cells);
      *  beyond that the CDF search wins on cache behaviour. */
     static constexpr std::uint64_t aliasMaxItems = 1u << 16;
 

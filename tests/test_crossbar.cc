@@ -43,7 +43,7 @@ TEST(Crossbar, OrderedRequestTraversalIs50ns)
     OrderedCrossbar xbar(q, kNodes);
     Tick order_tick = 0, deliver_tick = 0;
     xbar.setOrderHandler(
-        [&](Message &, Tick t) { order_tick = t; });
+        [&](const MessageRef &, Tick t) { order_tick = t; });
     xbar.setDeliverHandler(
         [&](const Message &, NodeId, Tick t) { deliver_tick = t; });
 
@@ -74,7 +74,7 @@ TEST(Crossbar, TotalOrderIsGlobal)
     OrderedCrossbar xbar(q, kNodes);
     std::vector<TxnId> order;
     xbar.setOrderHandler(
-        [&](Message &msg, Tick) { order.push_back(msg.txn); });
+        [&](const MessageRef &msg, Tick) { order.push_back(msg->txn); });
 
     // Two requests from different nodes at the same tick: exactly one
     // global order results, and every destination sees both in that
@@ -152,7 +152,7 @@ TEST(Crossbar, OrderingPointSpacesBackToBackRequests)
     OrderedCrossbar xbar(q, kNodes);
     std::vector<Tick> orders;
     xbar.setOrderHandler(
-        [&](Message &, Tick t) { orders.push_back(t); });
+        [&](const MessageRef &, Tick t) { orders.push_back(t); });
     for (int i = 0; i < 4; ++i)
         xbar.sendOrdered(request(static_cast<NodeId>(i),
                                  DestinationSet::of(15)));
@@ -186,6 +186,76 @@ TEST(Crossbar, TrafficAccounting)
 
     xbar.resetStats();
     EXPECT_EQ(xbar.totalBytes(), 0u);
+}
+
+TEST(Crossbar, MulticastFanOutIsZeroCopy)
+{
+    EventQueue q;
+    OrderedCrossbar xbar(q, kNodes);
+
+    // Every delivery must hand back the *same* pooled payload object
+    // (no per-destination Message copies), and its bytes must match
+    // the original request exactly at every destination.
+    Message original = request(3, DestinationSet::all(kNodes), 42);
+    original.addr = 0x7c0;
+    original.pc = 0x1234;
+    original.type = RequestType::GetExclusive;
+
+    std::vector<const Message *> payloads;
+    DestinationSet seen;
+    xbar.setDeliverHandler(
+        [&](const Message &msg, NodeId dest, Tick) {
+            payloads.push_back(&msg);
+            seen.add(dest);
+            EXPECT_EQ(msg.kind, original.kind);
+            EXPECT_EQ(msg.txn, original.txn);
+            EXPECT_EQ(msg.addr, original.addr);
+            EXPECT_EQ(msg.pc, original.pc);
+            EXPECT_EQ(msg.type, original.type);
+            EXPECT_EQ(msg.src, original.src);
+            EXPECT_EQ(msg.dests, original.dests);
+            EXPECT_EQ(msg.attempt, original.attempt);
+        });
+
+    const MessagePoolStats before = MessageRef::stats();
+    xbar.sendOrdered(original);
+    q.run();
+    const MessagePoolStats after = MessageRef::stats();
+
+    // 15 destinations (everyone but the source), one shared payload.
+    ASSERT_EQ(payloads.size(), static_cast<std::size_t>(kNodes - 1));
+    EXPECT_EQ(seen.count(), kNodes - 1);
+    for (const Message *p : payloads)
+        EXPECT_EQ(p, payloads.front());
+
+    // Pool accounting: exactly one payload entered the pool for the
+    // whole fan-out, refs (not copies) covered the deliveries, and
+    // the payload was returned once the last delivery ran.
+    EXPECT_EQ(after.acquires - before.acquires, 1u);
+    EXPECT_EQ(after.releases - before.releases, 1u);
+    EXPECT_GE(after.refsShared - before.refsShared,
+              static_cast<std::uint64_t>(kNodes - 1));
+    EXPECT_EQ(after.live(), before.live());
+}
+
+TEST(Crossbar, DirectSendPayloadIsPooledAndReleased)
+{
+    EventQueue q;
+    OrderedCrossbar xbar(q, kNodes);
+    int deliveries = 0;
+    xbar.setDeliverHandler(
+        [&](const Message &, NodeId, Tick) { ++deliveries; });
+
+    const MessagePoolStats before = MessageRef::stats();
+    xbar.sendDirect(data(1, 2));
+    xbar.sendDirect(data(2, 3));
+    q.run();
+    const MessagePoolStats after = MessageRef::stats();
+
+    EXPECT_EQ(deliveries, 2);
+    EXPECT_EQ(after.acquires - before.acquires, 2u);
+    EXPECT_EQ(after.releases - before.releases, 2u);
+    EXPECT_EQ(after.live(), before.live());
 }
 
 TEST(Crossbar, MessageKindMetadata)

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <tuple>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -303,6 +306,239 @@ TEST(EventQueueIntrusive, PendingPooledEventsReleasedOnQueueDestruction)
     EXPECT_EQ(after.acquires - before.acquires, 2u);
     EXPECT_EQ(after.releases - before.releases, 2u);
     EXPECT_TRUE(log.empty());
+}
+
+// ---- calendar-queue specifics --------------------------------------------
+//
+// The queue is a two-level calendar: a ring of per-tick-range buckets
+// covering EventQueue::ringHorizon ticks ahead, plus an overflow heap
+// for events farther out. These tests straddle that boundary.
+
+constexpr Tick kHorizon = EventQueue::ringHorizon;
+
+TEST(EventQueueCalendar, SameTickOrderAcrossRingAndOverflow)
+{
+    // Events at one far-future tick land in the overflow heap, migrate
+    // into the ring as time advances, and must still run in (priority,
+    // insertion) order -- including against an event scheduled at the
+    // same tick later, directly into the ring.
+    EventQueue q;
+    std::vector<int> log;
+    const Tick far = 3 * kHorizon + 17;
+
+    q.schedule(far, [&log]() { log.push_back(2); },
+               EventPriority::Controller);
+    q.schedule(far, [&log]() { log.push_back(3); },
+               EventPriority::Controller);
+    q.schedule(far, [&log]() { log.push_back(1); },
+               EventPriority::NetworkOrder);
+    // A stepping stone inside the first window, so the window advances
+    // (and the far events migrate) before `far` executes.
+    q.schedule(kHorizon / 2, [&q, &log, far]() {
+        q.schedule(far, [&log]() { log.push_back(4); },
+                   EventPriority::Controller);
+    });
+
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), far);
+}
+
+TEST(EventQueueCalendar, DescheduleInsideAndOutsideHorizon)
+{
+    EventQueue q;
+    std::vector<int> log;
+    auto &pool = EventPool<PooledTestEvent>::instance();
+
+    // Near events sit in ring buckets, far events in the overflow
+    // heap; deschedule must find and release both.
+    PooledTestEvent *near_keep = pool.acquire(&log, 1);
+    PooledTestEvent *near_cancel = pool.acquire(&log, 90);
+    PooledTestEvent *far_keep = pool.acquire(&log, 2);
+    PooledTestEvent *far_cancel = pool.acquire(&log, 91);
+
+    q.schedule(*near_keep, 100);
+    q.schedule(*near_cancel, 200);
+    q.schedule(*far_cancel, 5 * kHorizon);
+    q.schedule(*far_keep, 5 * kHorizon + 1);
+    ASSERT_EQ(q.pending(), 4u);
+
+    EventPoolStats before = pool.stats();
+    q.deschedule(*near_cancel);
+    q.deschedule(*far_cancel);
+    EXPECT_EQ(pool.stats().releases, before.releases + 2);
+    EXPECT_EQ(q.pending(), 2u);
+
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueCalendar, RingWrapKeepsTimeOrder)
+{
+    // March time across many ring laps; each event schedules the next
+    // one most of a horizon ahead, so the cursor wraps the bucket
+    // array repeatedly and buckets are reused lap after lap.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const Tick stride = kHorizon - 3 * EventQueue::bucketWidth;
+
+    std::function<void()> hop = [&]() {
+        fired.push_back(q.now());
+        if (fired.size() < 40)
+            q.scheduleIn(stride, hop);
+    };
+    q.scheduleIn(stride, hop);
+    q.run();
+
+    ASSERT_EQ(fired.size(), 40u);
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], (i + 1) * stride);
+}
+
+TEST(EventQueueCalendar, OverflowMigrationPreservesInterleaving)
+{
+    // Far events one-or-more horizons out interleave with near events
+    // exactly by tick, regardless of which plane they started in.
+    EventQueue q;
+    std::vector<int> log;
+    for (int lap = 0; lap < 4; ++lap) {
+        Tick base = static_cast<Tick>(lap) * kHorizon;
+        q.schedule(base + 7, [&log, lap]() { log.push_back(lap * 2); });
+        q.schedule(base + kHorizon / 2,
+                   [&log, lap]() { log.push_back(lap * 2 + 1); });
+    }
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueCalendar, RunWithLimitLeavesWindowSaneForLaterNearEvents)
+{
+    // Regression test: run(limit) peeking a far-future overflow event
+    // (without executing it) must not advance the calendar window --
+    // otherwise events scheduled afterwards at near ticks would land
+    // in aliased buckets and execute after the far event, running
+    // simulated time backwards.
+    EventQueue q;
+    std::vector<std::pair<int, Tick>> log;
+
+    q.schedule(10 * kHorizon, [&]() { log.push_back({2, q.now()}); });
+    EXPECT_EQ(q.run(1000), 0u);  // peeks the far event, runs nothing
+    EXPECT_EQ(q.now(), 1000u);
+
+    q.schedule(2000, [&]() { log.push_back({1, q.now()}); });
+    q.run();
+
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], (std::pair<int, Tick>{1, 2000}));
+    EXPECT_EQ(log[1], (std::pair<int, Tick>{2, 10 * kHorizon}));
+}
+
+TEST(EventQueueCalendar, PendingOverflowEventsReleasedOnDestruction)
+{
+    auto &pool = EventPool<PooledTestEvent>::instance();
+    std::vector<int> log;
+    EventPoolStats before = pool.stats();
+    {
+        EventQueue q;
+        q.schedule(*pool.acquire(&log, 1), 10);            // ring
+        q.schedule(*pool.acquire(&log, 2), 7 * kHorizon);  // overflow
+    }
+    EventPoolStats after = pool.stats();
+    EXPECT_EQ(after.acquires - before.acquires, 2u);
+    EXPECT_EQ(after.releases - before.releases, 2u);
+    EXPECT_TRUE(log.empty());
+}
+
+/**
+ * Randomized equivalence check: the calendar queue must produce
+ * exactly the total order of a reference model that sorts stably by
+ * (tick, priority, schedule order) -- the contract the previous
+ * heap-based kernel implemented directly. Exercises ring scheduling,
+ * overflow scheduling, migration, partial runs, and deschedules in
+ * both planes.
+ */
+TEST(EventQueueCalendar, RandomizedHeapEquivalence)
+{
+    struct Ref {
+        Tick when;
+        int prio;
+        std::size_t order;
+        int id;
+    };
+
+    std::mt19937_64 rng(12345);
+    const EventPriority prios[] = {
+        EventPriority::NetworkOrder, EventPriority::Delivery,
+        EventPriority::Controller, EventPriority::Cpu,
+        EventPriority::Default,
+    };
+
+    EventQueue q;
+    std::vector<int> executed;
+    std::vector<Ref> refs;
+    std::vector<bool> cancelled;
+    auto &pool = EventPool<PooledTestEvent>::instance();
+    std::vector<std::pair<int, PooledTestEvent *>> live;
+
+    int next_id = 0;
+    std::size_t order = 0;
+    for (int round = 0; round < 30; ++round) {
+        // Schedule a batch: mostly short-horizon, some far beyond it.
+        std::uniform_int_distribution<Tick> near_d(0, kHorizon / 2);
+        std::uniform_int_distribution<Tick> far_d(kHorizon,
+                                                  4 * kHorizon);
+        std::uniform_int_distribution<int> prio_d(0, 4);
+        std::uniform_int_distribution<int> coin(0, 3);
+        for (int i = 0; i < 60; ++i) {
+            Tick when =
+                q.now() + (coin(rng) == 0 ? far_d(rng) : near_d(rng));
+            EventPriority prio =
+                prios[static_cast<std::size_t>(prio_d(rng))];
+            int id = next_id++;
+            auto *ev = pool.acquire(&executed, id);
+            q.schedule(*ev, when, prio);
+            refs.push_back(
+                Ref{when, static_cast<int>(prio), order++, id});
+            cancelled.push_back(false);
+            live.emplace_back(id, ev);
+        }
+
+        // Cancel a random quarter of whatever is still scheduled.
+        for (std::size_t i = 0; i < live.size();) {
+            if (live[i].second->scheduled() && coin(rng) == 0) {
+                q.deschedule(*live[i].second);
+                cancelled[static_cast<std::size_t>(live[i].first)] =
+                    true;
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        // Run partway, so later rounds schedule into a mid-lap ring.
+        q.run(q.now() + kHorizon / 3 + round * 911);
+        live.erase(std::remove_if(live.begin(), live.end(),
+                                  [](const auto &e) {
+                                      return !e.second->scheduled();
+                                  }),
+                   live.end());
+    }
+    q.run();
+
+    std::vector<Ref> expected;
+    for (const Ref &r : refs)
+        if (!cancelled[static_cast<std::size_t>(r.id)])
+            expected.push_back(r);
+    std::sort(expected.begin(), expected.end(),
+              [](const Ref &a, const Ref &b) {
+                  return std::tie(a.when, a.prio, a.order) <
+                         std::tie(b.when, b.prio, b.order);
+              });
+
+    ASSERT_EQ(executed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(executed[i], expected[i].id) << "at position " << i;
 }
 
 TEST(EventQueueIntrusive, DeterministicAcrossIdenticalRunsUnderPool)
