@@ -4,10 +4,14 @@
  *
  * Runs the Figure-7 configuration (16 nodes, simple in-order CPUs)
  * under the event-heaviest protocol (snooping broadcast) and the
- * headline predictor configuration (multicast + owner-group) and
- * reports wall-clock throughput: kernel events per second and
- * simulated misses per second. Results go to stdout and, as JSON, to
- * BENCH_hotpath.json so every PR leaves a perf trajectory behind.
+ * headline predictor configuration (multicast + owner-group), plus a
+ * sharded-kernel run of the multicast config on --threads host
+ * threads, and reports wall-clock throughput: kernel events per
+ * second and simulated misses per second. Results go to stdout and,
+ * as JSON, to BENCH_hotpath.json so every PR leaves a perf trajectory
+ * behind. The sharded config's figure statistics are bit-identical to
+ * the single-threaded multicast config by the kernel's determinism
+ * contract; scripts/check.sh cross-checks exactly that.
  *
  * Also emits the event-pool counters; `slab_allocations` staying flat
  * across configs is the "no per-event heap allocation" invariant made
@@ -17,6 +21,7 @@
  *   --measure N    measured instructions per CPU (default 1000000)
  *   --warmup N     functional warmup misses (default 50000)
  *   --workload W   workload preset (default barnes)
+ *   --threads N    shard threads for the parallel config (default 4)
  *   --nodes N      processors (default 16)
  *   --seed S       RNG seed (default 1)
  *   --out FILE     JSON output path (default BENCH_hotpath.json)
@@ -43,6 +48,7 @@ struct HotpathOptions {
     std::uint64_t measureInstr = 1000000;
     std::uint64_t warmupMisses = 50000;
     std::string workload = "barnes";
+    unsigned threads = 4;
     NodeId nodes = 16;
     std::uint64_t seed = 1;
     std::string out = "BENCH_hotpath.json";
@@ -67,6 +73,10 @@ parseArgs(int argc, char **argv)
             opt.warmupMisses = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--workload") {
             opt.workload = next();
+        } else if (arg == "--threads") {
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+            if (opt.threads == 0)
+                opt.threads = 1;
         } else if (arg == "--nodes") {
             opt.nodes = static_cast<NodeId>(std::atoi(next()));
         } else if (arg == "--seed") {
@@ -79,7 +89,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "options: --measure N --warmup N --workload W "
-                         "--nodes N --seed S --out FILE --config NAME\n");
+                         "--threads N --nodes N --seed S --out FILE "
+                         "--config NAME\n");
             std::exit(0);
         } else {
             dsp_fatal("unknown option '%s'", arg.c_str());
@@ -90,6 +101,7 @@ parseArgs(int argc, char **argv)
 
 struct ConfigResult {
     std::string name;
+    unsigned threads = 1;
     double wallSeconds = 0.0;
     SystemStats stats;
 
@@ -114,7 +126,7 @@ struct ConfigResult {
 ConfigResult
 runConfig(const HotpathOptions &opt, const std::string &name,
           ProtocolKind protocol, PredictorPolicy policy,
-          CpuModel cpu_model)
+          CpuModel cpu_model, unsigned threads)
 {
     auto workload =
         makeWorkload(opt.workload, opt.nodes, opt.seed, 0.25);
@@ -124,6 +136,7 @@ runConfig(const HotpathOptions &opt, const std::string &name,
     params.protocol = protocol;
     params.policy = policy;
     params.cpuModel = cpu_model;
+    params.shards = threads;
     params.functionalWarmupMisses = opt.warmupMisses;
     params.warmupInstrPerCpu = opt.measureInstr / 10;
     params.measureInstrPerCpu = opt.measureInstr;
@@ -132,6 +145,7 @@ runConfig(const HotpathOptions &opt, const std::string &name,
 
     ConfigResult result;
     result.name = name;
+    result.threads = threads;
     result.stats = system.run();
     // Wall time of the measured phase only, so warmup does not dilute
     // the throughput numbers.
@@ -172,6 +186,7 @@ writeJson(const HotpathOptions &opt,
         const ConfigResult &r = results[i];
         std::fprintf(f, "    {\n");
         std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f, "      \"threads\": %u,\n", r.threads);
         std::fprintf(f, "      \"wall_seconds\": %.6f,\n",
                      r.wallSeconds);
         std::fprintf(f, "      \"events\": %llu,\n",
@@ -183,6 +198,15 @@ writeJson(const HotpathOptions &opt,
                      static_cast<unsigned long long>(r.stats.misses));
         std::fprintf(f, "      \"misses_per_sec\": %.0f,\n",
                      r.missesPerSec());
+        // Deterministic figure statistics: check.sh diffs these
+        // between --threads 1 and --threads K runs.
+        std::fprintf(f, "      \"retries\": %llu,\n",
+                     static_cast<unsigned long long>(r.stats.retries));
+        std::fprintf(f, "      \"traffic_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         r.stats.trafficBytes));
+        std::fprintf(f, "      \"avg_miss_latency_ns\": %.6f,\n",
+                     r.stats.avgMissLatencyNs);
         std::fprintf(f, "      \"sim_runtime_ms\": %.3f\n",
                      r.stats.runtimeMs());
         std::fprintf(f, "    }%s\n",
@@ -241,18 +265,24 @@ main(int argc, char **argv)
 
     // The Figure-7 configs (simple CPU) plus the Figure-8 headline
     // config (detailed out-of-order CPU), so the bench covers both
-    // processor models' hot paths.
+    // processor models' hot paths -- and the Figure-7 multicast
+    // config again on the sharded kernel, exercising --threads host
+    // threads (its figure statistics are bit-identical to the
+    // single-threaded run; only the wall clock moves).
     struct Config {
         const char *name;
         ProtocolKind protocol;
         CpuModel cpuModel;
+        bool sharded;
     };
     const Config configs[] = {
-        {"snooping", ProtocolKind::Snooping, CpuModel::Simple},
+        {"snooping", ProtocolKind::Snooping, CpuModel::Simple, false},
         {"multicast-owner-group", ProtocolKind::Multicast,
-         CpuModel::Simple},
+         CpuModel::Simple, false},
         {"multicast-owner-group-detailed", ProtocolKind::Multicast,
-         CpuModel::Detailed},
+         CpuModel::Detailed, false},
+        {"multicast-owner-group-par", ProtocolKind::Multicast,
+         CpuModel::Simple, true},
     };
 
     std::vector<ConfigResult> results;
@@ -261,7 +291,9 @@ main(int argc, char **argv)
             continue;
         results.push_back(runConfig(opt, config.name, config.protocol,
                                     PredictorPolicy::OwnerGroup,
-                                    config.cpuModel));
+                                    config.cpuModel,
+                                    config.sharded ? opt.threads
+                                                   : 1));
     }
     if (results.empty())
         dsp_fatal("no config named '%s'", opt.onlyConfig.c_str());
@@ -287,7 +319,7 @@ main(int argc, char **argv)
                                                 1024));
 
     // A --config subset run is a profiling aid; never let it clobber
-    // the full 3-config baseline JSON (check.sh's perf guard would
+    // the full 4-config baseline JSON (check.sh's perf guard would
     // silently stop guarding the missing configs).
     if (!opt.onlyConfig.empty() && !opt.outExplicit) {
         std::printf("single-config run: skipping JSON (pass --out to "

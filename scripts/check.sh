@@ -9,9 +9,14 @@
 #   3. bench_perf_hotpath with a small --measure, checked against the
 #      committed BENCH_hotpath.json: a >15% events/sec regression on
 #      any config fails the run. Pass --allow-perf-regression (or set
-#      ALLOW_PERF_REGRESSION=1) for intentional perf changes; the
-#      fresh numbers are then (as always, on success) written back to
-#      BENCH_hotpath.json so every PR leaves a perf trajectory behind.
+#      ALLOW_PERF_REGRESSION=1) for intentional perf changes.
+#   4. sharded-kernel determinism cross-check: the Figure-7 multicast
+#      config is run with --threads 1 and --threads 4 and every
+#      deterministic figure statistic must match bit-for-bit.
+#
+# BENCH_hotpath.json is only rewritten at the very end, after *every*
+# guard has passed (or been explicitly waived), so a failed run can
+# never clobber the committed baseline with the numbers that failed.
 #
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,15 +49,16 @@ FRESH=build/BENCH_hotpath_fresh.json
 # under the 15% bar; a real regression from a hot-path change is not.
 # With --allow-perf-regression the comparison still prints, but only
 # informationally (intentional perf changes, non-comparable hardware).
+extract_evps() {
+    awk -F: '
+        /"name"/   { gsub(/[ ",]/, "", $2); name = $2 }
+        /"events_per_sec"/ && name != "" {
+            gsub(/[ ,]/, "", $2); print name, $2; name = ""
+        }' "$1"
+}
 if [[ -f "$BASELINE" ]]; then
-    extract() {
-        awk -F: '
-            /"name"/   { gsub(/[ ",]/, "", $2); name = $2 }
-            /"events_per_sec"/ && name != "" {
-                gsub(/[ ,]/, "", $2); print name, $2; name = ""
-            }' "$1"
-    }
-    if ! { extract "$BASELINE"; echo "--"; extract "$FRESH"; } | awk -v \
+    if ! { extract_evps "$BASELINE"; echo "--"; extract_evps "$FRESH"; } \
+        | awk -v \
         enforce="$([[ "$ALLOW_PERF_REGRESSION" == "1" ]] || echo 1)" '
         $1 == "--"  { fresh_section = 1; next }
         !fresh_section { base[$1] = $2; next }
@@ -78,6 +84,58 @@ if [[ -f "$BASELINE" ]]; then
     fi
 fi
 
+# Sharded-kernel determinism cross-check: a K-shard run must emit
+# bit-identical figure statistics to the single-threaded run. Wall
+# clock and events/sec may differ; everything else may not.
+DET1=build/BENCH_det_t1.json
+DET4=build/BENCH_det_t4.json
+./build/bench_perf_hotpath --config multicast-owner-group-par \
+    --measure 100000 --warmup 10000 --threads 1 --out "$DET1" \
+    > /dev/null
+./build/bench_perf_hotpath --config multicast-owner-group-par \
+    --measure 100000 --warmup 10000 --threads 4 --out "$DET4" \
+    > /dev/null
+extract_det() {
+    awk -F: '
+        /"events"|"misses"|"retries"|"traffic_bytes"|"avg_miss_latency_ns"|"sim_runtime_ms"/ {
+            gsub(/[ ",]/, "", $1); gsub(/[ ,]/, "", $2)
+            print $1, $2
+        }' "$1"
+}
+# Guard the guard: if the JSON field names ever drift, the extraction
+# would compare two empty streams and "pass" while checking nothing.
+DET_FIELDS=6
+for f in "$DET1" "$DET4"; do
+    n="$(extract_det "$f" | wc -l)"
+    if [[ "$n" -ne "$DET_FIELDS" ]]; then
+        echo "check.sh: determinism extraction found $n/$DET_FIELDS" \
+             "stat fields in $f -- extractor out of sync with the" \
+             "bench JSON" >&2
+        exit 1
+    fi
+done
+if ! diff <(extract_det "$DET1") <(extract_det "$DET4"); then
+    echo "check.sh: DETERMINISM FAILURE -- --threads 4 diverged from" \
+         "--threads 1 on multicast-owner-group-par (see diff above)" >&2
+    exit 1
+fi
+echo "determinism: --threads 1 == --threads 4 on all figure stats"
+
+# Refuse to install a fresh baseline that lost configs (e.g. a bench
+# crash after a partial write): the perf guard would silently stop
+# guarding whatever is missing.
+for config in snooping multicast-owner-group \
+              multicast-owner-group-detailed multicast-owner-group-par
+do
+    if ! grep -q "\"name\": \"$config\"" "$FRESH"; then
+        echo "check.sh: fresh bench JSON is missing config" \
+             "'$config'; not touching $BASELINE" >&2
+        exit 1
+    fi
+done
+
+# Every guard passed (or was explicitly waived): only now does the
+# fresh run become the committed perf trajectory.
 cp "$FRESH" "$BASELINE"
 
-echo "check.sh: build + tests + hotpath bench OK"
+echo "check.sh: build + tests + hotpath bench + determinism OK"

@@ -69,8 +69,9 @@ SharingTracker::inspect(BlockId block, NodeId requester,
 
 void
 SharingTracker::applyTo(BlockState &st, NodeId requester,
-                        RequestType type)
+                        RequestType type, Tick now)
 {
+    st.lastOrder = now;
     if (type == RequestType::GetShared) {
         if (st.owner != requester)
             st.sharers.add(requester);
@@ -83,13 +84,14 @@ SharingTracker::applyTo(BlockState &st, NodeId requester,
 }
 
 SharingTracker::Transaction
-SharingTracker::apply(BlockId block, NodeId requester, RequestType type)
+SharingTracker::apply(BlockId block, NodeId requester, RequestType type,
+                      Tick now)
 {
     dsp_assert(requester < numNodes_, "requester %u out of range",
                requester);
     BlockState &st = blocks_[block];
     Transaction t = makeTransaction(st, requester, type);
-    applyTo(st, requester, type);
+    applyTo(st, requester, type, now);
     return t;
 }
 
@@ -97,7 +99,7 @@ SharingTracker::Transaction
 SharingTracker::applyIfSufficient(BlockId block, NodeId requester,
                                   RequestType type,
                                   const DestinationSet &dests,
-                                  bool &sufficient)
+                                  bool &sufficient, Tick now)
 {
     dsp_assert(requester < numNodes_, "requester %u out of range",
                requester);
@@ -107,8 +109,15 @@ SharingTracker::applyIfSufficient(BlockId block, NodeId requester,
     // sufficient there -- insufficiency implies real existing state.
     sufficient = dests.containsAll(t.required);
     if (sufficient)
-        applyTo(st, requester, type);
+        applyTo(st, requester, type, now);
     return t;
+}
+
+Tick
+SharingTracker::lastOrderedAt(BlockId block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? 0 : it->second.lastOrder;
 }
 
 void

@@ -20,6 +20,7 @@
 #include "mem/mosi.hh"
 #include "mem/types.hh"
 #include "sim/flat_map.hh"
+#include "sim/types.hh"
 
 namespace dsp {
 
@@ -73,7 +74,8 @@ class SharingTracker
      * downgrades to O; GETX: requester becomes sole M owner, sharers
      * are invalidated).
      */
-    Transaction apply(BlockId block, NodeId requester, RequestType type);
+    Transaction apply(BlockId block, NodeId requester, RequestType type,
+                      Tick now = 0);
 
     /**
      * Snooping/multicast ordering point: serialize the request only if
@@ -85,7 +87,14 @@ class SharingTracker
     Transaction applyIfSufficient(BlockId block, NodeId requester,
                                   RequestType type,
                                   const DestinationSet &dests,
-                                  bool &sufficient);
+                                  bool &sufficient, Tick now = 0);
+
+    /**
+     * Tick of the last applied (state-changing) ordering for `block`;
+     * 0 if none since tracking began. Lets a delayed eviction notice
+     * detect that a later ordering superseded it.
+     */
+    Tick lastOrderedAt(BlockId block) const;
 
     /** A sharer dropped its S copy (clean eviction). */
     void evictShared(BlockId block, NodeId node);
@@ -119,6 +128,9 @@ class SharingTracker
     struct BlockState {
         NodeId owner = invalidNode;  ///< invalidNode = memory owns
         DestinationSet sharers;      ///< S-state holders
+        /** Serialization tick of the last applied request (0 for
+         *  functional/trace use, which passes no clock). */
+        Tick lastOrder = 0;
     };
 
     NodeId numNodes_;
@@ -130,7 +142,7 @@ class SharingTracker
 
     /** Mutate `st` as the serialized request dictates. */
     static void applyTo(BlockState &st, NodeId requester,
-                        RequestType type);
+                        RequestType type, Tick now);
 };
 
 } // namespace dsp

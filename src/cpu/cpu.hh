@@ -19,7 +19,7 @@
 #include <functional>
 
 #include "mem/types.hh"
-#include "sim/event_queue.hh"
+#include "sim/sharded_kernel.hh"
 #include "workload/workload.hh"
 
 namespace dsp {
@@ -73,7 +73,7 @@ struct CpuParams {
 class Cpu
 {
   public:
-    Cpu(EventQueue &queue, Workload &workload, NodeId node,
+    Cpu(DomainPort queue, Workload &workload, NodeId node,
         MemoryPort &port, const CpuParams &params)
         : queue_(queue),
           workload_(workload),
@@ -106,7 +106,7 @@ class Cpu
     NodeId node() const { return node_; }
 
   protected:
-    EventQueue &queue_;
+    DomainPort queue_;
     Workload &workload_;
     NodeId node_;
     MemoryPort &port_;

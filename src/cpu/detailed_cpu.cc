@@ -4,7 +4,7 @@
 
 namespace dsp {
 
-DetailedCpu::DetailedCpu(EventQueue &queue, Workload &workload,
+DetailedCpu::DetailedCpu(DomainPort queue, Workload &workload,
                          NodeId node, MemoryPort &port,
                          const CpuParams &params)
     : Cpu(queue, workload, node, port, params)

@@ -21,7 +21,7 @@ namespace dsp {
 class DetailedCpu : public Cpu
 {
   public:
-    DetailedCpu(EventQueue &queue, Workload &workload, NodeId node,
+    DetailedCpu(DomainPort queue, Workload &workload, NodeId node,
                 MemoryPort &port,
                 const CpuParams &params = CpuParams{});
     ~DetailedCpu() override;

@@ -4,7 +4,7 @@
 
 namespace dsp {
 
-SimpleCpu::SimpleCpu(EventQueue &queue, Workload &workload, NodeId node,
+SimpleCpu::SimpleCpu(DomainPort queue, Workload &workload, NodeId node,
                      MemoryPort &port, const CpuParams &params)
     : Cpu(queue, workload, node, port, params)
 {

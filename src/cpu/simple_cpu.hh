@@ -16,7 +16,7 @@ namespace dsp {
 class SimpleCpu : public Cpu
 {
   public:
-    SimpleCpu(EventQueue &queue, Workload &workload, NodeId node,
+    SimpleCpu(DomainPort queue, Workload &workload, NodeId node,
               MemoryPort &port, const CpuParams &params = CpuParams{});
     ~SimpleCpu() override;
 

@@ -13,12 +13,36 @@ namespace dsp {
  * a multicast fan-out never copies the Message.
  */
 struct OrderedCrossbar::OrderEvent final : Event {
-    OrderEvent(OrderedCrossbar &x, MessageRef &&m, Tick o)
-        : xbar(x), msg(std::move(m)), order(o)
+    OrderEvent(OrderedCrossbar &x, MessageRef &&m, Tick t,
+               bool serialized)
+        : xbar(x), msg(std::move(m)), tick(t), serialized(serialized)
     {
     }
 
-    void process() override { xbar.orderAndFanOut(msg, order); }
+    void
+    process() override
+    {
+        if (serialized) {
+            // Already holds its ordering slot; run the order handler
+            // and fan out at the slot tick.
+            xbar.orderAndFanOut(msg, tick);
+            return;
+        }
+        // Arrival at the ordering point: claim the next slot. The
+        // spacing state (lastOrder_) belongs to the hub domain, so it
+        // is applied here -- at arrival, in deterministic arrival
+        // order -- not at send time in some other domain.
+        Tick slot = std::max(tick, xbar.lastOrder_ + xbar.orderGap_);
+        xbar.lastOrder_ = slot;
+        if (slot > tick) {
+            xbar.hub_.schedule(
+                *EventPool<OrderEvent>::instance().acquire(
+                    xbar, std::move(msg), slot, true),
+                slot, EventPriority::NetworkOrder);
+            return;
+        }
+        xbar.orderAndFanOut(msg, tick);
+    }
 
     void
     release() override
@@ -28,19 +52,24 @@ struct OrderedCrossbar::OrderEvent final : Event {
 
     OrderedCrossbar &xbar;
     MessageRef msg;
-    Tick order;
+    Tick tick;
+    bool serialized;
 };
 
 struct OrderedCrossbar::DeliverEvent final : Event {
     DeliverEvent(OrderedCrossbar &x, const MessageRef &m, NodeId d,
-                 Tick w)
-        : xbar(x), msg(m), dest(d), when(w)
+                 Tick w, bool booked)
+        : xbar(x), msg(m), dest(d), when(w), booked(booked)
     {
     }
 
     void
     process() override
     {
+        if (!booked) {
+            xbar.arriveAtDest(msg, dest, when);
+            return;
+        }
         if (xbar.onDeliver_)
             xbar.onDeliver_(*msg, dest, when);
     }
@@ -55,20 +84,41 @@ struct OrderedCrossbar::DeliverEvent final : Event {
     MessageRef msg;
     NodeId dest;
     Tick when;
+    bool booked;
 };
+
+OrderedCrossbar::OrderedCrossbar(DomainPort hub,
+                                 std::vector<DomainPort> node_ports,
+                                 const CrossbarParams &params)
+    : params_(params),
+      halfTraversal_(nsToTicks(params.traversal_ns / 2.0)),
+      orderGap_(nsToTicks(params.ordering_gap_ns)),
+      hub_(hub)
+{
+    dsp_assert(!node_ports.empty() && node_ports.size() <= maxNodes,
+               "bad crossbar size %zu", node_ports.size());
+    dsp_assert(halfTraversal_ > 0,
+               "crossbar traversal must be positive");
+    nodes_.resize(node_ports.size());
+    for (std::size_t n = 0; n < node_ports.size(); ++n)
+        nodes_[n].port = node_ports[n];
+}
+
+namespace {
+
+std::vector<DomainPort>
+standalonePorts(EventQueue &queue, NodeId num_nodes)
+{
+    return std::vector<DomainPort>(num_nodes, DomainPort(queue));
+}
+
+} // namespace
 
 OrderedCrossbar::OrderedCrossbar(EventQueue &queue, NodeId num_nodes,
                                  const CrossbarParams &params)
-    : queue_(queue),
-      numNodes_(num_nodes),
-      params_(params),
-      halfTraversal_(nsToTicks(params.traversal_ns / 2.0)),
-      orderGap_(nsToTicks(params.ordering_gap_ns)),
-      ingressFree_(num_nodes, 0),
-      egressFree_(num_nodes, 0)
+    : OrderedCrossbar(DomainPort(queue),
+                      standalonePorts(queue, num_nodes), params)
 {
-    dsp_assert(num_nodes > 0 && num_nodes <= maxNodes,
-               "bad crossbar size %u", num_nodes);
 }
 
 void
@@ -83,37 +133,34 @@ OrderedCrossbar::setDeliverHandler(DeliverHandler handler)
     onDeliver_ = std::move(handler);
 }
 
-Tick
-OrderedCrossbar::bookIngress(NodeId dest, Tick earliest,
-                             std::uint32_t bytes)
+void
+OrderedCrossbar::scheduleDelivery(const MessageRef &msg, NodeId dest,
+                                  Tick when, bool booked)
 {
-    // Cut-through: the head is delivered when the link becomes free;
-    // the occupancy only delays *later* messages on the same link.
-    Tick occupancy = nsToTicks(static_cast<double>(bytes) /
-                               params_.link_bytes_per_ns);
-    Tick start = std::max(earliest, ingressFree_[dest]);
-    ingressFree_[dest] = start + occupancy;
-    return start;
-}
-
-Tick
-OrderedCrossbar::bookEgress(NodeId src, Tick earliest,
-                            std::uint32_t bytes)
-{
-    Tick occupancy = nsToTicks(static_cast<double>(bytes) /
-                               params_.link_bytes_per_ns);
-    Tick start = std::max(earliest, egressFree_[src]);
-    egressFree_[src] = start + occupancy;
-    return start;
+    nodes_[dest].port.schedule(
+        *EventPool<DeliverEvent>::instance().acquire(*this, msg, dest,
+                                                     when, booked),
+        when, EventPriority::Delivery);
 }
 
 void
-OrderedCrossbar::deliver(const MessageRef &msg, NodeId dest, Tick when)
+OrderedCrossbar::arriveAtDest(const MessageRef &msg, NodeId dest,
+                              Tick now)
 {
-    stats_[static_cast<std::size_t>(msg->kind)].add(msg->bytes());
-    queue_.schedule(*EventPool<DeliverEvent>::instance().acquire(
-                        *this, msg, dest, when),
-                    when, EventPriority::Delivery);
+    NodeState &node = nodes_[dest];
+    node.traffic[static_cast<std::size_t>(msg->kind)].add(
+        msg->bytes());
+
+    // Cut-through: the head is delivered when the link becomes free;
+    // the occupancy only delays *later* messages on the same link.
+    Tick start = std::max(now, node.ingressFree);
+    node.ingressFree = start + occupancy(msg->bytes());
+    if (start > now) {
+        scheduleDelivery(msg, dest, start, true);
+        return;
+    }
+    if (onDeliver_)
+        onDeliver_(*msg, dest, now);
 }
 
 void
@@ -122,14 +169,12 @@ OrderedCrossbar::orderAndFanOut(const MessageRef &msg, Tick order)
     if (onOrder_)
         onOrder_(msg, order);
     // Fan out to every destination but the source; each delivery
-    // contends for the destination's ingress link and shares the one
-    // pooled payload.
+    // shares the one pooled payload and contends for its
+    // destination's ingress link on arrival.
     msg->dests.forEach([&](NodeId dest) {
         if (dest == msg->src)
             return;
-        Tick arrive =
-            bookIngress(dest, order + halfTraversal_, msg->bytes());
-        deliver(msg, dest, arrive);
+        scheduleDelivery(msg, dest, order + halfTraversal_, false);
     });
 }
 
@@ -137,49 +182,60 @@ void
 OrderedCrossbar::sendOrdered(Message msg)
 {
     dsp_assert(isOrdered(msg.kind), "sendOrdered with unordered kind");
-    Tick depart = bookEgress(msg.src, queue_.now(), msg.bytes());
-    Tick order = std::max(depart + halfTraversal_,
-                          lastOrder_ + orderGap_);
-    lastOrder_ = order;
+    NodeState &src = nodes_[msg.src];
+    Tick depart = std::max(src.port.now(), src.egressFree);
+    src.egressFree = depart + occupancy(msg.bytes());
 
-    queue_.schedule(*EventPool<OrderEvent>::instance().acquire(
-                        *this, MessageRef(std::move(msg)), order),
-                    order, EventPriority::NetworkOrder);
+    hub_.schedule(*EventPool<OrderEvent>::instance().acquire(
+                      *this, MessageRef(std::move(msg)),
+                      depart + halfTraversal_, false),
+                  depart + halfTraversal_,
+                  EventPriority::NetworkOrder);
 }
 
 void
 OrderedCrossbar::sendDirect(Message msg)
 {
     dsp_assert(!isOrdered(msg.kind), "sendDirect with ordered kind");
-    dsp_assert(msg.dest < numNodes_, "bad destination %u", msg.dest);
-    Tick depart = bookEgress(msg.src, queue_.now(), msg.bytes());
-    Tick arrive = bookIngress(msg.dest,
-                              depart + 2 * halfTraversal_,
-                              msg.bytes());
+    dsp_assert(msg.dest < numNodes(), "bad destination %u", msg.dest);
+    NodeState &src = nodes_[msg.src];
+    Tick depart = std::max(src.port.now(), src.egressFree);
+    src.egressFree = depart + occupancy(msg.bytes());
+
     NodeId dest = msg.dest;
-    deliver(MessageRef(std::move(msg)), dest, arrive);
+    scheduleDelivery(MessageRef(std::move(msg)), dest,
+                     depart + 2 * halfTraversal_, false);
 }
 
-const TrafficStats &
+TrafficStats
 OrderedCrossbar::traffic(MessageKind kind) const
 {
-    return stats_[static_cast<std::size_t>(kind)];
+    TrafficStats total;
+    for (const NodeState &node : nodes_) {
+        const TrafficStats &s =
+            node.traffic[static_cast<std::size_t>(kind)];
+        total.messages += s.messages;
+        total.bytes += s.bytes;
+    }
+    return total;
 }
 
 std::uint64_t
 OrderedCrossbar::totalBytes() const
 {
     std::uint64_t total = 0;
-    for (const TrafficStats &s : stats_)
-        total += s.bytes;
+    for (const NodeState &node : nodes_) {
+        for (const TrafficStats &s : node.traffic)
+            total += s.bytes;
+    }
     return total;
 }
 
 void
 OrderedCrossbar::resetStats()
 {
-    for (TrafficStats &s : stats_)
-        s = TrafficStats{};
+    for (NodeState &node : nodes_)
+        node.traffic.fill(TrafficStats{});
 }
 
 } // namespace dsp

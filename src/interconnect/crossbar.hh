@@ -10,6 +10,16 @@
  * links. Point-to-point messages (data, forwards, invalidations)
  * bypass the ordering point but share the same links.
  *
+ * Sharding discipline: every piece of crossbar state is owned by
+ * exactly one kernel domain and touched only while that domain
+ * executes. A node's egress link is booked at send time (the sender's
+ * domain); the ordering-point spacing (lastOrder_) is applied when the
+ * message *arrives* at the ordering point (the hub domain); a node's
+ * ingress link is booked when the delivery *arrives* at that node (the
+ * destination's domain). Traffic statistics are likewise accumulated
+ * per destination node. This keeps the crossbar data-race free under
+ * the sharded kernel without a single lock on the hot path.
+ *
  * Uncontended latencies are calibrated to Table 4: one traversal is
  * 50 ns (ordering 25 ns + delivery 25 ns for ordered messages).
  */
@@ -23,7 +33,7 @@
 #include <vector>
 
 #include "interconnect/message.hh"
-#include "sim/event_queue.hh"
+#include "sim/sharded_kernel.hh"
 #include "sim/types.hh"
 
 namespace dsp {
@@ -55,8 +65,10 @@ struct TrafficStats {
  * onDeliver fires per (message, destination) at its delivery tick.
  *
  * The order handler receives the shared payload handle so the owner
- * can enqueue further zero-copy deliveries (e.g. self-observation of
- * an ordered request) against the same pooled payload.
+ * can stamp the transaction echo into it (it is still exclusive at
+ * that point) and enqueue further zero-copy deliveries (e.g.
+ * self-observation of an ordered request) against the same pooled
+ * payload.
  */
 class OrderedCrossbar
 {
@@ -65,6 +77,14 @@ class OrderedCrossbar
     using DeliverHandler =
         std::function<void(const Message &, NodeId, Tick)>;
 
+    /**
+     * Sharded-kernel form: `hub` is the ordering point's domain,
+     * `node_ports` the per-node domains deliveries execute in.
+     */
+    OrderedCrossbar(DomainPort hub, std::vector<DomainPort> node_ports,
+                    const CrossbarParams &params = CrossbarParams{});
+
+    /** Standalone form: everything on one queue (unit tests, tools). */
     OrderedCrossbar(EventQueue &queue, NodeId num_nodes,
                     const CrossbarParams &params = CrossbarParams{});
 
@@ -77,15 +97,19 @@ class OrderedCrossbar
      * the order handler runs, then every member of msg.dests except
      * the source receives a delivery that shares that payload
      * (self-delivery is free and instantaneous at the order tick --
-     * modelled by the order handler itself).
+     * modelled by the order handler itself). Must be called from the
+     * source node's domain.
      */
     void sendOrdered(Message msg);
 
-    /** Send a point-to-point message (everything else). */
+    /** Send a point-to-point message (everything else); must be
+     *  called from the source node's domain. */
     void sendDirect(Message msg);
 
-    /** Statistics by message kind (index by MessageKind). */
-    const TrafficStats &traffic(MessageKind kind) const;
+    /** Statistics by message kind, summed over destination nodes.
+     *  Counted when the delivery reaches the destination's ingress
+     *  link; only meaningful while the kernel is quiescent. */
+    TrafficStats traffic(MessageKind kind) const;
 
     /** Total bytes across all kinds. */
     std::uint64_t totalBytes() const;
@@ -93,30 +117,51 @@ class OrderedCrossbar
     /** Zero all statistics (end of warmup). */
     void resetStats();
 
-    NodeId numNodes() const { return numNodes_; }
+    NodeId numNodes() const
+    {
+        return static_cast<NodeId>(nodes_.size());
+    }
 
   private:
-    /** Pooled event: one message reaching the ordering point. */
+    /** Pooled event: one message reaching (or, once serialized,
+     *  leaving) the ordering point. */
     struct OrderEvent;
 
-    /** Pooled event: one (payload handle, destination) delivery. */
+    /** Pooled event: one (payload handle, destination) delivery --
+     *  first firing books the ingress link, a contended delivery
+     *  refires at the link-free tick. */
     struct DeliverEvent;
 
-    /** Earliest time dest's ingress link is free; returns delivery
-     *  completion tick and books the occupancy. */
-    Tick bookIngress(NodeId dest, Tick earliest, std::uint32_t bytes);
+    static constexpr std::size_t numKinds = 7;
 
-    /** Book the source's egress link. */
-    Tick bookEgress(NodeId src, Tick earliest, std::uint32_t bytes);
+    /** All state owned by one node's domain, padded so adjacent
+     *  nodes on different shards do not false-share. */
+    struct alignas(64) NodeState {
+        DomainPort port;
+        Tick ingressFree = 0;  ///< booked by the destination domain
+        Tick egressFree = 0;   ///< booked by the source domain
+        std::array<TrafficStats, numKinds> traffic{};
+    };
 
-    /** Serialize `msg`, then fan deliveries out to its destinations;
-     *  all of them share the one pooled payload. */
+    Tick
+    occupancy(std::uint32_t bytes) const
+    {
+        return nsToTicks(static_cast<double>(bytes) /
+                         params_.link_bytes_per_ns);
+    }
+
+    /** Serialize `msg` at the hub, then fan deliveries out to its
+     *  destinations; all of them share the one pooled payload. */
     void orderAndFanOut(const MessageRef &msg, Tick order);
 
-    void deliver(const MessageRef &msg, NodeId dest, Tick when);
+    /** First arrival of a delivery at `dest`: count it, book the
+     *  ingress link, and either fire the handler or refire at the
+     *  contended tick. */
+    void arriveAtDest(const MessageRef &msg, NodeId dest, Tick now);
 
-    EventQueue &queue_;
-    NodeId numNodes_;
+    void scheduleDelivery(const MessageRef &msg, NodeId dest,
+                          Tick when, bool booked);
+
     CrossbarParams params_;
     Tick halfTraversal_;
     Tick orderGap_;
@@ -124,11 +169,9 @@ class OrderedCrossbar
     OrderHandler onOrder_;
     DeliverHandler onDeliver_;
 
-    Tick lastOrder_ = 0;
-    std::vector<Tick> ingressFree_;
-    std::vector<Tick> egressFree_;
-
-    std::array<TrafficStats, 7> stats_{};
+    DomainPort hub_;
+    Tick lastOrder_ = 0;  ///< hub-domain state
+    std::vector<NodeState> nodes_;
 };
 
 } // namespace dsp

@@ -10,14 +10,19 @@
 #ifndef DSP_INTERCONNECT_MESSAGE_HH
 #define DSP_INTERCONNECT_MESSAGE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "mem/destination_set.hh"
+#include "mem/mosi.hh"
 #include "mem/types.hh"
 #include "sim/logging.hh"
+#include "sim/pool_registry.hh"
+#include "sim/slab_pool.hh"
+#include "sim/types.hh"
 
 namespace dsp {
 
@@ -55,6 +60,42 @@ messageBytes(MessageKind kind)
     }
 }
 
+/**
+ * Transaction state echoed through the network instead of shared in
+ * memory.
+ *
+ * Under the sharded kernel, per-node handlers run on different host
+ * threads than the ordering point, so they can no longer peek at a
+ * live transaction table. Instead the ordering point stamps its
+ * serialization verdict into the ordered payload before fan-out
+ * (while it still holds the only reference), and responses copy the
+ * echo forward, making every delivery self-contained -- the same way
+ * real coherence messages carry their outcome on the wire.
+ */
+struct TxnEcho {
+    /** Tick the original request issued at (latency accounting). */
+    Tick issued = 0;
+
+    /**
+     * Data-availability chaining: the earliest tick the responder can
+     * start supplying data. Non-zero when the ordering point knows the
+     * responder's own fill (or the in-flight writeback that made
+     * memory the owner) has not landed yet.
+     */
+    Tick supplyEarliest = 0;
+
+    /** Observers the request needed (resolving attempt) or would have
+     *  needed (insufficient attempt; seeds the retry's set). */
+    DestinationSet required;
+
+    NodeId requester = 0;
+    NodeId responder = invalidNode;
+    MosiState granted = MosiState::Invalid;
+
+    std::uint8_t resolvedAttempt = 0;
+    bool resolved = false;
+};
+
 /** One network message. */
 struct Message {
     MessageKind kind = MessageKind::Request;
@@ -70,6 +111,10 @@ struct Message {
 
     /** Retry attempt (0 = original request). */
     std::uint8_t attempt = 0;
+
+    /** Ordering-point verdict carried with the message (see TxnEcho).
+     *  Bookkeeping only -- not part of the modeled wire size. */
+    TxnEcho echo;
 
     std::uint32_t
     bytes() const
@@ -103,8 +148,12 @@ struct MessagePoolStats {
  * per-destination delivery event; with MessageRef the payload is moved
  * into a slab-pooled slot exactly once and every delivery shares it,
  * carrying only (handle, destination, tick). Handles give const-only
- * access, so sharing is safe by construction. Single-threaded, like
- * the rest of the kernel: refcounts are plain integers.
+ * access, so sharing is safe by construction. Under the sharded
+ * kernel one payload's deliveries execute on several shard threads,
+ * so the refcount is atomic and slots are recycled through per-thread
+ * free lists (a slot may be released on a different thread than the
+ * one whose slab produced it; pools are leaked so slabs outlive every
+ * thread).
  */
 class MessageRef
 {
@@ -115,15 +164,15 @@ class MessageRef
     explicit MessageRef(Message &&msg) : slot_(acquireSlot())
     {
         slot_->msg = std::move(msg);
-        slot_->refs = 1;
-        ++poolStats().acquires;
+        slot_->refs.store(1, std::memory_order_relaxed);
+        ++localPool().stats.acquires;
     }
 
     MessageRef(const MessageRef &other) : slot_(other.slot_)
     {
         if (slot_ != nullptr) {
-            ++slot_->refs;
-            ++poolStats().refsShared;
+            slot_->refs.fetch_add(1, std::memory_order_relaxed);
+            ++localPool().stats.refsShared;
         }
     }
 
@@ -153,8 +202,10 @@ class MessageRef
     void
     reset()
     {
-        if (slot_ != nullptr && --slot_->refs == 0)
+        if (slot_ != nullptr &&
+            slot_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             releaseSlot(slot_);
+        }
         slot_ = nullptr;
     }
 
@@ -164,70 +215,95 @@ class MessageRef
     const Message *operator->() const { return &slot_->msg; }
     const Message *get() const { return slot_ ? &slot_->msg : nullptr; }
 
-    /** Number of handles sharing this payload (0 for empty handles). */
-    std::uint32_t refCount() const { return slot_ ? slot_->refs : 0; }
-
-    /** Process-wide pool counters (tests assert copy-freedom here). */
-    static const MessagePoolStats &stats() { return poolStats(); }
-
-  private:
-    /** A pooled payload slot; `next` threads the free list when the
-     *  slot is vacant. */
-    struct Slot {
-        Message msg;
-        std::uint32_t refs = 0;
-        Slot *next = nullptr;
-    };
-
-    static constexpr std::size_t slabSlots = 256;
-
-    struct Pool {
-        std::vector<std::unique_ptr<Slot[]>> slabs;
-        Slot *freeList = nullptr;
-        MessagePoolStats stats;
-    };
-
-    /** Function-local static so the pool outlives every simulator
-     *  object; handles pending at teardown always release safely. */
-    static Pool &
-    pool()
+    /**
+     * Mutable access while this handle is the payload's only owner --
+     * the ordering point uses it to stamp the TxnEcho into an ordered
+     * payload *before* fan-out shares it.
+     */
+    Message &
+    exclusive() const
     {
-        static Pool p;
-        return p;
+        dsp_assert(refCount() == 1,
+                   "exclusive() on a shared payload (%u refs)",
+                   refCount());
+        return slot_->msg;
     }
 
-    static MessagePoolStats &poolStats() { return pool().stats; }
+    /** Number of handles sharing this payload (0 for empty handles). */
+    std::uint32_t
+    refCount() const
+    {
+        return slot_ ? slot_->refs.load(std::memory_order_relaxed) : 0;
+    }
+
+    /** Process-wide pool counters, summed over all threads' pools
+     *  (tests assert copy-freedom here). Only meaningful while shard
+     *  workers are quiescent. */
+    static MessagePoolStats stats();
+
+  private:
+    /** A pooled payload slot; `next`/`home` serve the arena while
+     *  the slot is vacant (sim/slab_pool.hh). */
+    struct Slot {
+        Message msg;
+        std::atomic<std::uint32_t> refs{0};
+        Slot *next = nullptr;
+        void *home = nullptr;
+    };
+
+    struct Pool {
+        MessagePoolStats stats;
+        SlabArena<Slot> arena{&stats.slabAllocations,
+                              &stats.slabBytes};
+    };
+
+    /**
+     * This thread's pool. Immortal and registered (see
+     * sim/pool_registry.hh) so slabs survive shard-thread exit (slots
+     * migrate between threads) and stats() can aggregate after
+     * workers are joined.
+     */
+    static Pool &
+    localPool()
+    {
+        static thread_local Pool *pool = [] {
+            auto *p = new Pool;
+            PoolRegistry<Pool>::add(p);
+            return p;
+        }();
+        return *pool;
+    }
 
     static Slot *
     acquireSlot()
     {
-        Pool &p = pool();
-        if (p.freeList == nullptr) {
-            p.slabs.push_back(std::make_unique<Slot[]>(slabSlots));
-            ++p.stats.slabAllocations;
-            p.stats.slabBytes += slabSlots * sizeof(Slot);
-            Slot *slab = p.slabs.back().get();
-            for (std::size_t i = slabSlots; i-- > 0;) {
-                slab[i].next = p.freeList;
-                p.freeList = &slab[i];
-            }
-        }
-        Slot *slot = p.freeList;
-        p.freeList = slot->next;
-        return slot;
+        return localPool().arena.acquire();
     }
 
     static void
     releaseSlot(Slot *slot)
     {
-        Pool &p = pool();
-        slot->next = p.freeList;
-        p.freeList = slot;
+        Pool &p = localPool();
         ++p.stats.releases;
+        p.arena.release(slot);
     }
 
     Slot *slot_ = nullptr;
 };
+
+inline MessagePoolStats
+MessageRef::stats()
+{
+    MessagePoolStats total;
+    PoolRegistry<Pool>::forEach([&](const Pool &pool) {
+        total.acquires += pool.stats.acquires;
+        total.releases += pool.stats.releases;
+        total.refsShared += pool.stats.refsShared;
+        total.slabAllocations += pool.stats.slabAllocations;
+        total.slabBytes += pool.stats.slabBytes;
+    });
+    return total;
+}
 
 } // namespace dsp
 

@@ -24,6 +24,7 @@
 #ifndef DSP_SIM_EVENT_HH
 #define DSP_SIM_EVENT_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -33,11 +34,14 @@
 #include <utility>
 #include <vector>
 
+#include "sim/pool_registry.hh"
+#include "sim/slab_pool.hh"
 #include "sim/types.hh"
 
 namespace dsp {
 
 class EventQueue;
+class ShardedKernel;
 
 /**
  * Base class of everything the EventQueue can schedule.
@@ -74,6 +78,7 @@ class Event
 
   private:
     friend class EventQueue;
+    friend class ShardedKernel;
 
     static constexpr std::size_t invalidHeapIndex =
         std::numeric_limits<std::size_t>::max();
@@ -96,6 +101,10 @@ class Event
     Event *next_ = nullptr;
     std::size_t heapIndex_ = invalidHeapIndex;
     bool scheduled_ = false;
+    /** Logical domain the event executes in (sharded kernel only;
+     *  0 for events scheduled on a standalone queue). Fits in the
+     *  padding after scheduled_. */
+    std::uint8_t domain_ = 0;
 };
 
 /** Aggregate counters for one pool (or, summed, for all pools). */
@@ -111,57 +120,62 @@ struct EventPoolStats {
 
 EventPoolStats eventPoolStats();
 
-/** Registry node so aggregate statistics can walk every pool. */
+/**
+ * Registry node so aggregate statistics can walk every pool.
+ *
+ * Pools are per thread (see EventPool::instance()) and are immortal
+ * (see sim/pool_registry.hh): a pool's slabs must outlive its owning
+ * thread because pooled events allocated on one shard thread may be
+ * executed -- and their slots recycled -- on another.
+ */
 class EventPoolBase
 {
   public:
     const EventPoolStats &stats() const { return stats_; }
 
   protected:
-    EventPoolBase() { registry().push_back(this); }
+    EventPoolBase() { PoolRegistry<EventPoolBase>::add(this); }
     ~EventPoolBase() = default;
 
     EventPoolStats stats_;
-
-  private:
-    friend EventPoolStats eventPoolStats();
-
-    static std::vector<EventPoolBase *> &
-    registry()
-    {
-        static std::vector<EventPoolBase *> pools;
-        return pools;
-    }
 };
 
 /**
- * Total pool activity across the process. The hot-path invariant the
- * tests pin down: once pools are warm, slabAllocations stays constant
- * while acquires keeps growing -- i.e. zero heap allocations per event.
+ * Total pool activity across the process (all threads' pools). The
+ * hot-path invariant the tests pin down: once pools are warm,
+ * slabAllocations stays constant while acquires keeps growing -- i.e.
+ * zero heap allocations per event. Only call while no shard workers
+ * are running.
  */
 inline EventPoolStats
 eventPoolStats()
 {
     EventPoolStats total;
-    for (const EventPoolBase *pool : EventPoolBase::registry()) {
-        total.acquires += pool->stats_.acquires;
-        total.releases += pool->stats_.releases;
-        total.slabAllocations += pool->stats_.slabAllocations;
-        total.slabBytes += pool->stats_.slabBytes;
-    }
+    PoolRegistry<EventPoolBase>::forEach(
+        [&](const EventPoolBase &pool) {
+            total.acquires += pool.stats().acquires;
+            total.releases += pool.stats().releases;
+            total.slabAllocations += pool.stats().slabAllocations;
+            total.slabBytes += pool.stats().slabBytes;
+        });
     return total;
 }
 
 /**
  * Slab allocator with an intrusive free list for one concrete event
  * type. Slots are carved out of fixed-size slabs (one malloc per
- * `slabSlots` events, kept for the lifetime of the pool); the free
+ * `slabSlots` events, kept for the lifetime of the process); the free
  * list threads through the slots themselves, so acquire/release touch
  * no allocator.
  *
- * Pools are accessed through instance() -- a function-local static, so
- * they outlive every simulator object and events pending at queue
- * destruction can always be returned safely.
+ * instance() returns a *per-thread* pool, so the common same-thread
+ * acquire/release path is lock-free and allocator-free under the
+ * sharded kernel; cross-thread recycling (a cross-shard event:
+ * acquired at the sender, executed at the destination) goes through
+ * the shared SlabArena machinery (sim/slab_pool.hh), which bounds
+ * slab memory by the peak number of live events, not the event
+ * count. Pool objects (and their slabs) are deliberately leaked (see
+ * sim/pool_registry.hh).
  */
 template <typename T>
 class EventPool : public EventPoolBase
@@ -170,13 +184,11 @@ class EventPool : public EventPoolBase
                   "EventPool manages Event subclasses");
 
   public:
-    static constexpr std::size_t slabSlots = 256;
-
     static EventPool &
     instance()
     {
-        static EventPool pool;
-        return pool;
+        static thread_local EventPool *pool = new EventPool;
+        return *pool;
     }
 
     /** Construct a T in a recycled (or fresh) slot. */
@@ -184,52 +196,36 @@ class EventPool : public EventPoolBase
     T *
     acquire(Args &&...args)
     {
-        if (freeList_ == nullptr)
-            grow();
-        FreeNode *node = freeList_;
-        freeList_ = node->next;
         ++stats_.acquires;
-        return new (static_cast<void *>(node))
+        return new (static_cast<void *>(&arena_.acquire()->storage))
             T(std::forward<Args>(args)...);
     }
 
-    /** Destroy a T and thread its slot back onto the free list. */
+    /** Destroy a T and recycle its slot (from any thread). */
     void
     release(T *event)
     {
         event->~T();
-        auto *node = new (static_cast<void *>(event)) FreeNode;
-        node->next = freeList_;
-        freeList_ = node;
         ++stats_.releases;
+        // The storage array is the Slot's first member, so the event
+        // pointer is the slot pointer.
+        arena_.release(reinterpret_cast<Slot *>(event));
     }
 
   private:
-    struct FreeNode {
-        FreeNode *next;
-    };
-
-    union Slot {
-        FreeNode node;
+    struct Slot {
+        /** Object storage; first member so T* == Slot*. */
         alignas(T) unsigned char storage[sizeof(T)];
+        Slot *next = nullptr;   ///< arena free-list linkage
+        void *home = nullptr;   ///< arena owning the slab
     };
 
-    void
-    grow()
+    EventPool()
+        : arena_(&stats_.slabAllocations, &stats_.slabBytes)
     {
-        slabs_.push_back(std::make_unique<Slot[]>(slabSlots));
-        ++stats_.slabAllocations;
-        stats_.slabBytes += slabSlots * sizeof(Slot);
-        Slot *slab = slabs_.back().get();
-        for (std::size_t i = slabSlots; i-- > 0;) {
-            auto *node = new (static_cast<void *>(&slab[i])) FreeNode;
-            node->next = freeList_;
-            freeList_ = node;
-        }
     }
 
-    std::vector<std::unique_ptr<Slot[]>> slabs_;
-    FreeNode *freeList_ = nullptr;
+    SlabArena<Slot> arena_;
 };
 
 /**

@@ -81,6 +81,22 @@ EventQueue::schedule(Event &ev, Tick when, EventPriority prio)
 }
 
 void
+EventQueue::scheduleWithKey(Event &ev, Tick when, std::uint64_t key)
+{
+    assertSchedulable(when);
+    dsp_assert(!ev.scheduled_, "event already scheduled (when=%llu)",
+               static_cast<unsigned long long>(ev.when_));
+
+    ev.when_ = when;
+    ev.key_ = key;
+    ev.scheduled_ = true;
+    if (when < ringLimit_)
+        ringInsert(ev);
+    else
+        heapPush(ev);
+}
+
+void
 EventQueue::deschedule(Event &ev)
 {
     dsp_assert(ev.scheduled_, "deschedule of unscheduled event");
@@ -313,6 +329,7 @@ EventQueue::execute(Event *ev)
     now_ = ev->when_;
     advanceWindow(now_);
     ++executed_;
+    *domainSink_ = ev->domain_;
     ev->process();
     ev->release();
 }

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Process-wide registry for per-thread, intentionally-immortal pools.
+ *
+ * The sharded kernel gives every thread its own slab pools so
+ * acquire/release stay lock-free; slots migrate freely between
+ * threads' free lists, which means a pool's slabs must outlive the
+ * thread that allocated them. Pools are therefore leaked on purpose,
+ * and this registry is what keeps them (a) reachable past static
+ * destruction -- so LeakSanitizer sees retained state, not leaks --
+ * and (b) enumerable, so aggregate statistics can be computed while
+ * the kernel is quiescent.
+ *
+ * Registration is mutex-guarded (it happens once per thread per pool
+ * type); forEach takes the same mutex and is only meaningful while no
+ * worker threads are running.
+ */
+
+#ifndef DSP_SIM_POOL_REGISTRY_HH
+#define DSP_SIM_POOL_REGISTRY_HH
+
+#include <mutex>
+#include <vector>
+
+namespace dsp {
+
+template <typename PoolT>
+class PoolRegistry
+{
+  public:
+    /** Register an immortal pool (called once at pool creation). */
+    static void
+    add(PoolT *pool)
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        list().push_back(pool);
+    }
+
+    /** Visit every registered pool (quiescent state only). */
+    template <typename Fn>
+    static void
+    forEach(Fn fn)
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        for (PoolT *pool : list())
+            fn(*pool);
+    }
+
+  private:
+    static std::vector<PoolT *> &
+    list()
+    {
+        // Heap-allocated and never destroyed: see the file comment.
+        static std::vector<PoolT *> *pools = new std::vector<PoolT *>;
+        return *pools;
+    }
+
+    static std::mutex &
+    mutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_POOL_REGISTRY_HH

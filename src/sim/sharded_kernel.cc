@@ -1,0 +1,324 @@
+#include "sim/sharded_kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+namespace {
+
+/**
+ * Which kernel shard (if any) the current thread is executing. Boot
+ * context -- the single-threaded state between run() calls -- is
+ * `kernel == nullptr` (or a different kernel), and is allowed to
+ * insert directly into any shard's queue.
+ */
+struct ExecContext {
+    ShardedKernel *kernel = nullptr;
+    unsigned shard = 0;
+};
+
+ExecContext &
+execContext()
+{
+    static thread_local ExecContext ctx;
+    return ctx;
+}
+
+} // namespace
+
+DomainPort::DomainPort(ShardedKernel &kernel, std::uint8_t domain)
+    : kernel_(&kernel), domain_(domain)
+{
+    dsp_assert(domain >= 1 && domain < ShardedKernel::bootDomain &&
+                   domain < kernel.domainShard_.size(),
+               "bad domain id %u", domain);
+    shard_ = static_cast<std::uint8_t>(kernel.domainShard_[domain]);
+    queue_ = &kernel.shards_[shard_]->queue;
+}
+
+Tick
+DomainPort::now() const
+{
+    if (kernel_ != nullptr) {
+        const ExecContext &ctx = execContext();
+        if (ctx.kernel == kernel_)
+            return kernel_->shards_[ctx.shard]->queue.now();
+    }
+    return queue_->now();
+}
+
+void
+DomainPort::schedule(Event &ev, Tick when, EventPriority prio)
+{
+    if (kernel_ == nullptr) {
+        queue_->schedule(ev, when, prio);
+        return;
+    }
+    kernel_->scheduleOn(domain_, shard_, ev, when, prio);
+}
+
+void
+DomainPort::deschedule(Event &ev)
+{
+    if (kernel_ != nullptr) {
+        const ExecContext &ctx = execContext();
+        dsp_assert(ctx.kernel != kernel_ || ctx.shard == shard_,
+                   "cross-shard deschedule of domain %u from shard %u",
+                   domain_, ctx.shard);
+    }
+    queue_->deschedule(ev);
+}
+
+ShardedKernel::ShardedKernel(unsigned num_shards,
+                             std::vector<unsigned> domain_shard,
+                             Tick lookahead)
+    : numShards_(num_shards),
+      domainShard_(std::move(domain_shard)),
+      lookahead_(lookahead),
+      barrier_(num_shards)
+{
+    dsp_assert(numShards_ >= 1 && numShards_ <= 64,
+               "bad shard count %u", numShards_);
+    dsp_assert(lookahead_ > 0, "lookahead must be positive");
+    dsp_assert(domainShard_.size() >= 2 &&
+                   domainShard_.size() <= maxDomains + std::size_t{1},
+               "bad domain map size %zu", domainShard_.size());
+
+    shards_.reserve(numShards_);
+    for (unsigned s = 0; s < numShards_; ++s) {
+        shards_.push_back(std::make_unique<Shard>());
+        shards_[s]->queue.setDomainSink(&shards_[s]->curDomain);
+    }
+    for (std::size_t d = 1; d < domainShard_.size(); ++d) {
+        dsp_assert(domainShard_[d] < numShards_,
+                   "domain %zu mapped to bad shard %u", d,
+                   domainShard_[d]);
+    }
+    mail_.resize(static_cast<std::size_t>(numShards_) * numShards_);
+    // One sequence counter per domain plus one for the boot context
+    // (index bootDomain): counters advance only on the owning domain's
+    // thread, so the key stream is partition-independent.
+    domainSeq_.resize(bootDomain + std::size_t{1});
+}
+
+ShardedKernel::~ShardedKernel()
+{
+    {
+        std::unique_lock<std::mutex> lock(parkMutex_);
+        shutdown_ = true;
+    }
+    parkCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+
+    // Queues release their pending events; mailboxes are always
+    // drained at run() exit, but guard against aborted runs anyway.
+    for (Mailbox &box : mail_) {
+        for (MailRec &rec : box.recs)
+            rec.ev->release();
+        box.recs.clear();
+    }
+}
+
+void
+ShardedKernel::dsp_assert_key_seq(std::uint64_t seq)
+{
+    dsp_assert(seq < (std::uint64_t{1} << seqBits),
+               "per-domain sequence overflowed its %u key bits",
+               static_cast<unsigned>(seqBits));
+}
+
+DomainPort
+ShardedKernel::port(std::uint8_t domain)
+{
+    return DomainPort(*this, domain);
+}
+
+void
+ShardedKernel::scheduleOn(std::uint8_t domain, unsigned target_shard,
+                          Event &ev, Tick when, EventPriority prio)
+{
+    ev.domain_ = domain;
+    const ExecContext &ctx = execContext();
+    if (ctx.kernel != this) {
+        // Boot context: single-threaded between windows; insert
+        // directly wherever the event belongs. The dedicated boot
+        // counter keeps these keys identical for every K.
+        std::uint64_t key =
+            packKey(prio, bootDomain, domainSeq_[bootDomain].next++);
+        shards_[target_shard]->queue.scheduleWithKey(ev, when, key);
+        return;
+    }
+
+    Shard &from = *shards_[ctx.shard];
+    std::uint8_t sender = from.curDomain;
+    std::uint64_t key =
+        packKey(prio, sender, domainSeq_[sender].next++);
+    if (ctx.shard == target_shard) {
+        from.queue.scheduleWithKey(ev, when, key);
+    } else {
+        mailbox(ctx.shard, target_shard)
+            .recs.push_back(MailRec{&ev, when, key});
+    }
+}
+
+void
+ShardedKernel::Barrier::wait(unsigned gen) const
+{
+    for (int spins = 0;
+         gen_.load(std::memory_order_acquire) == gen; ++spins) {
+        if (spins >= 256)
+            std::this_thread::yield();
+    }
+}
+
+void
+ShardedKernel::planNext()
+{
+    if ((*stopFn_)()) {
+        plan_.stop = true;
+        stoppedByPredicate_ = true;
+        return;
+    }
+    Tick earliest = maxTick;
+    for (const auto &shard : shards_) {
+        if (shard->earliest < earliest)
+            earliest = shard->earliest;
+    }
+    if (earliest == maxTick) {
+        plan_.stop = true;  // drained without satisfying the predicate
+        return;
+    }
+    dsp_assert(earliest < maxTick - lookahead_,
+               "window end would overflow the tick range");
+    plan_.end = earliest + lookahead_;
+}
+
+void
+ShardedKernel::drainInbox(unsigned shard)
+{
+    Shard &to = *shards_[shard];
+    for (unsigned src = 0; src < numShards_; ++src) {
+        Mailbox &box = mailbox(src, shard);
+        for (const MailRec &rec : box.recs) {
+            // Conservative-lookahead invariant: anything sent during
+            // window [W, W+L) was scheduled at least L ahead, so it
+            // cannot land inside a window this shard already ran.
+            dsp_assert(rec.when >= plan_.end,
+                       "lookahead violation: cross-shard event at "
+                       "%llu inside window ending %llu",
+                       static_cast<unsigned long long>(rec.when),
+                       static_cast<unsigned long long>(plan_.end));
+            to.queue.scheduleWithKey(*rec.ev, rec.when, rec.key);
+        }
+        box.recs.clear();
+    }
+}
+
+void
+ShardedKernel::workerLoop(unsigned shard)
+{
+    ExecContext &ctx = execContext();
+    ctx.kernel = this;
+    ctx.shard = shard;
+
+    Shard &mine = *shards_[shard];
+    while (true) {
+        barrier_.arrive([this] { planNext(); });
+        if (plan_.stop)
+            break;
+        mine.queue.run(plan_.end - 1);
+        barrier_.arrive([] {});
+        drainInbox(shard);
+        mine.earliest = mine.queue.earliestTick();
+    }
+
+    ctx.kernel = nullptr;
+}
+
+void
+ShardedKernel::startWorkers()
+{
+    workers_.reserve(numShards_ - 1);
+    for (unsigned s = 1; s < numShards_; ++s) {
+        workers_.emplace_back([this, s] {
+            std::uint64_t seen = 0;
+            while (true) {
+                {
+                    std::unique_lock<std::mutex> lock(parkMutex_);
+                    parkCv_.wait(lock, [&] {
+                        return shutdown_ || runGen_ != seen;
+                    });
+                    if (shutdown_)
+                        return;
+                    seen = runGen_;
+                }
+                workerLoop(s);
+                {
+                    std::unique_lock<std::mutex> lock(parkMutex_);
+                    --activeWorkers_;
+                }
+                parkCv_.notify_all();
+            }
+        });
+    }
+}
+
+bool
+ShardedKernel::run(const std::function<bool()> &stop)
+{
+    stopFn_ = &stop;
+    stoppedByPredicate_ = false;
+    plan_ = Plan{};
+    for (auto &shard : shards_)
+        shard->earliest = shard->queue.earliestTick();
+
+    if (numShards_ > 1 && workers_.empty())
+        startWorkers();
+
+    // Release the parked workers into this run (the mutex publishes
+    // the boot-context state written above), run shard 0 ourselves,
+    // then wait for every worker to park again before returning the
+    // kernel to quiescent (boot) state.
+    {
+        std::unique_lock<std::mutex> lock(parkMutex_);
+        activeWorkers_ = numShards_ - 1;
+        ++runGen_;
+    }
+    parkCv_.notify_all();
+    workerLoop(0);
+    {
+        std::unique_lock<std::mutex> lock(parkMutex_);
+        parkCv_.wait(lock, [&] { return activeWorkers_ == 0; });
+    }
+
+    stopFn_ = nullptr;
+    return stoppedByPredicate_;
+}
+
+std::uint64_t
+ShardedKernel::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->queue.executed();
+    return total;
+}
+
+bool
+ShardedKernel::empty() const
+{
+    for (const auto &shard : shards_) {
+        if (!shard->queue.empty())
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+ShardedKernel::pending(unsigned shard) const
+{
+    return shards_[shard]->queue.pending();
+}
+
+} // namespace dsp

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Sharded multi-queue parallel event kernel with conservative
+ * lookahead synchronization.
+ *
+ * The simulator's components are grouped into *domains* -- logical
+ * processes that own disjoint state (one per simulated node, plus one
+ * for the interconnect ordering point). Domains are partitioned onto
+ * *shards*, each with its own calendar/bucket EventQueue, and shards
+ * execute on host threads in lock-step windows of width L, the
+ * *lookahead*: the minimum latency of any cross-domain interaction
+ * (one crossbar link hop). Within a window every shard runs
+ * independently; an event scheduled into another shard is posted to a
+ * single-writer mailbox and drained at the window boundary, which is
+ * safe because conservative lookahead guarantees it cannot fire before
+ * the next window starts.
+ *
+ * Determinism contract (the non-negotiable invariant): a K-shard run
+ * executes *exactly* the same events in *exactly* the same per-domain
+ * order as a 1-shard run. Two mechanisms make the total order
+ * K-independent:
+ *
+ *  - every event's tiebreak key is (priority, scheduling domain,
+ *    per-domain sequence number) -- assigned by the *sender* and
+ *    carried across mailboxes, never re-assigned at insertion. A
+ *    domain's sequence counter advances only while that domain's
+ *    events execute, so the key stream is a function of the simulation
+ *    alone, not of the shard partition;
+ *  - window boundaries are derived from the global earliest pending
+ *    tick, which is the same for every K.
+ *
+ * Components interact with the kernel through DomainPort, a small
+ * value type that also wraps a bare EventQueue for standalone
+ * (non-sharded) use, so unit tests and single-queue tools keep their
+ * exact PR 2 behavior.
+ */
+
+#ifndef DSP_SIM_SHARDED_KERNEL_HH
+#define DSP_SIM_SHARDED_KERNEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace dsp {
+
+class ShardedKernel;
+
+/**
+ * Scheduling interface handed to simulator components: either a thin
+ * wrapper over a standalone EventQueue (implicit conversion keeps
+ * existing call sites working) or a (kernel, domain) pair that routes
+ * through the sharded kernel's keyed/mailbox path.
+ */
+class DomainPort
+{
+  public:
+    DomainPort() = default;
+
+    /** Standalone mode: schedule straight into `queue`. */
+    DomainPort(EventQueue &queue) : queue_(&queue) {}
+
+    /** Kernel mode (built by ShardedKernel::port()). */
+    DomainPort(ShardedKernel &kernel, std::uint8_t domain);
+
+    /**
+     * Current simulated time. Inside a kernel run this is the
+     * *executing* shard's clock (the running event's tick) -- never
+     * the target shard's, whose clock mid-window is both racy to read
+     * and partition-dependent. Outside a run every shard's clock sits
+     * at the same window boundary, so boot reads are K-independent.
+     */
+    Tick now() const;
+
+    void schedule(Event &ev, Tick when,
+                  EventPriority prio = EventPriority::Default);
+
+    void
+    scheduleIn(Event &ev, Tick delay,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(ev, now() + delay, prio);
+    }
+
+    /** Schedule a callable through a pooled CallbackEvent. */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    void
+    schedule(Tick when, F cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        schedule(*CallbackEvent<F>::make(std::move(cb)), when, prio);
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    void
+    scheduleIn(Tick delay, F cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now() + delay, std::move(cb), prio);
+    }
+
+    /** Cancel a scheduled event (must target this port's shard, from
+     *  its own thread or while the kernel is quiescent). */
+    void deschedule(Event &ev);
+
+    /** The underlying queue (this domain's shard in kernel mode). */
+    EventQueue &queue() const { return *queue_; }
+
+    std::uint8_t domain() const { return domain_; }
+
+  private:
+    EventQueue *queue_ = nullptr;
+    ShardedKernel *kernel_ = nullptr;  ///< null in standalone mode
+    std::uint8_t domain_ = 0;
+    std::uint8_t shard_ = 0;
+};
+
+/**
+ * K event queues in conservative lock-step.
+ *
+ * Lifecycle: construct with a domain->shard map and the lookahead,
+ * hand ports to components, schedule initial events (boot context:
+ * single-threaded, direct insertion), then run() phases. Between
+ * run() calls the kernel is quiescent and boot-context scheduling is
+ * allowed again.
+ */
+class ShardedKernel
+{
+  public:
+    /** Domain ids are 1..numDomains (byte-sized; 0 is reserved for
+     *  standalone queues, 255 for boot-context scheduling). */
+    static constexpr std::uint8_t maxDomains = 254;
+    static constexpr std::uint8_t bootDomain = 255;
+
+    /**
+     * @param num_shards   host-parallel shards (>= 1)
+     * @param domain_shard shard of each domain; index 0 unused,
+     *                     size() == numDomains + 1
+     * @param lookahead    minimum cross-domain latency in ticks (> 0);
+     *                     also the synchronization window width
+     */
+    ShardedKernel(unsigned num_shards,
+                  std::vector<unsigned> domain_shard, Tick lookahead);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    /** Port for one domain. */
+    DomainPort port(std::uint8_t domain);
+
+    Tick lookahead() const { return lookahead_; }
+    unsigned numShards() const { return numShards_; }
+
+    /**
+     * Run windows until `stop` returns true at a window boundary
+     * (finishing the window in progress first -- part of the
+     * determinism contract) or until every queue drains. Returns true
+     * iff stopped by the predicate. `stop` runs on one (arbitrary)
+     * thread per boundary with all shards quiescent.
+     */
+    bool run(const std::function<bool()> &stop);
+
+    /** Total events executed across all shards. */
+    std::uint64_t executed() const;
+
+    /** True when no shard has pending events (quiescent state only). */
+    bool empty() const;
+
+    /** Per-shard pending event count (quiescent state only). */
+    std::size_t pending(unsigned shard) const;
+
+  private:
+    friend class DomainPort;
+
+    /** One cross-shard handoff: the key was already assigned by the
+     *  sending domain, so insertion order cannot perturb the total
+     *  order. */
+    struct MailRec {
+        Event *ev;
+        Tick when;
+        std::uint64_t key;
+    };
+
+    /** Single-writer mailbox for one (source, destination) shard
+     *  pair; written during a window by the source thread only,
+     *  drained at the barrier by the destination thread only. */
+    struct alignas(64) Mailbox {
+        std::vector<MailRec> recs;
+    };
+
+    struct alignas(64) Shard {
+        EventQueue queue;
+        /** Domain of the event currently executing (EventQueue domain
+         *  sink); keys for schedules made during execution come from
+         *  this domain's counter. */
+        std::uint8_t curDomain = bootDomain;
+        /** Earliest pending tick, published at each barrier. */
+        Tick earliest = maxTick;
+    };
+
+    struct alignas(64) DomainSeq {
+        std::uint64_t next = 0;
+    };
+
+    /** Centralized sense-reversing spin barrier; the last arriver
+     *  runs a callback (window planning) before releasing. */
+    class Barrier
+    {
+      public:
+        explicit Barrier(unsigned n) : n_(n) {}
+
+        template <typename F>
+        void
+        arrive(F on_last)
+        {
+            unsigned gen = gen_.load(std::memory_order_acquire);
+            if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                n_) {
+                count_.store(0, std::memory_order_relaxed);
+                on_last();
+                gen_.fetch_add(1, std::memory_order_release);
+                return;
+            }
+            wait(gen);
+        }
+
+      private:
+        void wait(unsigned gen) const;
+
+        unsigned n_;
+        std::atomic<unsigned> count_{0};
+        std::atomic<unsigned> gen_{0};
+    };
+
+    /** Bits available for the per-domain sequence below the priority
+     *  and domain bytes. */
+    static constexpr std::uint64_t seqBits = 48;
+
+    static std::uint64_t
+    packKey(EventPriority prio, std::uint8_t domain, std::uint64_t seq)
+    {
+        dsp_assert_key_seq(seq);
+        return (static_cast<std::uint64_t>(prio) << 56) |
+               (static_cast<std::uint64_t>(domain) << 48) | seq;
+    }
+
+    /** Out-of-line so logging.hh stays out of this header. */
+    static void dsp_assert_key_seq(std::uint64_t seq);
+
+    void scheduleOn(std::uint8_t domain, unsigned target_shard,
+                    Event &ev, Tick when, EventPriority prio);
+
+    Mailbox &
+    mailbox(unsigned src, unsigned dst)
+    {
+        return mail_[src * numShards_ + dst];
+    }
+
+    void workerLoop(unsigned shard);
+    void planNext();
+    void drainInbox(unsigned shard);
+    void startWorkers();
+
+    unsigned numShards_;
+    std::vector<unsigned> domainShard_;
+    Tick lookahead_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<Mailbox> mail_;
+    std::vector<DomainSeq> domainSeq_;  ///< index 0 unused; last = boot
+
+    Barrier barrier_;
+
+    /** Window plan, written by the barrier's last arriver only. */
+    struct Plan {
+        Tick end = 0;
+        bool stop = false;
+    };
+    Plan plan_;
+    bool stoppedByPredicate_ = false;
+    const std::function<bool()> *stopFn_ = nullptr;
+
+    /**
+     * Persistent worker threads (shards 1..K-1), spawned lazily at
+     * the first run() and parked on a condition variable between
+     * runs. Reusing threads keeps the per-thread immortal pools --
+     * and their slab memory -- bounded per kernel instead of growing
+     * with every run() call.
+     */
+    std::vector<std::thread> workers_;
+    std::mutex parkMutex_;
+    std::condition_variable parkCv_;
+    std::uint64_t runGen_ = 0;   ///< bumped per run(); guarded by mutex
+    unsigned activeWorkers_ = 0; ///< workers inside the current run
+    bool shutdown_ = false;
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_SHARDED_KERNEL_HH

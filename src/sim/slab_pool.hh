@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared slab-recycling machinery for the per-thread object pools.
+ *
+ * One SlabArena manages the raw slots of one pool instance: slots are
+ * carved out of fixed-size slabs (kept for the life of the process --
+ * arenas belong to immortal pools, see sim/pool_registry.hh), vacant
+ * slots thread a local free list, and slots released by *other*
+ * threads come back through a lock-free MPSC stack that the owner
+ * splices into its free list before ever growing. That keeps the
+ * same-thread path allocator- and atomic-free while bounding slab
+ * memory by the peak number of live objects, not the object count --
+ * even when, under the sharded kernel, most objects are acquired on
+ * one shard thread and released on another.
+ *
+ * SlotT must provide two members the arena may use while the slot is
+ * vacant: `SlotT *next` (free-list linkage) and `void *home` (the
+ * owning arena, set once at slab creation and never changed).
+ */
+
+#ifndef DSP_SIM_SLAB_POOL_HH
+#define DSP_SIM_SLAB_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dsp {
+
+template <typename SlotT>
+class SlabArena
+{
+  public:
+    static constexpr std::size_t slabSlots = 256;
+
+    /** The two counters live in the owning pool's stats struct. */
+    SlabArena(std::uint64_t *slab_allocations, std::uint64_t *slab_bytes)
+        : slabAllocations_(slab_allocations), slabBytes_(slab_bytes)
+    {
+    }
+
+    SlabArena(const SlabArena &) = delete;
+    SlabArena &operator=(const SlabArena &) = delete;
+
+    /** A vacant slot (recycled or fresh); only the owning thread may
+     *  call this. */
+    SlotT *
+    acquire()
+    {
+        if (freeList_ == nullptr) {
+            reclaimRemote();
+            if (freeList_ == nullptr)
+                grow();
+        }
+        SlotT *slot = freeList_;
+        freeList_ = slot->next;
+        return slot;
+    }
+
+    /** Return a vacant slot from any thread: locally when this
+     *  thread's arena owns its slab, via the home arena's remote
+     *  stack otherwise. */
+    void
+    release(SlotT *slot)
+    {
+        auto *home = static_cast<SlabArena *>(slot->home);
+        if (home == this) {
+            slot->next = freeList_;
+            freeList_ = slot;
+            return;
+        }
+        SlotT *head = home->remoteFree_.load(std::memory_order_relaxed);
+        do {
+            slot->next = head;
+        } while (!home->remoteFree_.compare_exchange_weak(
+            head, slot, std::memory_order_release,
+            std::memory_order_relaxed));
+    }
+
+  private:
+    /** Splice every remotely-released slot back into the local list. */
+    void
+    reclaimRemote()
+    {
+        SlotT *head =
+            remoteFree_.exchange(nullptr, std::memory_order_acquire);
+        while (head != nullptr) {
+            SlotT *next = head->next;
+            head->next = freeList_;
+            freeList_ = head;
+            head = next;
+        }
+    }
+
+    void
+    grow()
+    {
+        slabs_.push_back(std::make_unique<SlotT[]>(slabSlots));
+        ++*slabAllocations_;
+        *slabBytes_ += slabSlots * sizeof(SlotT);
+        SlotT *slab = slabs_.back().get();
+        for (std::size_t i = slabSlots; i-- > 0;) {
+            slab[i].home = this;
+            slab[i].next = freeList_;
+            freeList_ = &slab[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<SlotT[]>> slabs_;
+    SlotT *freeList_ = nullptr;
+    /** Slots released by other threads, awaiting reclamation. */
+    std::atomic<SlotT *> remoteFree_{nullptr};
+    std::uint64_t *slabAllocations_;
+    std::uint64_t *slabBytes_;
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_SLAB_POOL_HH

@@ -3,8 +3,10 @@
 
 namespace dsp {
 
-CacheController::CacheController(System &system, NodeId node)
-    : sys_(system), node_(node), caches_(system.params().caches)
+CacheController::CacheController(System &system, NodeId node,
+                                 DomainPort port)
+    : sys_(system), node_(node), port_(port),
+      caches_(system.params().caches)
 {
 }
 
@@ -39,9 +41,9 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
     mshr.type = type;
     mshr.waiters.push_back(on_complete);
 
-    if (when < sys_.queue_.now())
-        when = sys_.queue_.now();
-    sys_.queue_.schedule(
+    if (when < port_.now())
+        when = port_.now();
+    port_.schedule(
         when,
         [this, block, addr, pc, type, when]() {
             issueRequest(block, addr, pc, type, when);
@@ -57,16 +59,10 @@ CacheController::issueRequest(BlockId block, Addr addr, Addr pc,
     auto it = mshrs_.find(block);
     dsp_assert(it != mshrs_.end(), "issue without mshr");
 
-    TxnId id = sys_.nextTxn_++;
+    // Node-local id: unique across the system without any shared
+    // counter, and identical for every shard count.
+    TxnId id = (nextTxnSeq_++ << 8) | node_;
     it->second.txn = id;
-
-    System::Txn txn;
-    txn.requester = node_;
-    txn.addr = addr;
-    txn.pc = pc;
-    txn.type = type;
-    txn.issued = when;
-    sys_.txns_.emplace(id, txn);
 
     Message msg;
     msg.kind = MessageKind::Request;
@@ -76,6 +72,8 @@ CacheController::issueRequest(BlockId block, Addr addr, Addr pc,
     msg.type = type;
     msg.src = node_;
     msg.dests = sys_.destinationsFor(block, addr, pc, type, node_);
+    msg.echo.issued = when;
+    msg.echo.requester = node_;
     sys_.crossbar_.sendOrdered(std::move(msg));
 }
 
@@ -93,19 +91,22 @@ CacheController::invalidateLocal(BlockId block)
 }
 
 void
-CacheController::onSnoop(const Message &msg, CoherenceTxn &txn,
-                         Tick tick)
+CacheController::onSnoop(const Message &msg, Tick tick)
 {
     // Only the resolving attempt's deliveries carry snoop duties;
     // earlier (insufficient) attempts are ignored by the caches.
-    if (!txn.resolved || txn.resolvedAttempt != msg.attempt)
+    const TxnEcho &echo = msg.echo;
+    if (!echo.resolved || echo.resolvedAttempt != msg.attempt)
         return;
 
     BlockId block = msg.block();
 
-    if (txn.responder == node_ && txn.responder != txn.requester) {
-        // We own the block: supply data after the L2 access.
-        Tick send = tick + nsToTicks(sys_.params().latency.l2_ns);
+    if (echo.responder == node_ && echo.responder != echo.requester) {
+        // We own the block: supply data after the L2 access -- but no
+        // earlier than our own fill's expected arrival, if the
+        // ordering point chained this transfer behind it.
+        Tick start = std::max(tick, echo.supplyEarliest);
+        Tick send = start + nsToTicks(sys_.params().latency.l2_ns);
 
         if (msg.type == RequestType::GetExclusive)
             invalidateLocal(block);
@@ -119,14 +120,15 @@ CacheController::onSnoop(const Message &msg, CoherenceTxn &txn,
         data.pc = msg.pc;
         data.type = msg.type;
         data.src = node_;
-        data.dest = txn.requester;
+        data.dest = echo.requester;
+        data.echo = echo;
         sys_.sendLater(std::move(data), send);
         return;
     }
 
     // A sharer (or stale owner) observing a GETX drops its copy.
     if (msg.type == RequestType::GetExclusive &&
-        txn.required.contains(node_)) {
+        echo.required.contains(node_)) {
         invalidateLocal(block);
     }
 }
@@ -136,16 +138,14 @@ CacheController::onForward(const Message &msg, Tick tick)
 {
     // Directory protocol: we are (were) the owner; supply the data.
     BlockId block = msg.block();
-    Tick send = tick + nsToTicks(sys_.params().latency.l2_ns);
+    const TxnEcho &echo = msg.echo;
+    Tick start = std::max(tick, echo.supplyEarliest);
+    Tick send = start + nsToTicks(sys_.params().latency.l2_ns);
 
     if (msg.type == RequestType::GetExclusive)
         invalidateLocal(block);
     else
         caches_.downgrade(block);
-
-    auto it = sys_.txns_.find(msg.txn);
-    if (it == sys_.txns_.end())
-        return;
 
     Message data;
     data.kind = MessageKind::Data;
@@ -154,7 +154,8 @@ CacheController::onForward(const Message &msg, Tick tick)
     data.pc = msg.pc;
     data.type = msg.type;
     data.src = node_;
-    data.dest = it->second.requester;
+    data.dest = echo.requester;
+    data.echo = echo;
     sys_.sendLater(std::move(data), send);
 }
 
@@ -167,30 +168,27 @@ CacheController::onInvalidate(const Message &msg, Tick /* tick */)
 void
 CacheController::onData(const Message &msg, Tick tick)
 {
-    complete(msg.block(), msg.txn, tick);
+    complete(msg, tick);
 }
 
 void
-CacheController::complete(BlockId block, TxnId txn_id, Tick tick)
+CacheController::complete(const Message &msg, Tick tick)
 {
+    BlockId block = msg.block();
     auto it = mshrs_.find(block);
-    if (it == mshrs_.end() || it->second.txn != txn_id)
+    if (it == mshrs_.end() || it->second.txn != msg.txn)
         return;  // stale or duplicate completion
     Mshr mshr = std::move(it->second);
     mshrs_.erase(it);
 
-    auto txn_it = sys_.txns_.find(mshr.txn);
-    dsp_assert(txn_it != sys_.txns_.end(), "completion without txn");
-    System::Txn txn = txn_it->second;
-    sys_.txns_.erase(txn_it);
-
     // Install the granted state; reflect any L2 eviction into the
-    // global sharing state and, for dirty victims, the network.
-    Addr addr = txn.addr;
-    NodeCaches::FillResult fill = caches_.fill(addr, txn.granted);
+    // global sharing state (one hop away, at the hub) and, for dirty
+    // victims, the network.
+    NodeCaches::FillResult fill =
+        caches_.fill(msg.addr, msg.echo.granted);
     if (fill.evicted) {
         if (isOwnerState(fill.victimState)) {
-            sys_.tracker_.evictOwned(fill.victim, node_);
+            sys_.notifyEviction(fill.victim, true, node_, tick);
             Message wb;
             wb.kind = MessageKind::Writeback;
             wb.addr = blockBase(fill.victim);
@@ -198,7 +196,7 @@ CacheController::complete(BlockId block, TxnId txn_id, Tick tick)
             wb.dest = sys_.homeOf_(fill.victim);
             sys_.sendOrLocal(wb);
         } else if (fill.victimState == MosiState::Shared) {
-            sys_.tracker_.evictShared(fill.victim, node_);
+            sys_.notifyEviction(fill.victim, false, node_, tick);
         }
     }
 
@@ -208,8 +206,8 @@ CacheController::complete(BlockId block, TxnId txn_id, Tick tick)
         caches_.invalidate(block);
     }
 
-    sys_.trainRequester(txn);
-    sys_.recordCompletion(txn, tick);
+    sys_.trainRequester(msg);
+    sys_.recordCompletion(msg, tick);
 
     for (Completion &waiter : mshr.waiters)
         waiter(tick);

@@ -3,42 +3,40 @@
 
 namespace dsp {
 
-MemoryController::MemoryController(System &system, NodeId node)
-    : sys_(system), node_(node)
+MemoryController::MemoryController(System &system, NodeId node,
+                                   DomainPort port)
+    : sys_(system), node_(node), port_(port)
 {
 }
 
 void
-MemoryController::onHomeRequest(const Message &msg, CoherenceTxn &txn,
-                                Tick tick)
+MemoryController::onHomeRequest(const Message &msg, Tick tick)
 {
     if (sys_.params().protocol == ProtocolKind::Directory)
-        handleDirectory(msg, txn, tick);
+        handleDirectory(msg, tick);
     else
-        handleMulticastHome(msg, txn, tick);
+        handleMulticastHome(msg, tick);
 }
 
 void
-MemoryController::handleDirectory(const Message &msg,
-                                  const CoherenceTxn &txn_ref,
-                                  Tick tick)
+MemoryController::handleDirectory(const Message &msg, Tick tick)
 {
-    // Copy: the scheduled response runs after the reference may die.
-    const System::Txn txn = txn_ref;
     Tick memory = nsToTicks(sys_.params().latency.memory_ns);
 
     // Directory access (co-located with memory, 80 ns) precedes any
-    // response or forward.
+    // response or forward. The echo carries everything the response
+    // needs, so the scheduled continuation copies only the message.
     Tick done = tick + memory;
 
-    sys_.queue_.schedule(
+    port_.schedule(
         done,
-        [this, msg, txn]() {
+        [this, msg]() {
+            const TxnEcho &echo = msg.echo;
             // Invalidate every sharer (GS320: the totally-ordered
             // interconnect removes the need for acks).
             if (msg.type == RequestType::GetExclusive) {
-                txn.required.forEach([&](NodeId q) {
-                    if (q == txn.responder)
+                echo.required.forEach([&](NodeId q) {
+                    if (q == echo.responder)
                         return;  // the owner learns via the forward
                     Message inval;
                     inval.kind = MessageKind::Invalidate;
@@ -47,12 +45,22 @@ MemoryController::handleDirectory(const Message &msg,
                     inval.type = msg.type;
                     inval.src = node_;
                     inval.dest = q;
+                    inval.echo = echo;
                     sys_.sendOrLocal(inval);
                 });
             }
 
-            if (txn.responder == invalidNode) {
-                // Memory supplies the data.
+            if (echo.responder == invalidNode) {
+                // Memory supplies the data -- the read itself (one
+                // memory latency, already elapsed since the delivery)
+                // cannot *start* before an in-flight writeback for
+                // the block has landed, same as the multicast home's
+                // chaining below.
+                Tick now = port_.now();
+                Tick memory = nsToTicks(
+                    sys_.params().latency.memory_ns);
+                Tick start =
+                    std::max(now, echo.supplyEarliest + memory);
                 Message data;
                 data.kind = MessageKind::Data;
                 data.txn = msg.txn;
@@ -60,9 +68,13 @@ MemoryController::handleDirectory(const Message &msg,
                 data.pc = msg.pc;
                 data.type = msg.type;
                 data.src = node_;
-                data.dest = txn.requester;
-                sys_.sendOrLocal(data);
-            } else if (txn.responder == txn.requester) {
+                data.dest = echo.requester;
+                data.echo = echo;
+                if (start > now)
+                    sys_.sendLater(std::move(data), start);
+                else
+                    sys_.sendOrLocal(std::move(data));
+            } else if (echo.responder == echo.requester) {
                 // Upgrade: dataless grant back to the requester.
                 Message grant;
                 grant.kind = MessageKind::Grant;
@@ -70,8 +82,9 @@ MemoryController::handleDirectory(const Message &msg,
                 grant.addr = msg.addr;
                 grant.type = msg.type;
                 grant.src = node_;
-                grant.dest = txn.requester;
-                sys_.sendOrLocal(grant);
+                grant.dest = echo.requester;
+                grant.echo = echo;
+                sys_.sendOrLocal(std::move(grant));
             } else {
                 // 3-hop: forward to the owner.
                 Message fwd;
@@ -81,62 +94,62 @@ MemoryController::handleDirectory(const Message &msg,
                 fwd.pc = msg.pc;
                 fwd.type = msg.type;
                 fwd.src = node_;
-                fwd.dest = txn.responder;
-                sys_.sendOrLocal(fwd);
+                fwd.dest = echo.responder;
+                fwd.echo = echo;
+                sys_.sendOrLocal(std::move(fwd));
             }
         },
         EventPriority::Controller);
 }
 
 void
-MemoryController::handleMulticastHome(const Message &msg,
-                                      CoherenceTxn &txn, Tick tick)
+MemoryController::handleMulticastHome(const Message &msg, Tick tick)
 {
+    const TxnEcho &echo = msg.echo;
     Tick memory = nsToTicks(sys_.params().latency.memory_ns);
 
-    if (!txn.resolved) {
+    if (!echo.resolved) {
         // Insufficient destination set: the directory re-issues the
-        // request with an improved set after its access latency. Only
-        // the latest attempt's delivery triggers a retry.
-        if (msg.attempt + 1 != txn.attempts)
-            return;
-        std::uint8_t next_attempt = msg.attempt + 1;
-        Addr addr = msg.addr;
-        sys_.queue_.schedule(
+        // request with an improved set after its access latency.
+        // Attempts are strictly sequential -- the home only issues
+        // attempt a+1 from attempt a's own delivery, and a resolved
+        // attempt never reaches this branch -- so this unresolved
+        // echo is necessarily the transaction's latest ordering and
+        // exactly one retry is issued per failed attempt. (The old
+        // shared transaction table re-checked this against a live
+        // attempts counter; the echo design makes the check
+        // unexpressible, and the invariant holds structurally.)
+        std::uint8_t next_attempt =
+            static_cast<std::uint8_t>(msg.attempt + 1);
+
+        Message retry;
+        retry.kind = MessageKind::Retry;
+        retry.txn = msg.txn;
+        retry.addr = msg.addr;
+        retry.pc = msg.pc;
+        retry.type = msg.type;
+        retry.src = node_;
+        retry.attempt = next_attempt;
+        retry.echo.issued = echo.issued;
+        retry.echo.requester = echo.requester;
+
+        if (next_attempt >= 2) {
+            // Third attempt: broadcast, guaranteed to succeed
+            // (Section 4.1).
+            retry.dests = DestinationSet::all(sys_.params().nodes);
+        } else {
+            // Improved set: the observers the ordering point saw this
+            // attempt miss, plus the requester and the home. A racing
+            // request can still invalidate this between that ordering
+            // and the retry's own ordering (the window of
+            // vulnerability).
+            retry.dests = echo.required;
+            retry.dests.add(echo.requester);
+            retry.dests.add(node_);
+        }
+        port_.schedule(
             tick + memory,
-            [this, msg, addr, next_attempt]() {
-                auto txn_it = sys_.txns_.find(msg.txn);
-                if (txn_it == sys_.txns_.end() ||
-                    txn_it->second.resolved) {
-                    return;
-                }
-                System::Txn &t = txn_it->second;
-
-                Message retry;
-                retry.kind = MessageKind::Retry;
-                retry.txn = msg.txn;
-                retry.addr = addr;
-                retry.pc = msg.pc;
-                retry.type = msg.type;
-                retry.src = node_;
-                retry.attempt = next_attempt;
-
-                if (next_attempt >= 2) {
-                    // Third attempt: broadcast, guaranteed to succeed
-                    // (Section 4.1).
-                    retry.dests =
-                        DestinationSet::all(sys_.params().nodes);
-                } else {
-                    // Improved set: current owner + sharers, plus the
-                    // requester and the home. A racing request can
-                    // still invalidate this between now and the
-                    // retry's ordering (the window of vulnerability).
-                    auto insp = sys_.tracker_.inspect(
-                        blockOf(addr), t.requester, msg.type);
-                    retry.dests = insp.required;
-                    retry.dests.add(t.requester);
-                    retry.dests.add(node_);
-                }
+            [this, retry]() mutable {
                 sys_.crossbar_.sendOrdered(std::move(retry));
             },
             EventPriority::Controller);
@@ -145,11 +158,14 @@ MemoryController::handleMulticastHome(const Message &msg,
 
     // Resolved transaction: the home only acts when memory is the
     // responder (and only for the resolving attempt).
-    if (txn.resolvedAttempt != msg.attempt)
+    if (echo.resolvedAttempt != msg.attempt)
         return;
-    if (txn.responder != invalidNode)
+    if (echo.responder != invalidNode)
         return;
 
+    // Memory read -- chained behind an in-flight writeback when the
+    // ordering point recorded one.
+    Tick start = std::max(tick, echo.supplyEarliest);
     Message data;
     data.kind = MessageKind::Data;
     data.txn = msg.txn;
@@ -157,8 +173,9 @@ MemoryController::handleMulticastHome(const Message &msg,
     data.pc = msg.pc;
     data.type = msg.type;
     data.src = node_;
-    data.dest = txn.requester;
-    sys_.sendLater(std::move(data), tick + memory);
+    data.dest = echo.requester;
+    data.echo = echo;
+    sys_.sendLater(std::move(data), start + memory);
 }
 
 } // namespace dsp

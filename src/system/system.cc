@@ -22,11 +22,57 @@ toString(ProtocolKind kind)
     return "?";
 }
 
+unsigned
+System::shardCountFor(const SystemParams &params)
+{
+    unsigned shards = params.shards == 0 ? 1 : params.shards;
+    if (shards > params.nodes)
+        shards = params.nodes;
+    return shards;
+}
+
+std::vector<unsigned>
+System::domainMapFor(const SystemParams &params)
+{
+    // Domains: node n -> n + 1, ordering point -> nodes + 1.
+    // Contiguous node groups, one per shard; the hub rides with
+    // shard 0 (the calling thread). The partition is free to change:
+    // the determinism contract makes every choice produce identical
+    // statistics.
+    unsigned shards = shardCountFor(params);
+    std::vector<unsigned> map(params.nodes + 2, 0);
+    for (NodeId n = 0; n < params.nodes; ++n)
+        map[n + 1] = static_cast<unsigned>(
+            (static_cast<std::uint64_t>(n) * shards) / params.nodes);
+    map[params.nodes + 1] = 0;  // hub
+    return map;
+}
+
+namespace {
+
+std::vector<DomainPort>
+nodePortsFor(ShardedKernel &kernel, NodeId nodes)
+{
+    std::vector<DomainPort> ports;
+    ports.reserve(nodes);
+    for (NodeId n = 0; n < nodes; ++n)
+        ports.push_back(kernel.port(static_cast<std::uint8_t>(n + 1)));
+    return ports;
+}
+
+} // namespace
+
 System::System(Workload &workload, const SystemParams &params)
     : workload_(workload),
       params_(params),
-      crossbar_(queue_, params.nodes, params.crossbar),
-      tracker_(params.nodes)
+      kernel_(shardCountFor(params), domainMapFor(params),
+              hopTicks(params)),
+      hubPort_(kernel_.port(hubDomainFor(params))),
+      nodePorts_(nodePortsFor(kernel_, params.nodes)),
+      crossbar_(hubPort_, nodePorts_, params.crossbar),
+      tracker_(params.nodes),
+      halfTraversal_(hopTicks(params)),
+      nodeStats_(params.nodes)
 {
     dsp_assert(workload.numNodes() == params.nodes,
                "workload built for %u nodes, system has %u",
@@ -35,12 +81,13 @@ System::System(Workload &workload, const SystemParams &params)
     if ((params_.nodes & (params_.nodes - 1)) == 0)
         homeMask_ = params_.nodes - 1;
 
-    // Pre-size the hot tables: the tracker can hold at most one entry
-    // per footprint block, and in-flight transactions are bounded by
-    // one blocking miss per node (plus slack for completion races).
-    tracker_.reserve(static_cast<std::size_t>(
-        workload_.totalFootprint() / blockBytes));
-    txns_.reserve(4 * params_.nodes);
+    // Pre-size the hot tables: the tracker and the chaining books can
+    // hold at most one entry per footprint block.
+    std::size_t blocks = static_cast<std::size_t>(
+        workload_.totalFootprint() / blockBytes);
+    tracker_.reserve(blocks);
+    ownerDataAt_.reserve(blocks / 4);
+    memReadyAt_.reserve(blocks / 4);
 
     params_.predictor.numNodes = params_.nodes;
     params_.cpu.l1_ns = params_.latency.l1_ns;
@@ -52,16 +99,18 @@ System::System(Workload &workload, const SystemParams &params)
     }
 
     for (NodeId n = 0; n < params_.nodes; ++n) {
-        cacheCtrls_.push_back(
-            std::make_unique<CacheController>(*this, n));
-        memCtrls_.push_back(
-            std::make_unique<MemoryController>(*this, n));
+        cacheCtrls_.push_back(std::make_unique<CacheController>(
+            *this, n, nodePorts_[n]));
+        memCtrls_.push_back(std::make_unique<MemoryController>(
+            *this, n, nodePorts_[n]));
         if (params_.cpuModel == CpuModel::Simple) {
             cpus_.push_back(std::make_unique<SimpleCpu>(
-                queue_, workload_, n, *cacheCtrls_[n], params_.cpu));
+                nodePorts_[n], workload_, n, *cacheCtrls_[n],
+                params_.cpu));
         } else {
             cpus_.push_back(std::make_unique<DetailedCpu>(
-                queue_, workload_, n, *cacheCtrls_[n], params_.cpu));
+                nodePorts_[n], workload_, n, *cacheCtrls_[n],
+                params_.cpu));
         }
     }
 
@@ -112,13 +161,82 @@ struct System::SendEvent final : Event {
     Message msg;
 };
 
+struct System::EvictEvent final : Event {
+    EvictEvent(System &s, BlockId b, NodeId n, bool o, Tick evict,
+               Tick wb)
+        : sys(s), block(b), node(n), owned(o), evictTick(evict),
+          wbArrive(wb)
+    {
+    }
+
+    void
+    process() override
+    {
+        // Hub domain: the tracker learns of the eviction one link hop
+        // after it happened, exactly like a real ordering point would.
+        // A request for the victim ordered during that flight (at or
+        // after the eviction instant) supersedes the notice: applying
+        // it anyway would clear a just-granted ownership (tripping
+        // evictOwned's owner assertion when the grant went elsewhere)
+        // or delete a just-re-established sharer registration.
+        // Hardware drops a writeback that lost this race the same
+        // way. The guard is conservative -- an unrelated request in
+        // the window also drops the notice -- but every error it can
+        // make leaves a *stale registration* (spurious snoops or
+        // invalidations of an absent line, no-ops at the node) and
+        // heals at the block's next ownership transfer; it is
+        // deterministic and shard-count independent either way.
+        if (sys.tracker_.lastOrderedAt(block) >= evictTick)
+            return;
+        if (owned) {
+            if (sys.tracker_.ownerOf(block) != node)
+                return;  // ownership moved before the notice landed
+            sys.tracker_.evictOwned(block, node);
+            if (sys.params_.dataChaining) {
+                // The dirty data is on the wire: memory cannot supply
+                // this block before the writeback lands at the home.
+                sys.ownerDataAt_.erase(block);
+                sys.memReadyAt_[block] = wbArrive;
+            }
+        } else {
+            sys.tracker_.evictShared(block, node);
+        }
+    }
+
+    void
+    release() override
+    {
+        EventPool<EvictEvent>::instance().release(this);
+    }
+
+    System &sys;
+    BlockId block;
+    NodeId node;
+    bool owned;
+    Tick evictTick;
+    Tick wbArrive;
+};
+
 void
 System::sendLater(Message msg, Tick when)
 {
-    queue_.schedule(
+    nodePort(msg.src).schedule(
         *EventPool<SendEvent>::instance().acquire(*this,
                                                   std::move(msg)),
         when, EventPriority::Controller);
+}
+
+void
+System::notifyEviction(BlockId block, bool owned, NodeId node,
+                       Tick tick)
+{
+    // Uncontended estimate of the writeback's arrival at the home;
+    // the chaining bound needs only a deterministic expected tick.
+    Tick wb_arrive = tick + 2 * halfTraversal_;
+    hubPort_.schedule(*EventPool<EvictEvent>::instance().acquire(
+                          *this, block, node, owned, tick, wb_arrive),
+                      tick + halfTraversal_,
+                      EventPriority::Controller);
 }
 
 DestinationSet
@@ -142,38 +260,95 @@ System::destinationsFor(BlockId block, Addr addr, Addr pc,
     return DestinationSet::all(params_.nodes);
 }
 
+Tick
+System::supplyBound(BlockId block, NodeId responder, NodeId requester,
+                    Tick order)
+{
+    if (!params_.dataChaining || responder == requester)
+        return 0;  // upgrade: the requester already holds the data
+    FlatMap<BlockId, Tick> &book =
+        responder == invalidNode ? memReadyAt_ : ownerDataAt_;
+    auto it = book.find(block);
+    if (it == book.end())
+        return 0;
+    if (it->second <= order) {
+        book.erase(it);  // already landed; prune the book
+        return 0;
+    }
+    return it->second;
+}
+
+void
+System::chainResolved(BlockId block, Message &msg, Tick order)
+{
+    TxnEcho &echo = msg.echo;
+    echo.supplyEarliest =
+        supplyBound(block, echo.responder, echo.requester, order);
+    if (!params_.dataChaining || msg.type != RequestType::GetExclusive)
+        return;
+
+    // Ownership moves to the requester: record when its data is
+    // expected to land, so a back-to-back request that picks it as
+    // responder cannot be served before the fill exists.
+    if (echo.responder == echo.requester) {
+        ownerDataAt_.erase(block);  // upgrade: data already present
+        return;
+    }
+    Tick deliver = order + halfTraversal_;
+    Tick start = std::max(deliver, echo.supplyEarliest);
+    Tick supply_ns = echo.responder == invalidNode
+                         ? params_.latency.memory_ns
+                         : params_.latency.l2_ns;
+    Tick arrive = start + nsToTicks(supply_ns) + 2 * halfTraversal_;
+    if (params_.protocol == ProtocolKind::Directory &&
+        echo.responder != invalidNode) {
+        // 3-hop: home directory access plus the forward hop precede
+        // the owner's L2 read.
+        arrive += nsToTicks(params_.latency.memory_ns) +
+                  2 * halfTraversal_;
+    }
+    ownerDataAt_[block] = arrive;
+    // Memory is no longer the owner; any writeback bound is obsolete.
+    memReadyAt_.erase(block);
+}
+
 void
 System::onOrder(const MessageRef &msgref, Tick tick)
 {
-    const Message &msg = *msgref;
-    auto it = txns_.find(msg.txn);
-    dsp_assert(it != txns_.end(), "ordered message without txn");
-    Txn &txn = it->second;
-    ++txn.attempts;
-
+    // The payload is still exclusively ours (fan-out happens after the
+    // order handler), so the serialization verdict is stamped straight
+    // into it and every delivery sees it without sharing any state.
+    Message &msg = msgref.exclusive();
+    TxnEcho &echo = msg.echo;
     BlockId block = msg.block();
 
     if (params_.protocol == ProtocolKind::Directory) {
-        auto result = tracker_.apply(block, txn.requester, msg.type);
-        txn.resolved = true;
-        txn.resolvedAttempt = msg.attempt;
-        txn.responder = result.responder;
-        txn.required = result.required;
-        txn.granted = result.grantedState;
+        auto result =
+            tracker_.apply(block, echo.requester, msg.type, tick);
+        echo.resolved = true;
+        echo.resolvedAttempt = msg.attempt;
+        echo.responder = result.responder;
+        echo.required = result.required;
+        echo.granted = result.grantedState;
+        chainResolved(block, msg, tick);
     } else {
         bool sufficient = false;
         auto result = tracker_.applyIfSufficient(
-            block, txn.requester, msg.type, msg.dests, sufficient);
+            block, echo.requester, msg.type, msg.dests, sufficient,
+            tick);
+        echo.responder = result.responder;
+        echo.required = result.required;
         if (sufficient) {
-            txn.resolved = true;
-            txn.resolvedAttempt = msg.attempt;
-            txn.responder = result.responder;
-            txn.required = result.required;
-            txn.granted = result.grantedState;
-            txn.retries = msg.attempt;
+            echo.resolved = true;
+            echo.resolvedAttempt = msg.attempt;
+            echo.granted = result.grantedState;
+            chainResolved(block, msg, tick);
         }
         // Insufficient requests change no state: the home re-issues
-        // them with an improved destination set (Section 4.1).
+        // them with an improved destination set (Section 4.1). The
+        // echoed `required` set -- as of *this* ordering -- seeds that
+        // set, preserving the window of vulnerability until the
+        // retry's own ordering.
     }
 
     // The crossbar does not deliver to the source; when the source is
@@ -181,10 +356,11 @@ System::onOrder(const MessageRef &msgref, Tick tick)
     // requester is the home), observe it via a free self-delivery
     // that shares the ordered message's pooled payload.
     if (msg.dests.contains(msg.src)) {
-        Tick when = tick + nsToTicks(params_.crossbar.traversal_ns / 2);
-        queue_.schedule(*EventPool<LocalDeliverEvent>::instance()
-                             .acquire(*this, msgref, msg.src, when),
-                        when, EventPriority::Delivery);
+        Tick when = tick + halfTraversal_;
+        nodePort(msg.src).schedule(
+            *EventPool<LocalDeliverEvent>::instance().acquire(
+                *this, msgref, msg.src, when),
+            when, EventPriority::Delivery);
     }
 }
 
@@ -194,29 +370,26 @@ System::onDeliver(const Message &msg, NodeId dest, Tick tick)
     switch (msg.kind) {
       case MessageKind::Request:
       case MessageKind::Retry: {
-        auto it = txns_.find(msg.txn);
-        if (it == txns_.end())
-            return;  // transaction already completed
-        Txn &txn = it->second;
+        const TxnEcho &echo = msg.echo;
 
         // External requests are a predictor training cue (Sec. 3.2).
         if (params_.protocol == ProtocolKind::Multicast &&
-            dest != txn.requester) {
+            dest != echo.requester) {
             predictors_[dest]->trainExternalRequest(
-                msg.addr, msg.pc, msg.type, txn.requester);
+                msg.addr, msg.pc, msg.type, echo.requester);
         }
 
         if (dest == homeOf_(msg.block()))
-            memCtrls_[dest]->onHomeRequest(msg, txn, tick);
+            memCtrls_[dest]->onHomeRequest(msg, tick);
 
         if (params_.protocol != ProtocolKind::Directory)
-            cacheCtrls_[dest]->onSnoop(msg, txn, tick);
+            cacheCtrls_[dest]->onSnoop(msg, tick);
 
         // Upgrades complete when the requester observes its own
         // ordered request.
-        if (dest == txn.requester && txn.resolved &&
-            txn.resolvedAttempt == msg.attempt &&
-            txn.responder == txn.requester) {
+        if (dest == echo.requester && echo.resolved &&
+            echo.resolvedAttempt == msg.attempt &&
+            echo.responder == echo.requester) {
             cacheCtrls_[dest]->onData(msg, tick);
         }
         break;
@@ -243,9 +416,10 @@ System::sendOrLocal(Message msg)
 {
     if (msg.dest == msg.src) {
         // Node-local transfer: no network traversal, no traffic.
-        Tick now = queue_.now();
         NodeId dest = msg.dest;
-        queue_.schedule(
+        DomainPort &port = nodePort(dest);
+        Tick now = port.now();
+        port.schedule(
             *EventPool<LocalDeliverEvent>::instance().acquire(
                 *this, MessageRef(std::move(msg)), dest, now),
             now, EventPriority::Delivery);
@@ -255,53 +429,73 @@ System::sendOrLocal(Message msg)
 }
 
 void
-System::trainRequester(const Txn &txn)
+System::trainRequester(const Message &msg)
 {
     if (params_.protocol != ProtocolKind::Multicast)
         return;
-    Predictor &pred = *predictors_[txn.requester];
-    if (txn.retries > 0)
-        pred.trainRetry(txn.addr, txn.pc, txn.required);
-    if (txn.responder != txn.requester) {
-        pred.trainResponse(txn.addr, txn.pc, txn.responder,
-                           !txn.required.empty());
+    const TxnEcho &echo = msg.echo;
+    Predictor &pred = *predictors_[echo.requester];
+    if (echo.resolvedAttempt > 0)
+        pred.trainRetry(msg.addr, msg.pc, echo.required);
+    if (echo.responder != echo.requester) {
+        pred.trainResponse(msg.addr, msg.pc, echo.responder,
+                           !echo.required.empty());
     }
 }
 
 void
-System::recordCompletion(const Txn &txn, Tick tick)
+System::recordCompletion(const Message &msg, Tick tick)
 {
     if (!measuring_)
         return;
-    ++misses_;
-    latencySum_ += tick > txn.issued ? tick - txn.issued : 0;
-    retriesTotal_ += txn.retries;
-    if (txn.retries >= 2)
-        ++doubleRetries_;
-    if (txn.responder == txn.requester)
-        ++upgrades_;
-    if (txn.responder != invalidNode &&
-        txn.responder != txn.requester) {
-        ++c2c_;
+    const TxnEcho &echo = msg.echo;
+    NodeAccum &acc = nodeStats_[echo.requester];
+    ++acc.misses;
+    acc.latencySum += tick > echo.issued ? tick - echo.issued : 0;
+    acc.retries += echo.resolvedAttempt;
+    if (echo.resolvedAttempt >= 2)
+        ++acc.doubleRetries;
+    if (echo.responder == echo.requester)
+        ++acc.upgrades;
+    if (echo.responder != invalidNode &&
+        echo.responder != echo.requester) {
+        ++acc.cacheToCache;
     }
     const bool indirect = params_.protocol == ProtocolKind::Directory
-                              ? !txn.required.empty()
-                              : txn.retries > 0;
+                              ? !echo.required.empty()
+                              : echo.resolvedAttempt > 0;
     if (indirect)
-        ++indirections_;
+        ++acc.indirections;
 }
 
 void
 System::startPhase(std::uint64_t instructions)
 {
-    phaseDone_ = false;
-    cpusDone_ = 0;
+    phaseDone_.store(false, std::memory_order_relaxed);
+    cpusDone_.store(0, std::memory_order_relaxed);
     for (auto &cpu : cpus_) {
         cpu->runFor(instructions, [this]() {
-            if (++cpusDone_ == params_.nodes)
-                phaseDone_ = true;
+            // Counting-only: the final value (and hence the window in
+            // which the flag flips) is independent of thread timing.
+            if (cpusDone_.fetch_add(1, std::memory_order_acq_rel) +
+                    1 ==
+                params_.nodes) {
+                phaseDone_.store(true, std::memory_order_release);
+            }
         });
     }
+}
+
+void
+System::runUntilPhaseDone(const char *phase)
+{
+    bool stopped = kernel_.run([this] {
+        return phaseDone_.load(std::memory_order_acquire);
+    });
+    dsp_assert(stopped,
+               "%s wedged: event queues drained with CPUs still "
+               "running",
+               phase);
 }
 
 void
@@ -385,25 +579,21 @@ System::run()
     // discarded.
     if (params_.warmupInstrPerCpu > 0) {
         startPhase(params_.warmupInstrPerCpu);
-        while (!phaseDone_ && !queue_.empty())
-            queue_.step();
-        dsp_assert(phaseDone_, "warmup wedged: event queue drained "
-                               "with CPUs still running");
+        runUntilPhaseDone("warmup");
     }
 
     crossbar_.resetStats();
-    misses_ = indirections_ = retriesTotal_ = upgrades_ = c2c_ = 0;
-    doubleRetries_ = 0;
-    latencySum_ = 0;
+    for (NodeAccum &acc : nodeStats_)
+        acc = NodeAccum{};
     measuring_ = true;
-    measureStart_ = queue_.now();
-    std::uint64_t events_before = queue_.executed();
+    // Every shard's clock sits at the same window boundary between
+    // phases, so this read is identical for every shard count.
+    measureStart_ = hubPort_.now();
+    std::uint64_t events_before = kernel_.executed();
     auto wall_start = std::chrono::steady_clock::now();
 
     startPhase(params_.measureInstrPerCpu);
-    while (!phaseDone_ && !queue_.empty())
-        queue_.step();
-    dsp_assert(phaseDone_, "measured phase wedged");
+    runUntilPhaseDone("measured phase");
 
     double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -418,12 +608,14 @@ System::run()
     stats.runtimeTicks = last_finish - measureStart_;
     stats.instructions =
         std::uint64_t{params_.measureInstrPerCpu} * params_.nodes;
-    stats.misses = misses_;
-    stats.indirections = indirections_;
-    stats.retries = retriesTotal_;
-    stats.doubleRetries = doubleRetries_;
-    stats.upgrades = upgrades_;
-    stats.cacheToCache = c2c_;
+    for (const NodeAccum &acc : nodeStats_) {
+        stats.misses += acc.misses;
+        stats.indirections += acc.indirections;
+        stats.retries += acc.retries;
+        stats.doubleRetries += acc.doubleRetries;
+        stats.upgrades += acc.upgrades;
+        stats.cacheToCache += acc.cacheToCache;
+    }
     stats.requestMessages =
         crossbar_.traffic(MessageKind::Request).messages +
         crossbar_.traffic(MessageKind::Retry).messages +
@@ -432,11 +624,15 @@ System::run()
     stats.writebacks =
         crossbar_.traffic(MessageKind::Writeback).messages;
     stats.trafficBytes = crossbar_.totalBytes();
-    stats.eventsExecuted = queue_.executed() - events_before;
+    stats.eventsExecuted = kernel_.executed() - events_before;
     stats.wallSeconds = wall_seconds;
+    Tick latency_sum = 0;
+    for (const NodeAccum &acc : nodeStats_)
+        latency_sum += acc.latencySum;
     stats.avgMissLatencyNs =
-        misses_ ? ticksToNs(latencySum_) / static_cast<double>(misses_)
-                : 0.0;
+        stats.misses ? ticksToNs(latency_sum) /
+                           static_cast<double>(stats.misses)
+                     : 0.0;
     return stats;
 }
 

@@ -13,11 +13,21 @@
  * the window-of-vulnerability race between a retry's issue and its
  * ordering (Section 4.1) arises naturally and the third attempt falls
  * back to broadcast.
+ *
+ * Shard discipline (see sim/sharded_kernel.hh): every simulated node
+ * is one kernel domain owning its CPU, caches, MSHRs, predictor, and
+ * completion statistics; the ordering point plus the sharing tracker
+ * form the hub domain. Handlers never read another domain's state --
+ * the ordering point's verdict travels inside the messages (TxnEcho),
+ * and cache evictions reach the tracker as hub-bound notices one link
+ * hop later. A run with K shards is therefore bit-identical to a
+ * single-shard run in every emitted statistic.
  */
 
 #ifndef DSP_SYSTEM_SYSTEM_HH
 #define DSP_SYSTEM_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,8 +38,8 @@
 #include "cpu/cpu.hh"
 #include "interconnect/crossbar.hh"
 #include "mem/node_caches.hh"
-#include "sim/event_queue.hh"
 #include "sim/flat_map.hh"
+#include "sim/sharded_kernel.hh"
 #include "workload/workload.hh"
 
 namespace dsp {
@@ -63,6 +73,22 @@ struct SystemParams {
     CrossbarParams crossbar;
     CpuParams cpu;
     CpuModel cpuModel = CpuModel::Simple;
+
+    /**
+     * Kernel shards (host threads). The node set is partitioned into
+     * contiguous groups, one per shard; the ordering point rides with
+     * shard 0. Any value produces bit-identical statistics; values
+     * above 1 use host cores. Clamped to [1, nodes].
+     */
+    unsigned shards = 1;
+
+    /**
+     * Data-availability chaining: an owner cannot supply a block
+     * before its own fill lands, and memory cannot supply before an
+     * in-flight writeback arrives. Expected-completion ticks are
+     * recorded at the ordering point when the transfer is issued.
+     */
+    bool dataChaining = true;
 
     /**
      * Functional (trace-style) warmup misses before any timing: fills
@@ -112,39 +138,23 @@ struct SystemStats {
     }
 };
 
-/** One in-flight coherence transaction. */
-struct CoherenceTxn {
-    NodeId requester = 0;
-    Addr addr = 0;
-    Addr pc = 0;
-    RequestType type = RequestType::GetShared;
-    Tick issued = 0;
-    std::uint8_t attempts = 0;       ///< orderings so far
-    bool resolved = false;
-    std::uint8_t resolvedAttempt = 0;
-    NodeId responder = invalidNode;
-    DestinationSet required;
-    MosiState granted = MosiState::Invalid;
-    std::uint32_t retries = 0;
-};
-
 /**
  * Per-node cache controller: the CPU-facing MemoryPort, the MSHR
  * file, the node's two cache levels, and the snooping-side request /
- * data handlers.
+ * data handlers. Runs entirely in its node's kernel domain.
  */
 class CacheController : public MemoryPort
 {
   public:
-    CacheController(System &system, NodeId node);
+    CacheController(System &system, NodeId node, DomainPort port);
 
     // MemoryPort
     AccessReply access(Addr addr, Addr pc, bool is_write, Tick when,
                        const Completion &on_complete) override;
 
-    /** Ordered request delivered to this node (snoop side). `txn` is
-     *  the in-flight transaction (already looked up by the caller). */
-    void onSnoop(const Message &msg, CoherenceTxn &txn, Tick tick);
+    /** Ordered request delivered to this node (snoop side); the
+     *  ordering point's verdict rides in msg.echo. */
+    void onSnoop(const Message &msg, Tick tick);
 
     /** Directory-protocol forward: supply data to the requester. */
     void onForward(const Message &msg, Tick tick);
@@ -180,43 +190,46 @@ class CacheController : public MemoryPort
 
     /** Complete the miss: fill, train, wake waiters, replay queue.
      *  Ignores completions whose txn no longer matches the MSHR. */
-    void complete(BlockId block, TxnId txn, Tick tick);
+    void complete(const Message &msg, Tick tick);
 
     /** Invalidate local state, honouring in-flight misses. */
     void invalidateLocal(BlockId block);
 
     System &sys_;
     NodeId node_;
+    DomainPort port_;
     NodeCaches caches_;
     FlatMap<BlockId, Mshr> mshrs_;
+    /** Node-local transaction id generator: ids are (seq << 8) | node,
+     *  so allocation never crosses a shard boundary. */
+    std::uint64_t nextTxnSeq_ = 1;
 };
 
 /**
  * Per-node memory/directory controller: home-side duties (memory data
- * responses, directory forwarding, multicast retry re-issue).
+ * responses, directory forwarding, multicast retry re-issue). Runs in
+ * its node's kernel domain.
  */
 class MemoryController
 {
   public:
-    MemoryController(System &system, NodeId node);
+    MemoryController(System &system, NodeId node, DomainPort port);
 
-    /** Ordered request delivered to (or self-observed at) the home.
-     *  `txn` is the in-flight transaction (caller already found it). */
-    void onHomeRequest(const Message &msg, CoherenceTxn &txn,
-                       Tick tick);
+    /** Ordered request delivered to (or self-observed at) the home;
+     *  the ordering point's verdict rides in msg.echo. */
+    void onHomeRequest(const Message &msg, Tick tick);
 
   private:
-    void handleDirectory(const Message &msg, const CoherenceTxn &txn,
-                         Tick tick);
-    void handleMulticastHome(const Message &msg, CoherenceTxn &txn,
-                             Tick tick);
+    void handleDirectory(const Message &msg, Tick tick);
+    void handleMulticastHome(const Message &msg, Tick tick);
 
     System &sys_;
     NodeId node_;
+    DomainPort port_;
 };
 
 /**
- * The complete target machine. Owns the event queue, the crossbar,
+ * The complete target machine. Owns the sharded kernel, the crossbar,
  * the functional sharing state, predictors, and all per-node
  * components; runs the warmup + measured phases.
  */
@@ -238,8 +251,6 @@ class System
     friend class CacheController;
     friend class MemoryController;
 
-    using Txn = CoherenceTxn;
-
     /** Pooled event: deliver a shared payload to `dest` without the
      *  network (self-observation of ordered requests, node-local
      *  transfers). Shares the payload instead of copying it. */
@@ -247,6 +258,21 @@ class System
 
     /** Pooled event: hand `msg` to sendOrLocal() at its tick. */
     struct SendEvent;
+
+    /** Pooled event: a cache eviction reaching the hub's sharing
+     *  tracker one link hop after it happened at the node. */
+    struct EvictEvent;
+
+    /** Per-node completion statistics, single-writer per domain. */
+    struct alignas(64) NodeAccum {
+        std::uint64_t misses = 0;
+        std::uint64_t indirections = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t doubleRetries = 0;
+        std::uint64_t upgrades = 0;
+        std::uint64_t cacheToCache = 0;
+        Tick latencySum = 0;
+    };
 
     // -- crossbar callbacks
     void onOrder(const MessageRef &msg, Tick tick);
@@ -258,15 +284,29 @@ class System
     /** Schedule sendOrLocal(msg) at tick `when` (controller action). */
     void sendLater(Message msg, Tick when);
 
+    /** Route an eviction to the hub's tracker (one hop away). */
+    void notifyEviction(BlockId block, bool owned, NodeId node,
+                        Tick tick);
+
     /** Destination set for a new request, per protocol. */
     DestinationSet destinationsFor(BlockId block, Addr addr, Addr pc,
                                    RequestType type, NodeId requester);
 
-    /** Record a completed miss in the measured statistics. */
-    void recordCompletion(const Txn &txn, Tick tick);
+    /** Record a completed miss in the requester's statistics. */
+    void recordCompletion(const Message &msg, Tick tick);
 
     /** Train the requester's predictor at completion time. */
-    void trainRequester(const Txn &txn);
+    void trainRequester(const Message &msg);
+
+    // -- ordering-point (hub domain) helpers
+    /** Fill the echo's supplyEarliest and update the expected
+     *  data-arrival books for a freshly resolved transaction. */
+    void chainResolved(BlockId block, Message &msg, Tick order);
+
+    /** Earliest tick `responder` can start supplying `block` (0 when
+     *  unconstrained); prunes stale book entries. */
+    Tick supplyBound(BlockId block, NodeId responder, NodeId requester,
+                     Tick order);
 
     NodeId homeOf_(BlockId block) const
     {
@@ -278,51 +318,70 @@ class System
         return homeOf(block, params_.nodes);
     }
 
+    DomainPort &nodePort(NodeId n) { return nodePorts_[n]; }
+
     // -- run-phase plumbing
     void startPhase(std::uint64_t instructions);
 
     /** Event-free cache/predictor warming (Section 5.2). */
     void functionalWarmup(std::uint64_t misses);
 
+    /** Run kernel windows until all CPUs reached their target. */
+    void runUntilPhaseDone(const char *phase);
+
+    // -- static construction helpers (domain/shard geometry)
+    static unsigned shardCountFor(const SystemParams &params);
+    static std::vector<unsigned> domainMapFor(const SystemParams &p);
+
+    /**
+     * One crossbar hop in ticks: the single source of truth for both
+     * the kernel's lookahead and every hop-latency computation in
+     * this class. Every cross-domain interaction is >= one hop, so
+     * deriving both from here keeps the conservative-lookahead
+     * invariant true by construction (the crossbar computes the same
+     * value from the same parameter).
+     */
+    static Tick
+    hopTicks(const SystemParams &p)
+    {
+        return nsToTicks(p.crossbar.traversal_ns / 2.0);
+    }
+    static std::uint8_t hubDomainFor(const SystemParams &p)
+    {
+        return static_cast<std::uint8_t>(p.nodes + 1);
+    }
+
     Workload &workload_;
     SystemParams params_;
     /** nodes-1 when nodes is a power of two, else 0 (slow path). */
     BlockId homeMask_ = 0;
 
-    EventQueue queue_;
+    ShardedKernel kernel_;
+    DomainPort hubPort_;
+    std::vector<DomainPort> nodePorts_;
     OrderedCrossbar crossbar_;
     SharingTracker tracker_;
+    Tick halfTraversal_ = 0;
 
     std::vector<std::unique_ptr<Predictor>> predictors_;
     std::vector<std::unique_ptr<CacheController>> cacheCtrls_;
     std::vector<std::unique_ptr<MemoryController>> memCtrls_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
 
-    FlatMap<TxnId, Txn> txns_;
-    TxnId nextTxn_ = 1;
-
-    // Earlier revisions kept per-block "data ready" / "memory ready"
-    // tick maps to chain dependent misses. Every value they stored was
-    // the tick of an already-executed event, and every reader max()ed
-    // it against the current tick at a later simulation time, so the
-    // maps provably never changed an outcome -- they only cost a
-    // cache-missing hash write per miss. Real data-availability
-    // chaining needs expected-completion (future) ticks recorded at
-    // issue time; see ROADMAP "Open items".
+    // -- data-availability chaining books (hub domain only). The maps
+    // record *expected-completion* (future) ticks at the instant the
+    // transfer is issued at the ordering point; readers prune entries
+    // once they fall into the past.
+    FlatMap<BlockId, Tick> ownerDataAt_;  ///< owner's fill arrival
+    FlatMap<BlockId, Tick> memReadyAt_;   ///< in-flight WB at the home
 
     // -- phase / stats state
     bool measuring_ = false;
     Tick measureStart_ = 0;
-    NodeId cpusDone_ = 0;
-    bool phaseDone_ = false;
+    std::atomic<NodeId> cpusDone_{0};
+    std::atomic<bool> phaseDone_{false};
 
-    std::uint64_t misses_ = 0;
-    std::uint64_t indirections_ = 0;
-    std::uint64_t retriesTotal_ = 0;
-    std::uint64_t doubleRetries_ = 0;
-    std::uint64_t upgrades_ = 0;
-    std::uint64_t c2c_ = 0;
-    Tick latencySum_ = 0;
+    std::vector<NodeAccum> nodeStats_;
 };
 
 } // namespace dsp

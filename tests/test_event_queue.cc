@@ -517,10 +517,18 @@ TEST(EventQueueCalendar, RandomizedHeapEquivalence)
         }
 
         // Run partway, so later rounds schedule into a mid-lap ring.
+        // Events that executed were released back to the pool (their
+        // slots may already be recycled), so prune by executed id --
+        // poking ev->scheduled() on a released slot would be
+        // use-after-free.
         q.run(q.now() + kHorizon / 3 + round * 911);
+        std::vector<char> ran(static_cast<std::size_t>(next_id), 0);
+        for (int id : executed)
+            ran[static_cast<std::size_t>(id)] = 1;
         live.erase(std::remove_if(live.begin(), live.end(),
-                                  [](const auto &e) {
-                                      return !e.second->scheduled();
+                                  [&](const auto &e) {
+                                      return ran[static_cast<
+                                          std::size_t>(e.first)] != 0;
                                   }),
                    live.end());
     }
