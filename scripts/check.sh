@@ -39,11 +39,29 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS"
 
 # Small measured run: enough events for a stable events/sec figure,
-# quick enough for CI (a few seconds).
+# quick enough for CI (a few seconds). --repeat 3 takes the best of
+# three per config, cutting scheduler noise out of the regression
+# guard (each repetition is also checked to be bit-identical by the
+# bench itself).
 BASELINE=BENCH_hotpath.json
 FRESH=build/BENCH_hotpath_fresh.json
 ./build/bench_perf_hotpath --measure 200000 --warmup 20000 \
-    --out "$FRESH"
+    --repeat 3 --out "$FRESH"
+
+# Single-barrier window invariant: the parallel config must cross the
+# barrier about once per window (the old kernel crossed twice; quiet
+# -window batching may dip slightly below 1.0).
+BPW=$(awk -F: '
+    /"name"/   { gsub(/[ ",]/, "", $2); name = $2 }
+    /"barriers_per_window"/ && name == "multicast-owner-group-par" {
+        gsub(/[ ,]/, "", $2); print $2; exit
+    }' "$FRESH")
+if ! awk -v b="$BPW" 'BEGIN { exit !(b > 0.5 && b <= 1.05) }'; then
+    echo "check.sh: barriers_per_window=$BPW on the par config --" \
+         "expected ~1.0 (single-crossing windows)" >&2
+    exit 1
+fi
+echo "barriers_per_window: $BPW (par config)"
 
 # Per-config events/sec guard. Bench noise on a busy machine is well
 # under the 15% bar; a real regression from a hot-path change is not.
@@ -85,16 +103,19 @@ if [[ -f "$BASELINE" ]]; then
 fi
 
 # Sharded-kernel determinism cross-check: a K-shard run must emit
-# bit-identical figure statistics to the single-threaded run. Wall
-# clock and events/sec may differ; everything else may not.
+# bit-identical figure statistics to the single-threaded run -- here
+# with the two placement extremes (K=1, and K=4 with a dedicated hub
+# shard), so both the single-barrier windows and the hub-shard
+# partition are covered. Wall clock and events/sec may differ;
+# everything else may not.
 DET1=build/BENCH_det_t1.json
 DET4=build/BENCH_det_t4.json
 ./build/bench_perf_hotpath --config multicast-owner-group-par \
     --measure 100000 --warmup 10000 --threads 1 --out "$DET1" \
     > /dev/null
 ./build/bench_perf_hotpath --config multicast-owner-group-par \
-    --measure 100000 --warmup 10000 --threads 4 --out "$DET4" \
-    > /dev/null
+    --measure 100000 --warmup 10000 --threads 4 --hub-shard \
+    --out "$DET4" > /dev/null
 extract_det() {
     awk -F: '
         /"events"|"misses"|"retries"|"traffic_bytes"|"avg_miss_latency_ns"|"sim_runtime_ms"/ {

@@ -24,16 +24,14 @@ BroadcastIfSharedPredictor::trainResponse(Addr addr, Addr pc,
     if (responder == invalidNode) {
         // Memory supplied the data: looks unshared, train down. The
         // allocation filter keeps such blocks out of the table.
-        SharedCounterEntry *entry = table_.find(key);
-        if (!entry && !config_.allocationFilter)
-            entry = &table_.findOrAllocate(key);
+        SharedCounterEntry *entry =
+            table_.probeOrInsert(key, !config_.allocationFilter);
         if (entry)
             entry->decrement();
         return;
     }
-    SharedCounterEntry *entry = table_.find(key);
-    if (!entry && (insufficient || !config_.allocationFilter))
-        entry = &table_.findOrAllocate(key);
+    SharedCounterEntry *entry = table_.probeOrInsert(
+        key, insufficient || !config_.allocationFilter);
     if (entry)
         entry->increment();
 }

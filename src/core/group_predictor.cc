@@ -22,16 +22,14 @@ GroupPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
         // Memory response: only the rollover advances, giving the
         // entry gentle train-down pressure. The allocation filter
         // keeps never-shared blocks out of the table entirely.
-        GroupEntry *entry = table_.find(key);
-        if (!entry && !config_.allocationFilter)
-            entry = &table_.findOrAllocate(key);
+        GroupEntry *entry =
+            table_.probeOrInsert(key, !config_.allocationFilter);
         if (entry)
             entry->tickRollover(config_.numNodes);
         return;
     }
-    GroupEntry *entry = table_.find(key);
-    if (!entry && (insufficient || !config_.allocationFilter))
-        entry = &table_.findOrAllocate(key);
+    GroupEntry *entry = table_.probeOrInsert(
+        key, insufficient || !config_.allocationFilter);
     if (entry) {
         entry->strengthen(responder);
         entry->tickRollover(config_.numNodes);

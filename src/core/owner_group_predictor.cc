@@ -31,18 +31,16 @@ OwnerGroupPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
 {
     std::uint64_t key = indexKey(config_.indexing, addr, pc);
     if (responder == invalidNode) {
-        OwnerGroupEntry *entry = table_.find(key);
-        if (!entry && !config_.allocationFilter)
-            entry = &table_.findOrAllocate(key);
+        OwnerGroupEntry *entry =
+            table_.probeOrInsert(key, !config_.allocationFilter);
         if (entry) {
             entry->owner.valid = false;
             entry->group.tickRollover(config_.numNodes);
         }
         return;
     }
-    OwnerGroupEntry *entry = table_.find(key);
-    if (!entry && (insufficient || !config_.allocationFilter))
-        entry = &table_.findOrAllocate(key);
+    OwnerGroupEntry *entry = table_.probeOrInsert(
+        key, insufficient || !config_.allocationFilter);
     if (entry) {
         entry->owner.owner = responder;
         entry->owner.valid = true;

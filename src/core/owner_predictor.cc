@@ -25,9 +25,8 @@ OwnerPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
         // Section 3.1 allocation filter on (the default), memory
         // responses never allocate -- there is nothing to learn and
         // unshared blocks would crowd out sharing-miss entries.
-        OwnerEntry *entry = table_.find(key);
-        if (!entry && !config_.allocationFilter)
-            entry = &table_.findOrAllocate(key);
+        OwnerEntry *entry =
+            table_.probeOrInsert(key, !config_.allocationFilter);
         if (entry)
             entry->valid = false;
         return;
@@ -36,9 +35,8 @@ OwnerPredictor::trainResponse(Addr addr, Addr pc, NodeId responder,
     // Response from another cache. Allocation filter (Section 3.1):
     // only allocate when the minimal set proved insufficient (always
     // true for cache responses, but kept explicit for clarity).
-    OwnerEntry *entry = table_.find(key);
-    if (!entry && (insufficient || !config_.allocationFilter))
-        entry = &table_.findOrAllocate(key);
+    OwnerEntry *entry = table_.probeOrInsert(
+        key, insufficient || !config_.allocationFilter);
     if (entry) {
         entry->owner = responder;
         entry->valid = true;

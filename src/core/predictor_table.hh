@@ -62,24 +62,66 @@ class PredictorTable
         return entry;
     }
 
-    /** Look up, allocating a default entry (evicting LRU) on miss. */
+    /**
+     * Look up, allocating a default entry (evicting LRU) on miss.
+     * One set walk total: the probe's handle installs without
+     * re-walking (the old find + insert + find needed three).
+     */
     Entry &
     findOrAllocate(std::uint64_t key)
     {
         if (finite_) {
-            if (Entry *entry = finite_->find(key))
-                return *entry;
+            auto handle = finite_->probe(key);
+            if (handle.hit()) {
+                finite_->touchAt(handle);
+                return *finite_->at(handle);
+            }
             ++allocations_;
-            if (finite_->insert(key, Entry{}))
+            if (finite_->fillAt(handle, Entry{}))
                 ++evictions_;
-            Entry *entry = finite_->find(key);
-            dsp_assert(entry, "entry vanished after insert");
-            return *entry;
+            return *finite_->at(handle);
         }
         auto [it, inserted] = unbounded_.try_emplace(key);
         if (inserted)
             ++allocations_;
         return it->second;
+    }
+
+    /**
+     * The predictors' training probe: find(key), and on a miss
+     * allocate only when `allocate` holds (the Section 3.1 allocation
+     * filter decides). Collapses the find + findOrAllocate
+     * double-walk every train path used to make into one walk, with
+     * an identical counter trajectory: one lookup (hit counted), and
+     * allocation/eviction accounting only when a miss allocates.
+     * Returns nullptr on a non-allocating miss.
+     */
+    Entry *
+    probeOrInsert(std::uint64_t key, bool allocate)
+    {
+        ++lookups_;
+        if (finite_) {
+            auto handle = finite_->probe(key);
+            if (handle.hit()) {
+                ++hits_;
+                finite_->touchAt(handle);
+                return finite_->at(handle);
+            }
+            if (!allocate)
+                return nullptr;
+            ++allocations_;
+            if (finite_->fillAt(handle, Entry{}))
+                ++evictions_;
+            return finite_->at(handle);
+        }
+        if (auto it = unbounded_.find(key); it != unbounded_.end()) {
+            ++hits_;
+            return &it->second;
+        }
+        if (!allocate)
+            return nullptr;
+        ++allocations_;
+        return &unbounded_.try_emplace(key).first->second;
     }
 
     /** Number of live entries. */
@@ -104,7 +146,15 @@ class PredictorTable
     std::uint64_t evictions() const { return evictions_; }
 
   private:
-    std::optional<CacheArray<Entry>> finite_;
+    /**
+     * 32-bit compressed tags: predictor keys are block numbers,
+     * macroblock numbers, or PCs (the synthetic text segment sits
+     * just above 4 GB), so key/sets stays far below 2^32 -- and the
+     * tag plane of an 8192-entry table drops from 64 kB to 32 kB per
+     * node, half a host cache line per set walked on every probe.
+     * CacheArray's insert-time assert guards the range.
+     */
+    std::optional<CacheArray<Entry, std::uint32_t>> finite_;
     FlatMap<std::uint64_t, Entry> unbounded_;
 
     std::uint64_t lookups_ = 0;

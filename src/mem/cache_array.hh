@@ -21,12 +21,35 @@
  * the default 64-bit plane accepts any key, while callers whose keys
  * are known-small (block numbers) can halve the plane's footprint
  * with Tag = std::uint32_t -- an insert-time assert guards the range.
+ *
+ * One-walk probe/fill: a coherence miss probes the array, goes off to
+ * the coherence layer, and installs the granted line much later. With
+ * find() + insert() that costs two identical walks of the same set's
+ * tag plane -- the single largest hot-path expense in the profile.
+ * probe() instead performs the walk once and returns a small Handle
+ * (set base, matched way or miss, precomputed LRU victim) that
+ * fillAt() consumes to install without re-walking. Handles are
+ * revalidated in O(ways) against the LRU plane itself: the probe
+ * records the set's stamp vector, and no operation can change a
+ * set's tags or validity without changing a stamp (installs and
+ * overwrites touch, erases zero) -- so "stamps unchanged" proves the
+ * whole walk result still holds, at the cost of comparing the one
+ * 16-byte LRU line the fill is about to write anyway. The only
+ * operation that rewrites stamps without changing state, the
+ * once-per-4-billion-touches renormalization, bumps a per-array
+ * counter the handle also carries. Nothing is stored per set and the
+ * find()/insert()/erase() fast paths are byte-for-byte untouched
+ * (an earlier per-set epoch plane cost a measured ~5% of simulator
+ * throughput in extra cache lines). A stale handle transparently
+ * re-walks, so fillAt() always behaves exactly like a fresh
+ * insert().
  */
 
 #ifndef DSP_MEM_CACHE_ARRAY_HH
 #define DSP_MEM_CACHE_ARRAY_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -56,6 +79,51 @@ class CacheArray
     static_assert(std::is_unsigned_v<Tag>, "tags are unsigned");
 
   public:
+    /**
+     * Tag-plane walks are counted in debug builds only (the counter
+     * bump is nothing, but the hot loops stay branch-identical to the
+     * release build); tests gate their exact-count assertions on this.
+     */
+#ifndef NDEBUG
+    static constexpr bool walkCounting = true;
+#else
+    static constexpr bool walkCounting = false;
+#endif
+
+    /**
+     * The result of one set walk: everything fillAt() needs to install
+     * `key` without walking again. `way` is the matched way on a hit,
+     * `wayNpos` on a miss; `victimWay` is the way insert() would pick
+     * (first free way, else true-LRU). `stamps` is the set's LRU
+     * vector at walk time (miss handles, associativity <= maxWays)
+     * and `wayUse` the matched way's stamp (hit handles); fillAt()
+     * revalidates against the live stamps plus the renormalization
+     * epoch, re-walking only when an intervening operation actually
+     * invalidated the walk. Sets wider than maxWays always re-walk --
+     * only exotic fully-associative predictor-table geometries hit
+     * that, never the default 4-way tables.
+     */
+    struct Handle {
+        static constexpr std::uint32_t wayNpos =
+            std::numeric_limits<std::uint32_t>::max();
+        /** 4 covers every real geometry; wider sets re-walk at fill. */
+        static constexpr std::size_t maxWays = 4;
+
+        std::uint64_t key = 0;
+        std::uint32_t set = 0;
+        std::uint32_t way = wayNpos;
+        std::uint32_t victimWay = wayNpos;
+        std::uint32_t wayUse = 0;      ///< matched way's stamp
+        std::uint32_t renormEpoch = 0;
+        /** Deliberately uninitialized: probe() writes the first
+         *  min(ways, maxWays) slots and revalidation reads no more. */
+        std::array<std::uint32_t, maxWays> stamps;
+        bool probed = false;  ///< default-constructed handles are inert
+
+        bool hit() const { return way != wayNpos; }
+        bool valid() const { return probed; }
+    };
+
     /**
      * @param sets number of sets (> 0)
      * @param ways associativity (> 0)
@@ -92,7 +160,7 @@ class CacheArray
     Payload *
     find(std::uint64_t key)
     {
-        std::size_t line = lookup(key);
+        std::size_t line = lookupIn(setOf(key), tagOf(key));
         if (line == npos)
             return nullptr;
         touch(line);
@@ -103,52 +171,183 @@ class CacheArray
     const Payload *
     peek(std::uint64_t key) const
     {
-        std::size_t line = lookup(key);
+        std::size_t line = lookupIn(setOf(key), tagOf(key));
         return line == npos ? nullptr : &payloads_[line];
     }
 
     /**
-     * Insert (or overwrite) key with payload; evicts the set's LRU line
-     * if the set is full. Returns the eviction, if one occurred.
+     * Walk `key`'s set once, recording the match (if any) and the
+     * victim insert() would choose. Does not disturb LRU state; pair
+     * with touchAt() for find()-equivalent behaviour on a hit, or
+     * fillAt() for insert()-equivalent installation.
      */
-    std::optional<Eviction<Payload>>
-    insert(std::uint64_t key, Payload payload)
+    Handle
+    probe(std::uint64_t key) const
     {
-        // Single pass over the set's tag/LRU runs: find the key, a
-        // free way, and the LRU victim at the same time.
+        countWalk();
+        Handle h;
+        h.key = key;
         std::size_t set = setOf(key);
+        h.set = static_cast<std::uint32_t>(set);
+        h.renormEpoch = renormEpoch_;
+        h.probed = true;
+
         Tag tag = tagOf(key);
         std::size_t base = set * ways_;
-        std::size_t victim = npos;
-        std::uint32_t victimUse = 0;
+        std::uint32_t victim_use = 0;
         for (std::size_t w = 0; w < ways_; ++w) {
-            std::size_t line = base + w;
-            std::uint32_t use = lastUse_[line];
-            if (use != 0 && tags_[line] == tag) {
-                payloads_[line] = std::move(payload);
-                touch(line);
-                return std::nullopt;
+            std::uint32_t use = lastUse_[base + w];
+            if (w < Handle::maxWays)
+                h.stamps[w] = use;
+            if (use != 0 && tags_[base + w] == tag) {
+                h.way = static_cast<std::uint32_t>(w);
+                h.wayUse = use;
+                return h;
             }
             // First way seeds the victim unconditionally so one is
             // always chosen (a stamp can legitimately be UINT32_MAX
             // right before a renormalization); free ways (use 0)
             // always win thereafter.
-            if (victim == npos || use < victimUse) {
+            if (h.victimWay == Handle::wayNpos || use < victim_use) {
+                h.victimWay = static_cast<std::uint32_t>(w);
+                victim_use = use;
+            }
+        }
+        return h;
+    }
+
+    /** Payload of a hit handle's line (no LRU refresh, no walk). */
+    Payload *
+    at(const Handle &h)
+    {
+        dsp_assert(h.valid() && h.hit(), "at() needs a hit handle");
+        return &payloads_[h.set * ways_ + h.way];
+    }
+
+    /**
+     * Refresh the LRU stamp of a hit handle's line, exactly like the
+     * touch a find() hit performs. Contract: the caller must not have
+     * structurally mutated *this array* (install/erase/clear) since
+     * the probe -- every call site touches immediately after probing.
+     * Debug builds assert the epoch still matches; release builds pay
+     * nothing.
+     */
+    void
+    touchAt(Handle &h)
+    {
+        dsp_assert(h.valid() && h.hit(),
+                   "touchAt() needs a probe-fresh hit handle");
+        if constexpr (walkCounting) {
+            dsp_assert(h.renormEpoch == renormEpoch_ &&
+                           lastUse_[h.set * ways_ + h.way] == h.wayUse,
+                       "touchAt() on a stale handle");
+        }
+        std::size_t line = h.set * ways_ + h.way;
+        touch(line);
+        h.wayUse = lastUse_[line];  // our own touch; stay fresh
+        if (h.way < Handle::maxWays)
+            h.stamps[h.way] = h.wayUse;
+    }
+
+    /**
+     * Install (or overwrite) the handle's key, exactly as
+     * insert(h.key, payload) would -- but with zero tag-plane walks
+     * when the set is unchanged since the probe. Stale handles are
+     * revalidated (one re-walk) first, so the result is always
+     * identical to a fresh insert. The handle is updated to point at
+     * the installed line and remains usable.
+     */
+    std::optional<Eviction<Payload>>
+    fillAt(Handle &h, Payload payload)
+    {
+        dsp_assert(h.valid(), "fillAt() on an unprobed handle");
+        revalidate(h);
+
+        std::optional<Eviction<Payload>> evicted;
+        std::size_t base = h.set * ways_;
+        std::size_t line;
+        if (h.hit()) {
+            line = base + h.way;
+            dsp_assert(tags_[line] == tagOf(h.key) &&
+                           lastUse_[line] != 0,
+                       "hit handle does not hold its key");
+        } else {
+            line = base + h.victimWay;
+            if (lastUse_[line] != 0) {
+                evicted = Eviction<Payload>{
+                    keyAt(line), std::move(payloads_[line])};
+            } else {
+                ++valid_;
+            }
+            tags_[line] = tagOf(h.key);
+            h.way = h.victimWay;
+        }
+        // The argument is consumed exactly once, on exactly one line
+        // (insert()'s fused walk keeps the same single-move shape).
+        payloads_[line] = std::move(payload);
+        touch(line);
+        h.wayUse = lastUse_[line];  // fresh after our own mutation
+        if (h.way < Handle::maxWays)
+            h.stamps[h.way] = h.wayUse;
+        return evicted;
+    }
+
+    /**
+     * Insert (or overwrite) key with payload; evicts the set's LRU line
+     * if the set is full. Returns the eviction, if one occurred.
+     *
+     * A dedicated fused walk rather than probe() + fillAt(): this is
+     * the hottest store in the simulator and the handle bookkeeping
+     * (stamp capture, revalidation, the handle itself) is pure
+     * overhead when the fill follows the walk immediately.
+     */
+    std::optional<Eviction<Payload>>
+    insert(std::uint64_t key, Payload payload)
+    {
+        countWalk();
+        std::size_t set = setOf(key);
+        Tag tag = tagOf(key);
+        std::size_t base = set * ways_;
+        std::size_t match = npos;
+        std::size_t victim = npos;
+        std::uint32_t victim_use = 0;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            std::size_t line = base + w;
+            std::uint32_t use = lastUse_[line];
+            if (use != 0 && tags_[line] == tag) {
+                match = line;
+                break;
+            }
+            // First way seeds the victim unconditionally so one is
+            // always chosen (a stamp can legitimately be UINT32_MAX
+            // right before a renormalization); free ways (use 0)
+            // always win thereafter.
+            if (victim == npos || use < victim_use) {
                 victim = line;
-                victimUse = use;
+                victim_use = use;
             }
         }
 
         std::optional<Eviction<Payload>> evicted;
-        if (victimUse != 0) {
-            evicted = Eviction<Payload>{keyAt(victim),
-                                        std::move(payloads_[victim])};
+        std::size_t line;
+        if (match != npos) {
+            dsp_assert(lastUse_[match] != 0, "matched an invalid line");
+            line = match;  // overwrite in place; not structural
         } else {
-            ++valid_;
+            if (victim_use != 0) {
+                evicted = Eviction<Payload>{keyAt(victim),
+                                            std::move(payloads_[victim])};
+            } else {
+                ++valid_;
+            }
+            tags_[victim] = tag;
+            line = victim;
         }
-        tags_[victim] = tag;
-        payloads_[victim] = std::move(payload);
-        touch(victim);
+        // The argument is consumed exactly once, on exactly one line,
+        // whichever branch chose it (the previous structure had a
+        // second move reachable by refactoring the match branch).
+        payloads_[line] = std::move(payload);
+        touch(line);
         return evicted;
     }
 
@@ -156,7 +355,7 @@ class CacheArray
     std::optional<Payload>
     erase(std::uint64_t key)
     {
-        std::size_t line = lookup(key);
+        std::size_t line = lookupIn(setOf(key), tagOf(key));
         if (line == npos)
             return std::nullopt;
         lastUse_[line] = 0;
@@ -179,7 +378,27 @@ class CacheArray
     clear()
     {
         std::fill(lastUse_.begin(), lastUse_.end(), 0);
+        ++renormEpoch_;  // zeroed stamps could alias a free-way probe
         valid_ = 0;
+    }
+
+    /** Tag-plane walks performed (debug builds only; 0 in release). */
+    std::uint64_t walks() const { return walks_; }
+
+    /** fillAt()/touchAt() revalidations that had to re-walk. */
+    std::uint64_t rewalks() const { return rewalks_; }
+
+    /**
+     * Test hook: advance the LRU use clock to `value` so the ~4e9
+     * touches to its renormalization point do not have to be paid for
+     * real. The next touch at UINT32_MAX renormalizes every stamp.
+     */
+    void
+    debugSetUseClock(std::uint32_t value)
+    {
+        dsp_assert(value >= useClock_,
+                   "use clock may only move forward");
+        useClock_ = value;
     }
 
   private:
@@ -219,16 +438,16 @@ class CacheArray
     }
 
     /**
-     * Line index holding `key`, or npos. The scan reads only the tag
-     * plane until a tag matches (a line is valid iff its lastUse word
-     * is non-zero, checked second), so the common L2-probe miss stays
-     * within one dense run of tags.
+     * Line index holding the tag within `set`, or npos. The scan reads
+     * only the tag plane until a tag matches (a line is valid iff its
+     * lastUse word is non-zero, checked second), so the common
+     * L2-probe miss stays within one dense run of tags.
      */
     std::size_t
-    lookup(std::uint64_t key) const
+    lookupIn(std::size_t set, Tag tag) const
     {
-        std::size_t base = setOf(key) * ways_;
-        Tag tag = tagOf(key);
+        countWalk();
+        std::size_t base = set * ways_;
         for (std::size_t w = 0; w < ways_; ++w) {
             std::size_t line = base + w;
             if (tags_[line] == tag && lastUse_[line] != 0)
@@ -237,6 +456,49 @@ class CacheArray
         return npos;
     }
 
+    /**
+     * Re-walk a handle whose walk an intervening operation
+     * invalidated. Freshness is proven from the LRU plane: no
+     * operation changes a set's tags or validity without changing a
+     * stamp, so a hit handle is fresh while its way's stamp is
+     * unchanged, and a miss handle while the whole stamp vector is
+     * (any erase frees a way the fill must prefer; any install may
+     * consume one; both stamp). Renormalization rewrites stamps
+     * without changing state, so its epoch is checked first.
+     */
+    void
+    revalidate(Handle &h) const
+    {
+        bool fresh = h.renormEpoch == renormEpoch_;
+        if (fresh) {
+            std::size_t base = h.set * ways_;
+            if (h.hit()) {
+                fresh = lastUse_[base + h.way] == h.wayUse;
+            } else if (ways_ <= Handle::maxWays) {
+                for (std::size_t w = 0; w < ways_; ++w)
+                    fresh &= lastUse_[base + w] == h.stamps[w];
+            } else {
+                fresh = false;  // wide sets always re-walk
+            }
+        }
+        if (!fresh) {
+            ++rewalks_;
+            h = probe(h.key);
+        }
+    }
+
+    void
+    countWalk() const
+    {
+        if constexpr (walkCounting)
+            ++walks_;
+    }
+
+    /**
+     * Refresh a line's LRU stamp. Deliberately does not bump the set
+     * epoch: handles detect a touched victim through its stamp, and a
+     * per-hit epoch store costs more than the walk handles save.
+     */
     void
     touch(std::size_t line)
     {
@@ -248,7 +510,10 @@ class CacheArray
     /**
      * Compress all timestamps into [1, lines] preserving their order,
      * so the 32-bit use clock can wrap without disturbing LRU. Runs
-     * once every ~4 billion touches; amortized cost is nil.
+     * once every ~4 billion touches; amortized cost is nil. The
+     * renormalization epoch is bumped: the rewrite preserves LRU
+     * *order*, but conservatively invalidating outstanding handles
+     * keeps the reasoning local.
      */
     void
     renormalizeUse()
@@ -266,6 +531,7 @@ class CacheArray
         for (std::size_t line : valid_lines)
             lastUse_[line] = ++next;
         useClock_ = next;
+        ++renormEpoch_;  // stamps rewrote; outstanding handles re-walk
     }
 
     std::size_t sets_;
@@ -285,6 +551,13 @@ class CacheArray
 
     std::size_t valid_ = 0;
     std::uint32_t useClock_ = 0;
+    /** Bumped whenever stamps are rewritten wholesale (renormalize,
+     *  clear); the only invalidation handles cannot read off the LRU
+     *  plane itself. */
+    std::uint32_t renormEpoch_ = 0;
+
+    mutable std::uint64_t walks_ = 0;    ///< debug builds only
+    mutable std::uint64_t rewalks_ = 0;  ///< stale-handle re-walks
 };
 
 } // namespace dsp

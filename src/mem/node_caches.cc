@@ -15,8 +15,8 @@ NodeCaches::access(Addr addr, bool is_write)
     BlockId block = blockOf(addr);
     AccessResult result;
 
-    if (L1Line *l1 = l1_.find(block)) {
-        if (!is_write || l1->writable) {
+    if (L1Array::Entry *l1 = l1_.find(block)) {
+        if (!is_write || L1Array::payloadOf(*l1) != 0) {
             ++l1Hits_;
             result.l1Hit = true;
             return result;
@@ -25,24 +25,27 @@ NodeCaches::access(Addr addr, bool is_write)
         // knows the real MOSI state.
     }
 
-    if (L2Line *l2 = l2_.find(block)) {
+    // One L2 walk whatever the outcome: the probe's handle serves as
+    // this access's touch cursor on a hit and is latched as the
+    // eventual fill()'s install cursor on a miss or upgrade.
+    L2Array::Handle l2h = l2_.probe(block);
+    if (l2h.hit()) {
+        MosiState state = unpackState(l2_.at(l2h));
         result.l2Hit = true;
-        result.l2State = l2->state;
-        if (!is_write) {
+        result.l2State = state;
+        if (!is_write || canWrite(state)) {
             ++l2Hits_;
-            l1_.insert(block, L1Line{canWrite(l2->state)});
-            return result;
-        }
-        if (canWrite(l2->state)) {
-            ++l2Hits_;
-            l1_.insert(block, L1Line{true});
+            l2_.touchAt(l2h);
+            l1_.insert(block, canWrite(state) ? 1 : 0);
             return result;
         }
         // Write to S or O: coherence upgrade required. The line stays
-        // put; fill() will promote it to Modified.
+        // put; fill() will promote it to Modified in place.
+        l2_.touchAt(l2h);
         ++upgrades_;
         ++l2Misses_;
         result.need = CoherenceNeed::GetExclusive;
+        latchMissHandles(block, l2h);
         return result;
     }
 
@@ -50,28 +53,53 @@ NodeCaches::access(Addr addr, bool is_write)
     result.l2State = MosiState::Invalid;
     result.need = is_write ? CoherenceNeed::GetExclusive
                            : CoherenceNeed::GetShared;
+    latchMissHandles(block, l2h);
     return result;
 }
 
+void
+NodeCaches::latchMissHandles(BlockId block, const L2Array::Handle &l2h)
+{
+    // The L2 handle is the walk access() just did; only the (small,
+    // host-cache-hot) L1 re-walks here. The payoff comes at fill()
+    // time, when the L2 set would otherwise need a fresh walk.
+    // Keeping find() (not probe()) on the L1 hit path keeps the
+    // vastly-more-common L1 hits free of handle traffic.
+    lastMiss_.l1 = l1_.probe(block);
+    lastMiss_.l2 = l2h;
+}
+
 NodeCaches::FillResult
-NodeCaches::fill(Addr addr, MosiState new_state)
+NodeCaches::fill(Addr addr, MosiState new_state, FillHandle *handle)
 {
     dsp_assert(new_state != MosiState::Invalid,
                "fill with Invalid state");
     BlockId block = blockOf(addr);
     FillResult result;
 
-    auto evicted = l2_.insert(block, L2Line{new_state});
+    FillHandle local;
+    if (handle != nullptr) {
+        dsp_assert(handle->l2.key == block && handle->l1.key == block,
+                   "fill handle is for a different block");
+    } else {
+        local.l1 = l1_.probe(block);
+        local.l2 = l2_.probe(block);
+        handle = &local;
+    }
+
+    auto evicted = l2_.fillAt(handle->l2, packState(new_state));
     if (evicted) {
         result.evicted = true;
         result.victim = evicted->key;
-        result.victimState = evicted->payload.state;
+        result.victimState = unpackState(evicted->payload);
         if (isOwnerState(result.victimState))
             ++writebacks_;
         // Maintain inclusion: the victim may no longer live in the L1.
+        // (If the victim shares the L1 set with `block`, the erase
+        // changes that set's words and the L1 fill below re-walks.)
         l1_.erase(evicted->key);
     }
-    l1_.insert(block, L1Line{canWrite(new_state)});
+    l1_.fillAt(handle->l1, canWrite(new_state) ? 1 : 0);
     return result;
 }
 
@@ -79,21 +107,24 @@ MosiState
 NodeCaches::invalidate(BlockId block)
 {
     l1_.erase(block);
-    auto line = l2_.erase(block);
-    return line ? line->state : MosiState::Invalid;
+    auto payload = l2_.erase(block);
+    return payload ? unpackState(*payload) : MosiState::Invalid;
 }
 
 MosiState
 NodeCaches::downgrade(BlockId block)
 {
     // The L1 copy, if any, loses write permission but stays readable.
-    if (auto *l1 = l1_.find(block))
-        l1->writable = false;
+    if (L1Array::Entry *l1 = l1_.find(block))
+        L1Array::setPayload(*l1, 0);
 
-    if (auto *l2 = l2_.find(block)) {
-        if (l2->state == MosiState::Modified)
-            l2->state = MosiState::Owned;
-        return l2->state;
+    if (L2Array::Entry *l2 = l2_.find(block)) {
+        MosiState state = unpackState(L2Array::payloadOf(*l2));
+        if (state == MosiState::Modified) {
+            state = MosiState::Owned;
+            L2Array::setPayload(*l2, packState(state));
+        }
+        return state;
     }
     return MosiState::Invalid;
 }
@@ -101,8 +132,8 @@ NodeCaches::downgrade(BlockId block)
 MosiState
 NodeCaches::stateOf(BlockId block) const
 {
-    const L2Line *line = l2_.peek(block);
-    return line ? line->state : MosiState::Invalid;
+    auto payload = l2_.peek(block);
+    return payload ? unpackState(*payload) : MosiState::Invalid;
 }
 
 } // namespace dsp

@@ -13,8 +13,8 @@
 
 #include <cstdint>
 
-#include "mem/cache_array.hh"
 #include "mem/mosi.hh"
+#include "mem/packed_cache_array.hh"
 #include "mem/types.hh"
 
 namespace dsp {
@@ -48,11 +48,35 @@ enum class CoherenceNeed : std::uint8_t {
 /**
  * The two cache levels of one node, with inclusion maintained
  * (L1 contents are always a subset of L2 contents).
+ *
+ * Both levels live in PackedCacheArray planes: one 64-bit word per
+ * line (stamp + tag + permission bits), so every probe, hit, and fill
+ * touches exactly one host cache line per level. The simulated L2s
+ * dwarf the host's caches, making those line touches the dominant
+ * cost of the whole access+fill path (~a third of the simulator
+ * profile before this layout).
  */
 class NodeCaches
 {
+  private:
+    /** L1 payload: one writable bit. */
+    using L1Array = PackedCacheArray<1>;
+    /** L2 payload: the 2-bit MOSI state. */
+    using L2Array = PackedCacheArray<2>;
+
   public:
     explicit NodeCaches(const CacheParams &params = CacheParams{});
+
+    /**
+     * Set-walk handles from access(), consumed by fill() after the
+     * coherence round-trip so the install re-walks nothing. Snapshot
+     * -guarded: an intervening invalidate / downgrade / eviction /
+     * LRU touch of the same set just costs one re-walk.
+     */
+    struct FillHandle {
+        L1Array::Handle l1;
+        L2Array::Handle l2;
+    };
 
     /** Outcome of NodeCaches::access(). */
     struct AccessResult {
@@ -69,6 +93,15 @@ class NodeCaches
      */
     AccessResult access(Addr addr, bool is_write);
 
+    /**
+     * The set-walk handles latched by the most recent access() whose
+     * `need` was not None -- hardware would keep the walk result in
+     * the MSHR; here the caller copies it out right after access()
+     * (keeping AccessResult itself small keeps the hit path, which
+     * vastly outnumbers misses, free of handle traffic).
+     */
+    const FillHandle &lastMissHandle() const { return lastMiss_; }
+
     /** Outcome of NodeCaches::fill(): the L2 victim, if any. */
     struct FillResult {
         bool evicted = false;
@@ -76,8 +109,14 @@ class NodeCaches
         MosiState victimState = MosiState::Invalid;
     };
 
-    /** Install (or upgrade) a block after a coherence grant. */
-    FillResult fill(Addr addr, MosiState new_state);
+    /**
+     * Install (or upgrade) a block after a coherence grant. With the
+     * miss's FillHandle, the install is walk-free (the handles carry
+     * the set walks access() already did); without one it degrades to
+     * plain inserts.
+     */
+    FillResult fill(Addr addr, MosiState new_state,
+                    FillHandle *handle = nullptr);
 
     /** External GETX: drop the block entirely. Returns prior state. */
     MosiState invalidate(BlockId block);
@@ -99,24 +138,36 @@ class NodeCaches
     std::uint64_t upgrades() const { return upgrades_; }
     std::uint64_t writebacks() const { return writebacks_; }
 
+    /** Debug-build tag-walk counters (0 in release); tests use these
+     *  to pin the "fill performs zero extra walks" invariant. */
+    static constexpr bool walkCounting = L2Array::walkCounting;
+    std::uint64_t l1TagWalks() const { return l1_.walks(); }
+    std::uint64_t l2TagWalks() const { return l2_.walks(); }
+    std::uint64_t handleRewalks() const
+    {
+        return l1_.rewalks() + l2_.rewalks();
+    }
+
   private:
-    struct L1Line {
-        bool writable = false;
-    };
+    static std::uint32_t
+    packState(MosiState state)
+    {
+        return static_cast<std::uint32_t>(state);
+    }
 
-    struct L2Line {
-        MosiState state = MosiState::Invalid;
-    };
+    static MosiState
+    unpackState(std::uint32_t payload)
+    {
+        return static_cast<MosiState>(payload);
+    }
 
-    /**
-     * Keys are block numbers (addr >> 6), far below 2^32 after the
-     * per-set tag compression, so 32-bit tag planes suffice: the
-     * 16-node system's simulated L2 tags drop from 8 MB to 4 MB of
-     * host footprint, which is the difference between thrashing and
-     * mostly fitting the host LLC on the access hot path.
-     */
-    CacheArray<L1Line, std::uint32_t> l1_;
-    CacheArray<L2Line, std::uint32_t> l2_;
+    /** Latch the fill cursors: the L2 walk already in hand plus a
+     *  fresh (cheap) L1 walk. */
+    void latchMissHandles(BlockId block, const L2Array::Handle &l2h);
+
+    L1Array l1_;
+    L2Array l2_;
+    FillHandle lastMiss_;
 
     std::uint64_t accesses_ = 0;
     std::uint64_t l1Hits_ = 0;

@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Packed set-associative cache array: one 64-bit word per line.
+ *
+ * The generic CacheArray keeps tags, LRU stamps, and payloads in three
+ * parallel planes, which is right for wide tags and fat payloads
+ * (predictor tables). The simulated L1/L2 planes are the opposite
+ * extreme: the payload is 1-2 bits of permission state and the tag
+ * fits easily beside a 32-bit LRU stamp. Packing
+ *
+ *     [ stamp:32 | tag:(32-PayloadBits) | payload:PayloadBits ]
+ *
+ * into a single word puts an entire 4-way set into one 32-byte,
+ * line-aligned run: a probe, a hit, or a fill touches exactly one
+ * host cache line where the split planes touched two or three. The
+ * simulated L2s are far larger than the host's caches, so those line
+ * touches -- not the walk instructions -- dominate the access+fill
+ * profile; measured on the Figure-7 configs this layout is the
+ * difference the probe-combining rework was after.
+ *
+ * The probe()/fillAt() handle carries a snapshot of the set's words.
+ * Freshness is self-evident: no operation can change a set's outcome
+ * (tag match, validity, LRU order) without changing some word, and if
+ * the words are bit-identical to the snapshot then a fresh walk would
+ * return this exact handle, so using it is correct by construction --
+ * no epochs, no invalidation hooks, nothing on the fast paths. The
+ * comparison reads only the line fillAt() is about to write anyway.
+ *
+ * LRU semantics (true LRU per set, free ways first, stamp
+ * renormalization every ~4 billion touches) are bit-compatible with
+ * CacheArray, so swapping a level between the two layouts changes no
+ * simulation statistic.
+ */
+
+#ifndef DSP_MEM_PACKED_CACHE_ARRAY_HH
+#define DSP_MEM_PACKED_CACHE_ARRAY_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+
+/** Result of an insert that displaced a line: its key and payload. */
+struct PackedEviction {
+    std::uint64_t key;
+    std::uint32_t payload;
+};
+
+/**
+ * Set-associative key -> small-payload store with per-set true LRU,
+ * one 64-bit word per line.
+ *
+ * @tparam PayloadBits width of the payload field (1..8)
+ */
+template <unsigned PayloadBits>
+class PackedCacheArray
+{
+    static_assert(PayloadBits >= 1 && PayloadBits <= 8,
+                  "packed payloads are a few permission bits");
+
+  public:
+    using Entry = std::uint64_t;
+
+    static constexpr unsigned tagBits = 32 - PayloadBits;
+    static constexpr Entry payloadMask = (Entry{1} << PayloadBits) - 1;
+    static constexpr Entry tagMask = (Entry{1} << tagBits) - 1;
+
+    /** See CacheArray: debug builds count tag-plane walks. */
+#ifndef NDEBUG
+    static constexpr bool walkCounting = true;
+#else
+    static constexpr bool walkCounting = false;
+#endif
+
+    /**
+     * One set walk's result. `snapshot` holds the set's words at walk
+     * time; fillAt() re-walks iff the live words differ (then a fresh
+     * walk could choose differently). Associativity above maxWays
+     * always re-walks at fill -- the L1/L2 geometries this class
+     * exists for are 4-way.
+     */
+    struct Handle {
+        static constexpr std::uint32_t wayNpos =
+            std::numeric_limits<std::uint32_t>::max();
+        /** 4 covers every real geometry (Table 4 caches, Table 3
+         *  predictor tables); wider sets re-walk at fill. */
+        static constexpr std::size_t maxWays = 4;
+
+        std::uint64_t key = 0;
+        std::uint32_t set = 0;
+        std::uint32_t way = wayNpos;
+        std::uint32_t victimWay = wayNpos;
+        /** Deliberately uninitialized: probe() writes slots up to and
+         *  including the matched way (all min(ways, maxWays) slots on
+         *  a miss) and revalidation reads no more. */
+        std::array<Entry, maxWays> snapshot;
+        bool probed = false;
+
+        bool hit() const { return way != wayNpos; }
+        bool valid() const { return probed; }
+    };
+
+    /**
+     * entries_ points into raw_, so the default copy/move would alias
+     * (or dangle into) the source's storage: copies are forbidden and
+     * moves re-derive the aligned view from the moved buffer.
+     */
+    PackedCacheArray(const PackedCacheArray &) = delete;
+    PackedCacheArray &operator=(const PackedCacheArray &) = delete;
+
+    PackedCacheArray(PackedCacheArray &&other) noexcept
+        : sets_(other.sets_),
+          ways_(other.ways_),
+          setMask_(other.setMask_),
+          log2Sets_(other.log2Sets_),
+          valid_(other.valid_),
+          useClock_(other.useClock_),
+          walks_(other.walks_),
+          rewalks_(other.rewalks_)
+    {
+        std::size_t offset = static_cast<std::size_t>(
+            other.entries_ - other.raw_.data());
+        raw_ = std::move(other.raw_);
+        entries_ = raw_.data() + offset;
+        other.entries_ = nullptr;
+    }
+
+    PackedCacheArray &operator=(PackedCacheArray &&) = delete;
+
+    PackedCacheArray(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways)
+    {
+        dsp_assert(sets > 0 && ways > 0,
+                   "cache geometry %zux%zu invalid", sets, ways);
+        if ((sets & (sets - 1)) == 0) {
+            setMask_ = sets - 1;
+            while ((std::size_t{1} << log2Sets_) < sets)
+                ++log2Sets_;
+        }
+        // 64-byte-aligned storage so a power-of-two set never
+        // straddles a host cache line (4-way = 32 B = half a line).
+        std::size_t lines = sets * ways;
+        raw_.resize(lines + 7);
+        auto addr = reinterpret_cast<std::uintptr_t>(raw_.data());
+        entries_ = reinterpret_cast<Entry *>((addr + 63) & ~std::uintptr_t{63});
+        std::fill(entries_, entries_ + lines, Entry{0});
+    }
+
+    std::size_t sets() const { return sets_; }
+    std::size_t ways() const { return ways_; }
+    std::size_t capacity() const { return sets_ * ways_; }
+    std::size_t size() const { return valid_; }
+
+    static std::uint32_t
+    payloadOf(Entry entry)
+    {
+        return static_cast<std::uint32_t>(entry & payloadMask);
+    }
+
+    /** Replace the payload bits of a line word in place (no LRU
+     *  effect beyond the find() that produced the pointer). */
+    static void
+    setPayload(Entry &entry, std::uint32_t payload)
+    {
+        entry = (entry & ~payloadMask) | payload;
+    }
+
+    /**
+     * Look up a key; returns the line word (read payloadOf(), mutate
+     * via setPayload()) and refreshes LRU on a hit, nullptr on a miss.
+     */
+    Entry *
+    find(std::uint64_t key)
+    {
+        countWalk();
+        Entry *set_base = entries_ + setOf(key) * ways_;
+        Entry tag_probe = tagFieldOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
+                (entry >> 32) != 0) {
+                touch(set_base[w]);
+                return set_base + w;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Look up without disturbing LRU state; 0-stamp lines are
+     *  invalid. Returns the payload, or nullopt on miss. */
+    std::optional<std::uint32_t>
+    peek(std::uint64_t key) const
+    {
+        const Entry *set_base = entries_ + setOf(key) * ways_;
+        Entry tag_probe = tagFieldOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
+                (entry >> 32) != 0) {
+                return payloadOf(entry);
+            }
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Walk the key's set once, recording the match (if any), the
+     * victim insert() would pick, and the set's words. No LRU effect;
+     * pair with touchAt()/fillAt().
+     */
+    Handle
+    probe(std::uint64_t key) const
+    {
+        countWalk();
+        Handle h;
+        h.key = key;
+        std::size_t set = setOf(key);
+        h.set = static_cast<std::uint32_t>(set);
+        h.probed = true;
+
+        const Entry *set_base = entries_ + set * ways_;
+        Entry tag_probe = tagFieldOf(key);
+        std::uint32_t victim_use = 0;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            if (w < Handle::maxWays)
+                h.snapshot[w] = entry;
+            std::uint32_t use = static_cast<std::uint32_t>(entry >> 32);
+            if (use != 0 &&
+                ((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0) {
+                h.way = static_cast<std::uint32_t>(w);
+                return h;
+            }
+            // First way seeds the victim unconditionally (a stamp can
+            // legitimately be UINT32_MAX right before renormalization);
+            // free ways (use 0) always win thereafter.
+            if (h.victimWay == Handle::wayNpos || use < victim_use) {
+                h.victimWay = static_cast<std::uint32_t>(w);
+                victim_use = use;
+            }
+        }
+        return h;
+    }
+
+    /** Payload of a hit handle's line (no LRU refresh, no walk). */
+    std::uint32_t
+    at(const Handle &h) const
+    {
+        dsp_assert(h.valid() && h.hit(), "at() needs a hit handle");
+        return payloadOf(entries_[h.set * ways_ + h.way]);
+    }
+
+    /**
+     * LRU-refresh a hit handle's line, exactly like a find() hit.
+     * Contract: call only while the handle is fresh (every call site
+     * touches immediately after probing); debug builds verify.
+     */
+    void
+    touchAt(Handle &h)
+    {
+        dsp_assert(h.valid() && h.hit(),
+                   "touchAt() needs a hit handle");
+        Entry &entry = entries_[h.set * ways_ + h.way];
+        if constexpr (walkCounting) {
+            dsp_assert(h.way >= Handle::maxWays ||
+                           entry == h.snapshot[h.way],
+                       "touchAt() on a stale handle");
+        }
+        touch(entry);
+        if (h.way < Handle::maxWays)
+            h.snapshot[h.way] = entry;  // our own touch; stay fresh
+    }
+
+    /**
+     * Install (or overwrite) the handle's key exactly as
+     * insert(h.key, payload) would, with zero walks when the set is
+     * unchanged since the probe. The freshness proof is the snapshot:
+     * if the set's words are bit-identical, a fresh probe would
+     * return this very handle. Stale handles transparently re-walk.
+     */
+    std::optional<PackedEviction>
+    fillAt(Handle &h, std::uint32_t payload)
+    {
+        dsp_assert(h.valid(), "fillAt() on an unprobed handle");
+        revalidate(h);
+
+        std::optional<PackedEviction> evicted;
+        Entry *set_base = entries_ + h.set * ways_;
+        std::size_t way;
+        if (h.hit()) {
+            way = h.way;
+        } else {
+            way = h.victimWay;
+            Entry old = set_base[way];
+            if ((old >> 32) != 0) {
+                evicted = PackedEviction{keyAt(h.set, old),
+                                         payloadOf(old)};
+            } else {
+                ++valid_;
+            }
+            h.way = h.victimWay;
+        }
+        Entry entry = tagFieldOf(h.key) | payload;
+        touch(entry);
+        set_base[way] = entry;
+        if (way < Handle::maxWays)
+            h.snapshot[way] = entry;  // fresh after our own mutation
+        return evicted;
+    }
+
+    /**
+     * Insert (or overwrite) key -> payload; evicts the set's LRU line
+     * if the set is full. Fused walk (see CacheArray::insert).
+     */
+    std::optional<PackedEviction>
+    insert(std::uint64_t key, std::uint32_t payload)
+    {
+        countWalk();
+        std::size_t set = setOf(key);
+        Entry *set_base = entries_ + set * ways_;
+        Entry tag_probe = tagFieldOf(key);
+        std::size_t match = ways_;
+        std::size_t victim = ways_;
+        std::uint32_t victim_use = 0;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            std::uint32_t use = static_cast<std::uint32_t>(entry >> 32);
+            if (use != 0 &&
+                ((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0) {
+                match = w;
+                break;
+            }
+            if (victim == ways_ || use < victim_use) {
+                victim = w;
+                victim_use = use;
+            }
+        }
+
+        std::optional<PackedEviction> evicted;
+        std::size_t way;
+        if (match != ways_) {
+            way = match;
+        } else {
+            way = victim;
+            if (victim_use != 0) {
+                evicted = PackedEviction{keyAt(set, set_base[way]),
+                                         payloadOf(set_base[way])};
+            } else {
+                ++valid_;
+            }
+        }
+        Entry entry = tagFieldOf(key) | payload;
+        touch(entry);
+        set_base[way] = entry;
+        return evicted;
+    }
+
+    /** Remove a key if present; returns its payload. */
+    std::optional<std::uint32_t>
+    erase(std::uint64_t key)
+    {
+        countWalk();
+        Entry *set_base = entries_ + setOf(key) * ways_;
+        Entry tag_probe = tagFieldOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
+                (entry >> 32) != 0) {
+                set_base[w] = 0;
+                --valid_;
+                return payloadOf(entry);
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Drop all lines. */
+    void
+    clear()
+    {
+        std::fill(entries_, entries_ + sets_ * ways_, Entry{0});
+        valid_ = 0;
+    }
+
+    /** Tag-plane walks performed (debug builds only; 0 in release). */
+    std::uint64_t walks() const { return walks_; }
+
+    /** fillAt() revalidations that had to re-walk. */
+    std::uint64_t rewalks() const { return rewalks_; }
+
+    /** Test hook: advance the LRU clock toward renormalization. */
+    void
+    debugSetUseClock(std::uint32_t value)
+    {
+        dsp_assert(value >= useClock_,
+                   "use clock may only move forward");
+        useClock_ = value;
+    }
+
+  private:
+    std::size_t
+    setOf(std::uint64_t key) const
+    {
+        if (setMask_ != 0 || sets_ == 1)
+            return static_cast<std::size_t>(key) & setMask_;
+        return static_cast<std::size_t>(key % sets_);
+    }
+
+    /** The key's compressed tag, already shifted into its field. */
+    Entry
+    tagFieldOf(std::uint64_t key) const
+    {
+        std::uint64_t quotient =
+            setMask_ != 0 || sets_ == 1 ? key >> log2Sets_
+                                        : key / sets_;
+        dsp_assert(quotient <= tagMask,
+                   "key %llu exceeds this array's %u tag bits",
+                   static_cast<unsigned long long>(key), tagBits);
+        return quotient << PayloadBits;
+    }
+
+    /** Reconstruct a line's key from its word and set index. */
+    std::uint64_t
+    keyAt(std::size_t set, Entry entry) const
+    {
+        std::uint64_t quotient = (entry >> PayloadBits) & tagMask;
+        if (setMask_ != 0 || sets_ == 1)
+            return (quotient << log2Sets_) | set;
+        return quotient * sets_ + set;
+    }
+
+    void
+    countWalk() const
+    {
+        if constexpr (walkCounting)
+            ++walks_;
+    }
+
+    /**
+     * Re-walk a handle whose set changed since the probe. Word-exact
+     * snapshot comparison: if the words match, a fresh probe would
+     * reproduce this handle, so it is fresh by construction (this
+     * subsumes tag changes, validity changes, LRU touches, and even
+     * stamp renormalization). A hit handle needs only its own way's
+     * word -- the overwrite-in-place outcome depends on nothing else,
+     * and probe() stops recording at the match -- while a miss handle
+     * needs the whole vector (an erase elsewhere frees a way the fill
+     * must prefer; an install may consume the victim).
+     */
+    void
+    revalidate(Handle &h) const
+    {
+        bool fresh;
+        const Entry *set_base = entries_ + h.set * ways_;
+        if (h.hit()) {
+            fresh = h.way < Handle::maxWays &&
+                    set_base[h.way] == h.snapshot[h.way];
+        } else if (ways_ <= Handle::maxWays) {
+            fresh = true;
+            for (std::size_t w = 0; w < ways_; ++w)
+                fresh &= set_base[w] == h.snapshot[w];
+        } else {
+            fresh = false;  // wide sets always re-walk
+        }
+        if (!fresh) {
+            ++rewalks_;
+            h = probe(h.key);
+        }
+    }
+
+    /** Write a fresh LRU stamp into a line word. */
+    void
+    touch(Entry &entry)
+    {
+        if (useClock_ == std::numeric_limits<std::uint32_t>::max())
+            renormalizeUse();
+        entry = (entry & 0xffffffffull) |
+                (static_cast<Entry>(++useClock_) << 32);
+    }
+
+    /**
+     * Compress all stamps into [1, lines] preserving order so the
+     * 32-bit clock can wrap without disturbing LRU. Runs once every
+     * ~4 billion touches.
+     */
+    void
+    renormalizeUse()
+    {
+        std::vector<std::size_t> valid_lines;
+        valid_lines.reserve(valid_);
+        std::size_t lines = sets_ * ways_;
+        for (std::size_t line = 0; line < lines; ++line)
+            if ((entries_[line] >> 32) != 0)
+                valid_lines.push_back(line);
+        std::sort(valid_lines.begin(), valid_lines.end(),
+                  [this](std::size_t a, std::size_t b) {
+                      return (entries_[a] >> 32) < (entries_[b] >> 32);
+                  });
+        std::uint32_t next = 0;
+        for (std::size_t line : valid_lines) {
+            entries_[line] = (entries_[line] & 0xffffffffull) |
+                             (static_cast<Entry>(++next) << 32);
+        }
+        useClock_ = next;
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::size_t setMask_ = 0;
+    std::size_t log2Sets_ = 0;
+
+    /** Backing store; entries_ is its 64-byte-aligned view. */
+    std::vector<Entry> raw_;
+    Entry *entries_ = nullptr;
+
+    std::size_t valid_ = 0;
+    std::uint32_t useClock_ = 0;
+
+    mutable std::uint64_t walks_ = 0;    ///< debug builds only
+    mutable std::uint64_t rewalks_ = 0;  ///< stale-handle re-walks
+};
+
+} // namespace dsp
+
+#endif // DSP_MEM_PACKED_CACHE_ARRAY_HH

@@ -238,6 +238,84 @@ EventQueue::advanceWindow(Tick upTo)
         ringInsert(*heapRemoveAt(0));
 }
 
+std::size_t
+EventQueue::nextOccupiedAfter(std::size_t b) const
+{
+    // Window order is circular from the cursor; a bucket's position
+    // in that order is its circular distance from the cursor. Scan
+    // every occupied bucket (windows hold tens of events, so this is
+    // a handful of word operations once per window) and keep the one
+    // closest behind `b`.
+    const std::size_t c = cursor();
+    const std::size_t b_pos = (b - c) & bucketMask;
+    std::size_t best = bucketCount;
+    std::size_t best_pos = bucketCount;
+    std::uint64_t summary = occupiedSummary_;
+    while (summary != 0) {
+        std::size_t w = lowestBit(summary);
+        summary &= summary - 1;
+        std::uint64_t bits = occupied_[w];
+        while (bits != 0) {
+            std::size_t bucket = (w << 6) + lowestBit(bits);
+            bits &= bits - 1;
+            std::size_t pos = (bucket - c) & bucketMask;
+            if (pos > b_pos && pos < best_pos) {
+                best = bucket;
+                best_pos = pos;
+            }
+        }
+    }
+    return best;
+}
+
+void
+EventQueue::earliestTwo(Tick &first, Tick &second) const
+{
+    first = maxTick;
+    second = maxTick;
+    if (ringLive_ == 0) {
+        // Both minima come from the overflow heap: the root, then the
+        // smallest of its (up to four) children.
+        if (heap_.empty())
+            return;
+        first = heap_.front().when;
+        std::size_t last = std::min(heapArity + 1, heap_.size());
+        for (std::size_t c = 1; c < last; ++c)
+            second = std::min(second, heap_[c].when);
+        return;
+    }
+
+    // Ring events always precede heap events (the heap only holds
+    // when >= ringLimit_). Within the ring, bucket window order is
+    // tick order and each bucket's list is sorted.
+    std::size_t b1 = firstOccupiedBucket();
+    const Event *head = buckets_[b1].head;
+    first = head->when_;
+    if (head->next_ != nullptr)
+        second = head->next_->when_;
+    if (ringLive_ > 1) {
+        std::size_t b2 = nextOccupiedAfter(b1);
+        if (b2 != bucketCount)
+            second = std::min(second, buckets_[b2].head->when_);
+    } else if (!heap_.empty()) {
+        second = heap_.front().when;
+    }
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    if (t <= now_ || t == maxTick)
+        return;
+    dsp_assert(empty() || peekEarliest()->when_ > t,
+               "advanceTo(%llu) would skip a pending event at %llu",
+               static_cast<unsigned long long>(t),
+               static_cast<unsigned long long>(
+                   peekEarliest()->when_));
+    now_ = t;
+    advanceWindow(now_);
+}
+
 Event *
 EventQueue::peekEarliest() const
 {

@@ -132,6 +132,22 @@ class EventQueue
     }
 
     /**
+     * Ticks of the two earliest pending events, as a multiset (two
+     * events at one tick report it twice); maxTick fills absent
+     * slots. The sharded kernel merges these across shards to decide
+     * whether a quiet stretch can be batched into one wide window.
+     */
+    void earliestTwo(Tick &first, Tick &second) const;
+
+    /**
+     * Advance the clock to `t` without executing anything; all
+     * pending events must lie strictly after `t`. Equivalent to the
+     * trailing clock advance of run(t), for shards that provably had
+     * nothing to run in a window (batched windows skip their run()).
+     */
+    void advanceTo(Tick t);
+
+    /**
      * Route the domain byte of every executed event into `sink`
      * (before its process() runs). The sharded kernel points this at
      * the shard's current-domain latch so schedules made *during* an
@@ -233,6 +249,10 @@ class EventQueue
     /** First occupied bucket in window order from the cursor; the
      *  ring must be non-empty. */
     std::size_t firstOccupiedBucket() const;
+
+    /** Next occupied bucket strictly after `b` in window order, or
+     *  bucketCount if none. */
+    std::size_t nextOccupiedAfter(std::size_t b) const;
 
     /** Insert a prepared event (when_/key_ set) into its bucket's
      *  sorted list. */

@@ -114,9 +114,11 @@ ShardedKernel::~ShardedKernel()
     // Queues release their pending events; mailboxes are always
     // drained at run() exit, but guard against aborted runs anyway.
     for (Mailbox &box : mail_) {
-        for (MailRec &rec : box.recs)
-            rec.ev->release();
-        box.recs.clear();
+        for (Plane &plane : box.planes) {
+            for (MailRec &rec : plane.recs)
+                rec.ev->release();
+            plane.recs.clear();
+        }
     }
 }
 
@@ -152,13 +154,24 @@ ShardedKernel::scheduleOn(std::uint8_t domain, unsigned target_shard,
 
     Shard &from = *shards_[ctx.shard];
     std::uint8_t sender = from.curDomain;
+    // Any cross-domain schedule -- same shard or not -- truncates a
+    // batched window at the next sub-boundary. Counting by *domain*
+    // keeps the truncation decision identical for every shard count.
+    from.crossDomainSends += sender != domain ? 1 : 0;
     std::uint64_t key =
         packKey(prio, sender, domainSeq_[sender].next++);
     if (ctx.shard == target_shard) {
         from.queue.scheduleWithKey(ev, when, key);
     } else {
-        mailbox(ctx.shard, target_shard)
-            .recs.push_back(MailRec{&ev, when, key});
+        Plane &plane =
+            mailbox(ctx.shard, target_shard).planes[from.curPlane];
+        plane.recs.push_back(MailRec{&ev, when, key});
+        if (when < plane.min1) {
+            plane.min2 = plane.min1;
+            plane.min1 = when;
+        } else if (when < plane.min2) {
+            plane.min2 = when;
+        }
     }
 }
 
@@ -175,44 +188,131 @@ ShardedKernel::Barrier::wait(unsigned gen) const
 void
 ShardedKernel::planNext()
 {
+    ++crossings_;
+
+    // Settle the window the shards just finished. A batched window's
+    // achieved end is whatever its solo shard reached before a
+    // cross-domain send (or the plan end) stopped it; the solo shard
+    // published it before arriving here.
+    Tick resume = 0;
+    if (firstCrossing_) {
+        firstCrossing_ = false;
+    } else if (plan_.batch) {
+        resume = shards_[plan_.solo]->achievedEnd;
+        Tick sub = (resume - plan_.start) / lookahead_;
+        windows_ += sub;
+        batchedWindows_ += sub - 1;
+    } else {
+        resume = plan_.end;
+        windows_ += 1;
+    }
+    plan_.resume = resume;
+    plan_.batch = false;
+
     if ((*stopFn_)()) {
         plan_.stop = true;
         stoppedByPredicate_ = true;
         return;
     }
-    Tick earliest = maxTick;
-    for (const auto &shard : shards_) {
-        if (shard->earliest < earliest)
-            earliest = shard->earliest;
+
+    // Global two earliest pending ticks (as a multiset) and each
+    // shard's effective earliest, from the shards' pre-arrival queue
+    // summaries plus the minima of every undrained mailbox plane
+    // (attributed to the *destination* shard, where the events will
+    // execute).
+    Tick e1 = maxTick;
+    Tick e2 = maxTick;
+    unsigned solo = 0;
+    auto consider = [&](Tick t, unsigned dest_shard) {
+        if (t < e1) {
+            e2 = e1;
+            e1 = t;
+            solo = dest_shard;
+        } else if (t < e2) {
+            e2 = t;
+        }
+    };
+    // The plane every sender wrote during the window just finished;
+    // it is drained right after this crossing (all shards flip their
+    // curPlane in lockstep, so shard 0's value speaks for all).
+    unsigned plane = shards_[0]->curPlane;
+    for (unsigned s = 0; s < numShards_; ++s) {
+        consider(shards_[s]->e1, s);
+        consider(shards_[s]->e2, s);
+        for (unsigned src = 0; src < numShards_; ++src) {
+            const Plane &p = mailbox(src, s).planes[plane];
+            consider(p.min1, s);
+            consider(p.min2, s);
+        }
     }
-    if (earliest == maxTick) {
+
+    if (e1 == maxTick) {
         plan_.stop = true;  // drained without satisfying the predicate
         return;
     }
-    dsp_assert(earliest < maxTick - lookahead_,
+    dsp_assert(e1 < maxTick - maxBatchWindows * lookahead_,
                "window end would overflow the tick range");
-    plan_.end = earliest + lookahead_;
+    plan_.start = e1;
+    plan_.end = e1 + lookahead_;
+
+    // Quiet-window batching: when the *second* earliest pending event
+    // anywhere lies two or more windows out, only `solo`'s events can
+    // fire before it -- every other shard is provably idle through
+    // the horizon -- so one crossing may cover several windows. The
+    // decision depends only on (e1, e2), which are partition
+    // -independent, so a K-shard run batches exactly like K=1.
+    if (e2 != maxTick && e2 - e1 >= 2 * lookahead_) {
+        Tick span = std::min((e2 - e1) / lookahead_, maxBatchWindows);
+        plan_.end = e1 + span * lookahead_;
+        plan_.batch = true;
+        plan_.solo = solo;
+    } else if (e2 == maxTick) {
+        plan_.end = e1 + maxBatchWindows * lookahead_;
+        plan_.batch = true;
+        plan_.solo = solo;
+    }
 }
 
 void
-ShardedKernel::drainInbox(unsigned shard)
+ShardedKernel::drainInbox(unsigned shard, unsigned plane)
 {
     Shard &to = *shards_[shard];
     for (unsigned src = 0; src < numShards_; ++src) {
-        Mailbox &box = mailbox(src, shard);
+        Plane &box = mailbox(src, shard).planes[plane];
         for (const MailRec &rec : box.recs) {
             // Conservative-lookahead invariant: anything sent during
-            // window [W, W+L) was scheduled at least L ahead, so it
-            // cannot land inside a window this shard already ran.
-            dsp_assert(rec.when >= plan_.end,
+            // window [W, end) was scheduled at least L ahead of the
+            // sender's clock, so it cannot land inside that window.
+            dsp_assert(rec.when >= plan_.resume,
                        "lookahead violation: cross-shard event at "
                        "%llu inside window ending %llu",
                        static_cast<unsigned long long>(rec.when),
-                       static_cast<unsigned long long>(plan_.end));
+                       static_cast<unsigned long long>(plan_.resume));
             to.queue.scheduleWithKey(*rec.ev, rec.when, rec.key);
         }
         box.recs.clear();
+        box.min1 = maxTick;
+        box.min2 = maxTick;
     }
+}
+
+void
+ShardedKernel::runBatch(Shard &mine)
+{
+    // Run L-wide sub-windows back to back without any crossing; stop
+    // at the first sub-boundary after a cross-domain schedule (its
+    // target -- possibly another shard's mailbox -- is guaranteed to
+    // be at or after that boundary by the lookahead invariant, and
+    // the next crossing's drain hands it over).
+    mine.crossDomainSends = 0;
+    Tick sub_end = plan_.start + lookahead_;
+    while (true) {
+        mine.queue.run(sub_end - 1);
+        if (mine.crossDomainSends != 0 || sub_end >= plan_.end)
+            break;
+        sub_end += lookahead_;
+    }
+    mine.achievedEnd = sub_end;
 }
 
 void
@@ -225,12 +325,29 @@ ShardedKernel::workerLoop(unsigned shard)
     Shard &mine = *shards_[shard];
     while (true) {
         barrier_.arrive([this] { planNext(); });
+        // Window parity flips at every crossing: drains empty the
+        // plane senders filled last window, writes go to the other.
+        unsigned write_plane = 1 - mine.curPlane;
+        mine.curPlane = write_plane;
+        // Shards that sat out a batched window lag; bring every clock
+        // to the last window's end (before draining, so drained
+        // schedules can never be in a lagging shard's past).
+        if (plan_.resume > 0)
+            mine.queue.advanceTo(plan_.resume - 1);
+        drainInbox(shard, 1 - write_plane);
         if (plan_.stop)
             break;
-        mine.queue.run(plan_.end - 1);
-        barrier_.arrive([] {});
-        drainInbox(shard);
-        mine.earliest = mine.queue.earliestTick();
+        if (plan_.batch) {
+            if (shard == plan_.solo) {
+                runBatch(mine);
+            }
+            // Everyone else is provably idle until plan_.end and just
+            // returns to the barrier; their clocks catch up above.
+        } else {
+            mine.queue.run(plan_.end - 1);
+            mine.achievedEnd = plan_.end;
+        }
+        mine.queue.earliestTwo(mine.e1, mine.e2);
     }
 
     ctx.kernel = nullptr;
@@ -270,8 +387,11 @@ ShardedKernel::run(const std::function<bool()> &stop)
     stopFn_ = &stop;
     stoppedByPredicate_ = false;
     plan_ = Plan{};
-    for (auto &shard : shards_)
-        shard->earliest = shard->queue.earliestTick();
+    firstCrossing_ = true;
+    for (auto &shard : shards_) {
+        shard->queue.earliestTwo(shard->e1, shard->e2);
+        shard->achievedEnd = 0;
+    }
 
     if (numShards_ > 1 && workers_.empty())
         startWorkers();

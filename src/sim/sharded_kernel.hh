@@ -11,9 +11,15 @@
  * *lookahead*: the minimum latency of any cross-domain interaction
  * (one crossbar link hop). Within a window every shard runs
  * independently; an event scheduled into another shard is posted to a
- * single-writer mailbox and drained at the window boundary, which is
- * safe because conservative lookahead guarantees it cannot fire before
- * the next window starts.
+ * single-writer, double-buffered mailbox and drained right after the
+ * next barrier crossing, which is safe because conservative lookahead
+ * guarantees it cannot fire before the next window starts. Each
+ * window costs exactly one barrier crossing: shards publish their
+ * queue summaries and outbound-mail minima before arriving, so the
+ * last arriver plans the next window and releases in the same
+ * crossing. Stretches where only one shard has pending work inside
+ * the horizon are batched -- several windows per crossing -- with
+ * K-independent entry and truncation rules (see planNext()).
  *
  * Determinism contract (the non-negotiable invariant): a K-shard run
  * executes *exactly* the same events in *exactly* the same per-domain
@@ -194,11 +200,23 @@ class ShardedKernel
         std::uint64_t key;
     };
 
-    /** Single-writer mailbox for one (source, destination) shard
-     *  pair; written during a window by the source thread only,
-     *  drained at the barrier by the destination thread only. */
-    struct alignas(64) Mailbox {
+    /**
+     * Single-writer mailbox for one (source, destination) shard pair.
+     * Double-buffered: with only one barrier crossing per window, the
+     * destination drains the *previous* window's plane while the
+     * source already appends to the current one; the planes swap at
+     * every crossing, and a plane is always cleared by its drainer a
+     * full crossing before its writer touches it again. Each plane
+     * also tracks the two earliest mailed ticks so the window planner
+     * can account for in-flight events without reading the records.
+     */
+    struct Plane {
         std::vector<MailRec> recs;
+        Tick min1 = maxTick;
+        Tick min2 = maxTick;
+    };
+    struct alignas(64) Mailbox {
+        Plane planes[2];
     };
 
     struct alignas(64) Shard {
@@ -207,8 +225,19 @@ class ShardedKernel
          *  sink); keys for schedules made during execution come from
          *  this domain's counter. */
         std::uint8_t curDomain = bootDomain;
-        /** Earliest pending tick, published at each barrier. */
-        Tick earliest = maxTick;
+        /** Mailbox plane this shard currently writes (window parity). */
+        unsigned curPlane = 0;
+        /** Two earliest pending ticks of this shard's queue,
+         *  published before each barrier arrival. */
+        Tick e1 = maxTick;
+        Tick e2 = maxTick;
+        /** Where this shard's window actually ended (batched windows
+         *  may truncate early); published before arrival. */
+        Tick achievedEnd = 0;
+        /** Cross-domain schedules since the batch started; any such
+         *  send truncates a batched window at the next sub-boundary
+         *  (counted for every K, so truncation is K-independent). */
+        std::uint64_t crossDomainSends = 0;
     };
 
     struct alignas(64) DomainSeq {
@@ -271,7 +300,8 @@ class ShardedKernel
 
     void workerLoop(unsigned shard);
     void planNext();
-    void drainInbox(unsigned shard);
+    void drainInbox(unsigned shard, unsigned plane);
+    void runBatch(Shard &mine);
     void startWorkers();
 
     unsigned numShards_;
@@ -284,14 +314,56 @@ class ShardedKernel
 
     Barrier barrier_;
 
-    /** Window plan, written by the barrier's last arriver only. */
+    /**
+     * Window plan, written by the barrier's last arriver only. One
+     * crossing serves a whole window: each shard publishes its queue
+     * summary and outbound-mail minima *before* arriving, so the last
+     * arriver can plan the next window and release in a single
+     * crossing (the second barrier the old design used to separate
+     * runs from drains is replaced by the double-buffered mailboxes).
+     */
     struct Plan {
-        Tick end = 0;
+        Tick start = 0;   ///< global earliest pending tick
+        Tick end = 0;     ///< exclusive window end
+        /** Previous window's achieved end: the floor for this
+         *  crossing's mailbox drains and clock harmonization. */
+        Tick resume = 0;
         bool stop = false;
+        /** Solo-shard batch: only `solo` has events before `end`
+         *  (everyone else's earliest is at/after it), so it may run
+         *  up to maxBatchWindows L-sub-windows in this one crossing,
+         *  truncating at the first sub-boundary after a cross-domain
+         *  send. */
+        bool batch = false;
+        unsigned solo = 0;
     };
     Plan plan_;
+
+    /** Most windows a single crossing may cover in a quiet stretch. */
+    static constexpr Tick maxBatchWindows = 16;
+
+    bool firstCrossing_ = true;  ///< no window precedes the next plan
     bool stoppedByPredicate_ = false;
     const std::function<bool()> *stopFn_ = nullptr;
+
+    // -- kernel-level counters (written by the planner only; read
+    //    while quiescent). barrierCrossings()/windowsRun() feed the
+    //    bench's barriers_per_window stat.
+    std::uint64_t crossings_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t batchedWindows_ = 0;
+
+  public:
+    /** Barrier crossings over the kernel's lifetime. */
+    std::uint64_t barrierCrossings() const { return crossings_; }
+
+    /** Lookahead windows executed (batched sub-windows included). */
+    std::uint64_t windowsRun() const { return windows_; }
+
+    /** Windows that rode along in a batch without their own crossing. */
+    std::uint64_t batchedWindows() const { return batchedWindows_; }
+
+  private:
 
     /**
      * Persistent worker threads (shards 1..K-1), spawned lazily at

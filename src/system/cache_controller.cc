@@ -39,6 +39,7 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
 
     Mshr &mshr = mshrs_[block];
     mshr.type = type;
+    mshr.handle = caches_.lastMissHandle();
     mshr.waiters.push_back(on_complete);
 
     if (when < port_.now())
@@ -183,9 +184,10 @@ CacheController::complete(const Message &msg, Tick tick)
 
     // Install the granted state; reflect any L2 eviction into the
     // global sharing state (one hop away, at the hub) and, for dirty
-    // victims, the network.
+    // victims, the network. The MSHR's handles make the install
+    // walk-free: the set walks happened once, at the access.
     NodeCaches::FillResult fill =
-        caches_.fill(msg.addr, msg.echo.granted);
+        caches_.fill(msg.addr, msg.echo.granted, &mshr.handle);
     if (fill.evicted) {
         if (isOwnerState(fill.victimState)) {
             sys_.notifyEviction(fill.victim, true, node_, tick);

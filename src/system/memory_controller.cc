@@ -30,7 +30,7 @@ MemoryController::handleDirectory(const Message &msg, Tick tick)
 
     port_.schedule(
         done,
-        [this, msg]() {
+        [this, msg, memory]() {
             const TxnEcho &echo = msg.echo;
             // Invalidate every sharer (GS320: the totally-ordered
             // interconnect removes the need for acks).
@@ -57,8 +57,6 @@ MemoryController::handleDirectory(const Message &msg, Tick tick)
                 // the block has landed, same as the multicast home's
                 // chaining below.
                 Tick now = port_.now();
-                Tick memory = nsToTicks(
-                    sys_.params().latency.memory_ns);
                 Tick start =
                     std::max(now, echo.supplyEarliest + memory);
                 Message data;

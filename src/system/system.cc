@@ -35,15 +35,20 @@ std::vector<unsigned>
 System::domainMapFor(const SystemParams &params)
 {
     // Domains: node n -> n + 1, ordering point -> nodes + 1.
-    // Contiguous node groups, one per shard; the hub rides with
-    // shard 0 (the calling thread). The partition is free to change:
-    // the determinism contract makes every choice produce identical
-    // statistics.
+    // Contiguous node groups, one per shard. By default the hub rides
+    // with shard 0 (the calling thread); with hubShard (and >= 3
+    // shards) it gets shard 0 to itself and the nodes spread over the
+    // rest. The partition is free to change: the determinism contract
+    // makes every choice produce identical statistics.
     unsigned shards = shardCountFor(params);
     std::vector<unsigned> map(params.nodes + 2, 0);
+    bool dedicated = params.hubShard && shards >= 3;
+    unsigned node_shards = dedicated ? shards - 1 : shards;
+    unsigned first = dedicated ? 1 : 0;
     for (NodeId n = 0; n < params.nodes; ++n)
-        map[n + 1] = static_cast<unsigned>(
-            (static_cast<std::uint64_t>(n) * shards) / params.nodes);
+        map[n + 1] = first + static_cast<unsigned>(
+            (static_cast<std::uint64_t>(n) * node_shards) /
+            params.nodes);
     map[params.nodes + 1] = 0;  // hub
     return map;
 }
@@ -535,7 +540,8 @@ System::functionalWarmup(std::uint64_t misses)
             });
         }
 
-        auto fill = caches.fill(ref.addr, txn.grantedState);
+        NodeCaches::FillHandle handle = caches.lastMissHandle();
+        auto fill = caches.fill(ref.addr, txn.grantedState, &handle);
         if (fill.evicted) {
             if (isOwnerState(fill.victimState))
                 tracker_.evictOwned(fill.victim, p);
@@ -590,6 +596,8 @@ System::run()
     // phases, so this read is identical for every shard count.
     measureStart_ = hubPort_.now();
     std::uint64_t events_before = kernel_.executed();
+    std::uint64_t crossings_before = kernel_.barrierCrossings();
+    std::uint64_t windows_before = kernel_.windowsRun();
     auto wall_start = std::chrono::steady_clock::now();
 
     startPhase(params_.measureInstrPerCpu);
@@ -625,6 +633,9 @@ System::run()
         crossbar_.traffic(MessageKind::Writeback).messages;
     stats.trafficBytes = crossbar_.totalBytes();
     stats.eventsExecuted = kernel_.executed() - events_before;
+    stats.barrierCrossings =
+        kernel_.barrierCrossings() - crossings_before;
+    stats.windowsRun = kernel_.windowsRun() - windows_before;
     stats.wallSeconds = wall_seconds;
     Tick latency_sum = 0;
     for (const NodeAccum &acc : nodeStats_)

@@ -83,6 +83,18 @@ struct SystemParams {
     unsigned shards = 1;
 
     /**
+     * At shards >= 3, give the ordering-point hub a dedicated shard
+     * (shard 0) and spread the nodes over the remaining shards. The
+     * hub carries the tracker, the chaining books, and every ordered
+     * message, making the default hub-plus-node-group shard 0 the
+     * ~10-15% heaviest; a dedicated hub shard lifts that ceiling on
+     * hosts with cores to spare. Pure placement: statistics are
+     * bit-identical either way (carried-key determinism contract).
+     * Ignored below 3 shards.
+     */
+    bool hubShard = false;
+
+    /**
      * Data-availability chaining: an owner cannot supply a block
      * before its own fill lands, and memory cannot supply before an
      * in-flight writeback arrives. Expected-completion ticks are
@@ -119,6 +131,11 @@ struct SystemStats {
     /** Kernel events executed during the measured phase (simulator
      *  throughput is events/sec over this count). */
     std::uint64_t eventsExecuted = 0;
+    /** Kernel barrier crossings / lookahead windows in the measured
+     *  phase. With single-crossing windows their ratio is ~1.0; quiet
+     *  -window batching can push it below. */
+    std::uint64_t barrierCrossings = 0;
+    std::uint64_t windowsRun = 0;
     /** Host wall-clock seconds spent in the measured phase. */
     double wallSeconds = 0.0;
     double avgMissLatencyNs = 0.0;
@@ -173,6 +190,10 @@ class CacheController : public MemoryPort
         TxnId txn = 0;
         RequestType type = RequestType::GetShared;
         bool invalidateAfterFill = false;
+        /** Set-walk handles from the access that opened this miss;
+         *  complete() installs the grant through them so the fill
+         *  never re-walks the tag planes. */
+        NodeCaches::FillHandle handle;
         std::vector<Completion> waiters;
         /** Accesses that arrived while the miss was outstanding. */
         struct Queued {

@@ -19,7 +19,7 @@ Workload::Workload(std::string name, NodeId num_nodes, double mean_work,
     dsp_assert(episode_len >= 1.0, "episode length must be >= 1");
     procs_.reserve(num_nodes);
     for (NodeId p = 0; p < num_nodes; ++p)
-        procs_.emplace_back(Rng(seed, /* stream */ p + 1));
+        procs_.emplace_back(Rng(seed, /* stream */ p + 1), p);
 }
 
 void
@@ -45,18 +45,15 @@ Workload::pickRegion(Rng &rng) const
 }
 
 MemRef
-Workload::next(NodeId p)
+Workload::genOne(ProcState &st)
 {
-    dsp_assert(p < numNodes_, "processor %u out of range", p);
-    ProcState &st = procs_[p];
-
     if (st.episodeLeft == 0) {
         st.region = pickRegion(st.rng);
         st.episodeLeft = episodeGeo_.sample(st.rng);
     }
     --st.episodeLeft;
 
-    RegionRef ref = regions_[st.region]->gen(p, st.rng);
+    RegionRef ref = regions_[st.region]->gen(st.proc, st.rng);
 
     MemRef out;
     out.work = meanWork_ == 0.0
@@ -67,6 +64,15 @@ Workload::next(NodeId p)
     out.pc = ref.pc;
     out.write = ref.write;
     return out;
+}
+
+void
+Workload::refill(ProcState &st)
+{
+    st.buf.resize(refillBatch_);
+    for (MemRef &ref : st.buf)
+        ref = genOne(st);
+    st.bufPos = 0;
 }
 
 Addr

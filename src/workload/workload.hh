@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/types.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "workload/region.hh"
 
@@ -48,8 +49,41 @@ class Workload
     /** Append a region with a relative selection weight. */
     void addRegion(std::unique_ptr<Region> region, double weight);
 
-    /** Next reference for processor p. Deterministic per (seed, p). */
-    MemRef next(NodeId p);
+    /**
+     * Next reference for processor p. Deterministic per (seed, p).
+     *
+     * References are generated refillBatch() at a time into a per
+     * -processor buffer: the episode/region/work draws for a whole
+     * batch run back to back with the generator state hot, instead of
+     * re-entering through the CPU model for every reference. Each
+     * processor's stream is independent and generated strictly in
+     * order, so the refill changes no draw (pinned by a test).
+     */
+    MemRef
+    next(NodeId p)
+    {
+        dsp_assert(p < numNodes_, "processor %u out of range", p);
+        ProcState &st = procs_[p];
+        if (st.bufPos == st.buf.size())
+            refill(st);
+        return st.buf[st.bufPos++];
+    }
+
+    /** References generated per refill (test knob; default 64). */
+    std::size_t refillBatch() const { return refillBatch_; }
+
+    /**
+     * Change the refill granularity (1 = generate on demand, exactly
+     * the pre-batching behaviour). Only affects *when* references are
+     * generated, never their values; callable mid-stream (buffered
+     * references drain first).
+     */
+    void
+    setRefillBatch(std::size_t batch)
+    {
+        dsp_assert(batch >= 1, "refill batch must be >= 1");
+        refillBatch_ = batch;
+    }
 
     const std::string &name() const { return name_; }
     NodeId numNodes() const { return numNodes_; }
@@ -61,7 +95,15 @@ class Workload
     Addr totalFootprint() const;
 
   private:
+    struct ProcState;
+
     std::size_t pickRegion(Rng &rng) const;
+
+    /** Generate one reference for the owning processor, in order. */
+    MemRef genOne(ProcState &st);
+
+    /** Refill a processor's buffer with the next refillBatch_ refs. */
+    void refill(ProcState &st);
 
     std::string name_;
     NodeId numNodes_;
@@ -76,11 +118,16 @@ class Workload
 
     struct ProcState {
         Rng rng;
+        NodeId proc;
         std::size_t region = 0;
         std::uint64_t episodeLeft = 0;
+        /** Pre-generated references; refilled when drained. */
+        std::vector<MemRef> buf;
+        std::size_t bufPos = 0;
 
-        explicit ProcState(Rng r) : rng(r) {}
+        ProcState(Rng r, NodeId p) : rng(r), proc(p) {}
     };
+    std::size_t refillBatch_ = 64;
     std::vector<ProcState> procs_;
 };
 

@@ -168,6 +168,126 @@ TEST(NodeCaches, StatsCount)
     EXPECT_EQ(caches.l2Misses(), 2u);
 }
 
+// ---------------------------------------------------- fill handles
+
+TEST(NodeCachesHandle, FillViaMshrHandleDoesZeroExtraWalks)
+{
+    // The headline invariant of the probe/fill rework: after the
+    // access walked the sets once, the fill() that completes the miss
+    // must not walk any tag plane again. Pinned via the debug-build
+    // walk counters (release builds count nothing and skip the exact
+    // assertions; semantics are still exercised).
+    NodeCaches caches(tinyCaches());
+    auto result = caches.access(0x1000, false);
+    ASSERT_EQ(result.need, CoherenceNeed::GetShared);
+    NodeCaches::FillHandle handle = caches.lastMissHandle();
+
+    std::uint64_t l1_before = caches.l1TagWalks();
+    std::uint64_t l2_before = caches.l2TagWalks();
+    auto fill = caches.fill(0x1000, MosiState::Shared, &handle);
+    EXPECT_FALSE(fill.evicted);
+    if (NodeCaches::walkCounting) {
+        EXPECT_EQ(caches.l2TagWalks(), l2_before);
+        EXPECT_EQ(caches.l1TagWalks(), l1_before);
+    }
+    EXPECT_EQ(caches.handleRewalks(), 0u);
+    EXPECT_EQ(caches.access(0x1000, false).need, CoherenceNeed::None);
+}
+
+TEST(NodeCachesHandle, UpgradeFillViaHandleIsWalkFree)
+{
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Shared);
+    auto result = caches.access(0x1000, true);  // upgrade miss
+    ASSERT_EQ(result.need, CoherenceNeed::GetExclusive);
+    NodeCaches::FillHandle handle = caches.lastMissHandle();
+
+    std::uint64_t l2_before = caches.l2TagWalks();
+    auto fill = caches.fill(0x1000, MosiState::Modified, &handle);
+    EXPECT_FALSE(fill.evicted);
+    if (NodeCaches::walkCounting)
+        EXPECT_EQ(caches.l2TagWalks(), l2_before);
+    EXPECT_EQ(caches.stateOf(blockOf(0x1000)), MosiState::Modified);
+    EXPECT_EQ(caches.access(0x1000, true).need, CoherenceNeed::None);
+}
+
+TEST(NodeCachesHandle, FillAfterInvalidateOfSameSetRewalks)
+{
+    // A racing GETX invalidates a block in the *same L2 set* between
+    // the access and its fill; the stale handle must re-walk and the
+    // fill must prefer the way the invalidation just freed.
+    CacheParams params;
+    params.l1 = CacheGeometry{1024, 1};
+    params.l2 = CacheGeometry{16 * 1024, 4};  // 64 sets, 4-way
+    NodeCaches caches(params);
+
+    // Three same-set residents (blocks 0, 64, 128 -> set 0).
+    caches.fill(blockBase(0), MosiState::Shared);
+    caches.fill(blockBase(64), MosiState::Shared);
+    caches.fill(blockBase(128), MosiState::Shared);
+
+    auto result = caches.access(blockBase(192), false);  // set 0 miss
+    ASSERT_EQ(result.need, CoherenceNeed::GetShared);
+    NodeCaches::FillHandle handle = caches.lastMissHandle();
+
+    caches.invalidate(64);  // frees a way in set 0 mid-flight
+
+    auto fill = caches.fill(blockBase(192), MosiState::Shared, &handle);
+    EXPECT_FALSE(fill.evicted);  // took the freed way, evicted no one
+    EXPECT_GE(caches.handleRewalks(), 1u);
+    EXPECT_EQ(caches.stateOf(0), MosiState::Shared);
+    EXPECT_EQ(caches.stateOf(128), MosiState::Shared);
+    EXPECT_EQ(caches.stateOf(192), MosiState::Shared);
+}
+
+TEST(NodeCachesHandle, FillAfterEvictionPressureOnSameSet)
+{
+    // Another miss's fill lands in the same L2 set between this
+    // miss's access and fill (consuming the precomputed victim); the
+    // handle re-walks and evicts exactly what a fresh install would.
+    CacheParams params;
+    params.l1 = CacheGeometry{1024, 1};
+    params.l2 = CacheGeometry{16 * 1024, 4};  // 64 sets, 4-way
+    NodeCaches caches(params);
+
+    for (BlockId b : {0u, 64u, 128u, 192u})
+        caches.fill(blockBase(b), MosiState::Shared);  // set 0 full
+
+    auto result = caches.access(blockBase(256), false);  // set 0
+    ASSERT_EQ(result.need, CoherenceNeed::GetShared);
+    NodeCaches::FillHandle handle = caches.lastMissHandle();
+
+    // A different miss fills the same set first, taking the LRU way
+    // (block 0).
+    auto other = caches.fill(blockBase(320), MosiState::Shared);
+    ASSERT_TRUE(other.evicted);
+    EXPECT_EQ(other.victim, 0u);
+
+    auto fill = caches.fill(blockBase(256), MosiState::Shared, &handle);
+    ASSERT_TRUE(fill.evicted);
+    EXPECT_EQ(fill.victim, 64u);  // the fresh LRU, not the stale one
+    EXPECT_EQ(caches.stateOf(256), MosiState::Shared);
+    EXPECT_EQ(caches.stateOf(320), MosiState::Shared);
+}
+
+TEST(NodeCachesHandle, FillAfterDowngradeKeepsInPlacePromotion)
+{
+    // A downgrade (external GETS) touches the L2 line between an
+    // upgrade access and its fill; the fill still promotes in place.
+    NodeCaches caches(tinyCaches());
+    caches.fill(0x1000, MosiState::Modified);
+    caches.downgrade(blockOf(0x1000));  // M -> O
+    auto result = caches.access(0x1000, true);
+    ASSERT_EQ(result.need, CoherenceNeed::GetExclusive);
+    NodeCaches::FillHandle handle = caches.lastMissHandle();
+
+    caches.downgrade(blockOf(0x1000));  // no-op on O, but touches
+
+    auto fill = caches.fill(0x1000, MosiState::Modified, &handle);
+    EXPECT_FALSE(fill.evicted);
+    EXPECT_EQ(caches.stateOf(blockOf(0x1000)), MosiState::Modified);
+}
+
 TEST(Mosi, StatePredicates)
 {
     EXPECT_FALSE(canRead(MosiState::Invalid));

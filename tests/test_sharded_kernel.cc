@@ -216,11 +216,103 @@ TEST(ShardedKernel, PoolsDrainToZeroPerShard)
     EXPECT_EQ(eventPoolStats().live(), live_before);
 }
 
+/**
+ * A sparse self-scheduling chain: mostly quiet simulated time with
+ * one active domain, every seventh hop poking a second domain. This
+ * is the shape quiet-window batching exists for; the run must be
+ * bit-identical (event order, window count, crossing count) for
+ * every shard partition, with batching collapsing many windows into
+ * single crossings.
+ */
+struct BatchProbe {
+    std::vector<std::pair<Tick, int>> log1, log2;
+    std::uint64_t windows = 0;
+    std::uint64_t crossings = 0;
+    std::uint64_t batched = 0;
+
+    bool
+    operator==(const BatchProbe &o) const
+    {
+        return log1 == o.log1 && log2 == o.log2 &&
+               windows == o.windows && crossings == o.crossings &&
+               batched == o.batched;
+    }
+};
+
+BatchProbe
+runSparseChain(unsigned shards)
+{
+    ShardedKernel kernel(shards, twoDomainMap(0, shards - 1),
+                         kLookahead);
+    DomainPort p1 = kernel.port(1);
+    DomainPort p2 = kernel.port(2);
+
+    BatchProbe probe;
+    std::function<void(int)> hop = [&](int count) {
+        probe.log1.emplace_back(p1.now(), count);
+        if (count >= 40)
+            return;
+        if (count % 7 == 6) {
+            // Cross-domain poke: truncates any batch in flight at the
+            // next sub-boundary, identically for every K.
+            int c = count;
+            p2.scheduleIn(kLookahead, [&probe, &p2, c]() {
+                probe.log2.emplace_back(p2.now(), c);
+            });
+        }
+        p1.scheduleIn(5 * kLookahead,
+                      [&hop, count]() { hop(count + 1); });
+    };
+    p1.schedule(Tick{100}, [&hop]() { hop(0); });
+
+    kernel.run([] { return false; });
+    EXPECT_TRUE(kernel.empty());
+    probe.windows = kernel.windowsRun();
+    probe.crossings = kernel.barrierCrossings();
+    probe.batched = kernel.batchedWindows();
+    return probe;
+}
+
+TEST(ShardedKernel, QuietWindowBatchingIsPartitionIndependent)
+{
+    BatchProbe one = runSparseChain(1);
+    BatchProbe two = runSparseChain(2);
+    EXPECT_TRUE(one == two);
+    ASSERT_EQ(one.log1.size(), 41u);
+    ASSERT_EQ(one.log2.size(), 5u);
+    // The chain spans ~200 lookahead windows; batching must have
+    // collapsed most of them into far fewer crossings.
+    EXPECT_GT(one.batched, 0u);
+    EXPECT_LT(one.crossings, one.windows);
+}
+
+TEST(ShardedKernel, SingleBarrierCrossingPerBusyWindow)
+{
+    // A dense two-domain ping-pong (every window has work on both
+    // shards) can never batch: crossings ~= windows, i.e. one
+    // crossing per window, half of the old kernel's two.
+    ShardedKernel kernel(2, twoDomainMap(0, 1), kLookahead);
+    DomainPort p1 = kernel.port(1);
+    DomainPort p2 = kernel.port(2);
+
+    std::function<void(int)> ping = [&](int n) {
+        if (n >= 50)
+            return;
+        DomainPort &next = (n % 2 == 0) ? p2 : p1;
+        next.scheduleIn(kLookahead, [&ping, n]() { ping(n + 1); });
+    };
+    p1.schedule(Tick{0}, [&ping]() { ping(0); });
+    kernel.run([] { return false; });
+
+    EXPECT_GE(kernel.windowsRun(), 50u);
+    EXPECT_LE(kernel.barrierCrossings(), kernel.windowsRun() + 2);
+}
+
 /** Full-System determinism: the headline invariant of the sharded
  *  kernel. Every emitted figure statistic must be bit-identical
  *  between a 1-shard and a 4-shard run of the same seeded config. */
 SystemStats
-runMini(unsigned shards, ProtocolKind protocol)
+runMini(unsigned shards, ProtocolKind protocol, bool hub_shard = false)
 {
     auto workload = makeWorkload("barnes", 16, /* seed */ 7, 0.25);
     SystemParams params;
@@ -228,6 +320,7 @@ runMini(unsigned shards, ProtocolKind protocol)
     params.protocol = protocol;
     params.policy = PredictorPolicy::OwnerGroup;
     params.shards = shards;
+    params.hubShard = hub_shard;
     params.functionalWarmupMisses = 2000;
     params.warmupInstrPerCpu = 2000;
     params.measureInstrPerCpu = 6000;
@@ -275,6 +368,19 @@ TEST(ShardedKernel, SystemOddShardCountsAreIdenticalToo)
     SystemStats k1 = runMini(1, ProtocolKind::Multicast);
     SystemStats k3 = runMini(3, ProtocolKind::Multicast);
     expectBitIdentical(k1, k3);
+}
+
+TEST(ShardedKernel, SystemHubShardPlacementIsIdentical)
+{
+    // A dedicated hub shard is pure placement: the carried-key
+    // contract makes its statistics bit-identical to the default
+    // partition at every K (including K < 3, where the flag is
+    // ignored).
+    SystemStats k1 = runMini(1, ProtocolKind::Multicast);
+    SystemStats k4hub = runMini(4, ProtocolKind::Multicast, true);
+    SystemStats k3hub = runMini(3, ProtocolKind::Multicast, true);
+    expectBitIdentical(k1, k4hub);
+    expectBitIdentical(k1, k3hub);
 }
 
 TEST(ShardedKernel, SystemRunLeavesNoLiveEvents)

@@ -290,6 +290,43 @@ TEST(Workload, DeterministicPerSeed)
     EXPECT_TRUE(any_diff);
 }
 
+TEST(Workload, RefillBatchingIsDrawIdentical)
+{
+    // The per-processor refill buffer is a pure amortization: every
+    // batch size must produce the exact same reference stream as
+    // generating one reference at a time (batch 1), under any
+    // cross-processor interleaving.
+    auto batched = makeWorkload("apache", kNodes, 7, 0.25);
+    auto unbatched = makeWorkload("apache", kNodes, 7, 0.25);
+    ASSERT_EQ(batched->refillBatch(), 64u);
+    unbatched->setRefillBatch(1);
+
+    Rng interleave(3);
+    for (int i = 0; i < 20000; ++i) {
+        // Bursty, uneven interleaving across processors.
+        NodeId p = static_cast<NodeId>(interleave.uniformInt(kNodes));
+        int burst = static_cast<int>(interleave.uniformInt(5)) + 1;
+        for (int j = 0; j < burst; ++j) {
+            MemRef rb = batched->next(p);
+            MemRef ru = unbatched->next(p);
+            ASSERT_EQ(rb.addr, ru.addr);
+            ASSERT_EQ(rb.pc, ru.pc);
+            ASSERT_EQ(rb.write, ru.write);
+            ASSERT_EQ(rb.work, ru.work);
+        }
+    }
+
+    // Changing the batch mid-stream only changes generation timing.
+    batched->setRefillBatch(7);
+    for (int i = 0; i < 1000; ++i) {
+        NodeId p = static_cast<NodeId>(i % kNodes);
+        MemRef rb = batched->next(p);
+        MemRef ru = unbatched->next(p);
+        ASSERT_EQ(rb.addr, ru.addr);
+        ASSERT_EQ(rb.work, ru.work);
+    }
+}
+
 TEST(Workload, MeanWorkApproximatelyHonoured)
 {
     Workload w("test", kNodes, 4.0, 1);
