@@ -184,7 +184,11 @@ runConfig(const HotpathOptions &opt, const std::string &name,
             stats.runtimeTicks != result.stats.runtimeTicks ||
             stats.avgMissLatencyNs != result.stats.avgMissLatencyNs ||
             stats.barrierCrossings != result.stats.barrierCrossings ||
-            stats.windowsRun != result.stats.windowsRun) {
+            stats.windowsRun != result.stats.windowsRun ||
+            stats.cacheAccesses != result.stats.cacheAccesses ||
+            stats.l0Hits != result.stats.l0Hits ||
+            stats.l0Absorbed != result.stats.l0Absorbed ||
+            stats.wordTouches != result.stats.wordTouches) {
             dsp_fatal("repeat %u of config '%s' diverged from repeat "
                       "0 -- same-process nondeterminism",
                       rep, name.c_str());
@@ -251,6 +255,15 @@ writeJson(const HotpathOptions &opt,
                          r.stats.trafficBytes));
         std::fprintf(f, "      \"avg_miss_latency_ns\": %.6f,\n",
                      r.stats.avgMissLatencyNs);
+        // L0 block-result filter effectiveness: hit rate over all
+        // cache accesses, and packed-array words attributed per
+        // access (walk-counter based; 0 under NDEBUG). Both are
+        // deterministic and shard-count independent, so the
+        // determinism cross-check covers them.
+        std::fprintf(f, "      \"l0_hit_rate\": %.6f,\n",
+                     r.stats.l0HitRate());
+        std::fprintf(f, "      \"touched_words_per_access\": %.4f,\n",
+                     r.stats.touchedWordsPerAccess());
         std::fprintf(f, "      \"barriers_per_window\": %.4f,\n",
                      r.barriersPerWindow());
         std::fprintf(f, "      \"sim_runtime_ms\": %.3f\n",

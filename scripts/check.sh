@@ -38,6 +38,21 @@ cmake --build build -j"$JOBS"
 # empty test set must fail loudly here, not report green.
 ctest --test-dir build --output-on-failure --no-tests=error -j"$JOBS"
 
+# Walk-counter invariants of the staged access pipeline, asserted
+# explicitly (they also run inside ctest; this names them in the CI
+# log): the L1-hit path touches zero simulated-L2 words, a repeat hit
+# through the L0 filter walks neither plane, and an absorbed repeat
+# touches zero packed-array words at all.
+# Guard the guard: gtest exits 0 when a filter matches zero tests, so
+# require the exact test count or fail loudly.
+WALK_OUT=$(./build/test_access_pipeline --gtest_filter='AccessPipeline.L1HitPathTouchesZeroL2Words:AccessPipeline.RepeatHitWalksNothing:AccessPipeline.AbsorbedRepeatTouchesZeroPackedWords')
+if ! grep -q "3 tests from 1 test suite ran" <<< "$WALK_OUT"; then
+    echo "check.sh: walk-counter invariant tests did not run (filter" \
+         "out of sync with test_access_pipeline?)" >&2
+    exit 1
+fi
+echo "walk-counter invariants: L1-hit/L0/absorbed paths OK"
+
 # Small measured run: enough events for a stable events/sec figure,
 # quick enough for CI (a few seconds). --repeat 3 takes the best of
 # three per config, cutting scheduler noise out of the regression
@@ -62,6 +77,19 @@ if ! awk -v b="$BPW" 'BEGIN { exit !(b > 0.5 && b <= 1.05) }'; then
     exit 1
 fi
 echo "barriers_per_window: $BPW (par config)"
+
+# L0 block-result filter sanity: every config must report a non-zero
+# hit rate (the filter silently disabling itself would erase the
+# repeat-hit fast path without failing anything else).
+L0MIN=$(awk -F: '
+    /"l0_hit_rate"/ { gsub(/[ ,]/, "", $2); if (min == "" || $2 < min) min = $2 }
+    END { print (min == "" ? "missing" : min) }' "$FRESH")
+if ! awk -v r="$L0MIN" 'BEGIN { exit !(r > 0 && r < 1) }'; then
+    echo "check.sh: l0_hit_rate=$L0MIN -- the L0 filter is not" \
+         "filtering (expected a rate in (0,1) on every config)" >&2
+    exit 1
+fi
+echo "l0_hit_rate: >= $L0MIN on all configs"
 
 # Per-config events/sec guard. Bench noise on a busy machine is well
 # under the 15% bar; a real regression from a hot-path change is not.
@@ -118,14 +146,14 @@ DET4=build/BENCH_det_t4.json
     --out "$DET4" > /dev/null
 extract_det() {
     awk -F: '
-        /"events"|"misses"|"retries"|"traffic_bytes"|"avg_miss_latency_ns"|"sim_runtime_ms"/ {
+        /"events"|"misses"|"retries"|"traffic_bytes"|"avg_miss_latency_ns"|"sim_runtime_ms"|"l0_hit_rate"|"touched_words_per_access"/ {
             gsub(/[ ",]/, "", $1); gsub(/[ ,]/, "", $2)
             print $1, $2
         }' "$1"
 }
 # Guard the guard: if the JSON field names ever drift, the extraction
 # would compare two empty streams and "pass" while checking nothing.
-DET_FIELDS=6
+DET_FIELDS=8
 for f in "$DET1" "$DET4"; do
     n="$(extract_det "$f" | wc -l)"
     if [[ "$n" -ne "$DET_FIELDS" ]]; then

@@ -46,12 +46,18 @@ TraceCollector::handleMiss(NodeId p, const MemRef &ref, bool is_write)
 
     SharingTracker::Transaction txn = tracker_.apply(block, p, type);
 
-    // Propagate the transaction's side effects into the peer caches.
+    // Propagate the transaction's side effects into the peer caches,
+    // pairing each coherence action with its l0Invalidate() hook
+    // (this is the trace-replay flavour of the system fan-in; see
+    // docs/access_pipeline.md).
     if (type == RequestType::GetShared) {
-        if (txn.cacheToCache)
+        if (txn.cacheToCache) {
+            nodes_[txn.responder].l0Invalidate(block);
             nodes_[txn.responder].downgrade(block);
+        }
     } else {
         txn.required.forEach([&](NodeId q) {
+            nodes_[q].l0Invalidate(block);
             nodes_[q].invalidate(block);
         });
     }

@@ -39,19 +39,49 @@ class MemoryPort
   public:
     virtual ~MemoryPort() = default;
 
-    /** Called when a miss completes; argument is the completion tick. */
-    using Completion = std::function<void(Tick)>;
+    /**
+     * Miss-completion callback: invoked with the completion tick when
+     * the coherence round-trip finishes. Deliberately a POD (function
+     * pointer + context + a caller token) rather than std::function:
+     * the CPU models issue one of these per access, and the detailed
+     * CPU needs a distinct token (its window sequence number) per
+     * outstanding miss -- with type erasure that meant constructing a
+     * std::function on every single access. A POD costs nothing to
+     * build and is trivially copyable into MSHR waiter lists.
+     */
+    struct Completion {
+        using Fn = void (*)(void *ctx, std::uint64_t token, Tick tick);
+
+        Fn fn = nullptr;
+        void *ctx = nullptr;
+        std::uint64_t token = 0;
+
+        void
+        operator()(Tick tick) const
+        {
+            fn(ctx, token, tick);
+        }
+
+        explicit operator bool() const { return fn != nullptr; }
+    };
 
     /**
      * Issue one access. `when` (>= now) is the tick at which the
      * access logically executes; on a miss the coherence request
      * enters the network at that tick. The completion is only copied
-     * on a miss, so callers can reuse one Completion across calls
-     * instead of constructing a std::function per access.
+     * on a miss.
+     *
+     * `next_hint`, when non-zero, is the address the caller expects
+     * to access next (CPU models read it from the workload's refill
+     * buffer). A timing no-op: implementations may only use it to
+     * warm host caches for the upcoming access -- the simulated L2
+     * planes dwarf the host's caches, so the next set's line touch is
+     * the dominant irreducible cost and one access of lookahead hides
+     * most of it.
      */
     virtual AccessReply
     access(Addr addr, Addr pc, bool is_write, Tick when,
-           const Completion &on_complete) = 0;
+           const Completion &on_complete, Addr next_hint = 0) = 0;
 };
 
 /** CPU timing parameters (Table 4). */

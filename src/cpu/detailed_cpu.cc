@@ -19,6 +19,13 @@ DetailedCpu::DetailedCpu(DomainPort queue, Workload &workload,
     l1Tick_ = nsToTicks(params.l1_ns);
     l2Tick_ = nsToTicks(params.l2_ns);
     quantum_ = nsToTicks(params.quantum_ns);
+
+    // Ring capacity: >= rob + 2 in-flight refs (see window_'s doc).
+    std::size_t cap = 1;
+    while (cap < static_cast<std::size_t>(params.rob) + 2)
+        cap <<= 1;
+    window_.resize(cap);
+    windowMask_ = cap - 1;
 }
 
 DetailedCpu::~DetailedCpu()
@@ -107,11 +114,16 @@ DetailedCpu::fetchLoop()
         havePending_ = false;
 
         std::uint64_t seq = nextSeq_++;
-        window_.push_back(WindowRef{end, fetch, 0, false});
+        dsp_assert(windowCount_ <= windowMask_, "window ring full");
+        window_[(windowHead_ + windowCount_) & windowMask_] =
+            WindowRef{end, fetch, 0, false};
+        ++windowCount_;
 
+        const MemRef *ahead = workload_.peek(node_);
         AccessReply reply = port_.access(
             pending_.addr, pending_.pc, pending_.write, fetch,
-            [this, seq](Tick tick) { onAccessComplete(seq, tick); });
+            MemoryPort::Completion{&accessDoneTrampoline, this, seq},
+            ahead != nullptr ? ahead->addr : 0);
 
         switch (reply) {
           case AccessReply::L1Hit:
@@ -121,9 +133,7 @@ DetailedCpu::fetchLoop()
             onAccessComplete(seq, fetch + l2Tick_);
             break;
           case AccessReply::Miss: {
-            std::size_t idx =
-                static_cast<std::size_t>(seq - windowBaseSeq_);
-            window_[idx].isMiss = true;
+            windowAt(seq).isMiss = true;
             ++outstanding_;
             if (outstanding_ > peakOutstanding_)
                 peakOutstanding_ = outstanding_;
@@ -137,10 +147,10 @@ void
 DetailedCpu::onAccessComplete(std::uint64_t seq, Tick tick)
 {
     dsp_assert(seq >= windowBaseSeq_, "completion for retired ref");
-    std::size_t idx = static_cast<std::size_t>(seq - windowBaseSeq_);
-    dsp_assert(idx < window_.size(), "completion out of window");
+    dsp_assert(seq - windowBaseSeq_ < windowCount_,
+               "completion out of window");
 
-    WindowRef &ref = window_[idx];
+    WindowRef &ref = windowAt(seq);
     if (!ref.done) {
         ref.done = true;
         ref.complete = tick;
@@ -160,15 +170,16 @@ DetailedCpu::onAccessComplete(std::uint64_t seq, Tick tick)
 void
 DetailedCpu::retireSweep()
 {
-    while (!window_.empty() && window_.front().done) {
-        WindowRef &head = window_.front();
+    while (windowCount_ != 0 && window_[windowHead_].done) {
+        WindowRef &head = window_[windowHead_];
         Tick drain =
             (head.instrEnd - lastRetireInstr_) * retireTick_;
         Tick retire = std::max(head.complete, lastRetire_ + drain);
         lastRetire_ = retire;
         lastRetireInstr_ = head.instrEnd;
         retired_ = head.instrEnd;
-        window_.pop_front();
+        windowHead_ = (windowHead_ + 1) & windowMask_;
+        --windowCount_;
         ++windowBaseSeq_;
 
         if (retired_ >= target_ && onDone_)

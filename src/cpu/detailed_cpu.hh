@@ -12,7 +12,7 @@
 #ifndef DSP_CPU_DETAILED_CPU_HH
 #define DSP_CPU_DETAILED_CPU_HH
 
-#include <deque>
+#include <vector>
 
 #include "cpu/cpu.hh"
 
@@ -57,6 +57,15 @@ class DetailedCpu : public Cpu
     void retireSweep();
     void onAccessComplete(std::uint64_t seq, Tick tick);
 
+    /** Per-access completion: the window sequence number rides in the
+     *  POD Completion's token, so issuing an access builds no closure
+     *  and a miss's MSHR copy is a trivial 24-byte struct. */
+    static void
+    accessDoneTrampoline(void *ctx, std::uint64_t seq, Tick tick)
+    {
+        static_cast<DetailedCpu *>(ctx)->onAccessComplete(seq, tick);
+    }
+
     /** Approximate retire tick of an already-retired instruction. */
     Tick backProject(std::uint64_t instr_no) const;
 
@@ -66,9 +75,28 @@ class DetailedCpu : public Cpu
     Tick l2Tick_;
     Tick quantum_;
 
-    std::deque<WindowRef> window_;
-    std::uint64_t windowBaseSeq_ = 0;  ///< seq of window_.front()
+    /**
+     * The in-flight reference window as a power-of-two ring (replaced
+     * a std::deque: the replay path indexes it on every completion,
+     * which cost the deque's two-level block lookup, and fetch paid
+     * its block bookkeeping -- the profiled top mechanical cost of
+     * the ROB model). Capacity covers the ROB: every reference
+     * retires at least one instruction, so at most `rob` + 1 refs are
+     * ever in flight.
+     */
+    std::vector<WindowRef> window_;
+    std::size_t windowMask_ = 0;
+    std::size_t windowHead_ = 0;   ///< ring slot of the oldest ref
+    std::size_t windowCount_ = 0;
+    std::uint64_t windowBaseSeq_ = 0;  ///< seq of the oldest ref
     std::uint64_t nextSeq_ = 0;
+
+    WindowRef &
+    windowAt(std::uint64_t seq)
+    {
+        return window_[(windowHead_ + (seq - windowBaseSeq_)) &
+                       windowMask_];
+    }
 
     std::uint64_t fetchedInstrs_ = 0;
     Tick fetchTime_ = 0;

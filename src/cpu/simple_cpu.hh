@@ -46,6 +46,12 @@ class SimpleCpu : public Cpu
     /** Resume after a miss completes at `tick`. */
     void onMissComplete(Tick tick);
 
+    static void
+    missDoneTrampoline(void *ctx, std::uint64_t /* token */, Tick tick)
+    {
+        static_cast<SimpleCpu *>(ctx)->onMissComplete(tick);
+    }
+
     Tick instrTick_;  ///< ticks per instruction at base IPC
     Tick l1Tick_;
     Tick l2Tick_;
@@ -55,8 +61,7 @@ class SimpleCpu : public Cpu
     ResumeEvent resumeEvent_{*this};
 
     /** Reused across all accesses; never rebuilt on the hot path. */
-    MemoryPort::Completion missDone_{
-        [this](Tick tick) { onMissComplete(tick); }};
+    MemoryPort::Completion missDone_{&missDoneTrampoline, this, 0};
 };
 
 } // namespace dsp

@@ -99,6 +99,10 @@ OrderedCrossbar::OrderedCrossbar(DomainPort hub,
                "bad crossbar size %zu", node_ports.size());
     dsp_assert(halfTraversal_ > 0,
                "crossbar traversal must be positive");
+    for (std::size_t k = 0; k < numKinds; ++k) {
+        occupancyByKind_[k] =
+            occupancy(messageBytes(static_cast<MessageKind>(k)));
+    }
     nodes_.resize(node_ports.size());
     for (std::size_t n = 0; n < node_ports.size(); ++n)
         nodes_[n].port = node_ports[n];
@@ -154,7 +158,7 @@ OrderedCrossbar::arriveAtDest(const MessageRef &msg, NodeId dest,
     // Cut-through: the head is delivered when the link becomes free;
     // the occupancy only delays *later* messages on the same link.
     Tick start = std::max(now, node.ingressFree);
-    node.ingressFree = start + occupancy(msg->bytes());
+    node.ingressFree = start + occupancyOf(msg->kind);
     if (start > now) {
         scheduleDelivery(msg, dest, start, true);
         return;
@@ -184,7 +188,7 @@ OrderedCrossbar::sendOrdered(Message msg)
     dsp_assert(isOrdered(msg.kind), "sendOrdered with unordered kind");
     NodeState &src = nodes_[msg.src];
     Tick depart = std::max(src.port.now(), src.egressFree);
-    src.egressFree = depart + occupancy(msg.bytes());
+    src.egressFree = depart + occupancyOf(msg.kind);
 
     hub_.schedule(*EventPool<OrderEvent>::instance().acquire(
                       *this, MessageRef(std::move(msg)),
@@ -200,7 +204,7 @@ OrderedCrossbar::sendDirect(Message msg)
     dsp_assert(msg.dest < numNodes(), "bad destination %u", msg.dest);
     NodeState &src = nodes_[msg.src];
     Tick depart = std::max(src.port.now(), src.egressFree);
-    src.egressFree = depart + occupancy(msg.bytes());
+    src.egressFree = depart + occupancyOf(msg.kind);
 
     NodeId dest = msg.dest;
     scheduleDelivery(MessageRef(std::move(msg)), dest,

@@ -150,6 +150,15 @@ class OrderedCrossbar
                          params_.link_bytes_per_ns);
     }
 
+    /** Message sizes are per-kind constants, so the link-occupancy
+     *  division runs once per kind at construction, not once per
+     *  send and arrival (a double divide on every hop). */
+    Tick
+    occupancyOf(MessageKind kind) const
+    {
+        return occupancyByKind_[static_cast<std::size_t>(kind)];
+    }
+
     /** Serialize `msg` at the hub, then fan deliveries out to its
      *  destinations; all of them share the one pooled payload. */
     void orderAndFanOut(const MessageRef &msg, Tick order);
@@ -165,6 +174,7 @@ class OrderedCrossbar
     CrossbarParams params_;
     Tick halfTraversal_;
     Tick orderGap_;
+    std::array<Tick, numKinds> occupancyByKind_{};
 
     OrderHandler onOrder_;
     DeliverHandler onDeliver_;

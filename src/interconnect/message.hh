@@ -266,12 +266,16 @@ class MessageRef
     static Pool &
     localPool()
     {
-        static thread_local Pool *pool = [] {
-            auto *p = new Pool;
+        // Constant-initialized thread_local: no init-guard call on
+        // the hot path (this runs on every ref copy/acquire/release).
+        static thread_local Pool *pool;
+        Pool *p = pool;
+        if (__builtin_expect(p == nullptr, false)) {
+            p = new Pool;
             PoolRegistry<Pool>::add(p);
-            return p;
-        }();
-        return *pool;
+            pool = p;
+        }
+        return *p;
     }
 
     static Slot *

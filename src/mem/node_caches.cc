@@ -4,69 +4,9 @@ namespace dsp {
 
 NodeCaches::NodeCaches(const CacheParams &params)
     : l1_(params.l1.sets(), params.l1.ways),
-      l2_(params.l2.sets(), params.l2.ways)
+      l2_(params.l2.sets(), params.l2.ways),
+      l0Enabled_(params.l0Filter)
 {
-}
-
-NodeCaches::AccessResult
-NodeCaches::access(Addr addr, bool is_write)
-{
-    ++accesses_;
-    BlockId block = blockOf(addr);
-    AccessResult result;
-
-    if (L1Array::Entry *l1 = l1_.find(block)) {
-        if (!is_write || L1Array::payloadOf(*l1) != 0) {
-            ++l1Hits_;
-            result.l1Hit = true;
-            return result;
-        }
-        // Write to a read-only L1 line: fall through to the L2, which
-        // knows the real MOSI state.
-    }
-
-    // One L2 walk whatever the outcome: the probe's handle serves as
-    // this access's touch cursor on a hit and is latched as the
-    // eventual fill()'s install cursor on a miss or upgrade.
-    L2Array::Handle l2h = l2_.probe(block);
-    if (l2h.hit()) {
-        MosiState state = unpackState(l2_.at(l2h));
-        result.l2Hit = true;
-        result.l2State = state;
-        if (!is_write || canWrite(state)) {
-            ++l2Hits_;
-            l2_.touchAt(l2h);
-            l1_.insert(block, canWrite(state) ? 1 : 0);
-            return result;
-        }
-        // Write to S or O: coherence upgrade required. The line stays
-        // put; fill() will promote it to Modified in place.
-        l2_.touchAt(l2h);
-        ++upgrades_;
-        ++l2Misses_;
-        result.need = CoherenceNeed::GetExclusive;
-        latchMissHandles(block, l2h);
-        return result;
-    }
-
-    ++l2Misses_;
-    result.l2State = MosiState::Invalid;
-    result.need = is_write ? CoherenceNeed::GetExclusive
-                           : CoherenceNeed::GetShared;
-    latchMissHandles(block, l2h);
-    return result;
-}
-
-void
-NodeCaches::latchMissHandles(BlockId block, const L2Array::Handle &l2h)
-{
-    // The L2 handle is the walk access() just did; only the (small,
-    // host-cache-hot) L1 re-walks here. The payoff comes at fill()
-    // time, when the L2 set would otherwise need a fresh walk.
-    // Keeping find() (not probe()) on the L1 hit path keeps the
-    // vastly-more-common L1 hits free of handle traffic.
-    lastMiss_.l1 = l1_.probe(block);
-    lastMiss_.l2 = l2h;
 }
 
 NodeCaches::FillResult
@@ -77,6 +17,10 @@ NodeCaches::fill(Addr addr, MosiState new_state, FillHandle *handle)
     BlockId block = blockOf(addr);
     FillResult result;
 
+    std::uint64_t rewalks_before = 0;
+    if constexpr (walkCounting)
+        rewalks_before = l1_.rewalks() + l2_.rewalks();
+
     FillHandle local;
     if (handle != nullptr) {
         dsp_assert(handle->l2.key == block && handle->l1.key == block,
@@ -85,6 +29,8 @@ NodeCaches::fill(Addr addr, MosiState new_state, FillHandle *handle)
         local.l1 = l1_.probe(block);
         local.l2 = l2_.probe(block);
         handle = &local;
+        if constexpr (walkCounting)
+            fillWalks_ += 2;
     }
 
     auto evicted = l2_.fillAt(handle->l2, packState(new_state));
@@ -98,8 +44,25 @@ NodeCaches::fill(Addr addr, MosiState new_state, FillHandle *handle)
         // (If the victim shares the L1 set with `block`, the erase
         // changes that set's words and the L1 fill below re-walks.)
         l1_.erase(evicted->key);
+        l0Invalidate(evicted->key);
     }
-    l1_.fillAt(handle->l1, canWrite(new_state) ? 1 : 0);
+    std::uint32_t writable = canWrite(new_state) ? 1 : 0;
+    auto l1_evicted = l1_.fillAt(handle->l1, writable);
+    if (l1_evicted)
+        l0Invalidate(l1_evicted->key);  // silent L1 conflict victim
+    // Record the freshly installed block: the blocked access's replay
+    // (MSHR waiters, ROB replays) resolves through the L0 instead of
+    // re-walking L1/L2.
+    l0Record(block, writable != 0, l1_.lineOf(handle->l1));
+
+    // Stale-handle revalidations (plus the inclusion erase's fused
+    // walk) are the only other fill-stage walks.
+    if constexpr (walkCounting) {
+        fillWalks_ +=
+            l1_.rewalks() + l2_.rewalks() - rewalks_before;
+        if (result.evicted)
+            ++fillWalks_;  // the L1 inclusion erase
+    }
     return result;
 }
 

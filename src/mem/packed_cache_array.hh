@@ -122,6 +122,7 @@ class PackedCacheArray
           log2Sets_(other.log2Sets_),
           valid_(other.valid_),
           useClock_(other.useClock_),
+          renormEpochs_(other.renormEpochs_),
           walks_(other.walks_),
           rewalks_(other.rewalks_)
     {
@@ -191,6 +192,42 @@ class PackedCacheArray
             }
         }
         return nullptr;
+    }
+
+    /** Issue a host prefetch for the key's set (a 4-way set is one
+     *  32-byte aligned run). Semantically a no-op. */
+    void
+    prefetchSet(std::uint64_t key) const
+    {
+        __builtin_prefetch(entries_ + setOf(key) * ways_, 1, 3);
+    }
+
+    /** Sentinel for scanLine(): no line holds the key. */
+    static constexpr std::size_t lineNpos =
+        std::numeric_limits<std::size_t>::max();
+
+    /**
+     * Position-of-match lookup with no LRU effect and no handle
+     * machinery: the line index holding `key`, or lineNpos. This is
+     * the staged pipeline's hit-path walk -- the commit stage touches
+     * the returned line directly (touchLine), so the common L1 hit
+     * never pays for a snapshot it will not use.
+     */
+    std::size_t
+    scanLine(std::uint64_t key) const
+    {
+        countWalk();
+        std::size_t set = setOf(key);
+        const Entry *set_base = entries_ + set * ways_;
+        Entry tag_probe = tagFieldOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
+                (entry >> 32) != 0) {
+                return set * ways_ + w;
+            }
+        }
+        return lineNpos;
     }
 
     /** Look up without disturbing LRU state; 0-stamp lines are
@@ -322,6 +359,21 @@ class PackedCacheArray
     std::optional<PackedEviction>
     insert(std::uint64_t key, std::uint32_t payload)
     {
+        std::optional<PackedEviction> evicted;
+        insertLine(key, payload, evicted);
+        return evicted;
+    }
+
+    /**
+     * insert() with the written line's index reported back: the
+     * staged pipeline's L1 install on an L2 hit, where the caller
+     * records the line in its L0 filter. Identical walk, LRU, and
+     * eviction behaviour to insert().
+     */
+    std::size_t
+    insertLine(std::uint64_t key, std::uint32_t payload,
+               std::optional<PackedEviction> &evicted)
+    {
         countWalk();
         std::size_t set = setOf(key);
         Entry *set_base = entries_ + set * ways_;
@@ -343,7 +395,6 @@ class PackedCacheArray
             }
         }
 
-        std::optional<PackedEviction> evicted;
         std::size_t way;
         if (match != ways_) {
             way = match;
@@ -359,7 +410,7 @@ class PackedCacheArray
         Entry entry = tagFieldOf(key) | payload;
         touch(entry);
         set_base[way] = entry;
-        return evicted;
+        return set * ways_ + way;
     }
 
     /** Remove a key if present; returns its payload. */
@@ -388,6 +439,63 @@ class PackedCacheArray
         std::fill(entries_, entries_ + sets_ * ways_, Entry{0});
         valid_ = 0;
     }
+
+    /**
+     * The line index (set * ways + way) of a hit handle: a direct
+     * cursor to the line's word that callers may retain across
+     * operations that provably leave the line in place (see
+     * NodeCaches' L0 filter for the staleness discipline).
+     */
+    std::size_t
+    lineOf(const Handle &h) const
+    {
+        dsp_assert(h.valid() && h.hit(), "lineOf() needs a hit handle");
+        return static_cast<std::size_t>(h.set) * ways_ + h.way;
+    }
+
+    /** The raw word of a line (debug cross-checks; no LRU effect). */
+    Entry wordAt(std::size_t line) const { return entries_[line]; }
+
+    /** Does `line` currently hold `key`? (debug cross-checks; kept
+     *  division-free -- it runs on every L0 hit in assert builds) */
+    bool
+    lineHolds(std::size_t line, std::uint64_t key) const
+    {
+        std::size_t base = setOf(key) * ways_;
+        if (line < base || line >= base + ways_)
+            return false;
+        Entry entry = entries_[line];
+        return (entry >> 32) != 0 &&
+               ((entry ^ tagFieldOf(key)) &
+                (tagMask << PayloadBits)) == 0;
+    }
+
+    /**
+     * LRU-refresh a line by its index, touching exactly one word and
+     * walking nothing. The caller must know the line still holds the
+     * key it cached the index for (the L0 filter's invalidation hooks
+     * provide that proof); debug builds verify via lineHolds().
+     */
+    void
+    touchLine(std::size_t line)
+    {
+        dsp_assert(line < sets_ * ways_, "touchLine out of range");
+        dsp_assert((entries_[line] >> 32) != 0,
+                   "touchLine() on an invalid line");
+        touch(entries_[line]);
+    }
+
+    /**
+     * The LRU clock's current value: the stamp most recently written
+     * into any line. A line whose stamp equals this (same renorm
+     * epoch) is provably the globally most-recently-used line, so a
+     * re-touch cannot change any set's LRU order.
+     */
+    std::uint32_t useClock() const { return useClock_; }
+
+    /** Times the stamp plane has been renormalized. Stamps from a
+     *  different epoch are incomparable with the current clock. */
+    std::uint32_t renormEpochs() const { return renormEpochs_; }
 
     /** Tag-plane walks performed (debug builds only; 0 in release). */
     std::uint64_t walks() const { return walks_; }
@@ -509,6 +617,10 @@ class PackedCacheArray
                              (static_cast<Entry>(++next) << 32);
         }
         useClock_ = next;
+        // The compressed clock can coincide with a stale recorded
+        // stamp; the epoch makes cross-renormalization comparisons
+        // fail safe instead of falsely proving MRU-ness.
+        ++renormEpochs_;
     }
 
     std::size_t sets_;
@@ -522,6 +634,7 @@ class PackedCacheArray
 
     std::size_t valid_ = 0;
     std::uint32_t useClock_ = 0;
+    std::uint32_t renormEpochs_ = 0;
 
     mutable std::uint64_t walks_ = 0;    ///< debug builds only
     mutable std::uint64_t rewalks_ = 0;  ///< stale-handle re-walks

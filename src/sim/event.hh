@@ -187,8 +187,15 @@ class EventPool : public EventPoolBase
     static EventPool &
     instance()
     {
-        static thread_local EventPool *pool = new EventPool;
-        return *pool;
+        // Constant-initialized thread_local: no init-guard call on
+        // the (very hot) common path, just a TLS load and null test.
+        static thread_local EventPool *pool;
+        EventPool *p = pool;
+        if (__builtin_expect(p == nullptr, false)) {
+            p = new EventPool;
+            pool = p;
+        }
+        return *p;
     }
 
     /** Construct a T in a recycled (or fresh) slot. */

@@ -12,8 +12,15 @@ CacheController::CacheController(System &system, NodeId node,
 
 AccessReply
 CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
-                        const Completion &on_complete)
+                        const Completion &on_complete, Addr next_hint)
 {
+    // Warm the host cache for the *next* access's L2 set while this
+    // one executes -- the CPU models pass the upcoming address from
+    // the workload refill buffer. Purely a host-side hint; simulated
+    // state and timing are untouched.
+    if (next_hint != 0)
+        caches_.prefetchSets(blockOf(next_hint));
+
     BlockId block = blockOf(addr);
 
     // Secondary access to an in-flight block: coalesce into the MSHR
@@ -28,18 +35,26 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
         }
     }
 
-    NodeCaches::AccessResult result = caches_.access(addr, is_write);
-    if (result.need == CoherenceNeed::None) {
-        return result.l1Hit ? AccessReply::L1Hit : AccessReply::L2Hit;
+    // Staged pipeline: the probe classifies (and, for repeats, the L0
+    // filter answers without walking L1/L2); the commit applies the
+    // LRU/state effects and, on a miss, hands back the FillHandle --
+    // no re-fetch through a mutable latch, so a second access can
+    // never clobber this miss's walk cursors.
+    NodeCaches::StagedAccess staged =
+        caches_.probeAccess(addr, is_write);
+    caches_.commitAccess(staged);
+    if (staged.result.need == CoherenceNeed::None) {
+        return staged.result.l1Hit ? AccessReply::L1Hit
+                                   : AccessReply::L2Hit;
     }
 
-    RequestType type = result.need == CoherenceNeed::GetExclusive
+    RequestType type = staged.result.need == CoherenceNeed::GetExclusive
                            ? RequestType::GetExclusive
                            : RequestType::GetShared;
 
     Mshr &mshr = mshrs_[block];
     mshr.type = type;
-    mshr.handle = caches_.lastMissHandle();
+    mshr.handle = staged.fillHandle();
     mshr.waiters.push_back(on_complete);
 
     if (when < port_.now())
@@ -88,6 +103,10 @@ CacheController::invalidateLocal(BlockId block)
         it->second.invalidateAfterFill = true;
         return;
     }
+    // Coherence fan-in: every invalidation reaching this node's
+    // caches goes through here, so this is the one l0Invalidate()
+    // call site for them (see docs/access_pipeline.md).
+    caches_.l0Invalidate(block);
     caches_.invalidate(block);
 }
 
@@ -109,10 +128,13 @@ CacheController::onSnoop(const Message &msg, Tick tick)
         Tick start = std::max(tick, echo.supplyEarliest);
         Tick send = start + nsToTicks(sys_.params().latency.l2_ns);
 
-        if (msg.type == RequestType::GetExclusive)
+        if (msg.type == RequestType::GetExclusive) {
             invalidateLocal(block);
-        else
+        } else {
+            // Downgrade stales any L0 writable result for the block.
+            caches_.l0Invalidate(block);
             caches_.downgrade(block);
+        }
 
         Message data;
         data.kind = MessageKind::Data;
@@ -143,10 +165,13 @@ CacheController::onForward(const Message &msg, Tick tick)
     Tick start = std::max(tick, echo.supplyEarliest);
     Tick send = start + nsToTicks(sys_.params().latency.l2_ns);
 
-    if (msg.type == RequestType::GetExclusive)
+    if (msg.type == RequestType::GetExclusive) {
         invalidateLocal(block);
-    else
+    } else {
+        // Downgrade stales any L0 writable result for the block.
+        caches_.l0Invalidate(block);
         caches_.downgrade(block);
+    }
 
     Message data;
     data.kind = MessageKind::Data;
@@ -204,7 +229,9 @@ CacheController::complete(const Message &msg, Tick tick)
 
     if (mshr.invalidateAfterFill) {
         // A racing GETX serialized after our miss; honour it now that
-        // our access has (logically) completed.
+        // our access has (logically) completed. The fill above just
+        // recorded the block in the L0 -- drop that too.
+        caches_.l0Invalidate(block);
         caches_.invalidate(block);
     }
 

@@ -521,26 +521,39 @@ System::functionalWarmup(std::uint64_t misses)
         icount[p] += ref.work + 1;
 
         NodeCaches &caches = cacheCtrls_[p]->caches();
-        auto result = caches.access(ref.addr, ref.write);
-        if (result.need == CoherenceNeed::None)
+        NodeCaches::StagedAccess staged =
+            caches.probeAccess(ref.addr, ref.write);
+        caches.commitAccess(staged);
+        if (staged.result.need == CoherenceNeed::None)
             continue;
 
-        RequestType type = result.need == CoherenceNeed::GetExclusive
-                               ? RequestType::GetExclusive
-                               : RequestType::GetShared;
+        RequestType type =
+            staged.result.need == CoherenceNeed::GetExclusive
+                ? RequestType::GetExclusive
+                : RequestType::GetShared;
         BlockId block = blockOf(ref.addr);
         auto txn = tracker_.apply(block, p, type);
 
+        // Coherence fan-in (warmup flavour): peer-cache downgrades
+        // and invalidations pair with their l0Invalidate() hooks
+        // exactly like the timed paths in CacheController.
         if (type == RequestType::GetShared) {
-            if (txn.cacheToCache)
-                cacheCtrls_[txn.responder]->caches().downgrade(block);
+            if (txn.cacheToCache) {
+                NodeCaches &owner = cacheCtrls_[txn.responder]->caches();
+                owner.l0Invalidate(block);
+                owner.downgrade(block);
+            }
         } else {
             txn.required.forEach([&](NodeId q) {
-                cacheCtrls_[q]->caches().invalidate(block);
+                NodeCaches &peer = cacheCtrls_[q]->caches();
+                peer.l0Invalidate(block);
+                peer.invalidate(block);
             });
         }
 
-        NodeCaches::FillHandle handle = caches.lastMissHandle();
+        // The staged result carries this miss's fill cursors; no
+        // mutable-latch re-fetch that a peer access could clobber.
+        NodeCaches::FillHandle handle = staged.fillHandle();
         auto fill = caches.fill(ref.addr, txn.grantedState, &handle);
         if (fill.evicted) {
             if (isOwnerState(fill.victimState))
@@ -575,6 +588,27 @@ System::functionalWarmup(std::uint64_t misses)
     }
 }
 
+System::CacheCounters
+System::cacheCounters() const
+{
+    CacheCounters sums;
+    for (const auto &ctrl : cacheCtrls_) {
+        const NodeCaches &caches = ctrl->caches();
+        sums.accesses += caches.accesses();
+        sums.l0Hits += caches.l0Hits();
+        sums.l0Absorbed += caches.l0Absorbed();
+        // Word attribution: a set walk reads up to `ways` words (it
+        // may early-exit at a match), an L0 refresh touches exactly
+        // one. Upper bound, from the debug walk counters (0 under
+        // NDEBUG); deterministic and shard-count independent.
+        sums.wordTouches +=
+            caches.l1TagWalks() * params_.caches.l1.ways +
+            caches.l2TagWalks() * params_.caches.l2.ways +
+            (caches.l0Hits() - caches.l0Absorbed());
+    }
+    return sums;
+}
+
 SystemStats
 System::run()
 {
@@ -598,6 +632,7 @@ System::run()
     std::uint64_t events_before = kernel_.executed();
     std::uint64_t crossings_before = kernel_.barrierCrossings();
     std::uint64_t windows_before = kernel_.windowsRun();
+    CacheCounters caches_before = cacheCounters();
     auto wall_start = std::chrono::steady_clock::now();
 
     startPhase(params_.measureInstrPerCpu);
@@ -636,6 +671,13 @@ System::run()
     stats.barrierCrossings =
         kernel_.barrierCrossings() - crossings_before;
     stats.windowsRun = kernel_.windowsRun() - windows_before;
+    CacheCounters caches_after = cacheCounters();
+    stats.cacheAccesses = caches_after.accesses - caches_before.accesses;
+    stats.l0Hits = caches_after.l0Hits - caches_before.l0Hits;
+    stats.l0Absorbed =
+        caches_after.l0Absorbed - caches_before.l0Absorbed;
+    stats.wordTouches =
+        caches_after.wordTouches - caches_before.wordTouches;
     stats.wallSeconds = wall_seconds;
     Tick latency_sum = 0;
     for (const NodeAccum &acc : nodeStats_)

@@ -140,6 +140,37 @@ struct SystemStats {
     double wallSeconds = 0.0;
     double avgMissLatencyNs = 0.0;
 
+    /** Cache accesses issued in the measured phase (all nodes), and
+     *  how many the L0 block-result filter resolved without an L1/L2
+     *  walk (l0Absorbed additionally touched zero packed words). All
+     *  three are deterministic figure-adjacent statistics: identical
+     *  at every shard count (covered by the check.sh cross-check). */
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t l0Hits = 0;
+    std::uint64_t l0Absorbed = 0;
+    /** Packed-array words attributed to measured-phase set walks plus
+     *  L0 refresh touches (upper bound: a walk may early-exit). From
+     *  the debug walk counters: 0 when built with NDEBUG. */
+    std::uint64_t wordTouches = 0;
+
+    double
+    l0HitRate() const
+    {
+        return cacheAccesses
+                   ? static_cast<double>(l0Hits) /
+                         static_cast<double>(cacheAccesses)
+                   : 0.0;
+    }
+
+    double
+    touchedWordsPerAccess() const
+    {
+        return cacheAccesses
+                   ? static_cast<double>(wordTouches) /
+                         static_cast<double>(cacheAccesses)
+                   : 0.0;
+    }
+
     double
     trafficPerMiss() const
     {
@@ -167,7 +198,8 @@ class CacheController : public MemoryPort
 
     // MemoryPort
     AccessReply access(Addr addr, Addr pc, bool is_write, Tick when,
-                       const Completion &on_complete) override;
+                       const Completion &on_complete,
+                       Addr next_hint = 0) override;
 
     /** Ordered request delivered to this node (snoop side); the
      *  ordering point's verdict rides in msg.echo. */
@@ -340,6 +372,16 @@ class System
     }
 
     DomainPort &nodePort(NodeId n) { return nodePorts_[n]; }
+
+    /** Point-in-time sums of the per-node cache counters; run() diffs
+     *  two of these around the measured phase. */
+    struct CacheCounters {
+        std::uint64_t accesses = 0;
+        std::uint64_t l0Hits = 0;
+        std::uint64_t l0Absorbed = 0;
+        std::uint64_t wordTouches = 0;
+    };
+    CacheCounters cacheCounters() const;
 
     // -- run-phase plumbing
     void startPhase(std::uint64_t instructions);

@@ -39,11 +39,16 @@ Region::Region(const Params &params, NodeId num_nodes)
 Addr
 Region::addrOf(std::uint64_t block_index, Rng &rng) const
 {
+    return addrAt(block_index, wordOffset(rng));
+}
+
+Addr
+Region::addrAt(std::uint64_t block_index, Addr word) const
+{
     dsp_assert(block_index < blocks(),
                "block index %llu outside region '%s'",
                static_cast<unsigned long long>(block_index),
                name_.c_str());
-    Addr word = rng.uniformInt(blockBytes / 8) * 8;
     return base_ + block_index * blockBytes + word;
 }
 
@@ -63,6 +68,7 @@ PrivateRegion::PrivateRegion(const Params &params, NodeId num_nodes,
       sliceBlocks_(blocks() / num_nodes),
       slicePick_(sliceBlocks_ ? sliceBlocks_ : 1, cfg.hotBlocks,
                  cfg.hotProb),
+      scatter_(sliceBlocks_ ? sliceBlocks_ : 1),
       procs_(num_nodes)
 {
     dsp_assert(sliceBlocks_ > 0,
@@ -83,7 +89,8 @@ PrivateRegion::gen(NodeId p, Rng &rng)
         block = slice_base + st.seqCursor;
     } else if (st.seqRemaining > 0) {
         --st.seqRemaining;
-        st.seqCursor = (st.seqCursor + 1) % sliceBlocks_;
+        if (++st.seqCursor >= sliceBlocks_)
+            st.seqCursor = 0;
         st.refsLeftInBlock =
             cfg_.seqRefsPerBlock > 0 ? cfg_.seqRefsPerBlock - 1 : 0;
         block = slice_base + st.seqCursor;
@@ -94,8 +101,14 @@ PrivateRegion::gen(NodeId p, Rng &rng)
             cfg_.seqRefsPerBlock > 0 ? cfg_.seqRefsPerBlock - 1 : 0;
         block = slice_base + st.seqCursor;
     } else {
-        std::uint64_t rank = slicePick_.sample(rng);
-        block = slice_base + scatterRank(rank, sliceBlocks_);
+        // Draw pipelining (see ReadMostlyRegion::gen): the alias-cell
+        // read resolves behind the word/pc/write draws.
+        WorkingSetSampler::Pending pending = slicePick_.begin(rng);
+        Addr word = wordOffset(rng);
+        Addr pc = pcFor(rng);
+        bool write = rng.chance(cfg_.writeFraction);
+        block = slice_base + scatter_.map(slicePick_.finish(pending));
+        return RegionRef{addrAt(block, word), pc, write};
     }
 
     return RegionRef{addrOf(block, rng), pcFor(rng),
@@ -109,16 +122,25 @@ ReadMostlyRegion::ReadMostlyRegion(const Params &params,
                                    NodeId num_nodes, const Config &cfg)
     : Region(params, num_nodes),
       cfg_(cfg),
-      pick_(blocks(), cfg.hotBlocks, cfg.hotProb)
+      pick_(blocks(), cfg.hotBlocks, cfg.hotProb),
+      scatter_(blocks())
 {
 }
 
 RegionRef
 ReadMostlyRegion::gen(NodeId /* p */, Rng &rng)
 {
-    std::uint64_t block = scatterRank(pick_.sample(rng), blocks());
-    return RegionRef{addrOf(block, rng), pcFor(rng),
-                     rng.chance(cfg_.writeFraction)};
+    // Draw pipelining: the popularity draw happens first (begin),
+    // exactly as sample() would make it; its alias-cell read resolves
+    // last, hidden behind the word/pc/write draws. Draw order is
+    // identical to the one-shot form (braced-init-lists evaluate
+    // left to right), so the stream is bit-identical.
+    WorkingSetSampler::Pending pending = pick_.begin(rng);
+    Addr word = wordOffset(rng);
+    Addr pc = pcFor(rng);
+    bool write = rng.chance(cfg_.writeFraction);
+    std::uint64_t block = scatter_.map(pick_.finish(pending));
+    return RegionRef{addrAt(block, word), pc, write};
 }
 
 // ---------------------------------------------------------------------
@@ -235,18 +257,22 @@ GroupRegion::GroupRegion(const Params &params, NodeId num_nodes,
     dsp_assert(sliceBlocks_ > 0, "group region too small");
     slicePick_ = std::make_unique<WorkingSetSampler>(
         sliceBlocks_, cfg.hotBlocks, cfg.hotProb);
+    scatter_ = RankScatterer(sliceBlocks_);
 }
 
 RegionRef
 GroupRegion::gen(NodeId p, Rng &rng)
 {
     NodeId group = p / cfg_.groupSize;
-    std::uint64_t rank = slicePick_->sample(rng);
+    // Draw pipelining (see ReadMostlyRegion::gen).
+    WorkingSetSampler::Pending pending = slicePick_->begin(rng);
+    Addr word = wordOffset(rng);
+    Addr pc = pcFor(rng);
+    bool write = rng.chance(cfg_.writeFraction);
     std::uint64_t block = static_cast<std::uint64_t>(group)
                         * sliceBlocks_
-                        + scatterRank(rank, sliceBlocks_);
-    return RegionRef{addrOf(block, rng), pcFor(rng),
-                     rng.chance(cfg_.writeFraction)};
+                        + scatter_.map(slicePick_->finish(pending));
+    return RegionRef{addrAt(block, word), pc, write};
 }
 
 // ---------------------------------------------------------------------
@@ -256,16 +282,21 @@ HotRegion::HotRegion(const Params &params, NodeId num_nodes,
                      const Config &cfg)
     : Region(params, num_nodes),
       cfg_(cfg),
-      pick_(blocks(), cfg.theta)
+      pick_(blocks(), cfg.theta),
+      scatter_(blocks())
 {
 }
 
 RegionRef
 HotRegion::gen(NodeId /* p */, Rng &rng)
 {
-    std::uint64_t block = scatterRank(pick_.sample(rng), blocks());
-    return RegionRef{addrOf(block, rng), pcFor(rng),
-                     rng.chance(cfg_.writeFraction)};
+    // Draw pipelining (see ReadMostlyRegion::gen).
+    ZipfSampler::Pending pending = pick_.begin(rng);
+    Addr word = wordOffset(rng);
+    Addr pc = pcFor(rng);
+    bool write = rng.chance(cfg_.writeFraction);
+    std::uint64_t block = scatter_.map(pick_.finish(pending));
+    return RegionRef{addrAt(block, word), pc, write};
 }
 
 } // namespace dsp

@@ -67,6 +67,18 @@ class Region
      *  word offset so sub-block addresses look realistic. */
     Addr addrOf(std::uint64_t block_index, Rng &rng) const;
 
+    /** addrOf() split for draw pipelining: the word-offset draw ... */
+    Addr
+    wordOffset(Rng &rng) const
+    {
+        return rng.uniformInt(blockBytes / 8) * 8;
+    }
+
+    /** ... and the address computation with the offset pre-drawn, so
+     *  a pending popularity draw (ZipfSampler::begin) can resolve
+     *  after the region's other draws. */
+    Addr addrAt(std::uint64_t block_index, Addr word) const;
+
     /** Draw a PC from this region's static-instruction pool. */
     Addr pcFor(Rng &rng) const;
 
@@ -109,6 +121,7 @@ class PrivateRegion : public Region
     Config cfg_;
     std::uint64_t sliceBlocks_;
     WorkingSetSampler slicePick_;
+    RankScatterer scatter_;
 
     struct ProcState {
         std::uint64_t seqCursor = 0;
@@ -141,6 +154,7 @@ class ReadMostlyRegion : public Region
   private:
     Config cfg_;
     WorkingSetSampler pick_;
+    RankScatterer scatter_;
 };
 
 /**
@@ -240,6 +254,7 @@ class GroupRegion : public Region
     NodeId groups_;
     std::uint64_t sliceBlocks_;
     std::unique_ptr<WorkingSetSampler> slicePick_;
+    RankScatterer scatter_{1};
 };
 
 /**
@@ -263,6 +278,7 @@ class HotRegion : public Region
   private:
     Config cfg_;
     ZipfSampler pick_;
+    RankScatterer scatter_;
 };
 
 } // namespace dsp

@@ -1,5 +1,7 @@
 #include "workload/workload.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dsp {
@@ -44,34 +46,47 @@ Workload::pickRegion(Rng &rng) const
     return cumWeights_.size() - 1;
 }
 
-MemRef
-Workload::genOne(ProcState &st)
-{
-    if (st.episodeLeft == 0) {
-        st.region = pickRegion(st.rng);
-        st.episodeLeft = episodeGeo_.sample(st.rng);
-    }
-    --st.episodeLeft;
-
-    RegionRef ref = regions_[st.region]->gen(st.proc, st.rng);
-
-    MemRef out;
-    out.work = meanWork_ == 0.0
-                   ? 0
-                   : static_cast<std::uint32_t>(
-                         workGeo_.sample(st.rng) - 1);
-    out.addr = ref.addr;
-    out.pc = ref.pc;
-    out.write = ref.write;
-    return out;
-}
-
 void
 Workload::refill(ProcState &st)
 {
     st.buf.resize(refillBatch_);
-    for (MemRef &ref : st.buf)
-        ref = genOne(st);
+
+    // Batched generation with the per-ref overheads hoisted out of
+    // the inner loop: the RNG state lives in a local for the whole
+    // batch (one load/store per refill instead of per draw), and refs
+    // are generated an *episode chunk* at a time so the region
+    // dispatch happens once per chunk, not once per ref. Every draw
+    // happens in exactly the order the one-ref-at-a-time generator
+    // made it -- chunk boundaries coincide with the episode draws --
+    // so the stream is draw-identical to batch=1 (pinned by the
+    // batching test in test_workload.cc).
+    Rng rng = st.rng;
+    const bool draw_work = meanWork_ != 0.0;
+    std::size_t i = 0;
+    while (i < refillBatch_) {
+        if (st.episodeLeft == 0) {
+            st.region = pickRegion(rng);
+            st.episodeLeft = episodeGeo_.sample(rng);
+        }
+        Region &region = *regions_[st.region];
+        std::size_t run = static_cast<std::size_t>(
+            std::min<std::uint64_t>(refillBatch_ - i,
+                                    st.episodeLeft));
+        st.episodeLeft -= run;
+        const NodeId proc = st.proc;
+        for (std::size_t end = i + run; i < end; ++i) {
+            RegionRef ref = region.gen(proc, rng);
+            MemRef &out = st.buf[i];
+            out.work = draw_work
+                           ? static_cast<std::uint32_t>(
+                                 workGeo_.sample(rng) - 1)
+                           : 0;
+            out.addr = ref.addr;
+            out.pc = ref.pc;
+            out.write = ref.write;
+        }
+    }
+    st.rng = rng;
     st.bufPos = 0;
 }
 

@@ -69,6 +69,20 @@ class Workload
         return st.buf[st.bufPos++];
     }
 
+    /**
+     * The next reference p will receive, if it is already buffered
+     * (null at refill boundaries, i.e. for 1 in refillBatch refs).
+     * Pure lookahead: does not advance the stream. CPU models use it
+     * to issue host prefetches for the next access's cache sets.
+     */
+    const MemRef *
+    peek(NodeId p) const
+    {
+        const ProcState &st = procs_[p];
+        return st.bufPos < st.buf.size() ? &st.buf[st.bufPos]
+                                         : nullptr;
+    }
+
     /** References generated per refill (test knob; default 64). */
     std::size_t refillBatch() const { return refillBatch_; }
 
@@ -99,10 +113,9 @@ class Workload
 
     std::size_t pickRegion(Rng &rng) const;
 
-    /** Generate one reference for the owning processor, in order. */
-    MemRef genOne(ProcState &st);
-
-    /** Refill a processor's buffer with the next refillBatch_ refs. */
+    /** Refill a processor's buffer with the next refillBatch_ refs,
+     *  episode-chunked with the RNG state hoisted into locals (see
+     *  the definition); draw-identical to one-at-a-time generation. */
     void refill(ProcState &st);
 
     std::string name_;

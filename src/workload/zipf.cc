@@ -79,6 +79,12 @@ ZipfSampler::sample(Rng &rng) const
                    ? col
                    : cell.alias;
     }
+    return sampleCdf(rng);
+}
+
+std::uint64_t
+ZipfSampler::sampleCdf(Rng &rng) const
+{
     double u = rng.uniformReal();
     auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
     return static_cast<std::uint64_t>(it - cdf_.begin());

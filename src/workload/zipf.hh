@@ -39,6 +39,52 @@ class ZipfSampler
     /** Draw a rank in [0, n); rank 0 is the most popular. */
     std::uint64_t sample(Rng &rng) const;
 
+    /**
+     * A sample split into its RNG draw and its table lookup. The
+     * alias cell a draw lands on is uniformly random, so for the big
+     * tables the cell load is a guaranteed host-cache miss; begin()
+     * makes all the RNG draws (exactly the draws sample() makes, in
+     * the same order) and issues a prefetch for the cell, and
+     * finish() reads it. Callers interleave independent work (their
+     * other per-ref draws) between the two, hiding the fetch latency
+     * that used to stall every reference. begin()+finish() is
+     * draw-for-draw and value-identical to sample().
+     */
+    struct Pending {
+        std::uint64_t value = 0;     ///< resolved rank (non-alias) or column
+        double coin = 0.0;
+        const void *cell = nullptr;  ///< alias cell, when deferred
+    };
+
+    Pending
+    begin(Rng &rng) const
+    {
+        if (cdf_.empty())
+            return Pending{rng.uniformInt(n_), 0.0, nullptr};
+        if (!alias_.empty()) {
+            double u = rng.uniformReal() * static_cast<double>(n_);
+            auto col = static_cast<std::uint64_t>(u);
+            if (col >= n_)
+                col = n_ - 1;  // guard against u == 1.0 rounding
+            const AliasCell *cell = &alias_[col];
+            __builtin_prefetch(cell, 0, 3);
+            return Pending{col, u - static_cast<double>(col), cell};
+        }
+        return Pending{sampleCdf(rng), 0.0, nullptr};
+    }
+
+    std::uint64_t
+    finish(const Pending &pending) const
+    {
+        if (pending.cell == nullptr)
+            return pending.value;
+        const auto *cell =
+            static_cast<const AliasCell *>(pending.cell);
+        return pending.coin < static_cast<double>(cell->threshold)
+                   ? pending.value
+                   : cell->alias;
+    }
+
     /** Probability mass of the `k` hottest items (for tests). */
     double headMass(std::uint64_t k) const;
 
@@ -60,6 +106,9 @@ class ZipfSampler
     /** Largest table the alias method is built for (512 KiB of cells);
      *  beyond that the CDF search wins on cache behaviour. */
     static constexpr std::uint64_t aliasMaxItems = 1u << 16;
+
+    /** The big-table CDF binary search (shared by sample/begin). */
+    std::uint64_t sampleCdf(Rng &rng) const;
 
     std::uint64_t n_;
     double theta_;
@@ -92,6 +141,30 @@ class WorkingSetSampler
     /** Draw a rank in [0, n); ranks below hotItems() are hot. */
     std::uint64_t sample(Rng &rng) const;
 
+    /** Split sample (see ZipfSampler::begin): all draws happen in
+     *  begin(), in sample()'s order; finish() only reads the
+     *  prefetched alias cell. */
+    struct Pending {
+        bool hot = false;
+        std::uint64_t cold = 0;
+        ZipfSampler::Pending zipf;
+    };
+
+    Pending
+    begin(Rng &rng) const
+    {
+        if (hot_ >= n_ || rng.chance(hotProb_))
+            return Pending{true, 0, hotPick_.begin(rng)};
+        return Pending{false, hot_ + rng.uniformInt(n_ - hot_), {}};
+    }
+
+    std::uint64_t
+    finish(const Pending &pending) const
+    {
+        return pending.hot ? hotPick_.finish(pending.zipf)
+                           : pending.cold;
+    }
+
     std::uint64_t items() const { return n_; }
     std::uint64_t hotItems() const { return hot_; }
     double hotProb() const { return hotProb_; }
@@ -101,6 +174,42 @@ class WorkingSetSampler
     std::uint64_t hot_;
     double hotProb_;
     ZipfSampler hotPick_;
+};
+
+/**
+ * Exact magic-number modulo: mod() returns n % d bit-for-bit, with a
+ * multiply-high and one conditional subtract instead of a hardware
+ * divide (~30 cycles on the workload hot path). With
+ * M = floor((2^64 - 1) / d), the true ratio satisfies
+ * n/d - n*M/2^64 <= n * (1 + (d-1)) / (d * 2^64) < 1 for all 64-bit
+ * n and d >= 2, so mulhi(n, M) is floor(n/d) or exactly one less and
+ * a single fix-up subtract restores the exact remainder (fuzzed
+ * against the hardware %, including d-boundary values, in
+ * test_access_pipeline.cc). Divisors are per-region constants, so
+ * the magic is computed once at construction.
+ */
+struct FastMod {
+    std::uint64_t d = 1;
+    std::uint64_t M = 0;
+
+    FastMod() = default;
+    explicit FastMod(std::uint64_t divisor)
+        : d(divisor), M(divisor > 1 ? ~std::uint64_t{0} / divisor : 0)
+    {
+    }
+
+    std::uint64_t
+    mod(std::uint64_t n) const
+    {
+        if (d <= 1)
+            return 0;
+        std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(n) * M) >> 64);
+        std::uint64_t r = n - q * d;
+        if (r >= d)
+            r -= d;
+        return r;
+    }
 };
 
 /**
@@ -116,6 +225,62 @@ class WorkingSetSampler
  */
 std::uint64_t scatterRank(std::uint64_t rank, std::uint64_t blocks,
                           std::uint64_t run = 16);
+
+/**
+ * scatterRank with the per-region constants precomputed: the cluster
+ * count's modulo runs on a FastMod magic and the run-size divisions
+ * are shifts (run is a power of two). Bit-identical to scatterRank()
+ * for every rank -- regions hold one of these per sampler so the per
+ * -draw cost drops from three hardware divides to one multiply-high.
+ */
+class RankScatterer
+{
+  public:
+    RankScatterer(std::uint64_t blocks, std::uint64_t run = 16)
+        : blocks_(blocks),
+          run_(run),
+          clusters_(run ? (blocks + run - 1) / run : 0),
+          blocksMod_(blocks),
+          clustersMod_(clusters_ ? clusters_ : 1)
+    {
+        runShift_ = 0;
+        while ((std::uint64_t{1} << runShift_) < run)
+            ++runShift_;
+        runPow2_ = (run & (run - 1)) == 0 && run != 0;
+    }
+
+    std::uint64_t
+    map(std::uint64_t rank) const
+    {
+        if (rank >= blocks_)
+            rank = blocksMod_.mod(rank);
+        if (blocks_ <= run_)
+            return rank;
+        std::uint64_t cluster, offset;
+        if (runPow2_) {
+            cluster = rank >> runShift_;
+            offset = rank & (run_ - 1);
+        } else {
+            cluster = rank / run_;
+            offset = rank % run_;
+        }
+        std::uint64_t scattered =
+            clustersMod_.mod(cluster * 0x9E3779B1ull);
+        std::uint64_t block = scattered * run_ + offset;
+        if (block >= blocks_)
+            block = blocksMod_.mod(block);
+        return block;
+    }
+
+  private:
+    std::uint64_t blocks_;
+    std::uint64_t run_;
+    std::uint64_t clusters_;
+    FastMod blocksMod_;
+    FastMod clustersMod_;
+    unsigned runShift_ = 0;
+    bool runPow2_ = false;
+};
 
 } // namespace dsp
 

@@ -34,7 +34,8 @@ class MockPort : public MemoryPort
     unsigned peakOutstanding = 0;
 
     AccessReply
-    access(Addr, Addr, bool, Tick when, const Completion &done) override
+    access(Addr, Addr, bool, Tick when, const Completion &done,
+           Addr /* next_hint */ = 0) override
     {
         ++accesses;
         if (missEvery == 0 || accesses % missEvery != 0)

@@ -96,6 +96,9 @@ TEST(NodeCaches, InvalidateDropsBothLevels)
 {
     NodeCaches caches(tinyCaches());
     caches.fill(0x1000, MosiState::Modified);
+    // Contract: callers of invalidate()/downgrade() pair them with
+    // the l0Invalidate() hook (the system layer's coherence fan-in).
+    caches.l0Invalidate(blockOf(0x1000));
     MosiState prior = caches.invalidate(blockOf(0x1000));
     EXPECT_EQ(prior, MosiState::Modified);
     auto result = caches.access(0x1000, false);
@@ -106,6 +109,7 @@ TEST(NodeCaches, DowngradeModifiedToOwned)
 {
     NodeCaches caches(tinyCaches());
     caches.fill(0x1000, MosiState::Modified);
+    caches.l0Invalidate(blockOf(0x1000));
     EXPECT_EQ(caches.downgrade(blockOf(0x1000)), MosiState::Owned);
     // Readable without coherence, but a write now needs an upgrade.
     EXPECT_EQ(caches.access(0x1000, false).need, CoherenceNeed::None);
@@ -161,6 +165,7 @@ TEST(NodeCaches, StatsCount)
     caches.access(0x1000, false);  // miss
     caches.fill(0x1000, MosiState::Shared);
     caches.access(0x1000, false);  // L1 hit
+    caches.l0Invalidate(blockOf(0x1000));
     caches.invalidate(blockOf(0x1000));
     caches.access(0x1000, false);  // miss again
     EXPECT_EQ(caches.accesses(), 3u);
@@ -230,6 +235,7 @@ TEST(NodeCachesHandle, FillAfterInvalidateOfSameSetRewalks)
     ASSERT_EQ(result.need, CoherenceNeed::GetShared);
     NodeCaches::FillHandle handle = caches.lastMissHandle();
 
+    caches.l0Invalidate(64);
     caches.invalidate(64);  // frees a way in set 0 mid-flight
 
     auto fill = caches.fill(blockBase(192), MosiState::Shared, &handle);
@@ -276,11 +282,13 @@ TEST(NodeCachesHandle, FillAfterDowngradeKeepsInPlacePromotion)
     // upgrade access and its fill; the fill still promotes in place.
     NodeCaches caches(tinyCaches());
     caches.fill(0x1000, MosiState::Modified);
+    caches.l0Invalidate(blockOf(0x1000));
     caches.downgrade(blockOf(0x1000));  // M -> O
     auto result = caches.access(0x1000, true);
     ASSERT_EQ(result.need, CoherenceNeed::GetExclusive);
     NodeCaches::FillHandle handle = caches.lastMissHandle();
 
+    caches.l0Invalidate(blockOf(0x1000));
     caches.downgrade(blockOf(0x1000));  // no-op on O, but touches
 
     auto fill = caches.fill(0x1000, MosiState::Modified, &handle);
