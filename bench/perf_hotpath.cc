@@ -25,6 +25,13 @@
  *   --nodes N      processors (default 16)
  *   --seed S       RNG seed (default 1)
  *   --out FILE     JSON output path (default BENCH_hotpath.json)
+ *
+ * SIGINT/SIGTERM stop the run at the next kernel window boundary; the
+ * configs measured so far (plus the partial one, marked "partial")
+ * are flushed as JSON -- to <out>.partial unless --out was explicit,
+ * so an interrupted run never clobbers the guarded baseline -- and
+ * the bench exits with code 75 (interrupted-but-flushed). A second
+ * signal kills immediately.
  */
 
 #include <chrono>
@@ -36,6 +43,7 @@
 
 #include "interconnect/message.hh"
 #include "sim/event.hh"
+#include "sim/interrupt.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
 #include "workload/presets.hh"
@@ -111,6 +119,7 @@ struct ConfigResult {
     std::string name;
     unsigned threads = 1;
     double wallSeconds = 0.0;
+    bool partial = false;  ///< interrupted mid-run; stats incomplete
     SystemStats stats;
 
     double
@@ -168,6 +177,21 @@ runConfig(const HotpathOptions &opt, const std::string &name,
         System system(*workload, params);
         SystemStats stats = system.run();
 
+        if (interruptRequested()) {
+            // The run stopped at a window boundary with partial
+            // stats; they are not comparable against a completed
+            // repetition, so skip the divergence check and let main
+            // flush what we have.
+            if (rep == 0) {
+                result.name = name;
+                result.threads = threads;
+                result.stats = stats;
+                result.wallSeconds = stats.wallSeconds;
+            }
+            result.partial = true;
+            return result;
+        }
+
         if (rep == 0) {
             result.name = name;
             result.threads = threads;
@@ -224,6 +248,8 @@ writeJson(const HotpathOptions &opt,
 
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_hotpath\",\n");
+    if (interruptRequested())
+        std::fprintf(f, "  \"interrupted\": true,\n");
     std::fprintf(f, "  \"workload\": \"%s\",\n",
                  opt.workload.c_str());
     std::fprintf(f, "  \"nodes\": %u,\n", opt.nodes);
@@ -234,6 +260,8 @@ writeJson(const HotpathOptions &opt,
         const ConfigResult &r = results[i];
         std::fprintf(f, "    {\n");
         std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+        if (r.partial)
+            std::fprintf(f, "      \"partial\": true,\n");
         std::fprintf(f, "      \"threads\": %u,\n", r.threads);
         std::fprintf(f, "      \"wall_seconds\": %.6f,\n",
                      r.wallSeconds);
@@ -321,6 +349,7 @@ int
 main(int argc, char **argv)
 {
     HotpathOptions opt = parseArgs(argc, argv);
+    installInterruptHandlers();
 
     // The Figure-7 configs (simple CPU) plus the Figure-8 headline
     // config (detailed out-of-order CPU), so the bench covers both
@@ -353,8 +382,11 @@ main(int argc, char **argv)
                                     config.cpuModel,
                                     config.sharded ? opt.threads
                                                    : 1));
+        if (interruptRequested())
+            break;
     }
-    if (results.empty())
+    const bool interrupted = interruptRequested();
+    if (results.empty() && !interrupted)
         dsp_fatal("no config named '%s'", opt.onlyConfig.c_str());
 
     std::printf("%-24s %12s %14s %12s %14s\n", "config", "events",
@@ -380,13 +412,23 @@ main(int argc, char **argv)
     // A --config subset run is a profiling aid; never let it clobber
     // the full 4-config baseline JSON (check.sh's perf guard would
     // silently stop guarding the missing configs).
-    if (!opt.onlyConfig.empty() && !opt.outExplicit) {
+    if (!opt.onlyConfig.empty() && !opt.outExplicit &&
+        !interruptRequested()) {
         std::printf("single-config run: skipping JSON (pass --out to "
                     "write one)\n");
         return 0;
     }
+    if (interrupted) {
+        // Same clobber concern, harder failure mode: a partial run
+        // must never replace the guarded baseline by default.
+        if (!opt.outExplicit)
+            opt.out += ".partial";
+        std::printf("interrupted (signal %d): flushing partial "
+                    "results to %s\n",
+                    interruptSignal(), opt.out.c_str());
+    }
     if (!writeJson(opt, results))
         return 1;
     std::printf("wrote %s\n", opt.out.c_str());
-    return 0;
+    return interrupted ? interruptExitCode : 0;
 }

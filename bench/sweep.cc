@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Simulation-farm sweep driver: the production surface that turns the
+ * fast, bit-deterministic simulator into a crash-tolerant fleet.
+ *
+ *   bench_sweep --config farm.conf [--journal run.jsonl]
+ *
+ * The config (sesc simu.conf-style key=value, see docs/sweep.md)
+ * expands into a (workload x protocol x policy x nodes x seed x ...)
+ * job matrix; a supervised fork pool runs it with per-job watchdog
+ * timeouts, bounded retries with exponential backoff, and graceful
+ * degradation; one checksummed JSON-lines row per job streams to the
+ * journal. Re-running the same invocation resumes from the journal,
+ * and the aggregate table is byte-identical between a fresh and a
+ * crash+resumed sweep.
+ *
+ * Flags:
+ *   --config FILE    sweep config (required)
+ *   --journal FILE   journal path (default: <config>.jsonl)
+ *   --table FILE     aggregate table path (default: <journal>.table)
+ *   --jobs N         worker pool size (default 4)
+ *   --timeout SEC    per-attempt watchdog (default 300)
+ *   --retries N      attempts per job (default 3)
+ *   --backoff SEC    retry backoff base (default 0.05)
+ *   --fresh          discard an existing journal instead of resuming
+ *   --no-fsync       skip per-row fsync (CI speed)
+ *   --print-matrix   list the expanded jobs and exit
+ *
+ * SWEEP_FAULT_INJECT=crash=P,hang=P,garbage=P,seed=N injects
+ * deterministic worker faults (testing; see docs/sweep.md).
+ *
+ * Exit codes: 0 = matrix complete; 2 = complete with failed rows;
+ * 75 = interrupted (SIGINT/SIGTERM; journal flushed, resumable);
+ * 1 = usage/config error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/interrupt.hh"
+#include "sim/logging.hh"
+#include "sweep/config.hh"
+#include "sweep/journal.hh"
+#include "sweep/matrix.hh"
+#include "sweep/sim_job.hh"
+#include "sweep/supervisor.hh"
+
+namespace {
+
+using namespace dsp;
+using namespace dsp::sweep;
+
+struct DriverOptions {
+    std::string config;
+    std::string journal;
+    std::string table;
+    SupervisorOptions pool;
+    bool fresh = false;
+    bool printMatrix = false;
+};
+
+DriverOptions
+parseArgs(int argc, char **argv)
+{
+    DriverOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                dsp_fatal("missing value for option '%s'", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--config") {
+            opt.config = next();
+        } else if (arg == "--journal") {
+            opt.journal = next();
+        } else if (arg == "--table") {
+            opt.table = next();
+        } else if (arg == "--jobs") {
+            opt.pool.concurrency =
+                std::max(1, std::atoi(next()));
+        } else if (arg == "--timeout") {
+            opt.pool.timeoutSeconds = std::atof(next());
+        } else if (arg == "--retries") {
+            opt.pool.maxAttempts =
+                std::max(1, std::atoi(next()));
+        } else if (arg == "--backoff") {
+            opt.pool.backoffSeconds = std::atof(next());
+        } else if (arg == "--fresh") {
+            opt.fresh = true;
+        } else if (arg == "--no-fsync") {
+            opt.pool.fsyncRows = false;
+        } else if (arg == "--print-matrix") {
+            opt.printMatrix = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "options: --config FILE --journal FILE "
+                         "--table FILE --jobs N --timeout SEC "
+                         "--retries N --backoff SEC --fresh "
+                         "--no-fsync --print-matrix\n");
+            std::exit(0);
+        } else {
+            dsp_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (opt.config.empty())
+        dsp_fatal("--config is required (see docs/sweep.md)");
+    if (opt.journal.empty())
+        opt.journal = opt.config + ".jsonl";
+    if (opt.table.empty())
+        opt.table = opt.journal + ".table";
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DriverOptions opt = parseArgs(argc, argv);
+    installInterruptHandlers();
+
+    SweepConfig config = SweepConfig::fromFile(opt.config);
+    std::vector<JobSpec> jobs = expandMatrix(config);
+    if (jobs.empty())
+        dsp_fatal("config '%s' expands to an empty matrix",
+                  opt.config.c_str());
+
+    if (opt.printMatrix) {
+        for (const JobSpec &job : jobs)
+            std::printf("%s\n", job.id().c_str());
+        std::printf("%zu job(s)\n", jobs.size());
+        return 0;
+    }
+
+    if (opt.fresh)
+        std::remove(opt.journal.c_str());
+
+    FaultPlan faults = FaultPlan::fromEnv();
+    if (faults.enabled()) {
+        dsp_warn("fault injection active: crash=%.2f hang=%.2f "
+                 "garbage=%.2f seed=%llu",
+                 faults.crash, faults.hang, faults.garbage,
+                 static_cast<unsigned long long>(faults.seed));
+    }
+
+    Supervisor supervisor(opt.journal, opt.pool);
+    SweepSummary summary =
+        supervisor.run(jobs, runSimJob, faults);
+
+    std::printf("sweep: %zu job(s): %zu skipped (resumed), %zu "
+                "completed, %zu failed; %zu launch(es), %zu "
+                "retry(ies), %zu timeout(s), pool %u -> %u\n",
+                summary.jobs, summary.skipped, summary.completed,
+                summary.failed, summary.launched, summary.retries,
+                summary.timeouts, opt.pool.concurrency,
+                summary.finalConcurrency);
+
+    // The aggregate table is rebuilt from the journal every run --
+    // fresh and resumed sweeps of one config produce identical bytes.
+    JournalRecovery recovery;
+    std::vector<JournalRow> rows = readJournal(opt.journal, recovery);
+    std::string table = aggregateTable(rows);
+    if (std::FILE *f = std::fopen(opt.table.c_str(), "w")) {
+        std::fwrite(table.data(), 1, table.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu row(s))\n", opt.table.c_str(),
+                    recovery.rows);
+    } else {
+        dsp_warn("cannot write table '%s'", opt.table.c_str());
+    }
+    std::fputs(table.c_str(), stdout);
+
+    if (summary.interrupted) {
+        std::printf("sweep interrupted: journal flushed; re-run the "
+                    "same command to resume\n");
+        return interruptExitCode;
+    }
+    return summary.failed > 0 ? 2 : 0;
+}

@@ -13,6 +13,14 @@
 #   4. sharded-kernel determinism cross-check: the Figure-7 multicast
 #      config is run with --threads 1 and --threads 4 and every
 #      deterministic figure statistic must match bit-for-bit.
+#   5. sweep-driver crash-tolerance smoke (scripts/sweep_smoke.sh):
+#      a seeded fault-injection sweep must terminate with the expected
+#      failed rows, and resuming it must produce an aggregate table
+#      byte-identical to a fault-free sweep.
+#
+# Bench JSONs are validated (python3, else jq, else a warning) before
+# any regression grep reads them, so a truncated or interrupted file
+# fails loudly instead of feeding the guards nonsense.
 #
 # BENCH_hotpath.json is only rewritten at the very end, after *every*
 # guard has passed (or been explicitly waived), so a failed run can
@@ -62,6 +70,54 @@ BASELINE=BENCH_hotpath.json
 FRESH=build/BENCH_hotpath_fresh.json
 ./build/bench_perf_hotpath --measure 200000 --warmup 20000 \
     --repeat 3 --out "$FRESH"
+
+# Guard the guards: everything below greps the bench JSON as raw
+# text, so a malformed, truncated, or interrupted file could feed the
+# regression checks nonsense that happens to pass. Require the file
+# to parse and every guarded field to exist and be finite first.
+validate_bench_json() {
+    local file="$1"
+    if command -v python3 > /dev/null 2>&1; then
+        python3 - "$file" <<'PYEOF'
+import json, math, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("interrupted"):
+    sys.exit("bench JSON is marked interrupted (partial results)")
+configs = doc.get("configs")
+if not configs:
+    sys.exit("bench JSON has no configs")
+for c in configs:
+    if c.get("partial"):
+        sys.exit("config %r is marked partial" % c.get("name"))
+    for field in ("events_per_sec", "barriers_per_window",
+                  "l0_hit_rate", "events", "misses"):
+        v = c.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v):
+            sys.exit("config %r field %r is %r -- missing or not a "
+                     "finite number" % (c.get("name"), field, v))
+PYEOF
+    elif command -v jq > /dev/null 2>&1; then
+        jq -e '
+            ((.interrupted // false) | not)
+            and (.configs | length > 0)
+            and ([.configs[] | (.partial // false) | not] | all)
+            and ([.configs[] | .events_per_sec, .barriers_per_window,
+                  .l0_hit_rate, .events, .misses]
+                 | all(type == "number" and (isinfinite | not)
+                       and (isnan | not)))' "$file" > /dev/null
+    else
+        echo "check.sh: warning: neither python3 nor jq found --" \
+             "skipping JSON validation of $file" >&2
+        return 0
+    fi || {
+        echo "check.sh: $file failed JSON validation -- refusing to" \
+             "run regression greps over it" >&2
+        exit 1
+    }
+}
+validate_bench_json "$FRESH"
 
 # Single-barrier window invariant: the parallel config must cross the
 # barrier about once per window (the old kernel crossed twice; quiet
@@ -144,6 +200,8 @@ DET4=build/BENCH_det_t4.json
 ./build/bench_perf_hotpath --config multicast-owner-group-par \
     --measure 100000 --warmup 10000 --threads 4 --hub-shard \
     --out "$DET4" > /dev/null
+validate_bench_json "$DET1"
+validate_bench_json "$DET4"
 extract_det() {
     awk -F: '
         /"events"|"misses"|"retries"|"traffic_bytes"|"avg_miss_latency_ns"|"sim_runtime_ms"|"l0_hit_rate"|"touched_words_per_access"/ {
@@ -183,8 +241,14 @@ do
     fi
 done
 
+# Sweep-driver crash-tolerance smoke: seeded fault injection must
+# fail the expected jobs, and a resumed sweep must reproduce the
+# fault-free aggregate table byte-for-byte.
+SWEEP_BIN=./build/bench_sweep scripts/sweep_smoke.sh
+
 # Every guard passed (or was explicitly waived): only now does the
 # fresh run become the committed perf trajectory.
 cp "$FRESH" "$BASELINE"
 
-echo "check.sh: build + tests + hotpath bench + determinism OK"
+echo "check.sh: build + tests + hotpath bench + determinism +" \
+     "sweep-resume OK"

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+#
+# Sweep-driver crash-tolerance smoke (used by check.sh and CI):
+#
+#   1. fault-free reference sweep of a small 4-job matrix
+#   2. the same matrix under seeded fault injection (crashes, hangs,
+#      garbage rows) with a single-attempt budget -- must terminate,
+#      exit 2, and journal exactly the expected deterministic set of
+#      failed rows
+#   3. resume without faults -- must complete the matrix, exit 0, and
+#      produce an aggregate table byte-identical to the reference
+#
+# The fault pattern is a pure function of (job id, attempt, seed), so
+# the failed-row count below is a constant of this config; if it
+# drifts, either the job-id format or the fault hash changed -- both
+# are resume-compatibility breaks that deserve a loud failure.
+#
+# Env: SWEEP_BIN (default ./build/bench_sweep), SWEEP_WORK (scratch
+# dir, default build/sweep_smoke).
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${SWEEP_BIN:-./build/bench_sweep}"
+WORK="${SWEEP_WORK:-build/sweep_smoke}"
+FAULTS="crash=0.4,hang=0.15,garbage=0.2,seed=11"
+EXPECT_FAILED=3
+
+mkdir -p "$WORK"
+rm -f "$WORK"/*.jsonl "$WORK"/*.table
+CONF="$WORK/smoke.conf"
+cat > "$CONF" <<'EOF'
+# sweep_smoke matrix: 2 seeds x 2 shard counts, tiny run lengths
+workload = barnes
+protocol = multicast
+policy = owner-group
+nodes = 4
+seed = 1..2
+threads = 1, 2
+warmup_misses = 100
+warmup_instr = 200
+measure_instr = $(warmup_instr) * 10
+EOF
+
+echo "sweep_smoke: fault-free reference sweep"
+"$BIN" --config "$CONF" --journal "$WORK/ref.jsonl" \
+    --table "$WORK/ref.table" --fresh --no-fsync --jobs 2 > /dev/null
+
+echo "sweep_smoke: faulted sweep ($FAULTS, single attempt)"
+rc=0
+SWEEP_FAULT_INJECT="$FAULTS" \
+    "$BIN" --config "$CONF" --journal "$WORK/fault.jsonl" \
+    --table "$WORK/fault.table" --fresh --no-fsync --jobs 2 \
+    --retries 1 --timeout 5 --backoff 0.01 > /dev/null || rc=$?
+if [[ "$rc" -ne 2 ]]; then
+    echo "sweep_smoke: faulted sweep exited $rc, expected 2" \
+         "(completed-with-failed-rows)" >&2
+    exit 1
+fi
+
+FAILED=$(grep -c '"status":"failed"' "$WORK/fault.jsonl" || true)
+if [[ "$FAILED" -ne "$EXPECT_FAILED" ]]; then
+    echo "sweep_smoke: $FAILED failed row(s) journaled, expected" \
+         "$EXPECT_FAILED -- the deterministic fault pattern changed" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: resuming without faults"
+rc=0
+"$BIN" --config "$CONF" --journal "$WORK/fault.jsonl" \
+    --table "$WORK/resumed.table" --no-fsync --jobs 2 \
+    > "$WORK/resume.out" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+    echo "sweep_smoke: resume exited $rc, expected 0" >&2
+    cat "$WORK/resume.out" >&2
+    exit 1
+fi
+if ! grep -q "skipped (resumed)" "$WORK/resume.out"; then
+    echo "sweep_smoke: resume did not report skipped jobs" >&2
+    exit 1
+fi
+
+if ! diff "$WORK/ref.table" "$WORK/resumed.table"; then
+    echo "sweep_smoke: RESUME DETERMINISM FAILURE -- crash+resumed" \
+         "aggregate table differs from the fault-free table" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: fresh == crash+resumed aggregate table" \
+     "($EXPECT_FAILED injected failures recovered) OK"

@@ -1,0 +1,54 @@
+#include "sim/interrupt.hh"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace dsp {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+extern "C" void
+onInterrupt(int sig)
+{
+    // Second delivery with the flag still set: restore the default
+    // disposition and re-raise, so an unresponsive driver dies the
+    // normal way instead of eating signals forever.
+    int expected = 0;
+    if (!g_signal.compare_exchange_strong(expected, sig,
+                                          std::memory_order_acq_rel)) {
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+    }
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+}
+
+bool
+interruptRequested()
+{
+    return g_signal.load(std::memory_order_acquire) != 0;
+}
+
+int
+interruptSignal()
+{
+    return g_signal.load(std::memory_order_acquire);
+}
+
+void
+clearInterruptRequest()
+{
+    g_signal.store(0, std::memory_order_release);
+}
+
+} // namespace dsp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for long-running drivers.
+ *
+ * The handler only sets a flag; compute loops poll it at natural
+ * boundaries (the sharded kernel's window crossings, the sweep
+ * supervisor's poll loop) and unwind cleanly: partial results are
+ * flushed and the process exits with interruptExitCode so callers can
+ * tell "interrupted, partial output valid" from both success and
+ * failure.
+ */
+
+#ifndef DSP_SIM_INTERRUPT_HH
+#define DSP_SIM_INTERRUPT_HH
+
+namespace dsp {
+
+/** Exit status of a driver that was interrupted but flushed its
+ *  partial output (EX_TEMPFAIL: rerun/resume to finish). */
+constexpr int interruptExitCode = 75;
+
+/** Route SIGINT and SIGTERM to a flag (idempotent). A second signal
+ *  while the flag is already set falls back to the default action, so
+ *  a wedged process can still be killed from the keyboard. */
+void installInterruptHandlers();
+
+/** True once SIGINT/SIGTERM was received (acquire semantics). */
+bool interruptRequested();
+
+/** The signal that set the flag (0 when none). */
+int interruptSignal();
+
+/** Reset the flag (tests; also lets a driver handle one interrupt and
+ *  keep watching for the next). */
+void clearInterruptRequest();
+
+} // namespace dsp
+
+#endif // DSP_SIM_INTERRUPT_HH

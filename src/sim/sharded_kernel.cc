@@ -250,6 +250,7 @@ ShardedKernel::planNext()
         plan_.stop = true;  // drained without satisfying the predicate
         return;
     }
+    checkProgress(e1);
     dsp_assert(e1 < maxTick - maxBatchWindows * lookahead_,
                "window end would overflow the tick range");
     plan_.start = e1;
@@ -271,6 +272,58 @@ ShardedKernel::planNext()
         plan_.batch = true;
         plan_.solo = solo;
     }
+}
+
+void
+ShardedKernel::checkProgress(Tick earliest)
+{
+    // Runs on the planner (last barrier arriver) with every shard
+    // quiescent, so executed() is exact. A healthy kernel executes at
+    // least the globally earliest event every window; crossing
+    // stallCrossingLimit_ times with work pending and zero executed
+    // events means a wedge (a queue that stopped delivering, a
+    // lookahead/plan bug) -- diagnose loudly instead of spinning.
+    std::uint64_t exec = stallTestFreeze_ ? watchdogExecuted_
+                                          : executed();
+    if (exec != watchdogExecuted_) {
+        watchdogExecuted_ = exec;
+        stalledCrossings_ = 0;
+        return;
+    }
+    if (++stalledCrossings_ >= stallCrossingLimit_)
+        panicStalled(earliest);
+}
+
+void
+ShardedKernel::panicStalled(Tick earliest)
+{
+    dsp_warn("sharded kernel stall dump: crossings=%llu windows=%llu "
+             "plan=[%llu,%llu) resume=%llu batch=%d solo=%u "
+             "lookahead=%llu",
+             static_cast<unsigned long long>(crossings_),
+             static_cast<unsigned long long>(windows_),
+             static_cast<unsigned long long>(plan_.start),
+             static_cast<unsigned long long>(plan_.end),
+             static_cast<unsigned long long>(plan_.resume),
+             plan_.batch ? 1 : 0, plan_.solo,
+             static_cast<unsigned long long>(lookahead_));
+    for (unsigned s = 0; s < numShards_; ++s) {
+        const Shard &shard = *shards_[s];
+        dsp_warn("  shard %u: now=%llu pending=%zu executed=%llu "
+                 "e1=%llu e2=%llu achieved_end=%llu",
+                 s, static_cast<unsigned long long>(shard.queue.now()),
+                 shard.queue.pending(),
+                 static_cast<unsigned long long>(
+                     shard.queue.executed()),
+                 static_cast<unsigned long long>(shard.e1),
+                 static_cast<unsigned long long>(shard.e2),
+                 static_cast<unsigned long long>(shard.achievedEnd));
+    }
+    dsp_panic("sharded kernel stalled: no events executed across %u "
+              "barrier crossings with work pending (earliest tick "
+              "%llu)",
+              stalledCrossings_,
+              static_cast<unsigned long long>(earliest));
 }
 
 void
@@ -388,6 +441,8 @@ ShardedKernel::run(const std::function<bool()> &stop)
     stoppedByPredicate_ = false;
     plan_ = Plan{};
     firstCrossing_ = true;
+    watchdogExecuted_ = ~std::uint64_t{0};
+    stalledCrossings_ = 0;
     for (auto &shard : shards_) {
         shard->queue.earliestTwo(shard->e1, shard->e2);
         shard->achievedEnd = 0;

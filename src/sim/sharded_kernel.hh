@@ -300,6 +300,8 @@ class ShardedKernel
 
     void workerLoop(unsigned shard);
     void planNext();
+    void checkProgress(Tick earliest);
+    [[noreturn]] void panicStalled(Tick earliest);
     void drainInbox(unsigned shard, unsigned plane);
     void runBatch(Shard &mine);
     void startWorkers();
@@ -353,6 +355,17 @@ class ShardedKernel
     std::uint64_t windows_ = 0;
     std::uint64_t batchedWindows_ = 0;
 
+    // -- progress watchdog (planner-only state). Every crossing runs
+    //    with all shards quiescent, so executed() is exact there; if
+    //    it fails to advance across stallCrossingLimit_ consecutive
+    //    crossings while events still pend, the kernel is wedged --
+    //    dump per-shard diagnostics and panic instead of spinning
+    //    silently forever.
+    std::uint64_t watchdogExecuted_ = ~std::uint64_t{0};
+    unsigned stalledCrossings_ = 0;
+    unsigned stallCrossingLimit_ = 64;
+    bool stallTestFreeze_ = false;  ///< see injectStallForTest()
+
   public:
     /** Barrier crossings over the kernel's lifetime. */
     std::uint64_t barrierCrossings() const { return crossings_; }
@@ -362,6 +375,30 @@ class ShardedKernel
 
     /** Windows that rode along in a batch without their own crossing. */
     std::uint64_t batchedWindows() const { return batchedWindows_; }
+
+    /**
+     * Test-only fault injection for the progress watchdog: lower the
+     * stall threshold to `limit` crossings and freeze the watchdog's
+     * executed-events baseline, so an otherwise healthy run presents
+     * exactly like a wedged kernel (events pending, barrier crossings
+     * advancing, zero observed progress) and the dump+panic path can
+     * be exercised deterministically.
+     */
+    void
+    injectStallForTest(unsigned limit)
+    {
+        setStallLimitForTest(limit);
+        stallTestFreeze_ = true;
+    }
+
+    /** Test-only: lower the stall threshold without freezing the
+     *  progress signal (tests that the watchdog stays quiet on
+     *  healthy runs even at an aggressive limit). */
+    void
+    setStallLimitForTest(unsigned limit)
+    {
+        stallCrossingLimit_ = limit;
+    }
 
   private:
 

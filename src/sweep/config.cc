@@ -1,0 +1,386 @@
+#include "sweep/config.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace sweep {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Recursive-descent arithmetic over doubles. */
+class ArithParser
+{
+  public:
+    explicit ArithParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(double &out)
+    {
+        pos_ = 0;
+        ok_ = true;
+        double v = expr();
+        skipSpace();
+        if (!ok_ || pos_ != text_.size())
+            return false;
+        out = v;
+        return true;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    double
+    expr()
+    {
+        double v = term();
+        while (ok_) {
+            if (eat('+'))
+                v += term();
+            else if (eat('-'))
+                v -= term();
+            else
+                break;
+        }
+        return v;
+    }
+
+    double
+    term()
+    {
+        double v = factor();
+        while (ok_) {
+            if (eat('*')) {
+                v *= factor();
+            } else if (eat('/')) {
+                double d = factor();
+                if (ok_ && d == 0.0)
+                    dsp_fatal("division by zero in expression '%s'",
+                              text_.c_str());
+                v /= d;
+            } else {
+                break;
+            }
+        }
+        return v;
+    }
+
+    double
+    factor()
+    {
+        skipSpace();
+        if (eat('(')) {
+            double v = expr();
+            if (!eat(')'))
+                ok_ = false;
+            return v;
+        }
+        if (eat('-'))
+            return -factor();
+        // A number: digits with optional fraction/exponent. strtod
+        // would also accept "inf"/"nan"/hex; require a leading digit
+        // or '.' so workload names never half-parse.
+        if (pos_ >= text_.size() ||
+            (!std::isdigit(static_cast<unsigned char>(text_[pos_])) &&
+             text_[pos_] != '.')) {
+            ok_ = false;
+            return 0.0;
+        }
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start || !std::isfinite(v)) {
+            ok_ = false;
+            return 0.0;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Expand one element: `lo..hi` integer range or a single value. */
+void
+expandElement(const std::string &elem, std::vector<std::string> &out)
+{
+    std::size_t dots = elem.find("..");
+    if (dots != std::string::npos) {
+        double lo = 0.0;
+        double hi = 0.0;
+        if (evalArithmetic(elem.substr(0, dots), lo) &&
+            evalArithmetic(elem.substr(dots + 2), hi) &&
+            lo == std::floor(lo) && hi == std::floor(hi) &&
+            lo <= hi && hi - lo < 100000.0) {
+            for (double v = lo; v <= hi; v += 1.0)
+                out.push_back(canonicalNumber(v));
+            return;
+        }
+        dsp_fatal("bad range '%s' (want integer lo..hi, lo <= hi)",
+                  elem.c_str());
+    }
+    double v = 0.0;
+    if (evalArithmetic(elem, v)) {
+        out.push_back(canonicalNumber(v));
+        return;
+    }
+    out.push_back(elem);
+}
+
+} // namespace
+
+bool
+evalArithmetic(const std::string &text, double &out)
+{
+    std::string t = trim(text);
+    if (t.empty())
+        return false;
+    return ArithParser(t).parse(out);
+}
+
+std::string
+canonicalNumber(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+SweepConfig
+SweepConfig::fromString(const std::string &text,
+                        const std::string &where)
+{
+    SweepConfig cfg;
+    cfg.where_ = where;
+    std::size_t lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lineno;
+
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            dsp_fatal("%s:%zu: expected 'key = value', got '%s'",
+                      where.c_str(), lineno, line.c_str());
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            dsp_fatal("%s:%zu: empty key", where.c_str(), lineno);
+        for (char c : key) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '_' && c != '-' && c != '.') {
+                dsp_fatal("%s:%zu: bad character '%c' in key '%s'",
+                          where.c_str(), lineno, c, key.c_str());
+            }
+        }
+
+        bool found = false;
+        for (std::size_t i = 0; i < cfg.keys_.size(); ++i) {
+            if (cfg.keys_[i] == key) {
+                cfg.raw_[i] = value;  // last assignment wins
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            cfg.order_.push_back(key);
+            cfg.keys_.push_back(key);
+            cfg.raw_.push_back(value);
+        }
+    }
+    return cfg;
+}
+
+SweepConfig
+SweepConfig::fromFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        dsp_fatal("cannot open sweep config '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return fromString(text, path);
+}
+
+bool
+SweepConfig::has(const std::string &key) const
+{
+    for (const std::string &k : keys_) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+std::string
+SweepConfig::rawFor(const std::string &key) const
+{
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key)
+            return raw_[i];
+    }
+    dsp_fatal("%s: missing required config key '%s'", where_.c_str(),
+              key.c_str());
+}
+
+std::string
+SweepConfig::substitute(const std::string &value, unsigned depth) const
+{
+    if (depth > 32)
+        dsp_fatal("%s: $(...) reference cycle while expanding '%s'",
+                  where_.c_str(), value.c_str());
+    std::string out;
+    out.reserve(value.size());
+    for (std::size_t i = 0; i < value.size();) {
+        if (value[i] == '$' && i + 1 < value.size() &&
+            value[i + 1] == '(') {
+            std::size_t close = value.find(')', i + 2);
+            if (close == std::string::npos)
+                dsp_fatal("%s: unterminated $( in '%s'",
+                          where_.c_str(), value.c_str());
+            std::string ref = trim(value.substr(i + 2, close - i - 2));
+            out += substitute(rawFor(ref), depth + 1);
+            i = close + 1;
+        } else {
+            out += value[i++];
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+SweepConfig::values(const std::string &key) const
+{
+    std::string expanded = substitute(rawFor(key), 0);
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t comma = expanded.find(',', pos);
+        std::string elem = trim(
+            comma == std::string::npos
+                ? expanded.substr(pos)
+                : expanded.substr(pos, comma - pos));
+        if (elem.empty())
+            dsp_fatal("%s: empty element in list for key '%s'",
+                      where_.c_str(), key.c_str());
+        expandElement(elem, out);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+SweepConfig::values(const std::string &key,
+                    const std::string &fallback) const
+{
+    if (!has(key))
+        return {fallback};
+    return values(key);
+}
+
+std::string
+SweepConfig::value(const std::string &key) const
+{
+    std::vector<std::string> list = values(key);
+    if (list.size() != 1)
+        dsp_fatal("%s: key '%s' is a %zu-element list where a scalar "
+                  "is required",
+                  where_.c_str(), key.c_str(), list.size());
+    return list[0];
+}
+
+std::string
+SweepConfig::value(const std::string &key,
+                   const std::string &fallback) const
+{
+    if (!has(key))
+        return fallback;
+    return value(key);
+}
+
+std::uint64_t
+SweepConfig::valueUnsigned(const std::string &key,
+                           std::uint64_t fallback) const
+{
+    if (!has(key))
+        return fallback;
+    double v = 0.0;
+    std::string s = value(key);
+    if (!evalArithmetic(s, v) || v < 0.0 || v != std::floor(v))
+        dsp_fatal("%s: key '%s' = '%s' is not a non-negative integer",
+                  where_.c_str(), key.c_str(), s.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+SweepConfig::valueDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    double v = 0.0;
+    std::string s = value(key);
+    if (!evalArithmetic(s, v))
+        dsp_fatal("%s: key '%s' = '%s' is not numeric", where_.c_str(),
+                  key.c_str(), s.c_str());
+    return v;
+}
+
+} // namespace sweep
+} // namespace dsp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * sesc simu.conf-style key=value configuration frontend for the sweep
+ * driver (see docs/sweep.md).
+ *
+ * Grammar, per line:
+ *
+ *   key = value            # trailing comment
+ *
+ * Values may reference earlier (or later) keys as $(key) -- references
+ * are substituted textually, to any depth, with cycle detection -- and
+ * may contain integer/float arithmetic (+ - * / and parentheses),
+ * evaluated after substitution: `measure = 2000*$(nodes)`.
+ *
+ * A value is a comma-separated *list*; every element is one point of a
+ * sweep axis. Integer elements may also be written as inclusive ranges
+ * `lo..hi` (`seed = 1..4` is `1, 2, 3, 4`). Scalar lookups require the
+ * list to have exactly one element.
+ */
+
+#ifndef DSP_SWEEP_CONFIG_HH
+#define DSP_SWEEP_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsp {
+namespace sweep {
+
+class SweepConfig
+{
+  public:
+    /** Parse `text` (fatal on syntax errors; `where` names the source
+     *  in diagnostics). Later assignments override earlier ones. */
+    static SweepConfig fromString(const std::string &text,
+                                  const std::string &where = "<string>");
+
+    /** Parse a config file (fatal if unreadable). */
+    static SweepConfig fromFile(const std::string &path);
+
+    bool has(const std::string &key) const;
+
+    /**
+     * The fully expanded list for `key`: substituted, range-expanded,
+     * arithmetic-evaluated. Numeric results are canonicalized (integer
+     * results print without a decimal point), so job ids are stable
+     * against cosmetic config edits. Fatal if the key is missing and
+     * no default is given.
+     */
+    std::vector<std::string> values(const std::string &key) const;
+    std::vector<std::string> values(const std::string &key,
+                                    const std::string &fallback) const;
+
+    /** Scalar accessors: fatal if the list has != 1 element. */
+    std::string value(const std::string &key) const;
+    std::string value(const std::string &key,
+                      const std::string &fallback) const;
+    std::uint64_t valueUnsigned(const std::string &key,
+                                std::uint64_t fallback) const;
+    double valueDouble(const std::string &key, double fallback) const;
+
+    /** All keys, in first-assignment order (matrix axis order). */
+    const std::vector<std::string> &keys() const { return order_; }
+
+  private:
+    std::string rawFor(const std::string &key) const;
+    std::string substitute(const std::string &value,
+                           unsigned depth) const;
+
+    std::vector<std::string> order_;
+    std::vector<std::string> keys_;
+    std::vector<std::string> raw_;
+    std::string where_;
+};
+
+/**
+ * Evaluate an arithmetic expression over doubles (+ - * / unary-minus
+ * parentheses). Returns false if `text` is not a well-formed
+ * expression (e.g. it is a workload name); fatal only on division by
+ * zero inside an otherwise well-formed expression.
+ */
+bool evalArithmetic(const std::string &text, double &out);
+
+/** Canonical text for a numeric value: "%g"-style, integers without a
+ *  decimal point ("16", not "16.000000"). */
+std::string canonicalNumber(double v);
+
+} // namespace sweep
+} // namespace dsp
+
+#endif // DSP_SWEEP_CONFIG_HH

@@ -1,0 +1,107 @@
+#include "sweep/fault_inject.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace sweep {
+
+const char *
+toString(FaultAction action)
+{
+    switch (action) {
+      case FaultAction::None:
+        return "none";
+      case FaultAction::Crash:
+        return "crash";
+      case FaultAction::Hang:
+        return "hang";
+      case FaultAction::Garbage:
+        return "garbage";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::fromSpec(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            dsp_fatal("bad SWEEP_FAULT_INJECT item '%s' (want "
+                      "key=value)",
+                      item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        char *end = nullptr;
+        if (key == "seed") {
+            plan.seed = std::strtoull(value.c_str(), &end, 10);
+        } else {
+            double p = std::strtod(value.c_str(), &end);
+            if (p < 0.0 || p > 1.0)
+                dsp_fatal("SWEEP_FAULT_INJECT %s=%s out of [0,1]",
+                          key.c_str(), value.c_str());
+            if (key == "crash")
+                plan.crash = p;
+            else if (key == "hang")
+                plan.hang = p;
+            else if (key == "garbage")
+                plan.garbage = p;
+            else
+                dsp_fatal("unknown SWEEP_FAULT_INJECT key '%s'",
+                          key.c_str());
+        }
+        if (end == nullptr || *end != '\0')
+            dsp_fatal("bad SWEEP_FAULT_INJECT value '%s'",
+                      item.c_str());
+    }
+    if (plan.crash + plan.hang + plan.garbage > 1.0)
+        dsp_fatal("SWEEP_FAULT_INJECT probabilities sum past 1.0");
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *spec = std::getenv("SWEEP_FAULT_INJECT");
+    if (spec == nullptr || spec[0] == '\0')
+        return FaultPlan{};
+    return fromSpec(spec);
+}
+
+FaultAction
+FaultPlan::decide(std::uint64_t job_hash, unsigned attempt) const
+{
+    if (!enabled())
+        return FaultAction::None;
+    // splitmix64 over (job, attempt, seed): independent draws per
+    // attempt, so retries of a crashing job eventually pass (unless
+    // the probability is 1, which tests use for budget exhaustion).
+    std::uint64_t x = job_hash ^ (seed * 0x9E3779B97F4A7C15ull) ^
+                      (std::uint64_t{attempt} << 32);
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    if (u < crash)
+        return FaultAction::Crash;
+    if (u < crash + hang)
+        return FaultAction::Hang;
+    if (u < crash + hang + garbage)
+        return FaultAction::Garbage;
+    return FaultAction::None;
+}
+
+} // namespace sweep
+} // namespace dsp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic fault injection for the sweep supervisor -- the hook
+ * that makes the robustness machinery testable instead of
+ * aspirational.
+ *
+ * SWEEP_FAULT_INJECT="crash=0.2,hang=0.1,garbage=0.1,seed=7" gives
+ * each (job, attempt) pair an independent pseudo-random draw, hashed
+ * from the job id, the attempt number, and the plan seed -- fully
+ * deterministic: the same config and seed produce the same faults in
+ * every run, on every host, at any pool concurrency.
+ *
+ * Faults are enacted *in the worker child* before any real work:
+ *   crash   -> abort() (dies by SIGABRT, like a real simulator bug)
+ *   hang    -> sleep forever (the parent watchdog SIGKILLs it)
+ *   garbage -> emit a torn, checksum-less result row and exit 0
+ *              (exercises the parent's row validation path)
+ */
+
+#ifndef DSP_SWEEP_FAULT_INJECT_HH
+#define DSP_SWEEP_FAULT_INJECT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dsp {
+namespace sweep {
+
+enum class FaultAction : std::uint8_t {
+    None,
+    Crash,
+    Hang,
+    Garbage,
+};
+
+const char *toString(FaultAction action);
+
+struct FaultPlan {
+    double crash = 0.0;
+    double hang = 0.0;
+    double garbage = 0.0;
+    std::uint64_t seed = 1;
+
+    bool
+    enabled() const
+    {
+        return crash > 0.0 || hang > 0.0 || garbage > 0.0;
+    }
+
+    /** Parse "crash=P,hang=P,garbage=P,seed=N" (fatal on bad spec;
+     *  empty string = no faults). */
+    static FaultPlan fromSpec(const std::string &spec);
+
+    /** Plan from $SWEEP_FAULT_INJECT (unset = no faults). */
+    static FaultPlan fromEnv();
+
+    /** The fault (if any) for attempt `attempt` of the job whose
+     *  canonical-id hash is `job_hash`. Pure function. */
+    FaultAction decide(std::uint64_t job_hash,
+                       unsigned attempt) const;
+};
+
+} // namespace sweep
+} // namespace dsp
+
+#endif // DSP_SWEEP_FAULT_INJECT_HH

@@ -1,0 +1,310 @@
+#include "sweep/journal.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace sweep {
+
+std::uint32_t
+crc32(const std::string &text)
+{
+    static std::uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (char ch : text) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^
+              (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+bool
+jsonField(const std::string &object, const std::string &key,
+          std::string &out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = object.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < object.size() && object[pos] == ' ')
+        ++pos;
+    if (pos >= object.size())
+        return false;
+    if (object[pos] == '"') {
+        std::size_t close = object.find('"', pos + 1);
+        if (close == std::string::npos)
+            return false;
+        out = object.substr(pos + 1, close - pos - 1);
+        return true;
+    }
+    std::size_t end = object.find_first_of(",}", pos);
+    if (end == std::string::npos)
+        return false;
+    out = object.substr(pos, end - pos);
+    return !out.empty();
+}
+
+bool
+validRowPayload(const std::string &object)
+{
+    if (object.size() < 2 || object.front() != '{' ||
+        object.back() != '}')
+        return false;
+    // Flat object: no interior braces and exactly one line.
+    if (object.find('{', 1) != std::string::npos ||
+        object.find('}') != object.size() - 1 ||
+        object.find('\n') != std::string::npos)
+        return false;
+    std::string job;
+    std::string status;
+    return jsonField(object, "job", job) && !job.empty() &&
+           jsonField(object, "status", status) &&
+           (status == "done" || status == "failed");
+}
+
+namespace {
+
+constexpr const char *crcPrefix = ",\"crc\":\"";
+
+/** Validate one physical line; payload (crc stripped) on success. */
+bool
+validateLine(const std::string &line, std::string &payload)
+{
+    // The line ends ,"crc":"xxxxxxxx"} -- an 18-byte suffix.
+    const std::size_t suffix = std::strlen(crcPrefix) + 10;
+    if (line.size() < suffix + 2)
+        return false;
+    std::size_t tail = line.size() - suffix;
+    if (line.compare(tail, std::strlen(crcPrefix), crcPrefix) != 0 ||
+        line.back() != '}' || line[line.size() - 2] != '"')
+        return false;
+    std::uint32_t stored = 0;
+    for (std::size_t i = tail + std::strlen(crcPrefix);
+         i < line.size() - 2; ++i) {
+        char c = line[i];
+        std::uint32_t digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint32_t>(c - 'a' + 10);
+        else
+            return false;
+        stored = (stored << 4) | digit;
+    }
+    payload = line.substr(0, tail) + "}";
+    return crc32(payload) == stored && validRowPayload(payload);
+}
+
+} // namespace
+
+std::vector<JournalRow>
+readJournal(const std::string &path, JournalRecovery &recovery)
+{
+    recovery = JournalRecovery{};
+    std::vector<JournalRow> rows;
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return rows;
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();  // truncated tail: no newline
+        if (eol > pos)
+            lines.push_back(text.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+    recovery.lines = lines.size();
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        JournalRow row;
+        if (!validateLine(lines[i], row.payload)) {
+            if (i + 1 == lines.size()) {
+                // The expected crash artifact: a row the dying writer
+                // never finished. Losing it is the "at most one row"
+                // contract working as intended.
+                ++recovery.droppedTail;
+            } else {
+                ++recovery.droppedCorrupt;
+                dsp_warn("journal %s: dropping corrupt row %zu of %zu",
+                         path.c_str(), i + 1, lines.size());
+            }
+            continue;
+        }
+        jsonField(row.payload, "job", row.job);
+        jsonField(row.payload, "status", row.status);
+        rows.push_back(std::move(row));
+    }
+
+    // Per job id: the first "done" row wins; "failed" survives only
+    // when no "done" row ever landed (a later resume may complete a
+    // previously failed job -- its fresh "done" row supersedes).
+    std::vector<JournalRow> resolved;
+    for (JournalRow &row : rows) {
+        JournalRow *existing = nullptr;
+        for (JournalRow &r : resolved) {
+            if (r.job == row.job) {
+                existing = &r;
+                break;
+            }
+        }
+        if (existing == nullptr) {
+            resolved.push_back(std::move(row));
+            continue;
+        }
+        ++recovery.duplicates;
+        if (existing->status != "done" && row.status == "done")
+            *existing = std::move(row);
+    }
+    recovery.rows = resolved.size();
+    return resolved;
+}
+
+Journal::Journal(const std::string &path, bool fsyncRows)
+    : path_(path), fsyncRows_(fsyncRows)
+{
+    // Crash repair before appending: a writer that died mid-row left
+    // an unterminated tail line. Appending onto it would glue the next
+    // row into the garbage and corrupt BOTH rows, so chop the file
+    // back to its last complete line first (readJournal would have
+    // dropped the partial tail anyway -- this just keeps it from
+    // poisoning a fresh row).
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::string text;
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        if (!text.empty() && text.back() != '\n') {
+            std::size_t keep = text.rfind('\n');
+            keep = keep == std::string::npos ? 0 : keep + 1;
+            dsp_warn("journal %s: truncating %zu-byte partial tail "
+                     "row left by a dead writer",
+                     path.c_str(), text.size() - keep);
+            if (truncate(path.c_str(),
+                         static_cast<off_t>(keep)) != 0) {
+                dsp_fatal("journal '%s': cannot truncate partial "
+                          "tail",
+                          path.c_str());
+            }
+        }
+    }
+
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        dsp_fatal("cannot open journal '%s' for append", path.c_str());
+}
+
+Journal::~Journal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+Journal::append(const std::string &payload)
+{
+    dsp_assert(validRowPayload(payload),
+               "journal row is not a valid flat JSON object: %.120s",
+               payload.c_str());
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", crc32(payload));
+    std::string line = payload.substr(0, payload.size() - 1);
+    line += crcPrefix;
+    line += crc;
+    line += "\"}\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        dsp_fatal("journal '%s': write failed", path_.c_str());
+    }
+    if (fsyncRows_)
+        fsync(fileno(file_));
+}
+
+std::string
+aggregateTable(const std::vector<JournalRow> &rows)
+{
+    // The deterministic figure statistics a row may carry; host-side
+    // fields (wall_ms, attempt, exit/term bookkeeping) are excluded
+    // by not being listed.
+    static const char *fields[] = {
+        "instructions", "misses",     "retries",
+        "upgrades",     "cache_to_cache", "traffic_bytes",
+        "avg_miss_latency_ns", "runtime_ms",
+    };
+
+    std::vector<const JournalRow *> sorted;
+    sorted.reserve(rows.size());
+    for (const JournalRow &row : rows)
+        sorted.push_back(&row);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const JournalRow *a, const JournalRow *b) {
+                  return a->job < b->job;
+              });
+
+    std::string out = "# sweep aggregate v1\n";
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    unsigned long long sumMisses = 0;
+    unsigned long long sumTraffic = 0;
+    for (const JournalRow *row : sorted) {
+        out += row->status == "done" ? "done   " : "FAILED ";
+        out += row->job;
+        if (row->status == "done") {
+            ++done;
+            for (const char *field : fields) {
+                std::string v;
+                if (jsonField(row->payload, field, v)) {
+                    out += " ";
+                    out += field;
+                    out += "=";
+                    out += v;
+                }
+            }
+            std::string v;
+            if (jsonField(row->payload, "misses", v))
+                sumMisses += std::strtoull(v.c_str(), nullptr, 10);
+            if (jsonField(row->payload, "traffic_bytes", v))
+                sumTraffic += std::strtoull(v.c_str(), nullptr, 10);
+        } else {
+            ++failed;
+        }
+        out += "\n";
+    }
+    char totals[160];
+    std::snprintf(totals, sizeof(totals),
+                  "totals jobs=%zu done=%zu failed=%zu misses=%llu "
+                  "traffic_bytes=%llu\n",
+                  sorted.size(), done, failed, sumMisses, sumTraffic);
+    out += totals;
+    return out;
+}
+
+} // namespace sweep
+} // namespace dsp

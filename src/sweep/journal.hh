@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Append-only JSON-lines result journal with per-row checksums.
+ *
+ * Each completed (or permanently failed) job appends exactly one line:
+ * a flat JSON object whose last member is "crc", the CRC-32 (hex) of
+ * the serialized object *without* the crc member. Rows are flushed and
+ * fsync'd as they land, so a dying sweep loses at most the row being
+ * written -- and a truncated or corrupt tail line fails its checksum
+ * and is dropped on the next read instead of poisoning the resume.
+ *
+ * Resume contract: readJournal() returns the surviving rows plus a
+ * recovery report; per job id the first "done" row wins (a "failed"
+ * row is superseded by any "done" row from a later resume). A sweep
+ * re-runs exactly the jobs without a winning "done" row, so a fresh
+ * run and a crash+resume run of the same config end with identical
+ * aggregate tables (the simulator is bit-deterministic per job).
+ */
+
+#ifndef DSP_SWEEP_JOURNAL_HH
+#define DSP_SWEEP_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dsp {
+namespace sweep {
+
+/** CRC-32 (IEEE, reflected 0xEDB88320) of `text`. */
+std::uint32_t crc32(const std::string &text);
+
+/** One surviving journal row. */
+struct JournalRow {
+    std::string payload;  ///< the JSON object, crc member stripped
+    std::string job;      ///< "job" field
+    std::string status;   ///< "status" field ("done" | "failed")
+};
+
+/** What readJournal() recovered (and skipped). */
+struct JournalRecovery {
+    std::size_t lines = 0;          ///< physical lines seen
+    std::size_t rows = 0;           ///< rows surviving validation
+    std::size_t droppedTail = 0;    ///< truncated/corrupt final line
+    std::size_t droppedCorrupt = 0; ///< bad-checksum interior lines
+    std::size_t duplicates = 0;     ///< rows superseded per job id
+};
+
+/**
+ * Extract a top-level string or raw-literal member from a flat JSON
+ * object produced by this subsystem (no nested objects; strings have
+ * no escaped quotes). Returns false if absent.
+ */
+bool jsonField(const std::string &object, const std::string &key,
+               std::string &out);
+
+/** True when `object` looks like exactly one flat JSON object with
+ *  the required "job" and "status" string members. */
+bool validRowPayload(const std::string &object);
+
+/**
+ * Read and validate a journal. Missing file = empty journal. Rows
+ * failing checksum are dropped (tail rows silently -- that is the
+ * normal crash artifact -- interior rows with a warning); duplicate
+ * job ids are resolved done-first (see file comment).
+ */
+std::vector<JournalRow> readJournal(const std::string &path,
+                                    JournalRecovery &recovery);
+
+/** Append-side handle. */
+class Journal
+{
+  public:
+    /** Open for appending (creating the file if needed); fatal if the
+     *  path is unwritable. `fsyncRows` trades row durability for
+     *  speed (tests disable it). */
+    explicit Journal(const std::string &path, bool fsyncRows = true);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Append one row. `payload` must be a flat JSON object (validated
+     * with validRowPayload); the crc member is added here. Flushes
+     * (and fsyncs) before returning: once append() returns, the row
+     * survives any parent crash.
+     */
+    void append(const std::string &payload);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    bool fsyncRows_ = true;
+};
+
+/**
+ * The deterministic aggregate table over a journal's surviving rows:
+ * one line per job in job-id order with the figure statistics copied
+ * textually from the row (host-side fields like wall_ms are excluded),
+ * plus integer totals. Two sweeps of the same config -- fresh or
+ * crash+resumed, any concurrency -- produce byte-identical tables.
+ */
+std::string aggregateTable(const std::vector<JournalRow> &rows);
+
+} // namespace sweep
+} // namespace dsp
+
+#endif // DSP_SWEEP_JOURNAL_HH

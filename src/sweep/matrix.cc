@@ -1,0 +1,134 @@
+#include "sweep/matrix.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace sweep {
+
+std::string
+JobSpec::id() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "workload=%s protocol=%s policy=%s cpu=%s nodes=%u seed=%llu "
+        "scale=%.4f threads=%u warmup_misses=%llu warmup_instr=%llu "
+        "measure_instr=%llu",
+        workload.c_str(), protocol.c_str(), policy.c_str(),
+        cpu.c_str(), nodes, static_cast<unsigned long long>(seed),
+        scale, threads,
+        static_cast<unsigned long long>(warmupMisses),
+        static_cast<unsigned long long>(warmupInstr),
+        static_cast<unsigned long long>(measureInstr));
+    return buf;
+}
+
+std::uint64_t
+JobSpec::idHash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : id()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace {
+
+std::uint64_t
+parseUnsigned(const std::string &key, const std::string &text,
+              std::uint64_t lo, std::uint64_t hi)
+{
+    double v = 0.0;
+    if (!evalArithmetic(text, v) || v != std::floor(v) ||
+        v < static_cast<double>(lo) || v > static_cast<double>(hi)) {
+        dsp_fatal("sweep axis %s: '%s' is not an integer in [%llu, "
+                  "%llu]",
+                  key.c_str(), text.c_str(),
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+void
+checkOneOf(const std::string &key, const std::string &v,
+           std::initializer_list<const char *> allowed)
+{
+    for (const char *a : allowed) {
+        if (v == a)
+            return;
+    }
+    std::string list;
+    for (const char *a : allowed) {
+        if (!list.empty())
+            list += ", ";
+        list += a;
+    }
+    dsp_fatal("sweep axis %s: '%s' (expected one of: %s)", key.c_str(),
+              v.c_str(), list.c_str());
+}
+
+} // namespace
+
+std::vector<JobSpec>
+expandMatrix(const SweepConfig &config)
+{
+    JobSpec base;
+    base.warmupMisses =
+        config.valueUnsigned("warmup_misses", base.warmupMisses);
+    base.warmupInstr =
+        config.valueUnsigned("warmup_instr", base.warmupInstr);
+    base.measureInstr =
+        config.valueUnsigned("measure_instr", base.measureInstr);
+
+    std::vector<std::string> workloads =
+        config.values("workload", base.workload);
+    std::vector<std::string> protocols =
+        config.values("protocol", base.protocol);
+    std::vector<std::string> policies =
+        config.values("policy", base.policy);
+    std::vector<std::string> cpus = config.values("cpu", base.cpu);
+    std::vector<std::string> nodes = config.values("nodes", "16");
+    std::vector<std::string> seeds = config.values("seed", "1");
+    std::vector<std::string> scales = config.values("scale", "0.25");
+    std::vector<std::string> threads = config.values("threads", "1");
+
+    std::vector<JobSpec> jobs;
+    for (const std::string &wl : workloads)
+    for (const std::string &proto : protocols)
+    for (const std::string &pol : policies)
+    for (const std::string &cpu : cpus)
+    for (const std::string &n : nodes)
+    for (const std::string &seed : seeds)
+    for (const std::string &scale : scales)
+    for (const std::string &thr : threads) {
+        JobSpec job = base;
+        job.workload = wl;
+        job.protocol = proto;
+        checkOneOf("protocol", proto,
+                   {"snooping", "directory", "multicast"});
+        job.policy = pol;
+        job.cpu = cpu;
+        checkOneOf("cpu", cpu, {"simple", "detailed"});
+        job.nodes = static_cast<std::uint32_t>(
+            parseUnsigned("nodes", n, 2, 64));
+        job.seed = parseUnsigned("seed", seed, 0, ~0ull);
+        double sc = 0.0;
+        if (!evalArithmetic(scale, sc) || sc <= 0.0)
+            dsp_fatal("sweep axis scale: '%s' is not positive",
+                      scale.c_str());
+        job.scale = sc;
+        job.threads = static_cast<std::uint32_t>(
+            parseUnsigned("threads", thr, 1, 64));
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+} // namespace sweep
+} // namespace dsp

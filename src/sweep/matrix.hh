@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sweep job matrix: the cross-product of a config's axis lists,
+ * expanded into one JobSpec per point with a stable canonical id.
+ *
+ * Axis keys (each may be a list): workload, protocol, policy, nodes,
+ * seed, scale, cpu, threads. Scalar keys (shared by every job):
+ * warmup_misses, warmup_instr, measure_instr. Expansion order is the
+ * fixed axis order above, innermost last, so job ids and matrix order
+ * are independent of the order keys appear in the file.
+ */
+
+#ifndef DSP_SWEEP_MATRIX_HH
+#define DSP_SWEEP_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/config.hh"
+
+namespace dsp {
+namespace sweep {
+
+/** One fully resolved simulation job. */
+struct JobSpec {
+    std::string workload = "barnes";
+    std::string protocol = "multicast";  ///< snooping|directory|multicast
+    std::string policy = "owner-group";
+    std::string cpu = "simple";          ///< simple|detailed
+    std::uint32_t nodes = 16;
+    std::uint64_t seed = 1;
+    double scale = 0.25;
+    std::uint32_t threads = 1;           ///< kernel shards per job
+    std::uint64_t warmupMisses = 10000;
+    std::uint64_t warmupInstr = 10000;
+    std::uint64_t measureInstr = 100000;
+
+    /**
+     * Canonical identity: every axis value in fixed order. This is
+     * the journal's resume key, so it must be a pure function of the
+     * simulation-relevant parameters (scalar run-length keys included:
+     * changing them invalidates old rows).
+     */
+    std::string id() const;
+
+    /** FNV-1a of id(): the fault-injection and shard keys. */
+    std::uint64_t idHash() const;
+};
+
+/** Expand the config's cross-product (fatal on invalid axis values). */
+std::vector<JobSpec> expandMatrix(const SweepConfig &config);
+
+} // namespace sweep
+} // namespace dsp
+
+#endif // DSP_SWEEP_MATRIX_HH

@@ -1,0 +1,70 @@
+#include "sweep/sim_job.hh"
+
+#include <cstdio>
+
+#include "core/factory.hh"
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workload/presets.hh"
+
+namespace dsp {
+namespace sweep {
+
+namespace {
+
+ProtocolKind
+parseProtocol(const std::string &name)
+{
+    if (name == "snooping")
+        return ProtocolKind::Snooping;
+    if (name == "directory")
+        return ProtocolKind::Directory;
+    if (name == "multicast")
+        return ProtocolKind::Multicast;
+    dsp_fatal("unknown protocol '%s'", name.c_str());
+}
+
+} // namespace
+
+std::string
+runSimJob(const JobSpec &spec)
+{
+    auto workload = makeWorkload(spec.workload, spec.nodes, spec.seed,
+                                 spec.scale);
+
+    SystemParams params;
+    params.nodes = spec.nodes;
+    params.protocol = parseProtocol(spec.protocol);
+    params.policy = parsePredictorPolicy(spec.policy);
+    params.cpuModel = spec.cpu == "detailed" ? CpuModel::Detailed
+                                             : CpuModel::Simple;
+    params.shards = spec.threads;
+    params.functionalWarmupMisses = spec.warmupMisses;
+    params.warmupInstrPerCpu = spec.warmupInstr;
+    params.measureInstrPerCpu = spec.measureInstr;
+
+    System system(*workload, params);
+    SystemStats stats = system.run();
+
+    char row[768];
+    std::snprintf(
+        row, sizeof(row),
+        "{\"job\":\"%s\",\"status\":\"done\","
+        "\"instructions\":%llu,\"misses\":%llu,\"retries\":%llu,"
+        "\"upgrades\":%llu,\"cache_to_cache\":%llu,"
+        "\"traffic_bytes\":%llu,\"avg_miss_latency_ns\":%.6f,"
+        "\"runtime_ms\":%.3f,\"wall_ms\":%.1f}",
+        spec.id().c_str(),
+        static_cast<unsigned long long>(stats.instructions),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.upgrades),
+        static_cast<unsigned long long>(stats.cacheToCache),
+        static_cast<unsigned long long>(stats.trafficBytes),
+        stats.avgMissLatencyNs, stats.runtimeMs(),
+        stats.wallSeconds * 1000.0);
+    return row;
+}
+
+} // namespace sweep
+} // namespace dsp

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The production job body: run one System simulation for a JobSpec
+ * and serialize its deterministic figure statistics as a journal row.
+ */
+
+#ifndef DSP_SWEEP_SIM_JOB_HH
+#define DSP_SWEEP_SIM_JOB_HH
+
+#include <string>
+
+#include "sweep/matrix.hh"
+
+namespace dsp {
+namespace sweep {
+
+/**
+ * Build the workload and System described by `spec`, run it, and
+ * return the result row (flat JSON, "status":"done"). Every
+ * aggregated field is bit-deterministic for a given spec -- the
+ * simulator's determinism contract -- which is what makes fresh and
+ * crash-resumed sweeps aggregate identically. Host-dependent wall
+ * time is included as wall_ms but excluded from aggregation.
+ *
+ * Runs in the worker child; fatal errors become nonzero child exits.
+ */
+std::string runSimJob(const JobSpec &spec);
+
+} // namespace sweep
+} // namespace dsp
+
+#endif // DSP_SWEEP_SIM_JOB_HH

@@ -1,0 +1,396 @@
+#include "sweep/supervisor.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+
+#include "sim/interrupt.hh"
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsUntil(Clock::time_point t)
+{
+    return std::chrono::duration<double>(t - Clock::now()).count();
+}
+
+/** One queued attempt. */
+struct PendingAttempt {
+    std::size_t jobIndex;
+    unsigned attempt;
+    Clock::time_point notBefore;
+};
+
+/** One live worker. */
+struct Worker {
+    pid_t pid = -1;
+    std::size_t jobIndex = 0;
+    unsigned attempt = 1;
+    int pipeFd = -1;
+    std::string output;
+    Clock::time_point deadline;
+    bool timedOut = false;
+};
+
+/**
+ * Worker-child main: enact the planned fault or run the body, write
+ * the result row to `fd`, and _exit without touching parent state
+ * (no atexit handlers, no stdio flush of inherited buffers).
+ */
+[[noreturn]] void
+workerChild(const JobSpec &spec, const JobBody &body,
+            FaultAction fault, int fd)
+{
+    signal(SIGINT, SIG_DFL);
+    signal(SIGTERM, SIG_DFL);
+
+    switch (fault) {
+      case FaultAction::Crash:
+        std::abort();
+      case FaultAction::Hang:
+        for (;;)
+            sleep(1);  // the parent watchdog SIGKILLs us
+      case FaultAction::Garbage: {
+        // A torn row: syntactically broken, no terminator. The parent
+        // must reject it and count a failed attempt.
+        const char torn[] = "{\"job\":\"gar";
+        (void)!write(fd, torn, sizeof(torn) - 1);
+        _exit(0);
+      }
+      case FaultAction::None:
+        break;
+    }
+
+    std::string row;
+    try {
+        row = body(spec);
+    } catch (...) {
+        _exit(3);
+    }
+    std::size_t off = 0;
+    while (off < row.size()) {
+        ssize_t n = write(fd, row.data() + off, row.size() - off);
+        if (n <= 0)
+            _exit(4);
+        off += static_cast<std::size_t>(n);
+    }
+    _exit(0);
+}
+
+} // namespace
+
+Supervisor::Supervisor(const std::string &journal_path,
+                       const SupervisorOptions &options)
+    : journalPath_(journal_path), options_(options)
+{
+    dsp_assert(options_.concurrency >= 1 && options_.maxAttempts >= 1,
+               "bad supervisor options");
+}
+
+SweepSummary
+Supervisor::run(const std::vector<JobSpec> &jobs, const JobBody &body,
+                const FaultPlan &faults)
+{
+    SweepSummary summary;
+    summary.jobs = jobs.size();
+
+    // Resume: a winning "done" row settles its job for good.
+    JournalRecovery recovery;
+    std::vector<JournalRow> rows = readJournal(journalPath_, recovery);
+    if (recovery.droppedTail + recovery.droppedCorrupt > 0) {
+        dsp_warn("journal %s: dropped %zu corrupt row(s) (%zu at the "
+                 "tail) during recovery",
+                 journalPath_.c_str(),
+                 recovery.droppedTail + recovery.droppedCorrupt,
+                 recovery.droppedTail);
+    }
+
+    std::deque<PendingAttempt> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        bool done = false;
+        for (const JournalRow &row : rows) {
+            if (row.job == jobs[i].id() && row.status == "done") {
+                done = true;
+                break;
+            }
+        }
+        if (done)
+            ++summary.skipped;
+        else
+            pending.push_back({i, 1, Clock::now()});
+    }
+
+    Journal journal(journalPath_, options_.fsyncRows);
+    std::vector<Worker> running;
+    unsigned concurrency = options_.concurrency;
+    unsigned faultStreak = 0;
+
+    auto journalFailure = [&](const Worker &w, int status,
+                              const char *reason) {
+        const JobSpec &spec = jobs[w.jobIndex];
+        char row[640];
+        std::snprintf(
+            row, sizeof(row),
+            "{\"job\":\"%s\",\"status\":\"failed\",\"attempts\":%u,"
+            "\"reason\":\"%s\",\"exit_code\":%d,\"term_signal\":%d}",
+            spec.id().c_str(), w.attempt, reason,
+            WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+            WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+        journal.append(row);
+        ++summary.failed;
+        dsp_warn("sweep job failed permanently after %u attempt(s) "
+                 "(%s): %s",
+                 w.attempt, reason, spec.id().c_str());
+    };
+
+    auto spawn = [&](const PendingAttempt &att) -> bool {
+        const JobSpec &spec = jobs[att.jobIndex];
+        FaultAction fault =
+            faults.decide(spec.idHash(), att.attempt);
+        int fds[2];
+        if (pipe(fds) != 0) {
+            dsp_warn("sweep: pipe() failed (%s)",
+                     std::strerror(errno));
+            return false;
+        }
+        pid_t pid = fork();
+        if (pid < 0) {
+            dsp_warn("sweep: fork() failed (%s)",
+                     std::strerror(errno));
+            close(fds[0]);
+            close(fds[1]);
+            return false;
+        }
+        if (pid == 0) {
+            close(fds[0]);
+            workerChild(spec, body, fault, fds[1]);
+        }
+        close(fds[1]);
+        // Non-blocking reads: the drain loops stop at EAGAIN instead
+        // of ever waiting on a live-but-quiet worker.
+        fcntl(fds[0], F_SETFL, O_NONBLOCK);
+        Worker w;
+        w.pid = pid;
+        w.jobIndex = att.jobIndex;
+        w.attempt = att.attempt;
+        w.pipeFd = fds[0];
+        w.deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options_.timeoutSeconds));
+        running.push_back(std::move(w));
+        ++summary.launched;
+        if (att.attempt > 1)
+            ++summary.retries;
+        return true;
+    };
+
+    auto killAll = [&]() {
+        for (Worker &w : running) {
+            kill(w.pid, SIGKILL);
+            int status = 0;
+            waitpid(w.pid, &status, 0);
+            close(w.pipeFd);
+        }
+        running.clear();
+    };
+
+    while (!pending.empty() || !running.empty()) {
+        if (interruptRequested()) {
+            // Flushed rows are already durable; in-flight workers are
+            // the "at most one row each" loss the journal tolerates.
+            dsp_warn("sweep interrupted (signal %d): killing %zu "
+                     "worker(s), journal retained at %s",
+                     interruptSignal(), running.size(),
+                     journalPath_.c_str());
+            killAll();
+            summary.interrupted = true;
+            break;
+        }
+
+        // Launch while the pool has room and a backoff has expired.
+        Clock::time_point next_launch = Clock::time_point::max();
+        for (std::size_t scan = 0;
+             running.size() < concurrency && scan < pending.size();) {
+            PendingAttempt att = pending[scan];
+            if (att.notBefore > Clock::now()) {
+                next_launch = std::min(next_launch, att.notBefore);
+                ++scan;
+                continue;
+            }
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(scan));
+            if (!spawn(att)) {
+                // Pool-level fault (fork/pipe exhaustion): degrade --
+                // shrink the pool and back the job off without
+                // charging an attempt.
+                if (concurrency > 1) {
+                    --concurrency;
+                    dsp_warn("sweep: degrading pool to %u worker(s)",
+                             concurrency);
+                }
+                att.notBefore =
+                    Clock::now() +
+                    std::chrono::milliseconds(
+                        static_cast<long>(1000 *
+                                          options_.backoffSeconds));
+                pending.push_back(att);
+                break;
+            }
+        }
+
+        if (running.empty()) {
+            if (pending.empty())
+                break;
+            // Every queued attempt is inside its backoff window.
+            double wait = next_launch == Clock::time_point::max()
+                              ? 0.01
+                              : secondsUntil(next_launch);
+            poll(nullptr, 0,
+                 std::max(1, static_cast<int>(wait * 1000)));
+            continue;
+        }
+
+        // Wait for output, a death, a deadline, or an interrupt
+        // (bounded so the flag is polled at least every 200 ms).
+        std::vector<pollfd> fds;
+        fds.reserve(running.size());
+        for (Worker &w : running)
+            fds.push_back(pollfd{w.pipeFd, POLLIN, 0});
+        int timeout_ms = 200;
+        for (Worker &w : running) {
+            double until = secondsUntil(w.deadline);
+            timeout_ms = std::min(
+                timeout_ms,
+                std::max(1, static_cast<int>(until * 1000)));
+        }
+        poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+        for (std::size_t i = 0; i < running.size(); ++i) {
+            if (fds[i].revents & (POLLIN | POLLHUP)) {
+                char buf[4096];
+                ssize_t n = 0;
+                while ((n = read(running[i].pipeFd, buf,
+                                 sizeof(buf))) > 0) {
+                    running[i].output.append(
+                        buf, static_cast<std::size_t>(n));
+                    if (n < static_cast<ssize_t>(sizeof(buf)))
+                        break;
+                }
+            }
+        }
+
+        // Watchdog: SIGKILL anything past its wall-clock budget.
+        for (Worker &w : running) {
+            if (!w.timedOut && Clock::now() > w.deadline) {
+                dsp_warn("sweep watchdog: job exceeded %.1fs, "
+                         "killing pid %d (attempt %u): %s",
+                         options_.timeoutSeconds,
+                         static_cast<int>(w.pid), w.attempt,
+                         jobs[w.jobIndex].id().c_str());
+                kill(w.pid, SIGKILL);
+                w.timedOut = true;
+                ++summary.timeouts;
+            }
+        }
+
+        // Reap and evaluate.
+        for (std::size_t i = 0; i < running.size();) {
+            Worker &w = running[i];
+            int status = 0;
+            pid_t reaped = waitpid(w.pid, &status, WNOHANG);
+            if (reaped == 0) {
+                ++i;
+                continue;
+            }
+            // Drain anything written between the last poll and death.
+            char buf[4096];
+            ssize_t n = 0;
+            while ((n = read(w.pipeFd, buf, sizeof(buf))) > 0)
+                w.output.append(buf, static_cast<std::size_t>(n));
+            close(w.pipeFd);
+
+            const JobSpec &spec = jobs[w.jobIndex];
+            std::string job_field;
+            std::string status_field;
+            bool clean = WIFEXITED(status) &&
+                         WEXITSTATUS(status) == 0 && !w.timedOut;
+            bool valid =
+                clean && validRowPayload(w.output) &&
+                jsonField(w.output, "job", job_field) &&
+                job_field == spec.id() &&
+                jsonField(w.output, "status", status_field) &&
+                status_field == "done";
+            if (valid) {
+                // The parent owns attempt bookkeeping; inject it so
+                // the journal tells the retry story per row.
+                char attempt[32];
+                std::snprintf(attempt, sizeof(attempt),
+                              ",\"attempt\":%u}", w.attempt);
+                std::string row =
+                    w.output.substr(0, w.output.size() - 1) + attempt;
+                journal.append(row);
+                ++summary.completed;
+                faultStreak = 0;
+            } else {
+                const char *reason =
+                    w.timedOut ? "timeout"
+                    : !clean   ? (WIFSIGNALED(status) ? "signal"
+                                                      : "exit")
+                               : "invalid-row";
+                if (clean && !valid)
+                    ++summary.invalidRows;
+                ++faultStreak;
+                if (faultStreak >= options_.degradeStreak &&
+                    concurrency > 1) {
+                    --concurrency;
+                    faultStreak = 0;
+                    dsp_warn("sweep: repeated faults, degrading pool "
+                             "to %u worker(s)",
+                             concurrency);
+                }
+                if (w.attempt < options_.maxAttempts) {
+                    double backoff =
+                        options_.backoffSeconds *
+                        static_cast<double>(1u << (w.attempt - 1));
+                    pending.push_back(
+                        {w.jobIndex, w.attempt + 1,
+                         Clock::now() +
+                             std::chrono::duration_cast<
+                                 Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     backoff))});
+                    dsp_warn("sweep: attempt %u failed (%s), retrying "
+                             "in %.2fs: %s",
+                             w.attempt, reason, backoff,
+                             spec.id().c_str());
+                } else {
+                    journalFailure(w, status, reason);
+                }
+            }
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        }
+    }
+
+    summary.finalConcurrency = concurrency;
+    return summary;
+}
+
+} // namespace sweep
+} // namespace dsp

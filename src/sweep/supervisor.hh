@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Crash-tolerant supervised job pool for simulation-farm sweeps.
+ *
+ * Each job runs in a fork()ed worker process (inheriting the parent's
+ * read-only workload/config state for free) and reports its result
+ * row through a pipe; the parent validates the row and appends it to
+ * the journal. Robustness machinery, in order of escalation:
+ *
+ *  - watchdog: a worker exceeding the per-job wall-clock budget is
+ *    SIGKILLed and the attempt counts as failed;
+ *  - retry with exponential backoff: failed attempts are re-queued
+ *    (backoff * 2^(attempt-1)) up to the attempt budget;
+ *  - graceful degradation: a job that exhausts its budget is recorded
+ *    as a "failed" journal row -- with its exit status or fatal
+ *    signal -- and the sweep continues; a streak of pool-level faults
+ *    shrinks the worker pool instead of aborting the sweep;
+ *  - resume: jobs with a winning "done" row in the journal are
+ *    skipped, so re-running the same config finishes the matrix.
+ *
+ * SIGINT/SIGTERM (via sim/interrupt.hh, polled between poll() waits):
+ * running workers are killed, nothing further is launched, the journal
+ * keeps every already-flushed row, and run() returns with
+ * `interrupted` set so the driver can exit with interruptExitCode.
+ */
+
+#ifndef DSP_SWEEP_SUPERVISOR_HH
+#define DSP_SWEEP_SUPERVISOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/fault_inject.hh"
+#include "sweep/journal.hh"
+#include "sweep/matrix.hh"
+
+namespace dsp {
+namespace sweep {
+
+struct SupervisorOptions {
+    unsigned concurrency = 4;      ///< worker pool size (>= 1)
+    double timeoutSeconds = 300.0; ///< per-attempt wall-clock budget
+    unsigned maxAttempts = 3;      ///< attempts before a failed row
+    double backoffSeconds = 0.05;  ///< retry backoff base (doubles)
+    /** Consecutive failed attempts (across jobs, no success between)
+     *  that shrink the pool by one worker. */
+    unsigned degradeStreak = 4;
+    bool fsyncRows = true;         ///< fsync the journal per row
+};
+
+struct SweepSummary {
+    std::size_t jobs = 0;       ///< matrix size handed to run()
+    std::size_t skipped = 0;    ///< resumed: already done in journal
+    std::size_t completed = 0;  ///< done rows appended by this run
+    std::size_t failed = 0;     ///< failed rows appended by this run
+    std::size_t launched = 0;   ///< worker processes forked
+    std::size_t retries = 0;    ///< attempts after the first
+    std::size_t timeouts = 0;   ///< watchdog SIGKILLs
+    std::size_t invalidRows = 0;///< worker results failing validation
+    unsigned finalConcurrency = 0;
+    bool interrupted = false;
+
+    bool
+    allDone() const
+    {
+        return !interrupted && failed == 0 &&
+               skipped + completed == jobs;
+    }
+};
+
+/**
+ * The job body, run *in the worker child*: returns the result row as
+ * a flat JSON object that must carry "job": the spec's canonical id
+ * and "status": "done" (see Journal). Exceptions and dsp_fatal in the
+ * body become nonzero child exits, i.e. failed attempts.
+ */
+using JobBody = std::function<std::string(const JobSpec &)>;
+
+class Supervisor
+{
+  public:
+    Supervisor(const std::string &journal_path,
+               const SupervisorOptions &options);
+
+    /**
+     * Run the matrix to completion (or interruption). Resumes from
+     * the journal at `journal_path`; appends one row per job decided
+     * this run. `faults` is consulted per (job, attempt) and enacted
+     * in the child.
+     */
+    SweepSummary run(const std::vector<JobSpec> &jobs,
+                     const JobBody &body, const FaultPlan &faults);
+
+    const std::string &journalPath() const { return journalPath_; }
+
+  private:
+    std::string journalPath_;
+    SupervisorOptions options_;
+};
+
+} // namespace sweep
+} // namespace dsp
+
+#endif // DSP_SWEEP_SUPERVISOR_HH

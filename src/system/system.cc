@@ -4,6 +4,7 @@
 
 #include "cpu/detailed_cpu.hh"
 #include "cpu/simple_cpu.hh"
+#include "sim/interrupt.hh"
 #include "sim/logging.hh"
 
 namespace dsp {
@@ -494,8 +495,14 @@ System::startPhase(std::uint64_t instructions)
 void
 System::runUntilPhaseDone(const char *phase)
 {
+    // interruptRequested() unwinds a SIGINT/SIGTERM'd run at the next
+    // window boundary: the caller sees partial (but well-formed)
+    // statistics and is responsible for flushing them as partial
+    // output. The flag is never set in normal runs, so checking it
+    // here cannot perturb the determinism contract.
     bool stopped = kernel_.run([this] {
-        return phaseDone_.load(std::memory_order_acquire);
+        return phaseDone_.load(std::memory_order_acquire) ||
+               interruptRequested();
     });
     dsp_assert(stopped,
                "%s wedged: event queues drained with CPUs still "

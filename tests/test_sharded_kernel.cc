@@ -392,5 +392,52 @@ TEST(ShardedKernel, SystemRunLeavesNoLiveEvents)
     EXPECT_EQ(MessageRef::stats().live(), msg_live_before);
 }
 
+TEST(ShardedKernel, ProgressWatchdogPanicsOnStalledCrossings)
+{
+    // injectStallForTest freezes the watchdog's executed-events
+    // baseline, so a run with plenty of pending work presents exactly
+    // like a wedged kernel: crossings advance, observed progress does
+    // not. After the (lowered) crossing limit the planner must dump
+    // diagnostics and panic instead of spinning forever.
+    PanicGuard guard;
+    ShardedKernel kernel(1, twoDomainMap(0, 0), kLookahead);
+    kernel.injectStallForTest(3);
+    DomainPort p1 = kernel.port(1);
+
+    // Enough events, one lookahead apart, that the queue stays
+    // nonempty past the watchdog limit even with window batching
+    // (<= 16 windows per crossing).
+    int fired = 0;
+    for (Tick t = 100; t < 100 + 100 * kLookahead; t += kLookahead)
+        p1.schedule(t, [&]() { ++fired; });
+
+    try {
+        kernel.run([] { return false; });
+        FAIL() << "stalled kernel did not panic";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("sharded kernel stalled"),
+                  std::string::npos);
+        EXPECT_NE(what.find("3 barrier crossings"),
+                  std::string::npos);
+    }
+    EXPECT_GT(fired, 0);  // the kernel really was executing work
+}
+
+TEST(ShardedKernel, ProgressWatchdogStaysQuietOnHealthyRuns)
+{
+    // The real watchdog (no freeze) must never fire on a healthy
+    // workload, even with a threshold of a single crossing --
+    // every crossing with work pending executes at least one event.
+    ShardedKernel kernel(1, twoDomainMap(0, 0), kLookahead);
+    kernel.setStallLimitForTest(1);
+    DomainPort p1 = kernel.port(1);
+    int fired = 0;
+    for (Tick t = 100; t < 100 + 40 * kLookahead; t += kLookahead)
+        p1.schedule(t, [&]() { ++fired; });
+    EXPECT_FALSE(kernel.run([] { return false; }));
+    EXPECT_EQ(fired, 40);
+}
+
 } // namespace
 } // namespace dsp
