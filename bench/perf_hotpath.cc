@@ -25,6 +25,15 @@
  *   --nodes N      processors (default 16)
  *   --seed S       RNG seed (default 1)
  *   --out FILE     JSON output path (default BENCH_hotpath.json)
+ *   --oracle       shadow every run with the coherence oracle
+ *   --mutate M     inject protocol mutation M (implies --oracle);
+ *                  the run must die with exit 77 and a repro bundle
+ *   --stop-at T    stop at the first window boundary at/after tick T
+ *                  (replays a repro bundle up to its violation)
+ *
+ * Oracle-shadowed runs are slower by design, so without an explicit
+ * --out they write BENCH_hotpath.oracle.json: the perf-guarded
+ * baseline only ever holds oracle-off numbers.
  *
  * SIGINT/SIGTERM stop the run at the next kernel window boundary; the
  * configs measured so far (plus the partial one, marked "partial")
@@ -45,7 +54,9 @@
 #include "sim/event.hh"
 #include "sim/interrupt.hh"
 #include "sim/logging.hh"
+#include "sim/panic_hooks.hh"
 #include "system/system.hh"
+#include "verify/violation.hh"
 #include "workload/presets.hh"
 
 namespace {
@@ -64,6 +75,9 @@ struct HotpathOptions {
     std::string out = "BENCH_hotpath.json";
     bool outExplicit = false;
     std::string onlyConfig;  ///< run just this config (profiling aid)
+    bool oracle = false;
+    verify::Mutation mutate = verify::Mutation::None;
+    std::uint64_t stopAt = 0;
 };
 
 HotpathOptions
@@ -102,11 +116,22 @@ parseArgs(int argc, char **argv)
             opt.outExplicit = true;
         } else if (arg == "--config") {
             opt.onlyConfig = next();
+        } else if (arg == "--oracle") {
+            opt.oracle = true;
+        } else if (arg == "--mutate") {
+            const char *name = next();
+            if (!verify::parseMutation(name, opt.mutate))
+                dsp_fatal("unknown mutation '%s'", name);
+            opt.oracle = true;
+        } else if (arg == "--stop-at") {
+            opt.stopAt = std::strtoull(next(), nullptr, 10);
+            opt.oracle = true;
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "options: --measure N --warmup N --workload W "
                          "--threads N --hub-shard --nodes N --seed S "
-                         "--out FILE --config NAME --repeat N\n");
+                         "--out FILE --config NAME --repeat N "
+                         "--oracle --mutate M --stop-at T\n");
             std::exit(0);
         } else {
             dsp_fatal("unknown option '%s'", arg.c_str());
@@ -149,6 +174,11 @@ struct ConfigResult {
     }
 };
 
+/** Config currently inside System::run(), for the panic hook: a
+ *  violation exits from deep inside the simulator, and the dump
+ *  should say which bench config was on the wire. */
+std::string activeConfig;
+
 ConfigResult
 runConfig(const HotpathOptions &opt, const std::string &name,
           ProtocolKind protocol, PredictorPolicy policy,
@@ -173,9 +203,26 @@ runConfig(const HotpathOptions &opt, const std::string &name,
         params.functionalWarmupMisses = opt.warmupMisses;
         params.warmupInstrPerCpu = opt.measureInstr / 10;
         params.measureInstrPerCpu = opt.measureInstr;
+        params.verify.oracle = opt.oracle;
+        params.verify.mutation = opt.mutate;
+        params.verify.stopAtTick = opt.stopAt;
 
+        activeConfig = name;
         System system(*workload, params);
         SystemStats stats = system.run();
+        activeConfig.clear();
+
+        if (stats.stoppedEarly) {
+            // --stop-at halted the run at a window boundary; the
+            // stats cover a prefix of the simulation, same contract
+            // as an interrupt.
+            result.name = name;
+            result.threads = threads;
+            result.stats = stats;
+            result.wallSeconds = stats.wallSeconds;
+            result.partial = true;
+            return result;
+        }
 
         if (interruptRequested()) {
             // The run stopped at a window boundary with partial
@@ -248,6 +295,8 @@ writeJson(const HotpathOptions &opt,
 
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_hotpath\",\n");
+    if (opt.oracle)
+        std::fprintf(f, "  \"oracle\": true,\n");
     if (interruptRequested())
         std::fprintf(f, "  \"interrupted\": true,\n");
     std::fprintf(f, "  \"workload\": \"%s\",\n",
@@ -350,6 +399,25 @@ main(int argc, char **argv)
 {
     HotpathOptions opt = parseArgs(argc, argv);
     installInterruptHandlers();
+
+    // A violation (or kernel panic) terminates from deep inside
+    // System::run(); ride the shared panic-hook chain so the dump
+    // also names the bench config that was on the wire.
+    addPanicHook("perf-hotpath", [&opt]() {
+        std::fprintf(stderr,
+                     "perf_hotpath: config '%s' workload=%s seed=%llu "
+                     "measure=%llu\n",
+                     activeConfig.empty() ? "(none)"
+                                          : activeConfig.c_str(),
+                     opt.workload.c_str(),
+                     static_cast<unsigned long long>(opt.seed),
+                     static_cast<unsigned long long>(opt.measureInstr));
+    });
+
+    // Oracle-shadowed wall clocks are slower by design; never let
+    // them overwrite the perf-guarded oracle-off baseline.
+    if (opt.oracle && !opt.outExplicit)
+        opt.out = "BENCH_hotpath.oracle.json";
 
     // The Figure-7 configs (simple CPU) plus the Figure-8 headline
     // config (detailed out-of-order CPU), so the bench covers both

@@ -158,6 +158,12 @@ main(int argc, char **argv)
                 summary.failed, summary.launched, summary.retries,
                 summary.timeouts, opt.pool.concurrency,
                 summary.finalConcurrency);
+    if (summary.violations > 0) {
+        std::printf("sweep: %zu coherence violation(s) -- each "
+                    "journaled without retries; repro bundles are on "
+                    "stderr (DSP-REPRO lines)\n",
+                    summary.violations);
+    }
 
     // The aggregate table is rebuilt from the journal every run --
     // fresh and resumed sweeps of one config produce identical bytes.

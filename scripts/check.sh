@@ -17,6 +17,12 @@
 #      a seeded fault-injection sweep must terminate with the expected
 #      failed rows, and resuming it must produce an aggregate table
 #      byte-identical to a fault-free sweep.
+#   6. coherence-oracle legs: all four bench configs shadowed by the
+#      runtime oracle must stay violation-free; an injected protocol
+#      mutation must die with exit 77 and a repro bundle whose bounded
+#      replay (--stop-at) reproduces the byte-identical violation
+#      line. The perf-guarded runs above stay oracle-off, so the
+#      events/sec bar keeps holding the oracle's zero-overhead claim.
 #
 # Bench JSONs are validated (python3, else jq, else a warning) before
 # any regression grep reads them, so a truncated or interrupted file
@@ -60,6 +66,50 @@ if ! grep -q "3 tests from 1 test suite ran" <<< "$WALK_OUT"; then
     exit 1
 fi
 echo "walk-counter invariants: L1-hit/L0/absorbed paths OK"
+
+# Coherence-oracle legs (see header item 6). Quick runs: the oracle's
+# value here is the invariants, not the throughput.
+ORACLE_JSON=build/BENCH_hotpath_oracle.json
+./build/bench_perf_hotpath --measure 20000 --warmup 5000 --oracle \
+    --out "$ORACLE_JSON" > /dev/null
+echo "oracle: all 4 configs violation-free"
+
+MUT_LOG=build/oracle_mutation.log
+rc=0
+./build/bench_perf_hotpath --measure 20000 --warmup 5000 \
+    --mutate drop-inval --config multicast-owner-group \
+    > /dev/null 2> "$MUT_LOG" || rc=$?
+if [[ "$rc" -ne 77 ]]; then
+    echo "check.sh: mutated run exited $rc, expected 77 (violation)" >&2
+    cat "$MUT_LOG" >&2
+    exit 1
+fi
+VIOLATION=$(grep -m1 '^DSP-VIOLATION ' "$MUT_LOG" || true)
+STOP_AT=$(grep -m1 -o '"stop_at":[0-9]*' "$MUT_LOG" | cut -d: -f2)
+if [[ -z "$VIOLATION" || -z "$STOP_AT" ]]; then
+    echo "check.sh: mutated run printed no violation / repro bundle" >&2
+    cat "$MUT_LOG" >&2
+    exit 1
+fi
+REPLAY_LOG=build/oracle_replay.log
+rc=0
+./build/bench_perf_hotpath --measure 20000 --warmup 5000 \
+    --mutate drop-inval --stop-at "$STOP_AT" \
+    --config multicast-owner-group > /dev/null 2> "$REPLAY_LOG" \
+    || rc=$?
+if [[ "$rc" -ne 77 ]]; then
+    echo "check.sh: bounded replay exited $rc, expected 77" >&2
+    cat "$REPLAY_LOG" >&2
+    exit 1
+fi
+REPLAYED=$(grep -m1 '^DSP-VIOLATION ' "$REPLAY_LOG" || true)
+if [[ "$VIOLATION" != "$REPLAYED" ]]; then
+    echo "check.sh: bounded replay diverged from the full run:" >&2
+    echo "  full run: $VIOLATION" >&2
+    echo "  replay:   $REPLAYED" >&2
+    exit 1
+fi
+echo "oracle: drop-inval caught (exit 77); bounded replay identical"
 
 # Small measured run: enough events for a stable events/sec figure,
 # quick enough for CI (a few seconds). --repeat 3 takes the best of

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/panic_hooks.hh"
+
 namespace dsp {
 
 namespace {
@@ -61,6 +63,9 @@ panicImpl(const char *file, int line, const std::string &msg)
     if (panicThrowsForTest())
         throw std::runtime_error(full);
     std::fprintf(stderr, "%s\n", full.c_str());
+    // Death path only (the throw path belongs to tests): give every
+    // registered diagnostic dumper one shot before the abort.
+    runPanicHooks();
     std::abort();
 }
 

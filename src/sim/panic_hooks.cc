@@ -1,0 +1,82 @@
+#include "sim/panic_hooks.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dsp {
+
+namespace {
+
+struct Hook {
+    int id;
+    std::string name;
+    std::function<void()> fn;
+};
+
+std::mutex &
+hookMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<Hook> &
+hooks()
+{
+    static std::vector<Hook> v;
+    return v;
+}
+
+int nextHookId = 1;
+std::atomic<bool> ran{false};
+
+} // namespace
+
+int
+addPanicHook(const std::string &name, std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lock(hookMutex());
+    int id = nextHookId++;
+    hooks().push_back(Hook{id, name, std::move(fn)});
+    return id;
+}
+
+void
+removePanicHook(int id)
+{
+    std::lock_guard<std::mutex> lock(hookMutex());
+    auto &v = hooks();
+    for (auto it = v.begin(); it != v.end(); ++it) {
+        if (it->id == id) {
+            v.erase(it);
+            return;
+        }
+    }
+}
+
+void
+runPanicHooks()
+{
+    // Run-once *and* recursion guard: a hook that panics re-enters
+    // here through panicImpl and must fall straight through to abort.
+    if (ran.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    // Copy under the lock, run outside it: a hook may (transitively)
+    // register/remove hooks without deadlocking. Later registrations
+    // are intentionally not picked up -- the process is dying.
+    std::vector<Hook> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(hookMutex());
+        snapshot = hooks();
+    }
+    for (const Hook &h : snapshot) {
+        std::fprintf(stderr, "panic-hook: %s\n", h.name.c_str());
+        h.fn();
+    }
+}
+
+} // namespace dsp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Process-wide panic-hook registry: diagnostic dumpers that should run
+ * once, in registration order, when the process is about to die on a
+ * panic (dsp_panic's abort path) or an abnormal driver exit.
+ *
+ * Before this registry each subsystem printed its diagnostics from its
+ * own failure path, so a sharded-kernel watchdog panic dumped kernel
+ * state but not the oracle's forensic ring, and the bench drivers'
+ * interrupt exits (75) dumped nothing at all. Registering a hook
+ * composes: the kernel registers its per-shard diagnostics, the bench
+ * driver registers the repro bundle, the oracle's report prints from
+ * the raise path -- and whichever path kills the process runs them
+ * all, exactly once.
+ *
+ * Hooks must be async-signal-unsafe-tolerant only in the sense that
+ * they run on the panicking thread with other threads possibly alive;
+ * keep them to reads + fprintf(stderr). Never panic from a hook --
+ * the run-once guard turns a recursive panic into a plain abort.
+ */
+
+#ifndef DSP_SIM_PANIC_HOOKS_HH
+#define DSP_SIM_PANIC_HOOKS_HH
+
+#include <functional>
+#include <string>
+
+namespace dsp {
+
+/** Register a named diagnostic dumper; returns an id for removal.
+ *  Hooks run in registration order. Thread-safe. */
+int addPanicHook(const std::string &name, std::function<void()> fn);
+
+/** Remove a previously registered hook (objects with shorter lifetime
+ *  than the process must remove their hooks in their destructor). */
+void removePanicHook(int id);
+
+/**
+ * Run every registered hook, once per process. The second and later
+ * calls (including reentrant calls from a hook that itself panics)
+ * return immediately, so every death path can call this defensively.
+ */
+void runPanicHooks();
+
+} // namespace dsp
+
+#endif // DSP_SIM_PANIC_HOOKS_HH

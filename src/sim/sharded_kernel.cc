@@ -1,6 +1,7 @@
 #include "sim/sharded_kernel.hh"
 
 #include "sim/logging.hh"
+#include "sim/panic_hooks.hh"
 
 namespace dsp {
 
@@ -99,10 +100,16 @@ ShardedKernel::ShardedKernel(unsigned num_shards,
     // (index bootDomain): counters advance only on the owning domain's
     // thread, so the key stream is partition-independent.
     domainSeq_.resize(bootDomain + std::size_t{1});
+
+    // Any death path (watchdog panic, oracle violation, driver abort)
+    // gets this kernel's window/shard diagnostics in its dump.
+    panicHookId_ = addPanicHook("sharded-kernel",
+                                [this]() { dumpDiagnostics(); });
 }
 
 ShardedKernel::~ShardedKernel()
 {
+    removePanicHook(panicHookId_);
     {
         std::unique_lock<std::mutex> lock(parkMutex_);
         shutdown_ = true;
@@ -295,9 +302,9 @@ ShardedKernel::checkProgress(Tick earliest)
 }
 
 void
-ShardedKernel::panicStalled(Tick earliest)
+ShardedKernel::dumpDiagnostics() const
 {
-    dsp_warn("sharded kernel stall dump: crossings=%llu windows=%llu "
+    dsp_warn("sharded kernel dump: crossings=%llu windows=%llu "
              "plan=[%llu,%llu) resume=%llu batch=%d solo=%u "
              "lookahead=%llu",
              static_cast<unsigned long long>(crossings_),
@@ -319,6 +326,14 @@ ShardedKernel::panicStalled(Tick earliest)
                  static_cast<unsigned long long>(shard.e2),
                  static_cast<unsigned long long>(shard.achievedEnd));
     }
+}
+
+void
+ShardedKernel::panicStalled(Tick earliest)
+{
+    // The window/shard dump rides the panic-hook registry (registered
+    // in the constructor), so it composes with other subsystems'
+    // dumps instead of printing only its own.
     dsp_panic("sharded kernel stalled: no events executed across %u "
               "barrier crossings with work pending (earliest tick "
               "%llu)",

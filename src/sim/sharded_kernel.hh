@@ -302,6 +302,7 @@ class ShardedKernel
     void planNext();
     void checkProgress(Tick earliest);
     [[noreturn]] void panicStalled(Tick earliest);
+    int panicHookId_ = 0;  ///< "sharded-kernel" diagnostics hook
     void drainInbox(unsigned shard, unsigned plane);
     void runBatch(Shard &mine);
     void startWorkers();
@@ -367,6 +368,13 @@ class ShardedKernel
     bool stallTestFreeze_ = false;  ///< see injectStallForTest()
 
   public:
+    /** Window/shard diagnostics (plan, per-shard clocks and queue
+     *  depths) to stderr. Registered as a panic hook, so every death
+     *  path -- watchdog panic, oracle violation, bench abort --
+     *  includes this dump. Requires quiescence (or a dying process,
+     *  where a torn read beats no dump). */
+    void dumpDiagnostics() const;
+
     /** Barrier crossings over the kernel's lifetime. */
     std::uint64_t barrierCrossings() const { return crossings_; }
 

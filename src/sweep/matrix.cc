@@ -23,7 +23,12 @@ JobSpec::id() const
         static_cast<unsigned long long>(warmupMisses),
         static_cast<unsigned long long>(warmupInstr),
         static_cast<unsigned long long>(measureInstr));
-    return buf;
+    std::string id = buf;
+    // Oracle-off ids predate the verify axis; keeping them suffix-free
+    // lets old journals resume and keeps fault-plan hashes stable.
+    if (verify != "off")
+        id += " verify=" + verify;
+    return id;
 }
 
 std::uint64_t
@@ -93,6 +98,8 @@ expandMatrix(const SweepConfig &config)
     std::vector<std::string> policies =
         config.values("policy", base.policy);
     std::vector<std::string> cpus = config.values("cpu", base.cpu);
+    std::vector<std::string> verifies =
+        config.values("verify", base.verify);
     std::vector<std::string> nodes = config.values("nodes", "16");
     std::vector<std::string> seeds = config.values("seed", "1");
     std::vector<std::string> scales = config.values("scale", "0.25");
@@ -103,6 +110,7 @@ expandMatrix(const SweepConfig &config)
     for (const std::string &proto : protocols)
     for (const std::string &pol : policies)
     for (const std::string &cpu : cpus)
+    for (const std::string &ver : verifies)
     for (const std::string &n : nodes)
     for (const std::string &seed : seeds)
     for (const std::string &scale : scales)
@@ -115,6 +123,8 @@ expandMatrix(const SweepConfig &config)
         job.policy = pol;
         job.cpu = cpu;
         checkOneOf("cpu", cpu, {"simple", "detailed"});
+        job.verify = ver;
+        checkOneOf("verify", ver, {"on", "off"});
         job.nodes = static_cast<std::uint32_t>(
             parseUnsigned("nodes", n, 2, 64));
         job.seed = parseUnsigned("seed", seed, 0, ~0ull);

@@ -28,6 +28,7 @@ struct JobSpec {
     std::string protocol = "multicast";  ///< snooping|directory|multicast
     std::string policy = "owner-group";
     std::string cpu = "simple";          ///< simple|detailed
+    std::string verify = "off";          ///< on: coherence oracle armed
     std::uint32_t nodes = 16;
     std::uint64_t seed = 1;
     double scale = 0.25;
@@ -40,7 +41,9 @@ struct JobSpec {
      * Canonical identity: every axis value in fixed order. This is
      * the journal's resume key, so it must be a pure function of the
      * simulation-relevant parameters (scalar run-length keys included:
-     * changing them invalidates old rows).
+     * changing them invalidates old rows). The verify axis appears
+     * only when armed, so every pre-existing journal (and anything
+     * keyed on the ids, e.g. fault plans) resumes unchanged.
      */
     std::string id() const;
 

@@ -42,6 +42,10 @@ runSimJob(const JobSpec &spec)
     params.functionalWarmupMisses = spec.warmupMisses;
     params.warmupInstrPerCpu = spec.warmupInstr;
     params.measureInstrPerCpu = spec.measureInstr;
+    // verify=on arms the coherence oracle; a violation exits the
+    // worker with verify::violationExitCode, which the supervisor
+    // journals immediately instead of retrying.
+    params.verify.oracle = spec.verify == "on";
 
     System system(*workload, params);
     SystemStats stats = system.run();

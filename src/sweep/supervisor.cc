@@ -15,6 +15,7 @@
 
 #include "sim/interrupt.hh"
 #include "sim/logging.hh"
+#include "verify/violation.hh"
 
 namespace dsp {
 namespace sweep {
@@ -347,6 +348,18 @@ Supervisor::run(const std::vector<JobSpec> &jobs, const JobBody &body,
                 journal.append(row);
                 ++summary.completed;
                 faultStreak = 0;
+            } else if (!w.timedOut && WIFEXITED(status) &&
+                       WEXITSTATUS(status) ==
+                           verify::violationExitCode) {
+                // The job's coherence oracle found a protocol
+                // violation. That is deterministic -- the same binary
+                // and seed re-fail identically -- so retrying burns
+                // budget to learn nothing: journal it on the spot.
+                // It is evidence about the simulator, not the pool,
+                // so the degrade streak is left alone too. The repro
+                // bundle is on the worker's stderr (shared with ours).
+                journalFailure(w, status, "violation");
+                ++summary.violations;
             } else {
                 const char *reason =
                     w.timedOut ? "timeout"

@@ -58,6 +58,11 @@ struct SweepSummary {
     std::size_t retries = 0;    ///< attempts after the first
     std::size_t timeouts = 0;   ///< watchdog SIGKILLs
     std::size_t invalidRows = 0;///< worker results failing validation
+    /** Workers that exited with verify::violationExitCode: the job's
+     *  coherence oracle found a protocol violation. Deterministic, so
+     *  journaled as failed on the first attempt (no retries). Counted
+     *  inside `failed` as well. */
+    std::size_t violations = 0;
     unsigned finalConcurrency = 0;
     bool interrupted = false;
 

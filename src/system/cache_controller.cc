@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 #include "system/system.hh"
+#include "verify/oracle.hh"
 
 namespace dsp {
 
@@ -126,14 +127,32 @@ CacheController::onSnoop(const Message &msg, Tick tick)
         // earlier than our own fill's expected arrival, if the
         // ordering point chained this transfer behind it.
         Tick start = std::max(tick, echo.supplyEarliest);
+        // Mutation: read the L2 immediately, ignoring the chained
+        // bound -- stale bytes go on the wire when the bound was the
+        // constraint. Recorded honestly below; the oracle compares
+        // the actual start against the transaction's bound.
+        if (verify::armed(sys_.oracle()) &&
+            sys_.params().verify.mutation ==
+                verify::Mutation::StaleDataSupply) {
+            start = tick;
+        }
         Tick send = start + nsToTicks(sys_.params().latency.l2_ns);
 
         if (msg.type == RequestType::GetExclusive) {
             invalidateLocal(block);
+            if (verify::armed(sys_.oracle())) {
+                sys_.oracle()->recordInvalDone(node_, block, msg.txn,
+                                               tick);
+            }
         } else {
             // Downgrade stales any L0 writable result for the block.
             caches_.l0Invalidate(block);
             caches_.downgrade(block);
+        }
+
+        if (verify::armed(sys_.oracle())) {
+            sys_.oracle()->recordSupply(node_, node_, block, msg.txn,
+                                        start, tick);
         }
 
         Message data;
@@ -152,7 +171,17 @@ CacheController::onSnoop(const Message &msg, Tick tick)
     // A sharer (or stale owner) observing a GETX drops its copy.
     if (msg.type == RequestType::GetExclusive &&
         echo.required.contains(node_)) {
+        // Mutation: the invalidation is silently dropped -- this node
+        // keeps a readable copy the new owner will write over. The
+        // InvalDue witnessed at delivery goes unacknowledged.
+        if (verify::armed(sys_.oracle()) &&
+            sys_.params().verify.mutation ==
+                verify::Mutation::DropInvalidation) {
+            return;
+        }
         invalidateLocal(block);
+        if (verify::armed(sys_.oracle()))
+            sys_.oracle()->recordInvalDone(node_, block, msg.txn, tick);
     }
 }
 
@@ -167,10 +196,17 @@ CacheController::onForward(const Message &msg, Tick tick)
 
     if (msg.type == RequestType::GetExclusive) {
         invalidateLocal(block);
+        if (verify::armed(sys_.oracle()))
+            sys_.oracle()->recordInvalDone(node_, block, msg.txn, tick);
     } else {
         // Downgrade stales any L0 writable result for the block.
         caches_.l0Invalidate(block);
         caches_.downgrade(block);
+    }
+
+    if (verify::armed(sys_.oracle())) {
+        sys_.oracle()->recordSupply(node_, node_, block, msg.txn,
+                                    start, tick);
     }
 
     Message data;
@@ -186,9 +222,13 @@ CacheController::onForward(const Message &msg, Tick tick)
 }
 
 void
-CacheController::onInvalidate(const Message &msg, Tick /* tick */)
+CacheController::onInvalidate(const Message &msg, Tick tick)
 {
     invalidateLocal(msg.block());
+    if (verify::armed(sys_.oracle())) {
+        sys_.oracle()->recordInvalDone(node_, msg.block(), msg.txn,
+                                       tick);
+    }
 }
 
 void
@@ -213,6 +253,10 @@ CacheController::complete(const Message &msg, Tick tick)
     // walk-free: the set walks happened once, at the access.
     NodeCaches::FillResult fill =
         caches_.fill(msg.addr, msg.echo.granted, &mshr.handle);
+    if (verify::armed(sys_.oracle())) {
+        sys_.oracle()->recordFill(node_, msg, mshr.invalidateAfterFill,
+                                  tick);
+    }
     if (fill.evicted) {
         if (isOwnerState(fill.victimState)) {
             sys_.notifyEviction(fill.victim, true, node_, tick);

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 #include "system/system.hh"
+#include "verify/oracle.hh"
 
 namespace dsp {
 
@@ -59,6 +60,15 @@ MemoryController::handleDirectory(const Message &msg, Tick tick)
                 Tick now = port_.now();
                 Tick start =
                     std::max(now, echo.supplyEarliest + memory);
+                // Read-start semantics: the memory read ran over the
+                // directory-access latency that just elapsed (or is
+                // re-issued at the chained bound).
+                if (verify::armed(sys_.oracle())) {
+                    sys_.oracle()->recordSupply(
+                        node_, invalidNode, msg.block(), msg.txn,
+                        std::max(now - memory, echo.supplyEarliest),
+                        now);
+                }
                 Message data;
                 data.kind = MessageKind::Data;
                 data.txn = msg.txn;
@@ -158,12 +168,40 @@ MemoryController::handleMulticastHome(const Message &msg, Tick tick)
     // responder (and only for the resolving attempt).
     if (echo.resolvedAttempt != msg.attempt)
         return;
-    if (echo.responder != invalidNode)
+    if (echo.responder != invalidNode) {
+        // Mutation: the home supplies from memory although a cache
+        // owns the block -- the requester fills with data that misses
+        // every write since the owner's. Recorded honestly (the data
+        // really does come from memory).
+        if (verify::armed(sys_.oracle()) &&
+            sys_.params().verify.mutation ==
+                verify::Mutation::StaleOwnerSupply &&
+            echo.responder != echo.requester) {
+            Tick start = std::max(tick, echo.supplyEarliest);
+            sys_.oracle()->recordSupply(node_, invalidNode,
+                                        msg.block(), msg.txn, start,
+                                        tick);
+            Message data;
+            data.kind = MessageKind::Data;
+            data.txn = msg.txn;
+            data.addr = msg.addr;
+            data.pc = msg.pc;
+            data.type = msg.type;
+            data.src = node_;
+            data.dest = echo.requester;
+            data.echo = echo;
+            sys_.sendLater(std::move(data), start + memory);
+        }
         return;
+    }
 
     // Memory read -- chained behind an in-flight writeback when the
     // ordering point recorded one.
     Tick start = std::max(tick, echo.supplyEarliest);
+    if (verify::armed(sys_.oracle())) {
+        sys_.oracle()->recordSupply(node_, invalidNode, msg.block(),
+                                    msg.txn, start, tick);
+    }
     Message data;
     data.kind = MessageKind::Data;
     data.txn = msg.txn;

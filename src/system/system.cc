@@ -1,11 +1,15 @@
 #include "system/system.hh"
 
 #include <chrono>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "cpu/detailed_cpu.hh"
 #include "cpu/simple_cpu.hh"
 #include "sim/interrupt.hh"
 #include "sim/logging.hh"
+#include "sim/panic_hooks.hh"
+#include "verify/oracle.hh"
 
 namespace dsp {
 
@@ -102,6 +106,24 @@ System::System(Workload &workload, const SystemParams &params)
     if (params_.protocol == ProtocolKind::Multicast) {
         predictors_ =
             makePredictorsPerNode(params_.policy, params_.predictor);
+    }
+
+    if (params_.verify.oracle) {
+        if (verify::compiledIn) {
+            verify::Oracle::Config cfg;
+            cfg.nodes = params_.nodes;
+            cfg.directory =
+                params_.protocol == ProtocolKind::Directory;
+            cfg.dataChaining = params_.dataChaining;
+            cfg.halfTraversal = halfTraversal_;
+            cfg.l2_ns = params_.latency.l2_ns;
+            cfg.memory_ns = params_.latency.memory_ns;
+            oracle_ = std::make_unique<verify::Oracle>(cfg);
+        } else {
+            dsp_warn("verify.oracle requested but the library was "
+                     "built with DSP_DISABLE_VERIFY; running "
+                     "unchecked");
+        }
     }
 
     for (NodeId n = 0; n < params_.nodes; ++n) {
@@ -206,6 +228,12 @@ struct System::EvictEvent final : Event {
             }
         } else {
             sys.tracker_.evictShared(block, node);
+        }
+        // Post-guard: only accepted notices reach the oracle, so its
+        // shadow books replay the tracker's exact update sequence.
+        if (verify::armed(sys.oracle_.get())) {
+            sys.oracle_->recordEvict(block, node, owned, wbArrive,
+                                     sys.hubPort_.now());
         }
     }
 
@@ -337,6 +365,12 @@ System::onOrder(const MessageRef &msgref, Tick tick)
         echo.required = result.required;
         echo.granted = result.grantedState;
         chainResolved(block, msg, tick);
+    } else if (verify::armed(oracle_.get()) &&
+               params_.verify.mutation ==
+                   verify::Mutation::ReorderHubGrants &&
+               orderWithReorderMutation(msg, block, tick)) {
+        // Mutation handled the tracker interaction (a GETX's apply is
+        // stashed or retro-applied out of order).
     } else {
         bool sufficient = false;
         auto result = tracker_.applyIfSufficient(
@@ -345,10 +379,19 @@ System::onOrder(const MessageRef &msgref, Tick tick)
         echo.responder = result.responder;
         echo.required = result.required;
         if (sufficient) {
-            echo.resolved = true;
-            echo.resolvedAttempt = msg.attempt;
-            echo.granted = result.grantedState;
-            chainResolved(block, msg, tick);
+            // Mutation: the tracker applied the request, but the
+            // verdict is never stamped into the echo -- the requester
+            // retries a transaction that actually succeeded.
+            bool skip_stamp =
+                verify::armed(oracle_.get()) &&
+                params_.verify.mutation ==
+                    verify::Mutation::SkipVerdictStamp;
+            if (!skip_stamp) {
+                echo.resolved = true;
+                echo.resolvedAttempt = msg.attempt;
+                echo.granted = result.grantedState;
+                chainResolved(block, msg, tick);
+            }
         }
         // Insufficient requests change no state: the home re-issues
         // them with an improved destination set (Section 4.1). The
@@ -356,6 +399,29 @@ System::onOrder(const MessageRef &msgref, Tick tick)
         // set, preserving the window of vulnerability until the
         // retry's own ordering.
     }
+
+    // Mutation: silently drop one required destination from the
+    // resolved fan-out -- that sharer keeps a stale readable copy.
+    if (verify::armed(oracle_.get()) &&
+        params_.verify.mutation == verify::Mutation::SubsetDelivery &&
+        params_.protocol != ProtocolKind::Directory &&
+        msg.type == RequestType::GetExclusive && echo.resolved &&
+        echo.resolvedAttempt == msg.attempt) {
+        NodeId victim = invalidNode;
+        NodeId home = homeOf_(block);
+        echo.required.forEach([&](NodeId q) {
+            if (q != echo.responder && q != echo.requester &&
+                q != home) {
+                victim = q;  // ascending iteration: keeps the highest
+            }
+        });
+        if (victim != invalidNode)
+            msg.dests.remove(victim);
+    }
+
+    // Oracle witness of the verdict (post-mutation, pre-fan-out).
+    if (verify::armed(oracle_.get()))
+        oracle_->recordOrder(msg, tick);
 
     // The crossbar does not deliver to the source; when the source is
     // a destination (snooping/multicast requester, or a request whose
@@ -370,6 +436,56 @@ System::onOrder(const MessageRef &msgref, Tick tick)
     }
 }
 
+bool
+System::orderWithReorderMutation(Message &msg, BlockId block,
+                                 Tick tick)
+{
+    TxnEcho &echo = msg.echo;
+    if (!reorderStash_.armed) {
+        // Stash the first eligible GETX: stamp its verdict from a
+        // peek (so its data path proceeds normally) but withhold the
+        // tracker apply until the block's next resolved order -- the
+        // two grants swap places in the serialized history.
+        auto probe = tracker_.inspect(block, echo.requester, msg.type);
+        if (msg.type == RequestType::GetExclusive &&
+            !probe.required.empty() &&
+            msg.dests.containsAll(probe.required)) {
+            echo.resolved = true;
+            echo.resolvedAttempt = msg.attempt;
+            echo.responder = probe.responder;
+            echo.required = probe.required;
+            echo.granted = probe.grantedState;
+            chainResolved(block, msg, tick);
+            reorderStash_.armed = true;
+            reorderStash_.block = block;
+            reorderStash_.requester = echo.requester;
+            reorderStash_.type = msg.type;
+            return true;
+        }
+        return false;  // not eligible: normal ordering path
+    }
+    if (block != reorderStash_.block)
+        return false;  // unrelated block: normal ordering path
+
+    // Same block: order this request against the pre-stash state,
+    // then retro-apply the stashed grant behind it.
+    bool sufficient = false;
+    auto result = tracker_.applyIfSufficient(
+        block, echo.requester, msg.type, msg.dests, sufficient, tick);
+    echo.responder = result.responder;
+    echo.required = result.required;
+    if (sufficient) {
+        echo.resolved = true;
+        echo.resolvedAttempt = msg.attempt;
+        echo.granted = result.grantedState;
+        chainResolved(block, msg, tick);
+        tracker_.apply(block, reorderStash_.requester,
+                       reorderStash_.type, tick);
+        reorderStash_.armed = false;
+    }
+    return true;
+}
+
 void
 System::onDeliver(const Message &msg, NodeId dest, Tick tick)
 {
@@ -377,6 +493,19 @@ System::onDeliver(const Message &msg, NodeId dest, Tick tick)
       case MessageKind::Request:
       case MessageKind::Retry: {
         const TxnEcho &echo = msg.echo;
+
+        // Oracle witness: this delivery obliges `dest` to invalidate
+        // (resolved GETX snoop naming it in the required set).
+        // Recorded at the dispatcher -- independent of the controller
+        // that must act -- so a controller that drops the
+        // invalidation is caught, not believed.
+        if (verify::armed(oracle_.get()) &&
+            params_.protocol != ProtocolKind::Directory &&
+            msg.type == RequestType::GetExclusive && echo.resolved &&
+            echo.resolvedAttempt == msg.attempt &&
+            echo.required.contains(dest) && dest != echo.requester) {
+            oracle_->recordInvalDue(dest, msg.block(), msg.txn, tick);
+        }
 
         // External requests are a predictor training cue (Sec. 3.2).
         if (params_.protocol == ProtocolKind::Multicast &&
@@ -401,9 +530,15 @@ System::onDeliver(const Message &msg, NodeId dest, Tick tick)
         break;
       }
       case MessageKind::Forward:
+        if (verify::armed(oracle_.get()) &&
+            msg.type == RequestType::GetExclusive) {
+            oracle_->recordInvalDue(dest, msg.block(), msg.txn, tick);
+        }
         cacheCtrls_[dest]->onForward(msg, tick);
         break;
       case MessageKind::Invalidate:
+        if (verify::armed(oracle_.get()))
+            oracle_->recordInvalDue(dest, msg.block(), msg.txn, tick);
         cacheCtrls_[dest]->onInvalidate(msg, tick);
         break;
       case MessageKind::Data:
@@ -500,14 +635,40 @@ System::runUntilPhaseDone(const char *phase)
     // statistics and is responsible for flushing them as partial
     // output. The flag is never set in normal runs, so checking it
     // here cannot perturb the determinism contract.
+    //
+    // The predicate runs with every shard quiescent at a barrier, so
+    // it is also where the oracle reconciles its staged records: the
+    // merge consumes only ticks every domain has advanced past, and
+    // the stop-at tick from a repro bundle halts the run here.
     bool stopped = kernel_.run([this] {
-        return phaseDone_.load(std::memory_order_acquire) ||
-               interruptRequested();
+        if (phaseDone_.load(std::memory_order_acquire) ||
+            interruptRequested()) {
+            return true;
+        }
+        if (params_.verify.stopAtTick != 0 &&
+            hubPort_.now() >= params_.verify.stopAtTick) {
+            stopEarly_ = true;
+            return true;
+        }
+        if (verify::armed(oracle_.get())) {
+            Tick safe = hubPort_.now();
+            for (const DomainPort &p : nodePorts_)
+                safe = std::min(safe, p.now());
+            if (oracle_->reconcile(safe))
+                return true;
+        }
+        return false;
     });
     dsp_assert(stopped,
                "%s wedged: event queues drained with CPUs still "
                "running",
                phase);
+
+    // Phase boundary: every appended record is final (events executed
+    // so far all precede the barrier tick), so the merge can drain
+    // the buffers completely and flush unacknowledged invalidations.
+    if (verify::armed(oracle_.get()) && oracle_->reconcile(maxTick))
+        raiseOracleViolation();
 }
 
 void
@@ -540,6 +701,11 @@ System::functionalWarmup(std::uint64_t misses)
                 : RequestType::GetShared;
         BlockId block = blockOf(ref.addr);
         auto txn = tracker_.apply(block, p, type);
+        // Shadow the warmup synchronously: same states, same write
+        // seqnos, no checks (there is no timed history to check).
+        if (verify::armed(oracle_.get()))
+            oracle_->warmupApply(block, p, type, txn.required,
+                                 txn.responder);
 
         // Coherence fan-in (warmup flavour): peer-cache downgrades
         // and invalidations pair with their l0Invalidate() hooks
@@ -563,10 +729,15 @@ System::functionalWarmup(std::uint64_t misses)
         NodeCaches::FillHandle handle = staged.fillHandle();
         auto fill = caches.fill(ref.addr, txn.grantedState, &handle);
         if (fill.evicted) {
-            if (isOwnerState(fill.victimState))
+            if (isOwnerState(fill.victimState)) {
                 tracker_.evictOwned(fill.victim, p);
-            else if (fill.victimState == MosiState::Shared)
+                if (verify::armed(oracle_.get()))
+                    oracle_->warmupEvict(fill.victim, p, true);
+            } else if (fill.victimState == MosiState::Shared) {
                 tracker_.evictShared(fill.victim, p);
+                if (verify::armed(oracle_.get()))
+                    oracle_->warmupEvict(fill.victim, p, false);
+            }
         }
         ++done;
 
@@ -624,7 +795,7 @@ System::run()
 
     // Timing warmup: fill caches and train predictors, stats
     // discarded.
-    if (params_.warmupInstrPerCpu > 0) {
+    if (params_.warmupInstrPerCpu > 0 && !stopEarly_) {
         startPhase(params_.warmupInstrPerCpu);
         runUntilPhaseDone("warmup");
     }
@@ -642,8 +813,10 @@ System::run()
     CacheCounters caches_before = cacheCounters();
     auto wall_start = std::chrono::steady_clock::now();
 
-    startPhase(params_.measureInstrPerCpu);
-    runUntilPhaseDone("measured phase");
+    if (!stopEarly_) {
+        startPhase(params_.measureInstrPerCpu);
+        runUntilPhaseDone("measured phase");
+    }
 
     double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -686,6 +859,7 @@ System::run()
     stats.wordTouches =
         caches_after.wordTouches - caches_before.wordTouches;
     stats.wallSeconds = wall_seconds;
+    stats.stoppedEarly = stopEarly_;
     Tick latency_sum = 0;
     for (const NodeAccum &acc : nodeStats_)
         latency_sum += acc.latencySum;
@@ -694,6 +868,58 @@ System::run()
                            static_cast<double>(stats.misses)
                      : 0.0;
     return stats;
+}
+
+void
+System::printReproBundle(std::FILE *out) const
+{
+    const verify::Violation &v = oracle_->violation();
+    std::fprintf(
+        out,
+        "DSP-REPRO {\"workload\":\"%s\",\"nodes\":%u,"
+        "\"protocol\":\"%s\",\"policy\":\"%s\",\"cpu\":\"%s\","
+        "\"shards\":%u,\"hub_shard\":%s,\"data_chaining\":%s,"
+        "\"functional_warmup\":%llu,\"warmup_instr\":%llu,"
+        "\"measure_instr\":%llu,\"mutation\":\"%s\","
+        "\"stop_at\":%llu,\"violation_tick\":%llu,"
+        "\"violation_kind\":\"%s\",\"draws\":[",
+        workload_.name().c_str(), params_.nodes,
+        toString(params_.protocol).c_str(),
+        toString(params_.policy).c_str(),
+        params_.cpuModel == CpuModel::Simple ? "simple" : "detailed",
+        params_.shards, params_.hubShard ? "true" : "false",
+        params_.dataChaining ? "true" : "false",
+        static_cast<unsigned long long>(
+            params_.functionalWarmupMisses),
+        static_cast<unsigned long long>(params_.warmupInstrPerCpu),
+        static_cast<unsigned long long>(params_.measureInstrPerCpu),
+        verify::toString(params_.verify.mutation).c_str(),
+        static_cast<unsigned long long>(v.tick + 1),
+        static_cast<unsigned long long>(v.tick),
+        verify::toString(v.kind).c_str());
+    for (NodeId p = 0; p < params_.nodes; ++p) {
+        std::fprintf(out, "%s%llu", p == 0 ? "" : ",",
+                     static_cast<unsigned long long>(
+                         workload_.consumed(p)));
+    }
+    std::fprintf(out, "]}\n");
+}
+
+void
+System::raiseOracleViolation()
+{
+    const verify::Violation &v = oracle_->violation();
+    // Publish before any unwind path: death-style tests catch the
+    // throw and assert on lastViolation()'s (kind, block, tick).
+    verify::setLastViolation(v);
+    if (panicThrowsForTest()) {
+        throw std::runtime_error("coherence violation: " +
+                                 verify::toString(v.kind));
+    }
+    oracle_->printReport(stderr);
+    printReproBundle(stderr);
+    runPanicHooks();
+    std::exit(verify::violationExitCode);
 }
 
 } // namespace dsp

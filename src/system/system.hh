@@ -28,6 +28,7 @@
 #define DSP_SYSTEM_SYSTEM_HH
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,11 +41,32 @@
 #include "mem/node_caches.hh"
 #include "sim/flat_map.hh"
 #include "sim/sharded_kernel.hh"
+#include "verify/violation.hh"
 #include "workload/workload.hh"
 
 namespace dsp {
 
 class System;
+
+namespace verify {
+class Oracle;
+}
+
+/** Runtime-verification knobs (see src/verify/ and docs/verify.md). */
+struct VerifyParams {
+    /** Shadow the run with the coherence oracle. Off by default; the
+     *  hooks additionally compile to nothing under DSP_DISABLE_VERIFY
+     *  regardless of this flag. */
+    bool oracle = false;
+
+    /** Deliberate protocol mutation for the oracle self-tests; only
+     *  honoured while the oracle is armed. */
+    verify::Mutation mutation = verify::Mutation::None;
+
+    /** Stop the run once the hub reaches this tick (0 = never). Used
+     *  by violation repro bundles to halt just past the violation. */
+    Tick stopAtTick = 0;
+};
 
 /** Which coherence protocol the system runs. */
 enum class ProtocolKind : std::uint8_t {
@@ -111,6 +133,8 @@ struct SystemParams {
 
     std::uint64_t warmupInstrPerCpu = 1000000;
     std::uint64_t measureInstrPerCpu = 2000000;
+
+    VerifyParams verify;
 };
 
 /** Results of one execution-driven run (measured phase only). */
@@ -139,6 +163,10 @@ struct SystemStats {
     /** Host wall-clock seconds spent in the measured phase. */
     double wallSeconds = 0.0;
     double avgMissLatencyNs = 0.0;
+
+    /** The run halted before its instruction targets (a stop-at tick
+     *  from a repro bundle); figures from it are partial. */
+    bool stoppedEarly = false;
 
     /** Cache accesses issued in the measured phase (all nodes), and
      *  how many the L0 block-result filter resolved without an L1/L2
@@ -300,6 +328,10 @@ class System
 
     const SystemParams &params() const { return params_; }
 
+    /** The coherence oracle shadowing this run, or nullptr. Hook call
+     *  sites gate on verify::armed(oracle()). */
+    verify::Oracle *oracle() { return oracle_.get(); }
+
   private:
     friend class CacheController;
     friend class MemoryController;
@@ -330,6 +362,20 @@ class System
     // -- crossbar callbacks
     void onOrder(const MessageRef &msg, Tick tick);
     void onDeliver(const Message &msg, NodeId dest, Tick tick);
+
+    /** ReorderHubGrants mutation: maybe stash this GETX's tracker
+     *  apply (or retro-apply a stashed one). True = order handled. */
+    bool orderWithReorderMutation(Message &msg, BlockId block,
+                                  Tick tick);
+
+    /** The oracle found a violation: publish it, then either throw
+     *  (panic-throws-for-test) or print the report + repro bundle and
+     *  exit with verify::violationExitCode. */
+    [[noreturn]] void raiseOracleViolation();
+
+    /** DSP-REPRO machine line: everything needed to replay this run
+     *  deterministically up to just past the violation. */
+    void printReproBundle(std::FILE *out) const;
 
     /** Point-to-point send that short-circuits node-local traffic. */
     void sendOrLocal(Message msg);
@@ -431,6 +477,19 @@ class System
     std::vector<std::unique_ptr<MemoryController>> memCtrls_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
 
+    /** Coherence oracle (params_.verify.oracle); see src/verify/. */
+    std::unique_ptr<verify::Oracle> oracle_;
+
+    /** ReorderHubGrants mutation state (hub domain only): one GETX
+     *  whose tracker apply is withheld until the block's next
+     *  resolved order. */
+    struct ReorderStash {
+        bool armed = false;
+        BlockId block = 0;
+        NodeId requester = 0;
+        RequestType type = RequestType::GetExclusive;
+    } reorderStash_;
+
     // -- data-availability chaining books (hub domain only). The maps
     // record *expected-completion* (future) ticks at the instant the
     // transfer is issued at the ordering point; readers prune entries
@@ -440,6 +499,9 @@ class System
 
     // -- phase / stats state
     bool measuring_ = false;
+    /** A stop predicate fired before the phase targets (verify
+     *  stop-at); remaining phases are skipped. Main thread only. */
+    bool stopEarly_ = false;
     Tick measureStart_ = 0;
     std::atomic<NodeId> cpusDone_{0};
     std::atomic<bool> phaseDone_{false};

@@ -1,0 +1,662 @@
+#include "verify/oracle.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dsp {
+namespace verify {
+
+namespace {
+
+/** invalidNode doubles as "memory" in records; print it readably. */
+std::string
+nodeName(NodeId node)
+{
+    if (node == invalidNode)
+        return "mem";
+    return std::to_string(node);
+}
+
+} // namespace
+
+std::string
+toString(RecordKind kind)
+{
+    switch (kind) {
+      case RecordKind::Order:     return "order";
+      case RecordKind::Supply:    return "supply";
+      case RecordKind::Fill:      return "fill";
+      case RecordKind::InvalDue:  return "inval-due";
+      case RecordKind::InvalDone: return "inval-done";
+      case RecordKind::Evict:     return "evict";
+    }
+    return "unknown";
+}
+
+Oracle::Oracle(const Config &config) : config_(config)
+{
+    dsp_assert(config_.nodes > 0 && config_.nodes <= maxNodes,
+               "oracle node count out of range");
+    buffers_.resize(config_.nodes + std::size_t{1});
+    for (auto &buf : buffers_)
+        buf.reserve(4096);
+    shadow_.reserve(1 << 14);
+    nodeVersion_.reserve(1 << 15);
+    txns_.reserve(1 << 10);
+    ownerDataAt_.reserve(1 << 10);
+    memReadyAt_.reserve(1 << 10);
+}
+
+// ---------------------------------------------------------------------
+// Hooks: each appends to the buffer of the domain executing the call,
+// so the append is single-threaded and lock-free by construction.
+// ---------------------------------------------------------------------
+
+void
+Oracle::recordOrder(const Message &msg, Tick tick)
+{
+    Record r;
+    r.kind = RecordKind::Order;
+    r.tick = tick;
+    r.block = msg.block();
+    r.txn = msg.txn;
+    r.aux = msg.echo.supplyEarliest;
+    r.destsMask = msg.dests.mask();
+    r.requiredMask = msg.echo.required.mask();
+    r.type = msg.type;
+    r.granted = msg.echo.granted;
+    r.attempt = msg.attempt;
+    r.resolved =
+        msg.echo.resolved && msg.echo.resolvedAttempt == msg.attempt;
+    r.node = msg.echo.requester;
+    r.responder = msg.echo.responder;
+    hubBuffer().push_back(r);
+}
+
+void
+Oracle::recordEvict(BlockId block, NodeId node, bool owned,
+                    Tick wbArrive, Tick tick)
+{
+    Record r;
+    r.kind = RecordKind::Evict;
+    r.tick = tick;
+    r.block = block;
+    r.aux = wbArrive;
+    r.flag = owned;
+    r.node = node;
+    hubBuffer().push_back(r);
+}
+
+void
+Oracle::recordSupply(NodeId atNode, NodeId supplier, BlockId block,
+                     TxnId txn, Tick startTick, Tick tick)
+{
+    Record r;
+    r.kind = RecordKind::Supply;
+    r.tick = tick;
+    r.block = block;
+    r.txn = txn;
+    r.aux = startTick;
+    r.node = supplier;
+    buffers_[atNode].push_back(r);
+}
+
+void
+Oracle::recordFill(NodeId atNode, const Message &msg,
+                   bool invalidateAfterFill, Tick tick)
+{
+    Record r;
+    r.kind = RecordKind::Fill;
+    r.tick = tick;
+    r.block = msg.block();
+    r.txn = msg.txn;
+    r.type = msg.type;
+    r.granted = msg.echo.granted;
+    r.flag = invalidateAfterFill;
+    r.node = atNode;
+    r.responder = msg.echo.responder;
+    buffers_[atNode].push_back(r);
+}
+
+void
+Oracle::recordInvalDue(NodeId atNode, BlockId block, TxnId txn,
+                       Tick tick)
+{
+    Record r;
+    r.kind = RecordKind::InvalDue;
+    r.tick = tick;
+    r.block = block;
+    r.txn = txn;
+    r.node = atNode;
+    buffers_[atNode].push_back(r);
+}
+
+void
+Oracle::recordInvalDone(NodeId atNode, BlockId block, TxnId txn,
+                        Tick tick)
+{
+    Record r;
+    r.kind = RecordKind::InvalDone;
+    r.tick = tick;
+    r.block = block;
+    r.txn = txn;
+    r.node = atNode;
+    buffers_[atNode].push_back(r);
+}
+
+// ---------------------------------------------------------------------
+// Functional warmup: the trace-speed warmup applies tracker state and
+// cache contents synchronously, so the shadow mirrors the same steps
+// without timing or checks (there is no serialized timeline to check
+// against -- lastOrder stays 0, no chain books, no transactions).
+// ---------------------------------------------------------------------
+
+void
+Oracle::warmupApply(BlockId block, NodeId requester, RequestType type,
+                    const DestinationSet &required, NodeId responder)
+{
+    (void)responder;
+    ShadowBlock &sb = shadow_[block];
+    if (type == RequestType::GetShared) {
+        if (sb.owner != requester)
+            sb.sharers.add(requester);
+        setValid(sb, block, requester, sb.version);
+        return;
+    }
+    required.forEach([&](NodeId q) { clearValid(sb, q); });
+    sb.owner = requester;
+    sb.sharers = DestinationSet{};
+    sb.version += 1;
+    setValid(sb, block, requester, sb.version);
+}
+
+void
+Oracle::warmupEvict(BlockId block, NodeId node, bool owned)
+{
+    ShadowBlock &sb = shadow_[block];
+    if (owned) {
+        sb.owner = invalidNode;
+        sb.memVersion = sb.version;
+    } else {
+        sb.sharers.remove(node);
+    }
+    clearValid(sb, node);
+}
+
+// ---------------------------------------------------------------------
+// Reconcile: deterministic k-way merge and checking.
+// ---------------------------------------------------------------------
+
+bool
+Oracle::reconcile(Tick safeTick)
+{
+    if (hasViolation())
+        return true;
+
+    const std::size_t nbuf = buffers_.size();
+    // Consumable prefix per buffer: records with tick < safeTick are
+    // final (a domain only appends at its current execution tick, and
+    // every domain has advanced to at least safeTick).
+    std::vector<std::size_t> end(nbuf), cur(nbuf, 0);
+    for (std::size_t i = 0; i < nbuf; ++i) {
+        const std::vector<Record> &buf = buffers_[i];
+        std::size_t e = buf.size();
+        while (e > 0 && buf[e - 1].tick >= safeTick)
+            --e;
+        end[i] = e;
+    }
+
+    while (!hasViolation()) {
+        // Min over (tick, buffer index); append order breaks ties
+        // within a buffer via the cursor. Node domains sort before
+        // the hub at equal ticks, matching delivery-before-order
+        // causal independence (no check is sensitive to this, but
+        // the order must be *fixed* for shard independence).
+        std::size_t best = nbuf;
+        for (std::size_t i = 0; i < nbuf; ++i) {
+            if (cur[i] >= end[i])
+                continue;
+            if (best == nbuf ||
+                buffers_[i][cur[i]].tick < buffers_[best][cur[best]].tick)
+                best = i;
+        }
+        if (best == nbuf)
+            break;
+        const Record &r = buffers_[best][cur[best]++];
+        flushDuesBefore(r.tick);
+        if (hasViolation())
+            break;
+        process(r);
+    }
+
+    if (!hasViolation() && safeTick == maxTick)
+        flushDuesBefore(maxTick);
+
+    // Drop the consumed prefixes so staging memory stays bounded by
+    // one reconcile window, not the whole run.
+    for (std::size_t i = 0; i < nbuf; ++i) {
+        if (cur[i] > 0) {
+            buffers_[i].erase(buffers_[i].begin(),
+                              buffers_[i].begin() + cur[i]);
+        }
+    }
+    return hasViolation();
+}
+
+void
+Oracle::flushDuesBefore(Tick tick)
+{
+    // The InvalDone for an obligation is appended within the same
+    // event execution (same tick, same domain buffer), so once the
+    // merge has advanced past an obligation's tick the ack can no
+    // longer arrive: the invalidation was dropped.
+    for (const PendingDue &d : pendingDues_) {
+        if (d.tick < tick) {
+            Record synthetic;
+            synthetic.kind = RecordKind::InvalDue;
+            synthetic.tick = d.tick;
+            synthetic.block = d.block;
+            synthetic.txn = d.txn;
+            synthetic.node = d.node;
+            raise(ViolationKind::InvalidationNotAcked, synthetic,
+                  "node " + nodeName(d.node) +
+                      " never acknowledged the invalidation required "
+                      "by txn 0x" +
+                      std::to_string(d.txn));
+            return;
+        }
+    }
+}
+
+void
+Oracle::process(const Record &r)
+{
+    ++checksPerformed_;
+    ShadowBlock &sb = shadow_[r.block];
+    pushRing(sb, r);
+    switch (r.kind) {
+      case RecordKind::Order:
+        processOrder(r, sb);
+        break;
+      case RecordKind::Supply:
+        processSupply(r, sb);
+        break;
+      case RecordKind::Fill:
+        processFill(r, sb);
+        break;
+      case RecordKind::InvalDue:
+        pendingDues_.push_back(
+            PendingDue{r.block, r.txn, r.node, r.tick});
+        break;
+      case RecordKind::InvalDone:
+        processInvalDone(r, sb);
+        break;
+      case RecordKind::Evict:
+        processEvict(r, sb);
+        break;
+    }
+}
+
+void
+Oracle::expectedVerdict(const ShadowBlock &sb, NodeId requester,
+                        RequestType type, DestinationSet &required,
+                        NodeId &responder, MosiState &granted) const
+{
+    // Mirror of SharingTracker::makeTransaction over the shadow state
+    // (a default ShadowBlock is an absent tracker entry).
+    const bool cacheOwned = sb.owner != invalidNode;
+    required = DestinationSet{};
+    if (type == RequestType::GetShared) {
+        granted = MosiState::Shared;
+        if (cacheOwned && sb.owner != requester) {
+            required.add(sb.owner);
+            responder = sb.owner;
+        } else if (cacheOwned) {
+            responder = requester;
+            granted = MosiState::Owned;
+        } else {
+            responder = invalidNode;
+        }
+        return;
+    }
+    granted = MosiState::Modified;
+    required = sb.sharers;
+    required.remove(requester);
+    if (cacheOwned && sb.owner != requester)
+        required.add(sb.owner);
+    if (sb.owner == requester)
+        responder = requester;
+    else if (cacheOwned)
+        responder = sb.owner;
+    else if (sb.sharers.contains(requester))
+        responder = requester;
+    else
+        responder = invalidNode;
+}
+
+Tick
+Oracle::shadowSupplyBound(BlockId block, NodeId responder,
+                          NodeId requester, Tick order)
+{
+    if (!config_.dataChaining || responder == requester)
+        return 0;
+    FlatMap<BlockId, Tick> &book =
+        responder == invalidNode ? memReadyAt_ : ownerDataAt_;
+    auto it = book.find(block);
+    if (it == book.end())
+        return 0;
+    if (it->second <= order) {
+        book.erase(it);
+        return 0;
+    }
+    return it->second;
+}
+
+void
+Oracle::shadowChainResolved(const Record &r, Tick bound)
+{
+    if (!config_.dataChaining || r.type != RequestType::GetExclusive)
+        return;
+    if (r.responder == r.node) {
+        ownerDataAt_.erase(r.block);
+        return;
+    }
+    Tick deliver = r.tick + config_.halfTraversal;
+    Tick start = std::max(deliver, bound);
+    double supply_ns = r.responder == invalidNode ? config_.memory_ns
+                                                  : config_.l2_ns;
+    Tick arrive =
+        start + nsToTicks(supply_ns) + 2 * config_.halfTraversal;
+    if (config_.directory && r.responder != invalidNode) {
+        arrive +=
+            nsToTicks(config_.memory_ns) + 2 * config_.halfTraversal;
+    }
+    ownerDataAt_[r.block] = arrive;
+    memReadyAt_.erase(r.block);
+}
+
+void
+Oracle::processOrder(const Record &r, ShadowBlock &sb)
+{
+    DestinationSet expectedRequired;
+    NodeId expectedResponder = invalidNode;
+    MosiState expectedGranted = MosiState::Invalid;
+    expectedVerdict(sb, r.node, r.type, expectedRequired,
+                    expectedResponder, expectedGranted);
+    DestinationSet dests = DestinationSet::fromMask(r.destsMask);
+
+    if (!r.resolved) {
+        // A retry is only honest if some required observer was
+        // missing from the destination set.
+        if (dests.containsAll(expectedRequired)) {
+            raise(ViolationKind::FalseRetry, r,
+                  "retry forced although dests covered the required "
+                  "set (attempt " +
+                      std::to_string(r.attempt) + ")");
+        }
+        return;  // insufficient orders change no state
+    }
+
+    if (r.responder != expectedResponder ||
+        r.requiredMask != expectedRequired.mask() ||
+        r.granted != expectedGranted) {
+        raise(ViolationKind::VerdictMismatch, r,
+              "stamped responder=" + nodeName(r.responder) +
+                  " granted=" + std::string(toString(r.granted)) +
+                  ", shadow expects responder=" +
+                  nodeName(expectedResponder) + " granted=" +
+                  std::string(toString(expectedGranted)));
+        return;
+    }
+    // Snooping/multicast resolve only when the requester's own
+    // fan-out reaches every required observer. The directory resolves
+    // with dests = {home} and reaches the required set through its
+    // own Forward/Invalidate messages -- those are held to account by
+    // the InvalDue/InvalDone pairing instead.
+    if (!config_.directory && !dests.containsAll(expectedRequired)) {
+        raise(ViolationKind::InsufficientResolved, r,
+              "resolved without delivering to every required "
+              "observer");
+        return;
+    }
+    Tick bound =
+        shadowSupplyBound(r.block, r.responder, r.node, r.tick);
+    if (bound != r.aux) {
+        raise(ViolationKind::ChainMismatch, r,
+              "stamped supplyEarliest=" + std::to_string(r.aux) +
+                  ", shadow chain bound=" + std::to_string(bound));
+        return;
+    }
+    if (r.tick < sb.lastOrder) {
+        raise(ViolationKind::OrderRegression, r,
+              "ordered at " + std::to_string(r.tick) +
+                  " after " + std::to_string(sb.lastOrder));
+        return;
+    }
+    shadowChainResolved(r, bound);
+
+    sb.lastOrder = r.tick;
+    std::uint64_t supplyVersion = sb.version;
+    if (r.type == RequestType::GetShared) {
+        if (sb.owner != r.node)
+            sb.sharers.add(r.node);
+    } else {
+        sb.owner = r.node;
+        sb.sharers = DestinationSet{};
+        sb.version += 1;
+    }
+
+    ShadowTxn txn;
+    txn.block = r.block;
+    txn.requester = r.node;
+    txn.responder = r.responder;
+    txn.granted = r.granted;
+    txn.type = r.type;
+    txn.orderTick = r.tick;
+    txn.supplyEarliest = r.aux;
+    txn.supplyVersion = supplyVersion;
+    txn.fillVersion = sb.version;
+    txns_[r.txn] = txn;
+}
+
+void
+Oracle::processSupply(const Record &r, ShadowBlock &sb)
+{
+    auto it = txns_.find(r.txn);
+    if (it == txns_.end()) {
+        raise(ViolationKind::SupplyFromNonOwner, r,
+              "data supplied for an unresolved or completed "
+              "transaction");
+        return;
+    }
+    ShadowTxn &txn = it->second;
+    if (txn.supplied) {
+        raise(ViolationKind::SupplyFromNonOwner, r,
+              "second data response for one transaction");
+        return;
+    }
+    if (r.node != txn.responder) {
+        raise(ViolationKind::SupplyFromNonOwner, r,
+              "supplied by " + nodeName(r.node) +
+                  " but the serialized responder is " +
+                  nodeName(txn.responder));
+        return;
+    }
+    if (r.aux < txn.supplyEarliest) {
+        raise(ViolationKind::StaleDataSupply, r,
+              "read started at " + std::to_string(r.aux) +
+                  " before the chained bound " +
+                  std::to_string(txn.supplyEarliest));
+        return;
+    }
+    if (txn.responder == invalidNode &&
+        sb.memVersion != txn.supplyVersion) {
+        raise(ViolationKind::StaleDataSupply, r,
+              "memory holds write #" +
+                  std::to_string(sb.memVersion) +
+                  " but the transaction was serialized against #" +
+                  std::to_string(txn.supplyVersion));
+        return;
+    }
+    txn.supplied = true;
+}
+
+void
+Oracle::processFill(const Record &r, ShadowBlock &sb)
+{
+    auto it = txns_.find(r.txn);
+    if (it == txns_.end()) {
+        raise(ViolationKind::SupplyFromNonOwner, r,
+              "fill for an unknown transaction");
+        return;
+    }
+    const ShadowTxn txn = it->second;
+    if (r.granted != txn.granted) {
+        raise(ViolationKind::VerdictMismatch, r,
+              "filled " + std::string(toString(r.granted)) +
+                  " but the order granted " +
+                  std::string(toString(txn.granted)));
+        return;
+    }
+    if (txn.responder == txn.requester) {
+        // Upgrade: no data moved, the requester's held copy becomes
+        // writable -- it must be the latest ordered write.
+        std::uint64_t bit = std::uint64_t{1} << r.node;
+        if ((sb.validMask & bit) != 0) {
+            auto vit = nodeVersion_.find(versionKey(r.block, r.node));
+            std::uint64_t held =
+                vit == nodeVersion_.end() ? 0 : vit->second;
+            if (held != txn.supplyVersion) {
+                raise(ViolationKind::StaleUpgradeGrant, r,
+                      "upgrade over write #" + std::to_string(held) +
+                          ", latest ordered write is #" +
+                          std::to_string(txn.supplyVersion));
+                return;
+            }
+        }
+    }
+    if (r.flag) {
+        // A GETX serialized behind this miss already claimed the
+        // block; the fill is consumed once and discarded.
+        clearValid(sb, r.node);
+    } else {
+        setValid(sb, r.block, r.node, txn.fillVersion);
+    }
+    txns_.erase(r.txn);
+}
+
+void
+Oracle::processInvalDone(const Record &r, ShadowBlock &sb)
+{
+    for (auto it = pendingDues_.begin(); it != pendingDues_.end();
+         ++it) {
+        if (it->block == r.block && it->txn == r.txn &&
+            it->node == r.node) {
+            pendingDues_.erase(it);
+            break;
+        }
+    }
+    // Lenient on an unmatched Done: invalidating more than required
+    // costs performance, never correctness.
+    clearValid(sb, r.node);
+}
+
+void
+Oracle::processEvict(const Record &r, ShadowBlock &sb)
+{
+    if (r.flag) {
+        // Post-guard owned eviction: the hub verified this node was
+        // still the registered owner, so it held write #version and
+        // memory now does too.
+        sb.owner = invalidNode;
+        sb.memVersion = sb.version;
+        if (config_.dataChaining) {
+            ownerDataAt_.erase(r.block);
+            memReadyAt_[r.block] = r.aux;
+        }
+    } else {
+        sb.sharers.remove(r.node);
+    }
+    clearValid(sb, r.node);
+}
+
+void
+Oracle::raise(ViolationKind kind, const Record &r, std::string detail)
+{
+    if (hasViolation())
+        return;
+    violation_.kind = kind;
+    violation_.block = r.block;
+    violation_.tick = r.tick;
+    violation_.node = r.node;
+    violation_.txn = r.txn;
+    violation_.detail = std::move(detail);
+}
+
+void
+Oracle::pushRing(ShadowBlock &sb, const Record &r)
+{
+    sb.ring[sb.ringPos] = r;
+    sb.ringPos = static_cast<std::uint8_t>((sb.ringPos + 1) % ringDepth);
+    if (sb.ringCount < ringDepth)
+        ++sb.ringCount;
+}
+
+void
+Oracle::printReport(std::FILE *out) const
+{
+    const Violation &v = violation_;
+    std::fprintf(out,
+                 "DSP-VIOLATION kind=%s block=0x%" PRIx64
+                 " tick=%" PRIu64 " node=%s txn=0x%" PRIx64
+                 " detail=\"%s\"\n",
+                 toString(v.kind).c_str(),
+                 static_cast<std::uint64_t>(v.block),
+                 static_cast<std::uint64_t>(v.tick),
+                 nodeName(v.node).c_str(),
+                 static_cast<std::uint64_t>(v.txn),
+                 v.detail.c_str());
+
+    auto it = shadow_.find(v.block);
+    if (it == shadow_.end())
+        return;
+    const ShadowBlock &sb = it->second;
+    std::fprintf(out,
+                 "DSP-FORENSIC block=0x%" PRIx64
+                 " owner=%s sharers=0x%" PRIx64 " version=%" PRIu64
+                 " memVersion=%" PRIu64 " lastOrder=%" PRIu64
+                 " (last %u events, oldest first)\n",
+                 static_cast<std::uint64_t>(v.block),
+                 nodeName(sb.owner).c_str(), sb.sharers.mask(),
+                 sb.version, sb.memVersion,
+                 static_cast<std::uint64_t>(sb.lastOrder),
+                 static_cast<unsigned>(sb.ringCount));
+    for (unsigned i = 0; i < sb.ringCount; ++i) {
+        unsigned idx =
+            (sb.ringPos + ringDepth - sb.ringCount + i) % ringDepth;
+        const Record &r = sb.ring[idx];
+        std::fprintf(out,
+                     "DSP-FORENSIC   [%u] %-10s tick=%" PRIu64
+                     " node=%s txn=0x%" PRIx64 " type=%s"
+                     " responder=%s granted=%s attempt=%u"
+                     " resolved=%d flag=%d aux=%" PRIu64
+                     " dests=0x%" PRIx64 " required=0x%" PRIx64 "\n",
+                     i, toString(r.kind).c_str(),
+                     static_cast<std::uint64_t>(r.tick),
+                     nodeName(r.node).c_str(),
+                     static_cast<std::uint64_t>(r.txn),
+                     toString(r.type).c_str(),
+                     nodeName(r.responder).c_str(),
+                     toString(r.granted).c_str(),
+                     static_cast<unsigned>(r.attempt),
+                     r.resolved ? 1 : 0, r.flag ? 1 : 0,
+                     static_cast<std::uint64_t>(r.aux), r.destsMask,
+                     r.requiredMask);
+    }
+}
+
+} // namespace verify
+} // namespace dsp

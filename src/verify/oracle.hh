@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Runtime coherence oracle: a shard-safe shadow of the protocol's
+ * serialized history that checks every ordering verdict, data supply,
+ * fill, invalidation, and eviction against the MOSI invariants the
+ * paper's evaluation rests on -- single writer / multiple readers, no
+ * supply from a non-owner, every invalidation acknowledged, and every
+ * load observing the latest ordered write (a per-block monotone write
+ * seqno).
+ *
+ * Shard safety (see docs/verify.md): hooks append fixed-size Records
+ * to per-*domain* staging buffers -- one per node plus one for the
+ * ordering-point hub -- so every append happens on the single shard
+ * thread that executes that domain and no lock or atomic is needed.
+ * A domain executes its events in nondecreasing tick order, so each
+ * buffer is sorted by (tick, append index); reconcile() k-way merges
+ * the buffers by (tick, domain, append index) while all shards are
+ * quiescent (the kernel's stop predicate / the end of a phase). That
+ * merge order is a pure function of the simulated history, so K=1 and
+ * K=4 runs report the identical first violation.
+ *
+ * Zero overhead when disabled: every hook call site is guarded by
+ * verify::armed(oracle), which is a constant false when the library
+ * is built with DSP_DISABLE_VERIFY (the whole call compiles away) and
+ * a single expect-not-taken null check otherwise. check.sh's perf
+ * guard runs oracle-off and holds the regression bar either way.
+ */
+
+#ifndef DSP_VERIFY_ORACLE_HH
+#define DSP_VERIFY_ORACLE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "interconnect/message.hh"
+#include "mem/destination_set.hh"
+#include "mem/mosi.hh"
+#include "mem/types.hh"
+#include "sim/flat_map.hh"
+#include "sim/types.hh"
+#include "verify/violation.hh"
+
+namespace dsp {
+namespace verify {
+
+/** False when the library is built with -DDSP_DISABLE_VERIFY: every
+ *  hook site guarded by armed() compiles to nothing. */
+#ifdef DSP_DISABLE_VERIFY
+inline constexpr bool compiledIn = false;
+#else
+inline constexpr bool compiledIn = true;
+#endif
+
+class Oracle;
+
+/** Hook gate: constant false when compiled out, else one
+ *  expect-not-taken null test. Hot paths call this before building
+ *  any record arguments. */
+constexpr bool
+armed(const Oracle *oracle)
+{
+    if constexpr (!compiledIn)
+        return false;
+    else
+        return __builtin_expect(oracle != nullptr, false);
+}
+
+/** What a staged Record witnessed. */
+enum class RecordKind : std::uint8_t {
+    Order,      ///< ordering-point verdict (hub domain)
+    Supply,     ///< a data response left a cache or memory
+    Fill,       ///< a requester installed its granted state
+    InvalDue,   ///< a delivery obliged `node` to invalidate
+    InvalDone,  ///< `node` executed its invalidation
+    Evict,      ///< the hub's tracker processed an eviction notice
+};
+
+std::string toString(RecordKind kind);
+
+/**
+ * One staged coherence event. POD, fixed size; appended by exactly
+ * one shard thread, consumed by reconcile() with shards quiescent.
+ * Field use varies by kind -- see the call-site table in
+ * docs/verify.md. `aux` is the stamped supplyEarliest for Order, the
+ * supplier's read-start tick for Supply, and the writeback's expected
+ * home-arrival for Evict.
+ */
+struct Record {
+    Tick tick = 0;
+    BlockId block = 0;
+    TxnId txn = 0;
+    Tick aux = 0;
+    std::uint64_t destsMask = 0;     ///< Order: post-fan-out dests
+    std::uint64_t requiredMask = 0;  ///< Order: stamped required set
+    RecordKind kind = RecordKind::Order;
+    RequestType type = RequestType::GetShared;
+    MosiState granted = MosiState::Invalid;
+    std::uint8_t attempt = 0;
+    bool resolved = false;
+    /** Evict: owned (dirty) victim. Fill: invalidate-after-fill (a
+     *  racing GETX serialized behind the miss). */
+    bool flag = false;
+    /** Order: requester. Supply: logical supplier (invalidNode =
+     *  memory). Fill/InvalDue/InvalDone/Evict: the acting node. */
+    NodeId node = invalidNode;
+    NodeId responder = invalidNode;  ///< Order: stamped responder
+};
+
+/**
+ * The oracle proper. One instance shadows one System for one run.
+ * Hook methods are called from simulation handlers (each on its
+ * domain's shard thread); reconcile(), the accessors, and the report
+ * printer run with shards quiescent.
+ */
+class Oracle
+{
+  public:
+    /** Everything the shadow needs to replicate the ordering point's
+     *  verdict and data-availability chaining arithmetic. */
+    struct Config {
+        NodeId nodes = 16;
+        bool directory = false;   ///< 3-hop forward latency in chains
+        bool dataChaining = true;
+        Tick halfTraversal = 0;   ///< one crossbar hop
+        double l2_ns = 12.0;
+        double memory_ns = 80.0;
+    };
+
+    explicit Oracle(const Config &config);
+
+    // -- hooks: hub domain
+    /** Ordering-point verdict, after any stamping (and after any
+     *  injected mutation), before fan-out. */
+    void recordOrder(const Message &msg, Tick tick);
+    /** The hub's tracker accepted an eviction notice (post-guard). */
+    void recordEvict(BlockId block, NodeId node, bool owned,
+                     Tick wbArrive, Tick tick);
+
+    // -- hooks: node domains (`atNode` = the executing domain)
+    /** A data response was issued. `supplier` is the logical source
+     *  (invalidNode = the home's memory); `startTick` is when the
+     *  data read began (the chained-bound check reads it). */
+    void recordSupply(NodeId atNode, NodeId supplier, BlockId block,
+                      TxnId txn, Tick startTick, Tick tick);
+    /** The requester installed the granted state for its miss. */
+    void recordFill(NodeId atNode, const Message &msg,
+                    bool invalidateAfterFill, Tick tick);
+    /** A delivery obliged `atNode` to invalidate (witnessed at the
+     *  delivery dispatcher, independent of the controller that must
+     *  act on it). */
+    void recordInvalDue(NodeId atNode, BlockId block, TxnId txn,
+                        Tick tick);
+    /** `atNode`'s controller executed (or MSHR-deferred) the
+     *  invalidation. Pairs with the same-tick InvalDue. */
+    void recordInvalDone(NodeId atNode, BlockId block, TxnId txn,
+                         Tick tick);
+
+    // -- functional warmup (single-threaded, trace-speed; applies
+    //    shadow state and versions without running any check)
+    void warmupApply(BlockId block, NodeId requester, RequestType type,
+                     const DestinationSet &required, NodeId responder);
+    void warmupEvict(BlockId block, NodeId node, bool owned);
+
+    /**
+     * Merge and check every staged record with tick < safeTick (pass
+     * maxTick at a phase boundary, where every appended record is
+     * final). Caller must have all shards quiescent. Returns true
+     * once a violation has been found; the first violation is kept
+     * and later records are not consumed.
+     */
+    bool reconcile(Tick safeTick);
+
+    bool
+    hasViolation() const
+    {
+        return violation_.kind != ViolationKind::None;
+    }
+    const Violation &violation() const { return violation_; }
+
+    /** Records checked so far (tests assert the oracle actually ran). */
+    std::uint64_t checksPerformed() const { return checksPerformed_; }
+
+    /** DSP-VIOLATION machine line plus the block's forensic ring. */
+    void printReport(std::FILE *out) const;
+
+  private:
+    /** Forensic depth: the last N records touching a block. */
+    static constexpr unsigned ringDepth = 8;
+
+    /** Shadow MOSI state plus write-seqno bookkeeping for one block.
+     *  A default ShadowBlock is equivalent to an absent tracker entry
+     *  (memory-owned, no sharers); unlike the tracker, the shadow
+     *  never erases -- versions must outlive registration. */
+    struct ShadowBlock {
+        NodeId owner = invalidNode;
+        DestinationSet sharers;
+        Tick lastOrder = 0;
+        /** Monotone write seqno: bumped at every resolved GETX. */
+        std::uint64_t version = 0;
+        /** Version memory holds (updated at owned evictions). */
+        std::uint64_t memVersion = 0;
+        /** Bit n set: node n holds a copy with a known version. */
+        std::uint64_t validMask = 0;
+        std::array<Record, ringDepth> ring;
+        std::uint8_t ringPos = 0;
+        std::uint8_t ringCount = 0;
+    };
+
+    /** A resolved transaction between its order and its fill. */
+    struct ShadowTxn {
+        BlockId block = 0;
+        NodeId requester = 0;
+        NodeId responder = invalidNode;
+        MosiState granted = MosiState::Invalid;
+        RequestType type = RequestType::GetShared;
+        Tick orderTick = 0;
+        Tick supplyEarliest = 0;
+        /** Version the responder must supply (pre-bump). */
+        std::uint64_t supplyVersion = 0;
+        /** Version the requester's copy carries after the fill. */
+        std::uint64_t fillVersion = 0;
+        bool supplied = false;
+    };
+
+    /** An invalidation obligation awaiting its same-tick InvalDone. */
+    struct PendingDue {
+        BlockId block;
+        TxnId txn;
+        NodeId node;
+        Tick tick;
+    };
+
+    std::vector<Record> &hubBuffer() { return buffers_[config_.nodes]; }
+
+    // -- reconcile pipeline
+    void process(const Record &r);
+    void processOrder(const Record &r, ShadowBlock &sb);
+    void processSupply(const Record &r, ShadowBlock &sb);
+    void processFill(const Record &r, ShadowBlock &sb);
+    void processInvalDone(const Record &r, ShadowBlock &sb);
+    void processEvict(const Record &r, ShadowBlock &sb);
+
+    /** Any obligation strictly older than `tick` is unacknowledged:
+     *  the paired InvalDone is appended within the same event. */
+    void flushDuesBefore(Tick tick);
+
+    /** Replicate SharingTracker::makeTransaction on the shadow. */
+    void expectedVerdict(const ShadowBlock &sb, NodeId requester,
+                         RequestType type, DestinationSet &required,
+                         NodeId &responder, MosiState &granted) const;
+
+    /** Replicas of System::supplyBound / chainResolved over the
+     *  shadow books (replayed in identical hub order). */
+    Tick shadowSupplyBound(BlockId block, NodeId responder,
+                           NodeId requester, Tick order);
+    void shadowChainResolved(const Record &r, Tick bound);
+
+    void raise(ViolationKind kind, const Record &r, std::string detail);
+
+    void pushRing(ShadowBlock &sb, const Record &r);
+
+    std::uint64_t
+    versionKey(BlockId block, NodeId node) const
+    {
+        return (block << 6) | node;
+    }
+    void
+    setValid(ShadowBlock &sb, BlockId block, NodeId node,
+             std::uint64_t version)
+    {
+        sb.validMask |= std::uint64_t{1} << node;
+        nodeVersion_[versionKey(block, node)] = version;
+    }
+    void
+    clearValid(ShadowBlock &sb, NodeId node)
+    {
+        sb.validMask &= ~(std::uint64_t{1} << node);
+    }
+
+    Config config_;
+
+    /** Per-domain staging: [0, nodes) = node domains, [nodes] = hub.
+     *  Each inner vector is appended by exactly one shard thread and
+     *  is sorted by (tick, append index) by construction. */
+    std::vector<std::vector<Record>> buffers_;
+
+    FlatMap<BlockId, ShadowBlock> shadow_;
+    FlatMap<std::uint64_t, std::uint64_t> nodeVersion_;
+    FlatMap<TxnId, ShadowTxn> txns_;
+    FlatMap<BlockId, Tick> ownerDataAt_;
+    FlatMap<BlockId, Tick> memReadyAt_;
+    std::vector<PendingDue> pendingDues_;
+
+    Violation violation_;
+    std::uint64_t checksPerformed_ = 0;
+};
+
+} // namespace verify
+} // namespace dsp
+
+#endif // DSP_VERIFY_ORACLE_HH

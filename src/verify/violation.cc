@@ -1,0 +1,95 @@
+#include "verify/violation.hh"
+
+namespace dsp {
+namespace verify {
+
+std::string
+toString(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::None:                 return "none";
+      case ViolationKind::VerdictMismatch:      return "verdict-mismatch";
+      case ViolationKind::FalseRetry:           return "false-retry";
+      case ViolationKind::InsufficientResolved: return "insufficient-resolved";
+      case ViolationKind::SupplyFromNonOwner:   return "supply-from-non-owner";
+      case ViolationKind::StaleDataSupply:      return "stale-data-supply";
+      case ViolationKind::ChainMismatch:        return "chain-mismatch";
+      case ViolationKind::InvalidationNotAcked: return "invalidation-not-acked";
+      case ViolationKind::StaleUpgradeGrant:    return "stale-upgrade-grant";
+      case ViolationKind::OrderRegression:      return "order-regression";
+    }
+    return "unknown";
+}
+
+std::string
+toString(Mutation m)
+{
+    switch (m) {
+      case Mutation::None:             return "none";
+      case Mutation::DropInvalidation: return "drop-inval";
+      case Mutation::StaleOwnerSupply: return "stale-owner-supply";
+      case Mutation::SkipVerdictStamp: return "skip-verdict";
+      case Mutation::SubsetDelivery:   return "subset-delivery";
+      case Mutation::ReorderHubGrants: return "reorder-grants";
+      case Mutation::StaleDataSupply:  return "stale-data";
+    }
+    return "unknown";
+}
+
+bool
+parseMutation(const std::string &name, Mutation &out)
+{
+    static const Mutation all[] = {
+        Mutation::None,           Mutation::DropInvalidation,
+        Mutation::StaleOwnerSupply, Mutation::SkipVerdictStamp,
+        Mutation::SubsetDelivery, Mutation::ReorderHubGrants,
+        Mutation::StaleDataSupply,
+    };
+    for (Mutation m : all) {
+        if (name == toString(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+ViolationKind
+expectedKind(Mutation m)
+{
+    switch (m) {
+      case Mutation::None:             return ViolationKind::None;
+      case Mutation::DropInvalidation: return ViolationKind::InvalidationNotAcked;
+      case Mutation::StaleOwnerSupply: return ViolationKind::SupplyFromNonOwner;
+      case Mutation::SkipVerdictStamp: return ViolationKind::FalseRetry;
+      case Mutation::SubsetDelivery:   return ViolationKind::InsufficientResolved;
+      case Mutation::ReorderHubGrants: return ViolationKind::VerdictMismatch;
+      case Mutation::StaleDataSupply:  return ViolationKind::StaleDataSupply;
+    }
+    return ViolationKind::None;
+}
+
+namespace {
+Violation lastViolation_;
+} // namespace
+
+const Violation &
+lastViolation()
+{
+    return lastViolation_;
+}
+
+void
+setLastViolation(const Violation &v)
+{
+    lastViolation_ = v;
+}
+
+void
+clearLastViolation()
+{
+    lastViolation_ = Violation{};
+}
+
+} // namespace verify
+} // namespace dsp

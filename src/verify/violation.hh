@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Light shared vocabulary of the coherence oracle (src/verify/): the
+ * violation kinds the oracle can raise, the deliberate protocol
+ * mutations the self-tests inject, and the process exit code a
+ * violation terminates with.
+ *
+ * This header is deliberately tiny: SystemParams, the sweep
+ * supervisor, and the bench drivers all need these names without
+ * pulling in the oracle's shadow-state machinery (verify/oracle.hh).
+ */
+
+#ifndef DSP_VERIFY_VIOLATION_HH
+#define DSP_VERIFY_VIOLATION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/types.hh"
+#include "sim/types.hh"
+
+namespace dsp {
+namespace verify {
+
+/**
+ * Exit status of a driver whose oracle detected a protocol violation.
+ * Distinct from success (0), user error (1), failed sweep rows (2),
+ * and interruption (75): a violation is *deterministic* -- the same
+ * binary and seed re-fail identically -- so the sweep supervisor
+ * journals it immediately instead of burning retry budget.
+ */
+constexpr int violationExitCode = 77;
+
+/** What invariant a violation broke. */
+enum class ViolationKind : std::uint8_t {
+    None,
+    /** The ordering point's stamped verdict (responder / required /
+     *  granted) disagrees with the shadow MOSI state. */
+    VerdictMismatch,
+    /** Declared insufficient although the destination set covered
+     *  every required observer (a lost grant: spurious retry). */
+    FalseRetry,
+    /** Resolved although the destination set missed a required
+     *  observer (the single-writer invariant is now unenforceable). */
+    InsufficientResolved,
+    /** Data supplied by a node that is not the serialized responder
+     *  (or for a transaction already completed / never resolved). */
+    SupplyFromNonOwner,
+    /** A supplier started its data read before the chained
+     *  data-availability bound (its own fill / the in-flight
+     *  writeback): it would put stale bytes on the wire. */
+    StaleDataSupply,
+    /** The stamped supplyEarliest differs from the shadow chain
+     *  bound computed from the same serialized history. */
+    ChainMismatch,
+    /** A writable (M) fill completed while required invalidations
+     *  were still unacknowledged: two writers are now possible. */
+    InvalidationNotAcked,
+    /** An upgrade granted over a version older than the last ordered
+     *  write (the requester would keep stale data writable). */
+    StaleUpgradeGrant,
+    /** A block's serialization tick ran backwards. */
+    OrderRegression,
+};
+
+std::string toString(ViolationKind kind);
+
+/** First violation found, in the kernel's deterministic merge order:
+ *  identical at every shard count. */
+struct Violation {
+    ViolationKind kind = ViolationKind::None;
+    BlockId block = 0;
+    Tick tick = 0;
+    NodeId node = invalidNode;
+    std::uint64_t txn = 0;
+    std::string detail;
+};
+
+/**
+ * Deliberate protocol mutations for the oracle self-tests: each one
+ * breaks exactly one invariant, and the oracle must catch it with the
+ * matching ViolationKind at every shard count.
+ */
+enum class Mutation : std::uint8_t {
+    None,
+    DropInvalidation,   ///< sharers skip the GETX invalidation
+    StaleOwnerSupply,   ///< home supplies although a cache owns
+    SkipVerdictStamp,   ///< tracker applied but echo left unresolved
+    SubsetDelivery,     ///< fan-out drops one required destination
+    ReorderHubGrants,   ///< a GETX's tracker apply swaps with the next
+    StaleDataSupply,    ///< owner ignores the chained supply bound
+};
+
+std::string toString(Mutation m);
+
+/** Parse a --mutate flag value ("drop-inval", "stale-owner-supply",
+ *  ...); returns false on an unknown name. */
+bool parseMutation(const std::string &name, Mutation &out);
+
+/** The expected first violation kind for each mutation (self-tests
+ *  and check.sh assert against this single source of truth). */
+ViolationKind expectedKind(Mutation m);
+
+/**
+ * Process-global copy of the last violation reported by any oracle.
+ * Written single-threaded (violations are raised on the main thread
+ * with the kernel quiescent) just before the raise; panic hooks and
+ * tests read it to compose dumps / assert identity across replays.
+ */
+const Violation &lastViolation();
+void setLastViolation(const Violation &v);
+void clearLastViolation();
+
+} // namespace verify
+} // namespace dsp
+
+#endif // DSP_VERIFY_VIOLATION_HH

@@ -66,7 +66,16 @@ class Workload
         ProcState &st = procs_[p];
         if (st.bufPos == st.buf.size())
             refill(st);
+        ++st.consumed;
         return st.buf[st.bufPos++];
+    }
+
+    /** References handed out to processor p so far. A violation repro
+     *  bundle records these so a replay can bound its progress. */
+    std::uint64_t
+    consumed(NodeId p) const
+    {
+        return procs_[p].consumed;
     }
 
     /**
@@ -137,6 +146,8 @@ class Workload
         /** Pre-generated references; refilled when drained. */
         std::vector<MemRef> buf;
         std::size_t bufPos = 0;
+        /** References handed out (not merely buffered). */
+        std::uint64_t consumed = 0;
 
         ProcState(Rng r, NodeId p) : rng(r), proc(p) {}
     };

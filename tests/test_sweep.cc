@@ -27,6 +27,7 @@
 #include "sweep/matrix.hh"
 #include "sweep/sim_job.hh"
 #include "sweep/supervisor.hh"
+#include "verify/violation.hh"
 
 namespace dsp {
 namespace sweep {
@@ -179,6 +180,30 @@ TEST(SweepMatrix, RejectsUnknownProtocol)
     PanicGuard guard;
     SweepConfig c = SweepConfig::fromString("protocol = token\n");
     EXPECT_THROW(expandMatrix(c), std::runtime_error);
+}
+
+TEST(SweepMatrix, VerifyAxisExpandsAndKeepsOracleOffIdsStable)
+{
+    SweepConfig c = SweepConfig::fromString("workload = barnes\n"
+                                            "verify = off, on\n");
+    std::vector<JobSpec> jobs = expandMatrix(c);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].verify, "off");
+    EXPECT_EQ(jobs[1].verify, "on");
+    // Oracle-off ids predate the verify axis and must stay suffix
+    // -free, so pre-existing journals resume and fault-plan hashes
+    // keyed on id() are unchanged.
+    EXPECT_EQ(jobs[0].id().find("verify"), std::string::npos);
+    EXPECT_NE(jobs[1].id().find(" verify=on"), std::string::npos);
+    EXPECT_NE(jobs[0].idHash(), jobs[1].idHash());
+
+    // The axis defaults to off when absent.
+    SweepConfig plain = SweepConfig::fromString("workload = barnes\n");
+    EXPECT_EQ(expandMatrix(plain)[0].verify, "off");
+
+    PanicGuard guard;
+    SweepConfig bad = SweepConfig::fromString("verify = maybe\n");
+    EXPECT_THROW(expandMatrix(bad), std::runtime_error);
 }
 
 // ---- journal --------------------------------------------------------------
@@ -441,6 +466,42 @@ TEST(SweepSupervisor, RetryBudgetExhaustionRecordsFailedRow)
     EXPECT_EQ(field, std::to_string(SIGABRT));
     ASSERT_TRUE(jsonField(rows[0].payload, "reason", field));
     EXPECT_EQ(field, "signal");
+    std::remove(path.c_str());
+}
+
+TEST(SweepSupervisor, ViolationExitJournalsImmediatelyWithoutRetry)
+{
+    std::string path = scratchPath("violation.jsonl");
+    std::remove(path.c_str());
+    std::vector<JobSpec> jobs = {smallMatrix()[0]};
+
+    // A coherence violation terminates the worker with the dedicated
+    // exit code. It is deterministic, so the supervisor must journal
+    // it on the first attempt instead of burning the retry budget.
+    auto violate = [](const JobSpec &) -> std::string {
+        std::exit(verify::violationExitCode);
+    };
+
+    SupervisorOptions opt = fastOptions();
+    opt.maxAttempts = 3;
+    Supervisor supervisor(path, opt);
+    SweepSummary summary = supervisor.run(jobs, violate, FaultPlan{});
+    EXPECT_EQ(summary.failed, 1u);
+    EXPECT_EQ(summary.violations, 1u);
+    EXPECT_EQ(summary.launched, 1u);  // no retries burned
+    EXPECT_EQ(summary.retries, 0u);
+
+    JournalRecovery recovery;
+    std::vector<JournalRow> rows = readJournal(path, recovery);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, "failed");
+    std::string field;
+    ASSERT_TRUE(jsonField(rows[0].payload, "reason", field));
+    EXPECT_EQ(field, "violation");
+    ASSERT_TRUE(jsonField(rows[0].payload, "exit_code", field));
+    EXPECT_EQ(field, std::to_string(verify::violationExitCode));
+    ASSERT_TRUE(jsonField(rows[0].payload, "attempts", field));
+    EXPECT_EQ(field, "1");
     std::remove(path.c_str());
 }
 
