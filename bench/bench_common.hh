@@ -8,6 +8,9 @@
  *   --seed S      RNG seed (default 1)
  *   --workload W  restrict to one workload (default: all six)
  *   --nodes N     processors (default 16)
+ *   --hubs N      address-interleaved ordering hubs (default 1)
+ *   --cluster N   nodes per cluster, 0 = flat machine (default 0)
+ *   --switch-ns F switch<->global interconnect leg in ns (default 0)
  *   --csv         emit CSV instead of aligned tables
  */
 
@@ -40,6 +43,9 @@ struct Options {
     std::uint64_t measureMisses = 200000;
     std::uint64_t seed = 1;
     NodeId nodes = 16;
+    unsigned hubs = 1;
+    unsigned cluster = 0;
+    double switchNs = 0.0;
     bool csv = false;
     std::vector<std::string> workloads;  ///< empty = all six
 
@@ -72,6 +78,12 @@ parseOptions(int argc, char **argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--nodes") {
             opt.nodes = static_cast<NodeId>(std::atoi(next()));
+        } else if (arg == "--hubs") {
+            opt.hubs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--cluster") {
+            opt.cluster = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--switch-ns") {
+            opt.switchNs = std::atof(next());
         } else if (arg == "--workload") {
             opt.workloads.push_back(next());
         } else if (arg == "--cpu-warmup") {
@@ -85,7 +97,8 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "options: --scale F --warmup N --measure N "
-                         "--seed S --nodes N --workload W --csv\n");
+                         "--seed S --nodes N --hubs N --cluster N "
+                         "--switch-ns F --workload W --csv\n");
             std::exit(0);
         } else {
             dsp_fatal("unknown option '%s'", arg.c_str());

@@ -72,6 +72,9 @@ main(int argc, char **argv)
                 params.predictor.indexing =
                     IndexingMode::Macroblock1024;
                 params.cpuModel = CpuModel::Simple;
+                params.crossbar.topology.hubs = opt.hubs;
+                params.crossbar.topology.cluster_size = opt.cluster;
+                params.crossbar.topology.switch_link_ns = opt.switchNs;
                 params.functionalWarmupMisses = opt.warmupMisses;
                 params.warmupInstrPerCpu = opt.cpuWarmupInstr;
                 params.measureInstrPerCpu = opt.cpuMeasureInstr;

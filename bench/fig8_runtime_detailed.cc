@@ -63,6 +63,9 @@ main(int argc, char **argv)
             params.predictor.entries = 8192;
             params.predictor.indexing = IndexingMode::Macroblock1024;
             params.cpuModel = CpuModel::Detailed;
+            params.crossbar.topology.hubs = opt.hubs;
+            params.crossbar.topology.cluster_size = opt.cluster;
+            params.crossbar.topology.switch_link_ns = opt.switchNs;
             params.functionalWarmupMisses = opt.warmupMisses;
             params.warmupInstrPerCpu = opt.cpuWarmupInstr / 2;
             params.measureInstrPerCpu = opt.cpuMeasureInstr / 2;

@@ -23,6 +23,9 @@
  *   --workload W   workload preset (default barnes)
  *   --threads N    shard threads for the parallel config (default 4)
  *   --nodes N      processors (default 16)
+ *   --hubs N       address-interleaved ordering hubs (default 1)
+ *   --cluster N    nodes per cluster, 0 = flat (default 0)
+ *   --switch-ns F  switch<->global interconnect leg in ns (default 0)
  *   --seed S       RNG seed (default 1)
  *   --out FILE     JSON output path (default BENCH_hotpath.json)
  *   --oracle       shadow every run with the coherence oracle
@@ -71,6 +74,9 @@ struct HotpathOptions {
     unsigned threads = 4;
     bool hubShard = false;
     NodeId nodes = 16;
+    unsigned hubs = 1;
+    unsigned cluster = 0;
+    double switchNs = 0.0;
     std::uint64_t seed = 1;
     std::string out = "BENCH_hotpath.json";
     bool outExplicit = false;
@@ -109,6 +115,12 @@ parseArgs(int argc, char **argv)
                 opt.repeat = 1;
         } else if (arg == "--nodes") {
             opt.nodes = static_cast<NodeId>(std::atoi(next()));
+        } else if (arg == "--hubs") {
+            opt.hubs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--cluster") {
+            opt.cluster = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--switch-ns") {
+            opt.switchNs = std::atof(next());
         } else if (arg == "--seed") {
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--out") {
@@ -129,7 +141,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "options: --measure N --warmup N --workload W "
-                         "--threads N --hub-shard --nodes N --seed S "
+                         "--threads N --hub-shard --nodes N --hubs N "
+                         "--cluster N --switch-ns F --seed S "
                          "--out FILE --config NAME --repeat N "
                          "--oracle --mutate M --stop-at T\n");
             std::exit(0);
@@ -200,6 +213,9 @@ runConfig(const HotpathOptions &opt, const std::string &name,
         params.cpuModel = cpu_model;
         params.shards = threads;
         params.hubShard = opt.hubShard;
+        params.crossbar.topology.hubs = opt.hubs;
+        params.crossbar.topology.cluster_size = opt.cluster;
+        params.crossbar.topology.switch_link_ns = opt.switchNs;
         params.functionalWarmupMisses = opt.warmupMisses;
         params.warmupInstrPerCpu = opt.measureInstr / 10;
         params.measureInstrPerCpu = opt.measureInstr;

@@ -12,7 +12,9 @@
 #      ALLOW_PERF_REGRESSION=1) for intentional perf changes.
 #   4. sharded-kernel determinism cross-check: the Figure-7 multicast
 #      config is run with --threads 1 and --threads 4 and every
-#      deterministic figure statistic must match bit-for-bit.
+#      deterministic figure statistic must match bit-for-bit -- first
+#      on the paper's 16-node machine, then on a 64-node hierarchical
+#      4-hub machine (the configs/fig6_scaling.conf shape).
 #   5. sweep-driver crash-tolerance smoke (scripts/sweep_smoke.sh):
 #      a seeded fault-injection sweep must terminate with the expected
 #      failed rows, and resuming it must produce an aggregate table
@@ -23,6 +25,8 @@
 #      replay (--stop-at) reproduces the byte-identical violation
 #      line. The perf-guarded runs above stay oracle-off, so the
 #      events/sec bar keeps holding the oracle's zero-overhead claim.
+#   7. docs hygiene (scripts/docs_check.sh): markdown links resolve
+#      and every src/ subsystem appears in the docs index.
 #
 # Bench JSONs are validated (python3, else jq, else a warning) before
 # any regression grep reads them, so a truncated or interrupted file
@@ -278,6 +282,42 @@ if ! diff <(extract_det "$DET1") <(extract_det "$DET4"); then
 fi
 echo "determinism: --threads 1 == --threads 4 on all figure stats"
 
+# 64-node scaling smoke: the same determinism contract on a larger
+# hierarchical machine -- 64 nodes in 4 clusters of 16 behind
+# switches, 4 address-interleaved ordering hubs (the committed
+# configs/fig6_scaling.conf shape, docs/machine_topology.md). This
+# exercises the parameterized topology, multi-hub ordering, and the
+# 64-node txn-id/oracle-buffer regressions end to end in CI without
+# paying for a full scaling sweep.
+DET64_1=build/BENCH_det64_t1.json
+DET64_4=build/BENCH_det64_t4.json
+./build/bench_perf_hotpath --config multicast-owner-group-par \
+    --nodes 64 --hubs 4 --cluster 16 --switch-ns 15 \
+    --measure 20000 --warmup 5000 --threads 1 --out "$DET64_1" \
+    > /dev/null
+./build/bench_perf_hotpath --config multicast-owner-group-par \
+    --nodes 64 --hubs 4 --cluster 16 --switch-ns 15 \
+    --measure 20000 --warmup 5000 --threads 4 --hub-shard \
+    --out "$DET64_4" > /dev/null
+validate_bench_json "$DET64_1"
+validate_bench_json "$DET64_4"
+for f in "$DET64_1" "$DET64_4"; do
+    n="$(extract_det "$f" | wc -l)"
+    if [[ "$n" -ne "$DET_FIELDS" ]]; then
+        echo "check.sh: 64-node determinism extraction found" \
+             "$n/$DET_FIELDS stat fields in $f -- extractor out of" \
+             "sync with the bench JSON" >&2
+        exit 1
+    fi
+done
+if ! diff <(extract_det "$DET64_1") <(extract_det "$DET64_4"); then
+    echo "check.sh: DETERMINISM FAILURE -- 64-node hierarchical" \
+         "--threads 4 diverged from --threads 1 (see diff above)" >&2
+    exit 1
+fi
+echo "determinism: 64-node 4-hub hierarchical machine," \
+     "--threads 1 == --threads 4"
+
 # Refuse to install a fresh baseline that lost configs (e.g. a bench
 # crash after a partial write): the perf guard would silently stop
 # guarding whatever is missing.
@@ -295,6 +335,10 @@ done
 # fail the expected jobs, and a resumed sweep must reproduce the
 # fault-free aggregate table byte-for-byte.
 SWEEP_BIN=./build/bench_sweep scripts/sweep_smoke.sh
+
+# Docs hygiene: markdown links resolve, and every src/ subsystem is
+# mentioned in the docs index.
+scripts/docs_check.sh
 
 # Every guard passed (or was explicitly waived): only now does the
 # fresh run become the committed perf trajectory.

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#
+# Docs hygiene, run by CI and scripts/check.sh:
+#
+#   1. Link check: every relative markdown link in README.md and
+#      docs/*.md must point at a file that exists (anchors stripped;
+#      http(s) links are not fetched).
+#   2. Coverage check: every top-level subsystem directory under src/
+#      must be mentioned in the docs index (docs/README.md), so new
+#      subsystems cannot land undocumented.
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+# --- 1. relative-link check -----------------------------------------
+for page in README.md docs/*.md; do
+    dir="$(dirname "$page")"
+    # Markdown inline links: [text](target). One per line via grep -o.
+    while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*) continue ;;
+        esac
+        target="${target%%#*}"          # strip anchor
+        [[ -z "$target" ]] && continue  # pure-anchor link
+        if [[ ! -e "$dir/$target" ]]; then
+            echo "docs_check: $page: broken link -> $target" >&2
+            status=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$page" \
+             | sed 's/^\[[^]]*\](//; s/)$//')
+done
+
+# --- 2. subsystem coverage in the docs index ------------------------
+index=docs/README.md
+if [[ ! -f "$index" ]]; then
+    echo "docs_check: missing $index" >&2
+    exit 1
+fi
+for dir in src/*/; do
+    subsystem="$(basename "$dir")"
+    if ! grep -q "src/$subsystem" "$index"; then
+        echo "docs_check: src/$subsystem is not mentioned in $index" \
+             "-- document new subsystems in the index" >&2
+        status=1
+    fi
+done
+
+if [[ "$status" -eq 0 ]]; then
+    echo "docs_check: links OK, all $(ls -d src/*/ | wc -l)" \
+         "subsystems covered by $index"
+fi
+exit $status

@@ -13,9 +13,10 @@ namespace dsp {
  * a multicast fan-out never copies the Message.
  */
 struct OrderedCrossbar::OrderEvent final : Event {
-    OrderEvent(OrderedCrossbar &x, MessageRef &&m, Tick t,
+    OrderEvent(OrderedCrossbar &x, MessageRef &&m, unsigned h, Tick t,
                bool serialized)
-        : xbar(x), msg(std::move(m)), tick(t), serialized(serialized)
+        : xbar(x), msg(std::move(m)), hub(h), tick(t),
+          serialized(serialized)
     {
     }
 
@@ -29,15 +30,16 @@ struct OrderedCrossbar::OrderEvent final : Event {
             return;
         }
         // Arrival at the ordering point: claim the next slot. The
-        // spacing state (lastOrder_) belongs to the hub domain, so it
-        // is applied here -- at arrival, in deterministic arrival
+        // spacing state (lastOrder) belongs to this hub's domain, so
+        // it is applied here -- at arrival, in deterministic arrival
         // order -- not at send time in some other domain.
-        Tick slot = std::max(tick, xbar.lastOrder_ + xbar.orderGap_);
-        xbar.lastOrder_ = slot;
+        HubState &point = xbar.hubs_[hub];
+        Tick slot = std::max(tick, point.lastOrder + xbar.orderGap_);
+        point.lastOrder = slot;
         if (slot > tick) {
-            xbar.hub_.schedule(
+            point.port.schedule(
                 *EventPool<OrderEvent>::instance().acquire(
-                    xbar, std::move(msg), slot, true),
+                    xbar, std::move(msg), hub, slot, true),
                 slot, EventPriority::NetworkOrder);
             return;
         }
@@ -52,6 +54,7 @@ struct OrderedCrossbar::OrderEvent final : Event {
 
     OrderedCrossbar &xbar;
     MessageRef msg;
+    unsigned hub;
     Tick tick;
     bool serialized;
 };
@@ -87,22 +90,26 @@ struct OrderedCrossbar::DeliverEvent final : Event {
     bool booked;
 };
 
-OrderedCrossbar::OrderedCrossbar(DomainPort hub,
+OrderedCrossbar::OrderedCrossbar(std::vector<DomainPort> hub_ports,
                                  std::vector<DomainPort> node_ports,
                                  const CrossbarParams &params)
     : params_(params),
-      halfTraversal_(nsToTicks(params.traversal_ns / 2.0)),
-      orderGap_(nsToTicks(params.ordering_gap_ns)),
-      hub_(hub)
+      topo_(static_cast<NodeId>(node_ports.size()), params.topology,
+            params.traversal_ns),
+      orderGap_(nsToTicks(params.ordering_gap_ns))
 {
     dsp_assert(!node_ports.empty() && node_ports.size() <= maxNodes,
                "bad crossbar size %zu", node_ports.size());
-    dsp_assert(halfTraversal_ > 0,
-               "crossbar traversal must be positive");
+    dsp_assert(hub_ports.size() == topo_.hubs(),
+               "expected %u hub ports, got %zu", topo_.hubs(),
+               hub_ports.size());
     for (std::size_t k = 0; k < numKinds; ++k) {
         occupancyByKind_[k] =
             occupancy(messageBytes(static_cast<MessageKind>(k)));
     }
+    hubs_.resize(hub_ports.size());
+    for (std::size_t h = 0; h < hub_ports.size(); ++h)
+        hubs_[h].port = hub_ports[h];
     nodes_.resize(node_ports.size());
     for (std::size_t n = 0; n < node_ports.size(); ++n)
         nodes_[n].port = node_ports[n];
@@ -111,16 +118,16 @@ OrderedCrossbar::OrderedCrossbar(DomainPort hub,
 namespace {
 
 std::vector<DomainPort>
-standalonePorts(EventQueue &queue, NodeId num_nodes)
+standalonePorts(EventQueue &queue, std::size_t count)
 {
-    return std::vector<DomainPort>(num_nodes, DomainPort(queue));
+    return std::vector<DomainPort>(count, DomainPort(queue));
 }
 
 } // namespace
 
 OrderedCrossbar::OrderedCrossbar(EventQueue &queue, NodeId num_nodes,
                                  const CrossbarParams &params)
-    : OrderedCrossbar(DomainPort(queue),
+    : OrderedCrossbar(standalonePorts(queue, params.topology.hubs),
                       standalonePorts(queue, num_nodes), params)
 {
 }
@@ -174,11 +181,13 @@ OrderedCrossbar::orderAndFanOut(const MessageRef &msg, Tick order)
         onOrder_(msg, order);
     // Fan out to every destination but the source; each delivery
     // shares the one pooled payload and contends for its
-    // destination's ingress link on arrival.
+    // destination's ingress link on arrival. The hub sits on the
+    // global tier, so the downward leg is uniform over destinations.
+    Tick deliver = order + topo_.hubHop();
     msg->dests.forEach([&](NodeId dest) {
         if (dest == msg->src)
             return;
-        scheduleDelivery(msg, dest, order + halfTraversal_, false);
+        scheduleDelivery(msg, dest, deliver, false);
     });
 }
 
@@ -190,11 +199,12 @@ OrderedCrossbar::sendOrdered(Message msg)
     Tick depart = std::max(src.port.now(), src.egressFree);
     src.egressFree = depart + occupancyOf(msg.kind);
 
-    hub_.schedule(*EventPool<OrderEvent>::instance().acquire(
-                      *this, MessageRef(std::move(msg)),
-                      depart + halfTraversal_, false),
-                  depart + halfTraversal_,
-                  EventPriority::NetworkOrder);
+    unsigned hub = topo_.hubOf(msg.block());
+    Tick arrive = depart + topo_.hubHop();
+    hubs_[hub].port.schedule(
+        *EventPool<OrderEvent>::instance().acquire(
+            *this, MessageRef(std::move(msg)), hub, arrive, false),
+        arrive, EventPriority::NetworkOrder);
 }
 
 void
@@ -207,8 +217,8 @@ OrderedCrossbar::sendDirect(Message msg)
     src.egressFree = depart + occupancyOf(msg.kind);
 
     NodeId dest = msg.dest;
-    scheduleDelivery(MessageRef(std::move(msg)), dest,
-                     depart + 2 * halfTraversal_, false);
+    Tick arrive = depart + topo_.directHop(msg.src, dest);
+    scheduleDelivery(MessageRef(std::move(msg)), dest, arrive, false);
 }
 
 TrafficStats

@@ -1,27 +1,33 @@
 /**
  * @file
- * Totally-ordered crossbar interconnect (Section 5.2: "we model a
- * single crossbar switch ... includes contention effects caused by
- * limited link bandwidth").
+ * Totally-ordered interconnect (Section 5.2: "we model a single
+ * crossbar switch ... includes contention effects caused by limited
+ * link bandwidth"), generalized to the two-level hierarchy and the
+ * address-interleaved ordering points of docs/machine_topology.md.
  *
- * Ordered multicasts (requests, retries) pass through a single
- * serialization point that defines the system-wide total order all
- * three protocols require; deliveries then traverse per-node ingress
- * links. Point-to-point messages (data, forwards, invalidations)
- * bypass the ordering point but share the same links.
+ * Ordered multicasts (requests, retries) pass through a serialization
+ * point that defines the per-block total order all three protocols
+ * require; with H ordering hubs, block b serializes at hub b mod H
+ * and the total order is per-hub (blocks never span hubs, so this is
+ * exactly the order the protocols need). Deliveries then traverse
+ * per-node ingress links. Point-to-point messages (data, forwards,
+ * invalidations) bypass the ordering points but share the same
+ * endpoint links; their latency depends on whether source and
+ * destination share a cluster (see interconnect/topology.hh).
  *
  * Sharding discipline: every piece of crossbar state is owned by
  * exactly one kernel domain and touched only while that domain
  * executes. A node's egress link is booked at send time (the sender's
- * domain); the ordering-point spacing (lastOrder_) is applied when the
- * message *arrives* at the ordering point (the hub domain); a node's
+ * domain); each ordering point's spacing (lastOrder) is applied when
+ * the message *arrives* at that hub (the hub's own domain); a node's
  * ingress link is booked when the delivery *arrives* at that node (the
  * destination's domain). Traffic statistics are likewise accumulated
  * per destination node. This keeps the crossbar data-race free under
  * the sharded kernel without a single lock on the hot path.
  *
- * Uncontended latencies are calibrated to Table 4: one traversal is
- * 50 ns (ordering 25 ns + delivery 25 ns for ordered messages).
+ * Uncontended flat-machine latencies are calibrated to Table 4: one
+ * traversal is 50 ns (ordering 25 ns + delivery 25 ns for ordered
+ * messages).
  */
 
 #ifndef DSP_INTERCONNECT_CROSSBAR_HH
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "interconnect/message.hh"
+#include "interconnect/topology.hh"
 #include "sim/sharded_kernel.hh"
 #include "sim/types.hh"
 
@@ -42,7 +49,10 @@ namespace dsp {
 struct CrossbarParams {
     double traversal_ns = 50.0;      ///< uncontended one-way latency
     double link_bytes_per_ns = 10.0; ///< 10 GB/s endpoint links
-    double ordering_gap_ns = 0.5;    ///< min spacing at the order point
+    double ordering_gap_ns = 0.5;    ///< min spacing at an order point
+    /** Cluster geometry, per-level legs, and the ordering-hub count;
+     *  defaults to the flat single-hub crossbar. */
+    TopologyParams topology;
 };
 
 /** Per-kind traffic statistics. */
@@ -78,10 +88,12 @@ class OrderedCrossbar
         std::function<void(const Message &, NodeId, Tick)>;
 
     /**
-     * Sharded-kernel form: `hub` is the ordering point's domain,
+     * Sharded-kernel form: `hub_ports` are the ordering points'
+     * domains (one per hub, size == params.topology.hubs),
      * `node_ports` the per-node domains deliveries execute in.
      */
-    OrderedCrossbar(DomainPort hub, std::vector<DomainPort> node_ports,
+    OrderedCrossbar(std::vector<DomainPort> hub_ports,
+                    std::vector<DomainPort> node_ports,
                     const CrossbarParams &params = CrossbarParams{});
 
     /** Standalone form: everything on one queue (unit tests, tools). */
@@ -93,9 +105,9 @@ class OrderedCrossbar
 
     /**
      * Send an ordered multicast (Request/Retry). The message moves
-     * into one pooled payload, is serialized at the ordering point,
-     * the order handler runs, then every member of msg.dests except
-     * the source receives a delivery that shares that payload
+     * into one pooled payload, is serialized at its block's ordering
+     * point, the order handler runs, then every member of msg.dests
+     * except the source receives a delivery that shares that payload
      * (self-delivery is free and instantaneous at the order tick --
      * modelled by the order handler itself). Must be called from the
      * source node's domain.
@@ -122,9 +134,11 @@ class OrderedCrossbar
         return static_cast<NodeId>(nodes_.size());
     }
 
+    const Topology &topology() const { return topo_; }
+
   private:
     /** Pooled event: one message reaching (or, once serialized,
-     *  leaving) the ordering point. */
+     *  leaving) its ordering point. */
     struct OrderEvent;
 
     /** Pooled event: one (payload handle, destination) delivery --
@@ -143,6 +157,13 @@ class OrderedCrossbar
         std::array<TrafficStats, numKinds> traffic{};
     };
 
+    /** One ordering point: its kernel domain and its spacing state,
+     *  touched only while that hub's domain executes. */
+    struct alignas(64) HubState {
+        DomainPort port;
+        Tick lastOrder = 0;
+    };
+
     Tick
     occupancy(std::uint32_t bytes) const
     {
@@ -159,7 +180,7 @@ class OrderedCrossbar
         return occupancyByKind_[static_cast<std::size_t>(kind)];
     }
 
-    /** Serialize `msg` at the hub, then fan deliveries out to its
+    /** Serialize `msg` at its hub, then fan deliveries out to its
      *  destinations; all of them share the one pooled payload. */
     void orderAndFanOut(const MessageRef &msg, Tick order);
 
@@ -172,15 +193,14 @@ class OrderedCrossbar
                           Tick when, bool booked);
 
     CrossbarParams params_;
-    Tick halfTraversal_;
+    Topology topo_;
     Tick orderGap_;
     std::array<Tick, numKinds> occupancyByKind_{};
 
     OrderHandler onOrder_;
     DeliverHandler onDeliver_;
 
-    DomainPort hub_;
-    Tick lastOrder_ = 0;  ///< hub-domain state
+    std::vector<HubState> hubs_;
     std::vector<NodeState> nodes_;
 };
 

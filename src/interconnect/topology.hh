@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Machine topology: node clustering, per-level hop latencies, and the
+ * address-interleaved ordering-point map (see docs/machine_topology.md).
+ *
+ * Two-level model in the style of the sesc memory-hierarchy configs:
+ * nodes sit in equal-size clusters behind local switches; a global
+ * tier (carrying the ordering hubs) connects the switches. Every
+ * message pays one node<->switch leg per endpoint, plus one
+ * switch<->global leg per endpoint whenever it leaves its cluster.
+ * Ordered traffic always transits the global tier (the ordering hubs
+ * live there), so a node's distance to any hub is uniform:
+ * cluster geometry shows up only in point-to-point (data) latency.
+ *
+ * The flat single-hop crossbar of the paper's Table 4 is the
+ * degenerate case -- one cluster, node leg = traversal/2, switch leg
+ * = 0 -- and reproduces its timing bit-for-bit.
+ *
+ * Ordering points: H hubs, block address b ordered at hub b mod H.
+ * Per-block state (sharing tracker, chaining books, order spacing)
+ * partitions cleanly by hub, so hubs never race and the carried-key
+ * determinism contract is untouched.
+ */
+
+#ifndef DSP_INTERCONNECT_TOPOLOGY_HH
+#define DSP_INTERCONNECT_TOPOLOGY_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsp {
+
+/** Hierarchical interconnect knobs (flat crossbar by default). */
+struct TopologyParams {
+    /** Nodes per cluster; 0 = one cluster spanning the machine (the
+     *  flat crossbar). Must divide the node count when set. */
+    NodeId cluster_size = 0;
+
+    /** Node <-> local-switch leg latency; 0 = traversal_ns / 2 (the
+     *  flat crossbar's half-traversal, keeping 16-node timing
+     *  bit-identical). */
+    double cluster_link_ns = 0.0;
+
+    /** Local-switch <-> global-tier leg latency (0 in the flat
+     *  machine; the cross-cluster penalty when hierarchical). */
+    double switch_link_ns = 0.0;
+
+    /** Address-interleaved ordering points (block b -> hub b mod H). */
+    unsigned hubs = 1;
+};
+
+/** Resolved topology: geometry plus per-level hop latencies in ticks. */
+class Topology
+{
+  public:
+    Topology() = default;
+
+    Topology(NodeId nodes, const TopologyParams &params,
+             double traversal_ns)
+        : nodes_(nodes), hubs_(params.hubs)
+    {
+        dsp_assert(nodes_ > 0 && nodes_ <= maxNodes,
+                   "bad node count %u", nodes_);
+        dsp_assert(hubs_ >= 1 && hubs_ <= maxHubs,
+                   "bad hub count %u", hubs_);
+        clusterSize_ =
+            params.cluster_size == 0 ? nodes_ : params.cluster_size;
+        dsp_assert(clusterSize_ >= 1 && nodes_ % clusterSize_ == 0,
+                   "cluster size %u does not divide %u nodes",
+                   clusterSize_, nodes_);
+        legNode_ = params.cluster_link_ns > 0.0
+                       ? nsToTicks(params.cluster_link_ns)
+                       : nsToTicks(traversal_ns / 2.0);
+        legSwitch_ = nsToTicks(params.switch_link_ns);
+        dsp_assert(legNode_ > 0, "node link latency must be positive");
+    }
+
+    /** More ordering points than any sane machine needs; bounds the
+     *  kernel-domain budget (nodes + hubs + boot <= maxDomains). */
+    static constexpr unsigned maxHubs = 64;
+
+    NodeId nodes() const { return nodes_; }
+    unsigned hubs() const { return hubs_; }
+    NodeId clusterSize() const { return clusterSize_; }
+    NodeId numClusters() const { return nodes_ / clusterSize_; }
+    bool flat() const
+    {
+        return clusterSize_ == nodes_ && legSwitch_ == 0;
+    }
+
+    NodeId clusterOf(NodeId n) const { return n / clusterSize_; }
+
+    bool
+    sameCluster(NodeId a, NodeId b) const
+    {
+        return clusterOf(a) == clusterOf(b);
+    }
+
+    /** Node <-> local switch leg, in ticks. */
+    Tick nodeLeg() const { return legNode_; }
+
+    /** Local switch <-> global tier leg, in ticks. */
+    Tick switchLeg() const { return legSwitch_; }
+
+    /** One-way node <-> ordering hub: up through the local switch to
+     *  the global tier (uniform over nodes -- the hubs sit above every
+     *  cluster). The flat machine's half-traversal. */
+    Tick hubHop() const { return legNode_ + legSwitch_; }
+
+    /** One-way point-to-point latency between two nodes: through the
+     *  shared local switch inside a cluster, via the global tier
+     *  across clusters. */
+    Tick
+    directHop(NodeId src, NodeId dst) const
+    {
+        return sameCluster(src, dst) ? 2 * legNode_
+                                     : 2 * (legNode_ + legSwitch_);
+    }
+
+    /**
+     * The minimum latency of any cross-domain interaction: the
+     * sharded kernel's conservative lookahead. Candidates are the
+     * intra-cluster direct hop (2 node legs) and the node <-> hub hop
+     * (every other path is at least as long).
+     */
+    Tick
+    minHop() const
+    {
+        return std::min(2 * legNode_, hubHop());
+    }
+
+    /** Address-interleaved ordering-point map. */
+    unsigned
+    hubOf(BlockId block) const
+    {
+        if ((hubs_ & (hubs_ - 1)) == 0)
+            return static_cast<unsigned>(block) & (hubs_ - 1);
+        return static_cast<unsigned>(block % hubs_);
+    }
+
+  private:
+    NodeId nodes_ = 1;
+    NodeId clusterSize_ = 1;
+    unsigned hubs_ = 1;
+    Tick legNode_ = 1;
+    Tick legSwitch_ = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_INTERCONNECT_TOPOLOGY_HH

@@ -2,14 +2,19 @@
  * @file
  * DestinationSet: the set of nodes that receive a coherence request.
  *
- * This is the central abstraction of the paper. Represented as a 64-bit
- * mask (the paper calls it a "multicast mask"), supporting up to 64
- * nodes; the evaluated systems use 16.
+ * This is the central abstraction of the paper (the "multicast mask").
+ * Represented as a fixed-size array of 64-bit words covering maxNodes
+ * bits (256 nodes -> 4 words, 32 bytes), with SWAR popcount/iterate.
+ * Systems up to 64 nodes live entirely in word 0, which keeps the
+ * legacy single-word mask()/fromMask() surface (traces, predictor
+ * tables, tests) valid for every machine the paper evaluates plus the
+ * 64-node scale-up.
  */
 
 #ifndef DSP_MEM_DESTINATION_SET_HH
 #define DSP_MEM_DESTINATION_SET_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <string>
@@ -19,18 +24,38 @@
 
 namespace dsp {
 
-/** A set of node identifiers, value semantics, O(1) set algebra. */
+/** A set of node identifiers, value semantics, O(words) set algebra. */
 class DestinationSet
 {
   public:
+    /** Number of 64-bit words backing the set. */
+    static constexpr unsigned wordCount = maxNodes / 64;
+    static_assert(maxNodes % 64 == 0,
+                  "maxNodes must be a multiple of the word width");
+
+    using Words = std::array<std::uint64_t, wordCount>;
+
     constexpr DestinationSet() = default;
 
-    /** Construct from a raw bit mask (bit i <=> node i). */
+    /**
+     * Construct from a raw 64-bit mask (bit i <=> node i). Only spans
+     * nodes 0..63; word-array sets beyond that are built with add() or
+     * fromWords().
+     */
     static constexpr DestinationSet
     fromMask(std::uint64_t mask)
     {
         DestinationSet s;
-        s.mask_ = mask;
+        s.words_[0] = mask;
+        return s;
+    }
+
+    /** Construct from a full word array (word w bit b <=> node 64w+b). */
+    static constexpr DestinationSet
+    fromWords(const Words &words)
+    {
+        DestinationSet s;
+        s.words_ = words;
         return s;
     }
 
@@ -39,8 +64,17 @@ class DestinationSet
     all(NodeId n)
     {
         dsp_assert(n > 0 && n <= maxNodes, "bad node count %u", n);
-        return fromMask(n == maxNodes ? ~std::uint64_t{0}
-                                      : ((std::uint64_t{1} << n) - 1));
+        DestinationSet s;
+        for (unsigned w = 0; w < wordCount && n > 0; ++w) {
+            if (n >= 64) {
+                s.words_[w] = ~std::uint64_t{0};
+                n -= 64;
+            } else {
+                s.words_[w] = (std::uint64_t{1} << n) - 1;
+                n = 0;
+            }
+        }
+        return s;
     }
 
     /** The singleton set {node}. */
@@ -52,15 +86,29 @@ class DestinationSet
         return s;
     }
 
-    /** Raw mask accessor. */
-    constexpr std::uint64_t mask() const { return mask_; }
+    /**
+     * Low-word accessor: the raw mask over nodes 0..63. Callers that
+     * persist this single word (trace records, predictor training
+     * tables) only handle <= 64-node sets; assert nothing is lost.
+     */
+    std::uint64_t
+    mask() const
+    {
+        for (unsigned w = 1; w < wordCount; ++w)
+            dsp_assert(words_[w] == 0,
+                       "mask() on a set with nodes >= 64");
+        return words_[0];
+    }
+
+    /** Full word array, for callers sized off maxNodes. */
+    constexpr const Words &words() const { return words_; }
 
     /** Add a node to the set. */
     void
     add(NodeId node)
     {
         dsp_assert(node < maxNodes, "node %u out of range", node);
-        mask_ |= std::uint64_t{1} << node;
+        words_[node >> 6] |= std::uint64_t{1} << (node & 63);
     }
 
     /** Remove a node from the set. */
@@ -68,53 +116,81 @@ class DestinationSet
     remove(NodeId node)
     {
         dsp_assert(node < maxNodes, "node %u out of range", node);
-        mask_ &= ~(std::uint64_t{1} << node);
+        words_[node >> 6] &= ~(std::uint64_t{1} << (node & 63));
     }
 
     /** Membership test. */
     constexpr bool
     contains(NodeId node) const
     {
-        return node < maxNodes && (mask_ >> node) & 1;
+        return node < maxNodes &&
+               (words_[node >> 6] >> (node & 63)) & 1;
     }
 
     /** True if every member of `other` is also a member of this set. */
     constexpr bool
-    containsAll(DestinationSet other) const
+    containsAll(const DestinationSet &other) const
     {
-        return (other.mask_ & ~mask_) == 0;
+        std::uint64_t leak = 0;
+        for (unsigned w = 0; w < wordCount; ++w)
+            leak |= other.words_[w] & ~words_[w];
+        return leak == 0;
     }
 
     /** Number of members. */
-    constexpr unsigned count() const { return std::popcount(mask_); }
+    constexpr unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (std::uint64_t w : words_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
 
     /** True if the set is empty. */
-    constexpr bool empty() const { return mask_ == 0; }
+    constexpr bool
+    empty() const
+    {
+        std::uint64_t any = 0;
+        for (std::uint64_t w : words_)
+            any |= w;
+        return any == 0;
+    }
 
     /** Set union / difference / intersection. */
     constexpr DestinationSet
-    operator|(DestinationSet o) const
+    operator|(const DestinationSet &o) const
     {
-        return fromMask(mask_ | o.mask_);
+        DestinationSet s;
+        for (unsigned w = 0; w < wordCount; ++w)
+            s.words_[w] = words_[w] | o.words_[w];
+        return s;
     }
 
     constexpr DestinationSet
-    operator&(DestinationSet o) const
+    operator&(const DestinationSet &o) const
     {
-        return fromMask(mask_ & o.mask_);
+        DestinationSet s;
+        for (unsigned w = 0; w < wordCount; ++w)
+            s.words_[w] = words_[w] & o.words_[w];
+        return s;
     }
 
     /** Members of this set that are not in `o`. */
     constexpr DestinationSet
-    minus(DestinationSet o) const
+    minus(const DestinationSet &o) const
     {
-        return fromMask(mask_ & ~o.mask_);
+        DestinationSet s;
+        for (unsigned w = 0; w < wordCount; ++w)
+            s.words_[w] = words_[w] & ~o.words_[w];
+        return s;
     }
 
     DestinationSet &
-    operator|=(DestinationSet o)
+    operator|=(const DestinationSet &o)
     {
-        mask_ |= o.mask_;
+        for (unsigned w = 0; w < wordCount; ++w)
+            words_[w] |= o.words_[w];
         return *this;
     }
 
@@ -126,11 +202,14 @@ class DestinationSet
     void
     forEach(Fn &&fn) const
     {
-        std::uint64_t m = mask_;
-        while (m) {
-            NodeId n = static_cast<NodeId>(std::countr_zero(m));
-            fn(n);
-            m &= m - 1;
+        for (unsigned w = 0; w < wordCount; ++w) {
+            std::uint64_t m = words_[w];
+            while (m) {
+                NodeId n = static_cast<NodeId>(
+                    (w << 6) + std::countr_zero(m));
+                fn(n);
+                m &= m - 1;
+            }
         }
     }
 
@@ -151,7 +230,7 @@ class DestinationSet
     }
 
   private:
-    std::uint64_t mask_ = 0;
+    Words words_{};
 };
 
 } // namespace dsp

@@ -503,6 +503,24 @@ class PackedCacheArray
     /** fillAt() revalidations that had to re-walk. */
     std::uint64_t rewalks() const { return rewalks_; }
 
+    /**
+     * Largest key this geometry can store: the compressed tag
+     * (key / sets) must fit the word's 32-PayloadBits tag field, and
+     * tagFieldOf() panics (always-on) beyond it. Callers sizing a
+     * simulated address space check against this ceiling -- the
+     * Table-4 L1/L2 geometries clear every workload's top block by
+     * orders of magnitude at any supported node count (pinned by
+     * test_cache_array's tag-ceiling regression).
+     */
+    std::uint64_t
+    maxKey() const
+    {
+        if (setMask_ != 0 || sets_ == 1)
+            return ((static_cast<std::uint64_t>(tagMask) + 1)
+                    << log2Sets_) - 1;
+        return tagMask * sets_ + (sets_ - 1);
+    }
+
     /** Test hook: advance the LRU clock toward renormalization. */
     void
     debugSetUseClock(std::uint32_t value)

@@ -104,7 +104,7 @@ class Event
     /** Logical domain the event executes in (sharded kernel only;
      *  0 for events scheduled on a standalone queue). Fits in the
      *  padding after scheduled_. */
-    std::uint8_t domain_ = 0;
+    std::uint16_t domain_ = 0;
 };
 
 /** Aggregate counters for one pool (or, summed, for all pools). */

@@ -102,15 +102,15 @@ class EventQueue
      * Schedule an intrusive event with a caller-supplied tiebreak key.
      * The queue only requires that keys at equal ticks are unique and
      * that the priority occupies the top byte; the sharded kernel
-     * packs (priority << 56 | domain << 48 | 48-bit per-domain seq),
-     * while this queue's own schedule() packs (priority << 56 |
+     * packs (priority << 56 | 10-bit domain << 46 | 46-bit per-domain
+     * seq), while this queue's own schedule() packs (priority << 56 |
      * 56-bit per-queue seq) -- the spaces stay disjoint because
-     * kernel domain bytes are nonzero and a queue-local sequence
-     * cannot reach bit 48 in any realistic run. The key is assigned
-     * by the *sending* domain and carried across shard boundaries, so
-     * the resulting total order is independent of which shard the
-     * event is inserted from -- the foundation of the K-shard ==
-     * 1-shard determinism contract.
+     * kernel domain ids are nonzero and a queue-local sequence
+     * cannot reach bit 46 in any realistic run (2^46 events on one
+     * queue). The key is assigned by the *sending* domain and carried
+     * across shard boundaries, so the resulting total order is
+     * independent of which shard the event is inserted from -- the
+     * foundation of the K-shard == 1-shard determinism contract.
      */
     void scheduleWithKey(Event &ev, Tick when, std::uint64_t key);
 
@@ -148,13 +148,13 @@ class EventQueue
     void advanceTo(Tick t);
 
     /**
-     * Route the domain byte of every executed event into `sink`
+     * Route the domain id of every executed event into `sink`
      * (before its process() runs). The sharded kernel points this at
      * the shard's current-domain latch so schedules made *during* an
      * event execution are keyed by the executing domain.
      */
     void
-    setDomainSink(std::uint8_t *sink)
+    setDomainSink(std::uint16_t *sink)
     {
         domainSink_ = sink != nullptr ? sink : &dummyDomain_;
     }
@@ -303,10 +303,10 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
 
-    /** Where execute() publishes the running event's domain byte.
+    /** Where execute() publishes the running event's domain id.
      *  Defaults to an internal dummy so the store is unconditional. */
-    std::uint8_t dummyDomain_ = 0;
-    std::uint8_t *domainSink_ = &dummyDomain_;
+    std::uint16_t dummyDomain_ = 0;
+    std::uint16_t *domainSink_ = &dummyDomain_;
 };
 
 } // namespace dsp

@@ -27,7 +27,7 @@ execContext()
 
 } // namespace
 
-DomainPort::DomainPort(ShardedKernel &kernel, std::uint8_t domain)
+DomainPort::DomainPort(ShardedKernel &kernel, std::uint16_t domain)
     : kernel_(&kernel), domain_(domain)
 {
     dsp_assert(domain >= 1 && domain < ShardedKernel::bootDomain &&
@@ -138,13 +138,13 @@ ShardedKernel::dsp_assert_key_seq(std::uint64_t seq)
 }
 
 DomainPort
-ShardedKernel::port(std::uint8_t domain)
+ShardedKernel::port(std::uint16_t domain)
 {
     return DomainPort(*this, domain);
 }
 
 void
-ShardedKernel::scheduleOn(std::uint8_t domain, unsigned target_shard,
+ShardedKernel::scheduleOn(std::uint16_t domain, unsigned target_shard,
                           Event &ev, Tick when, EventPriority prio)
 {
     ev.domain_ = domain;
@@ -160,7 +160,7 @@ ShardedKernel::scheduleOn(std::uint8_t domain, unsigned target_shard,
     }
 
     Shard &from = *shards_[ctx.shard];
-    std::uint8_t sender = from.curDomain;
+    std::uint16_t sender = from.curDomain;
     // Any cross-domain schedule -- same shard or not -- truncates a
     // batched window at the next sub-boundary. Counting by *domain*
     // keeps the truncation decision identical for every shard count.

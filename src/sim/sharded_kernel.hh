@@ -77,7 +77,7 @@ class DomainPort
     DomainPort(EventQueue &queue) : queue_(&queue) {}
 
     /** Kernel mode (built by ShardedKernel::port()). */
-    DomainPort(ShardedKernel &kernel, std::uint8_t domain);
+    DomainPort(ShardedKernel &kernel, std::uint16_t domain);
 
     /**
      * Current simulated time. Inside a kernel run this is the
@@ -124,12 +124,12 @@ class DomainPort
     /** The underlying queue (this domain's shard in kernel mode). */
     EventQueue &queue() const { return *queue_; }
 
-    std::uint8_t domain() const { return domain_; }
+    std::uint16_t domain() const { return domain_; }
 
   private:
     EventQueue *queue_ = nullptr;
     ShardedKernel *kernel_ = nullptr;  ///< null in standalone mode
-    std::uint8_t domain_ = 0;
+    std::uint16_t domain_ = 0;
     std::uint8_t shard_ = 0;
 };
 
@@ -145,10 +145,12 @@ class DomainPort
 class ShardedKernel
 {
   public:
-    /** Domain ids are 1..numDomains (byte-sized; 0 is reserved for
-     *  standalone queues, 255 for boot-context scheduling). */
-    static constexpr std::uint8_t maxDomains = 254;
-    static constexpr std::uint8_t bootDomain = 255;
+    /** Domain ids are 1..numDomains (10 bits in the tiebreak key; 0
+     *  is reserved for standalone queues, 1023 for boot-context
+     *  scheduling). 1022 usable domains cover a 256-node machine plus
+     *  its ordering hubs with ample headroom. */
+    static constexpr std::uint16_t maxDomains = 1022;
+    static constexpr std::uint16_t bootDomain = 1023;
 
     /**
      * @param num_shards   host-parallel shards (>= 1)
@@ -165,7 +167,7 @@ class ShardedKernel
     ShardedKernel &operator=(const ShardedKernel &) = delete;
 
     /** Port for one domain. */
-    DomainPort port(std::uint8_t domain);
+    DomainPort port(std::uint16_t domain);
 
     Tick lookahead() const { return lookahead_; }
     unsigned numShards() const { return numShards_; }
@@ -224,7 +226,7 @@ class ShardedKernel
         /** Domain of the event currently executing (EventQueue domain
          *  sink); keys for schedules made during execution come from
          *  this domain's counter. */
-        std::uint8_t curDomain = bootDomain;
+        std::uint16_t curDomain = bootDomain;
         /** Mailbox plane this shard currently writes (window parity). */
         unsigned curPlane = 0;
         /** Two earliest pending ticks of this shard's queue,
@@ -275,21 +277,22 @@ class ShardedKernel
     };
 
     /** Bits available for the per-domain sequence below the priority
-     *  and domain bytes. */
-    static constexpr std::uint64_t seqBits = 48;
+     *  byte and the 10-bit domain field. */
+    static constexpr std::uint64_t seqBits = 46;
 
     static std::uint64_t
-    packKey(EventPriority prio, std::uint8_t domain, std::uint64_t seq)
+    packKey(EventPriority prio, std::uint16_t domain,
+            std::uint64_t seq)
     {
         dsp_assert_key_seq(seq);
         return (static_cast<std::uint64_t>(prio) << 56) |
-               (static_cast<std::uint64_t>(domain) << 48) | seq;
+               (static_cast<std::uint64_t>(domain) << seqBits) | seq;
     }
 
     /** Out-of-line so logging.hh stays out of this header. */
     static void dsp_assert_key_seq(std::uint64_t seq);
 
-    void scheduleOn(std::uint8_t domain, unsigned target_shard,
+    void scheduleOn(std::uint16_t domain, unsigned target_shard,
                     Event &ev, Tick when, EventPriority prio);
 
     Mailbox &

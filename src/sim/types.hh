@@ -47,8 +47,12 @@ using NodeId = std::uint32_t;
 /** Sentinel meaning "no node" (e.g., data owned by memory). */
 constexpr NodeId invalidNode = static_cast<NodeId>(-1);
 
-/** Maximum system size supported by DestinationSet's 64-bit mask. */
-constexpr NodeId maxNodes = 64;
+/**
+ * Maximum system size supported by DestinationSet's word-array mask.
+ * Must be a multiple of 64 (DestinationSet packs nodes into 64-bit
+ * words). The evaluated machines are 16, 64, and 256 nodes.
+ */
+constexpr NodeId maxNodes = 256;
 
 } // namespace dsp
 

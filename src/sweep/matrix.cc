@@ -24,10 +24,23 @@ JobSpec::id() const
         static_cast<unsigned long long>(warmupInstr),
         static_cast<unsigned long long>(measureInstr));
     std::string id = buf;
-    // Oracle-off ids predate the verify axis; keeping them suffix-free
-    // lets old journals resume and keeps fault-plan hashes stable.
+    // Oracle-off flat-topology ids predate the verify and topology
+    // axes; keeping them suffix-free lets old journals resume and
+    // keeps fault-plan hashes stable.
     if (verify != "off")
         id += " verify=" + verify;
+    if (hubs != 1) {
+        std::snprintf(buf, sizeof(buf), " hubs=%u", hubs);
+        id += buf;
+    }
+    if (cluster != 0) {
+        std::snprintf(buf, sizeof(buf), " cluster=%u", cluster);
+        id += buf;
+    }
+    if (switchNs != 0.0) {
+        std::snprintf(buf, sizeof(buf), " switch_ns=%.4f", switchNs);
+        id += buf;
+    }
     return id;
 }
 
@@ -104,6 +117,10 @@ expandMatrix(const SweepConfig &config)
     std::vector<std::string> seeds = config.values("seed", "1");
     std::vector<std::string> scales = config.values("scale", "0.25");
     std::vector<std::string> threads = config.values("threads", "1");
+    std::vector<std::string> hubses = config.values("hubs", "1");
+    std::vector<std::string> clusters = config.values("cluster", "0");
+    std::vector<std::string> switchNss =
+        config.values("switch_ns", "0");
 
     std::vector<JobSpec> jobs;
     for (const std::string &wl : workloads)
@@ -114,7 +131,10 @@ expandMatrix(const SweepConfig &config)
     for (const std::string &n : nodes)
     for (const std::string &seed : seeds)
     for (const std::string &scale : scales)
-    for (const std::string &thr : threads) {
+    for (const std::string &thr : threads)
+    for (const std::string &hub : hubses)
+    for (const std::string &clus : clusters)
+    for (const std::string &sw : switchNss) {
         JobSpec job = base;
         job.workload = wl;
         job.protocol = proto;
@@ -126,7 +146,7 @@ expandMatrix(const SweepConfig &config)
         job.verify = ver;
         checkOneOf("verify", ver, {"on", "off"});
         job.nodes = static_cast<std::uint32_t>(
-            parseUnsigned("nodes", n, 2, 64));
+            parseUnsigned("nodes", n, 2, 256));
         job.seed = parseUnsigned("seed", seed, 0, ~0ull);
         double sc = 0.0;
         if (!evalArithmetic(scale, sc) || sc <= 0.0)
@@ -135,6 +155,16 @@ expandMatrix(const SweepConfig &config)
         job.scale = sc;
         job.threads = static_cast<std::uint32_t>(
             parseUnsigned("threads", thr, 1, 64));
+        job.hubs = static_cast<std::uint32_t>(
+            parseUnsigned("hubs", hub, 1, 64));
+        job.cluster = static_cast<std::uint32_t>(
+            parseUnsigned("cluster", clus, 0, 256));
+        double swNs = 0.0;
+        if (!evalArithmetic(sw, swNs) || swNs < 0.0)
+            dsp_fatal("sweep axis switch_ns: '%s' is not a "
+                      "non-negative number",
+                      sw.c_str());
+        job.switchNs = swNs;
         jobs.push_back(job);
     }
     return jobs;

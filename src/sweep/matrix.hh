@@ -4,10 +4,11 @@
  * expanded into one JobSpec per point with a stable canonical id.
  *
  * Axis keys (each may be a list): workload, protocol, policy, nodes,
- * seed, scale, cpu, threads. Scalar keys (shared by every job):
- * warmup_misses, warmup_instr, measure_instr. Expansion order is the
- * fixed axis order above, innermost last, so job ids and matrix order
- * are independent of the order keys appear in the file.
+ * seed, scale, cpu, threads, verify, hubs, cluster, switch_ns.
+ * Scalar keys (shared by every job): warmup_misses, warmup_instr,
+ * measure_instr. Expansion order is the fixed axis order above,
+ * innermost last, so job ids and matrix order are independent of the
+ * order keys appear in the file.
  */
 
 #ifndef DSP_SWEEP_MATRIX_HH
@@ -33,6 +34,9 @@ struct JobSpec {
     std::uint64_t seed = 1;
     double scale = 0.25;
     std::uint32_t threads = 1;           ///< kernel shards per job
+    std::uint32_t hubs = 1;              ///< address-interleaved hubs
+    std::uint32_t cluster = 0;           ///< nodes/cluster (0 = flat)
+    double switchNs = 0.0;               ///< switch<->global leg (ns)
     std::uint64_t warmupMisses = 10000;
     std::uint64_t warmupInstr = 10000;
     std::uint64_t measureInstr = 100000;
@@ -42,8 +46,10 @@ struct JobSpec {
      * the journal's resume key, so it must be a pure function of the
      * simulation-relevant parameters (scalar run-length keys included:
      * changing them invalidates old rows). The verify axis appears
-     * only when armed, so every pre-existing journal (and anything
-     * keyed on the ids, e.g. fault plans) resumes unchanged.
+     * only when armed, and the topology axes (hubs, cluster,
+     * switch_ns) only when they differ from the flat single-hub
+     * default, so every pre-existing journal (and anything keyed on
+     * the ids, e.g. fault plans) resumes unchanged.
      */
     std::string id() const;
 

@@ -39,6 +39,9 @@ runSimJob(const JobSpec &spec)
     params.cpuModel = spec.cpu == "detailed" ? CpuModel::Detailed
                                              : CpuModel::Simple;
     params.shards = spec.threads;
+    params.crossbar.topology.hubs = spec.hubs;
+    params.crossbar.topology.cluster_size = spec.cluster;
+    params.crossbar.topology.switch_link_ns = spec.switchNs;
     params.functionalWarmupMisses = spec.warmupMisses;
     params.warmupInstrPerCpu = spec.warmupInstr;
     params.measureInstrPerCpu = spec.measureInstr;

@@ -77,8 +77,9 @@ CacheController::issueRequest(BlockId block, Addr addr, Addr pc,
     dsp_assert(it != mshrs_.end(), "issue without mshr");
 
     // Node-local id: unique across the system without any shared
-    // counter, and identical for every shard count.
-    TxnId id = (nextTxnSeq_++ << 8) | node_;
+    // counter, and identical for every shard count. 16 node bits so
+    // ids stay collision-free up to maxNodes (8 overflowed at 256+).
+    TxnId id = (nextTxnSeq_++ << 16) | node_;
     it->second.txn = id;
 
     Message msg;

@@ -39,14 +39,15 @@ System::shardCountFor(const SystemParams &params)
 std::vector<unsigned>
 System::domainMapFor(const SystemParams &params)
 {
-    // Domains: node n -> n + 1, ordering point -> nodes + 1.
-    // Contiguous node groups, one per shard. By default the hub rides
+    // Domains: node n -> n + 1, ordering hub h -> nodes + 1 + h.
+    // Contiguous node groups, one per shard. By default the hubs ride
     // with shard 0 (the calling thread); with hubShard (and >= 3
-    // shards) it gets shard 0 to itself and the nodes spread over the
-    // rest. The partition is free to change: the determinism contract
-    // makes every choice produce identical statistics.
+    // shards) they get shard 0 to themselves and the nodes spread
+    // over the rest. The partition is free to change: the determinism
+    // contract makes every choice produce identical statistics.
     unsigned shards = shardCountFor(params);
-    std::vector<unsigned> map(params.nodes + 2, 0);
+    unsigned hubs = params.crossbar.topology.hubs;
+    std::vector<unsigned> map(params.nodes + 1 + hubs, 0);
     bool dedicated = params.hubShard && shards >= 3;
     unsigned node_shards = dedicated ? shards - 1 : shards;
     unsigned first = dedicated ? 1 : 0;
@@ -54,7 +55,7 @@ System::domainMapFor(const SystemParams &params)
         map[n + 1] = first + static_cast<unsigned>(
             (static_cast<std::uint64_t>(n) * node_shards) /
             params.nodes);
-    map[params.nodes + 1] = 0;  // hub
+    // Hub domains stay on shard 0 (already zero-initialized).
     return map;
 }
 
@@ -66,7 +67,20 @@ nodePortsFor(ShardedKernel &kernel, NodeId nodes)
     std::vector<DomainPort> ports;
     ports.reserve(nodes);
     for (NodeId n = 0; n < nodes; ++n)
-        ports.push_back(kernel.port(static_cast<std::uint8_t>(n + 1)));
+        ports.push_back(
+            kernel.port(static_cast<std::uint16_t>(n + 1)));
+    return ports;
+}
+
+std::vector<DomainPort>
+hubPortsFor(ShardedKernel &kernel, const SystemParams &params)
+{
+    std::vector<DomainPort> ports;
+    unsigned hubs = params.crossbar.topology.hubs;
+    ports.reserve(hubs);
+    for (unsigned h = 0; h < hubs; ++h)
+        ports.push_back(kernel.port(
+            static_cast<std::uint16_t>(params.nodes + 1 + h)));
     return ports;
 }
 
@@ -76,12 +90,14 @@ System::System(Workload &workload, const SystemParams &params)
     : workload_(workload),
       params_(params),
       kernel_(shardCountFor(params), domainMapFor(params),
-              hopTicks(params)),
-      hubPort_(kernel_.port(hubDomainFor(params))),
+              topologyFor(params).minHop()),
+      hubPorts_(hubPortsFor(kernel_, params)),
       nodePorts_(nodePortsFor(kernel_, params.nodes)),
-      crossbar_(hubPort_, nodePorts_, params.crossbar),
-      tracker_(params.nodes),
-      halfTraversal_(hopTicks(params)),
+      crossbar_(hubPorts_, nodePorts_, params.crossbar),
+      topo_(crossbar_.topology()),
+      reorderStash_(topo_.hubs()),
+      ownerDataAt_(topo_.hubs()),
+      memReadyAt_(topo_.hubs()),
       nodeStats_(params.nodes)
 {
     dsp_assert(workload.numNodes() == params.nodes,
@@ -91,13 +107,19 @@ System::System(Workload &workload, const SystemParams &params)
     if ((params_.nodes & (params_.nodes - 1)) == 0)
         homeMask_ = params_.nodes - 1;
 
-    // Pre-size the hot tables: the tracker and the chaining books can
-    // hold at most one entry per footprint block.
+    // Pre-size the hot tables: the tracker slices and the chaining
+    // books can hold at most one entry per footprint block, spread
+    // over the hubs by address interleaving.
     std::size_t blocks = static_cast<std::size_t>(
         workload_.totalFootprint() / blockBytes);
-    tracker_.reserve(blocks);
-    ownerDataAt_.reserve(blocks / 4);
-    memReadyAt_.reserve(blocks / 4);
+    std::size_t blocks_per_hub = blocks / topo_.hubs() + 1;
+    trackers_.reserve(topo_.hubs());
+    for (unsigned h = 0; h < topo_.hubs(); ++h) {
+        trackers_.emplace_back(params_.nodes);
+        trackers_[h].reserve(blocks_per_hub);
+        ownerDataAt_[h].reserve(blocks_per_hub / 4);
+        memReadyAt_[h].reserve(blocks_per_hub / 4);
+    }
 
     params_.predictor.numNodes = params_.nodes;
     params_.cpu.l1_ns = params_.latency.l1_ns;
@@ -115,7 +137,7 @@ System::System(Workload &workload, const SystemParams &params)
             cfg.directory =
                 params_.protocol == ProtocolKind::Directory;
             cfg.dataChaining = params_.dataChaining;
-            cfg.halfTraversal = halfTraversal_;
+            cfg.topo = topo_;
             cfg.l2_ns = params_.latency.l2_ns;
             cfg.memory_ns = params_.latency.memory_ns;
             oracle_ = std::make_unique<verify::Oracle>(cfg);
@@ -214,26 +236,28 @@ struct System::EvictEvent final : Event {
         // invalidations of an absent line, no-ops at the node) and
         // heals at the block's next ownership transfer; it is
         // deterministic and shard-count independent either way.
-        if (sys.tracker_.lastOrderedAt(block) >= evictTick)
+        SharingTracker &tracker = sys.trackerFor(block);
+        unsigned hub = sys.topo_.hubOf(block);
+        if (tracker.lastOrderedAt(block) >= evictTick)
             return;
         if (owned) {
-            if (sys.tracker_.ownerOf(block) != node)
+            if (tracker.ownerOf(block) != node)
                 return;  // ownership moved before the notice landed
-            sys.tracker_.evictOwned(block, node);
+            tracker.evictOwned(block, node);
             if (sys.params_.dataChaining) {
                 // The dirty data is on the wire: memory cannot supply
                 // this block before the writeback lands at the home.
-                sys.ownerDataAt_.erase(block);
-                sys.memReadyAt_[block] = wbArrive;
+                sys.ownerDataAt_[hub].erase(block);
+                sys.memReadyAt_[hub][block] = wbArrive;
             }
         } else {
-            sys.tracker_.evictShared(block, node);
+            tracker.evictShared(block, node);
         }
         // Post-guard: only accepted notices reach the oracle, so its
         // shadow books replay the tracker's exact update sequence.
         if (verify::armed(sys.oracle_.get())) {
             sys.oracle_->recordEvict(block, node, owned, wbArrive,
-                                     sys.hubPort_.now());
+                                     sys.hubPorts_[hub].now());
         }
     }
 
@@ -266,11 +290,11 @@ System::notifyEviction(BlockId block, bool owned, NodeId node,
 {
     // Uncontended estimate of the writeback's arrival at the home;
     // the chaining bound needs only a deterministic expected tick.
-    Tick wb_arrive = tick + 2 * halfTraversal_;
-    hubPort_.schedule(*EventPool<EvictEvent>::instance().acquire(
-                          *this, block, node, owned, tick, wb_arrive),
-                      tick + halfTraversal_,
-                      EventPriority::Controller);
+    Tick wb_arrive = tick + topo_.directHop(node, homeOf_(block));
+    hubPorts_[topo_.hubOf(block)].schedule(
+        *EventPool<EvictEvent>::instance().acquire(
+            *this, block, node, owned, tick, wb_arrive),
+        tick + topo_.hubHop(), EventPriority::Controller);
 }
 
 DestinationSet
@@ -300,8 +324,10 @@ System::supplyBound(BlockId block, NodeId responder, NodeId requester,
 {
     if (!params_.dataChaining || responder == requester)
         return 0;  // upgrade: the requester already holds the data
-    FlatMap<BlockId, Tick> &book =
-        responder == invalidNode ? memReadyAt_ : ownerDataAt_;
+    unsigned hub = topo_.hubOf(block);
+    FlatMap<BlockId, Tick> &book = responder == invalidNode
+                                       ? memReadyAt_[hub]
+                                       : ownerDataAt_[hub];
     auto it = book.find(block);
     if (it == book.end())
         return 0;
@@ -324,26 +350,31 @@ System::chainResolved(BlockId block, Message &msg, Tick order)
     // Ownership moves to the requester: record when its data is
     // expected to land, so a back-to-back request that picks it as
     // responder cannot be served before the fill exists.
+    unsigned hub = topo_.hubOf(block);
     if (echo.responder == echo.requester) {
-        ownerDataAt_.erase(block);  // upgrade: data already present
+        ownerDataAt_[hub].erase(block);  // upgrade: data present
         return;
     }
-    Tick deliver = order + halfTraversal_;
+    Tick deliver = order + topo_.hubHop();
     Tick start = std::max(deliver, echo.supplyEarliest);
+    NodeId supplier = echo.responder == invalidNode
+                          ? homeOf_(block)
+                          : echo.responder;
     Tick supply_ns = echo.responder == invalidNode
                          ? params_.latency.memory_ns
                          : params_.latency.l2_ns;
-    Tick arrive = start + nsToTicks(supply_ns) + 2 * halfTraversal_;
+    Tick arrive = start + nsToTicks(supply_ns) +
+                  topo_.directHop(supplier, echo.requester);
     if (params_.protocol == ProtocolKind::Directory &&
         echo.responder != invalidNode) {
         // 3-hop: home directory access plus the forward hop precede
         // the owner's L2 read.
         arrive += nsToTicks(params_.latency.memory_ns) +
-                  2 * halfTraversal_;
+                  topo_.directHop(homeOf_(block), echo.responder);
     }
-    ownerDataAt_[block] = arrive;
+    ownerDataAt_[hub][block] = arrive;
     // Memory is no longer the owner; any writeback bound is obsolete.
-    memReadyAt_.erase(block);
+    memReadyAt_[hub].erase(block);
 }
 
 void
@@ -357,8 +388,8 @@ System::onOrder(const MessageRef &msgref, Tick tick)
     BlockId block = msg.block();
 
     if (params_.protocol == ProtocolKind::Directory) {
-        auto result =
-            tracker_.apply(block, echo.requester, msg.type, tick);
+        auto result = trackerFor(block).apply(block, echo.requester,
+                                              msg.type, tick);
         echo.resolved = true;
         echo.resolvedAttempt = msg.attempt;
         echo.responder = result.responder;
@@ -373,7 +404,7 @@ System::onOrder(const MessageRef &msgref, Tick tick)
         // stashed or retro-applied out of order).
     } else {
         bool sufficient = false;
-        auto result = tracker_.applyIfSufficient(
+        auto result = trackerFor(block).applyIfSufficient(
             block, echo.requester, msg.type, msg.dests, sufficient,
             tick);
         echo.responder = result.responder;
@@ -428,7 +459,7 @@ System::onOrder(const MessageRef &msgref, Tick tick)
     // requester is the home), observe it via a free self-delivery
     // that shares the ordered message's pooled payload.
     if (msg.dests.contains(msg.src)) {
-        Tick when = tick + halfTraversal_;
+        Tick when = tick + topo_.hubHop();
         nodePort(msg.src).schedule(
             *EventPool<LocalDeliverEvent>::instance().acquire(
                 *this, msgref, msg.src, when),
@@ -441,12 +472,14 @@ System::orderWithReorderMutation(Message &msg, BlockId block,
                                  Tick tick)
 {
     TxnEcho &echo = msg.echo;
-    if (!reorderStash_.armed) {
+    SharingTracker &tracker = trackerFor(block);
+    ReorderStash &stash = reorderStash_[topo_.hubOf(block)];
+    if (!stash.armed) {
         // Stash the first eligible GETX: stamp its verdict from a
         // peek (so its data path proceeds normally) but withhold the
         // tracker apply until the block's next resolved order -- the
         // two grants swap places in the serialized history.
-        auto probe = tracker_.inspect(block, echo.requester, msg.type);
+        auto probe = tracker.inspect(block, echo.requester, msg.type);
         if (msg.type == RequestType::GetExclusive &&
             !probe.required.empty() &&
             msg.dests.containsAll(probe.required)) {
@@ -456,21 +489,21 @@ System::orderWithReorderMutation(Message &msg, BlockId block,
             echo.required = probe.required;
             echo.granted = probe.grantedState;
             chainResolved(block, msg, tick);
-            reorderStash_.armed = true;
-            reorderStash_.block = block;
-            reorderStash_.requester = echo.requester;
-            reorderStash_.type = msg.type;
+            stash.armed = true;
+            stash.block = block;
+            stash.requester = echo.requester;
+            stash.type = msg.type;
             return true;
         }
         return false;  // not eligible: normal ordering path
     }
-    if (block != reorderStash_.block)
+    if (block != stash.block)
         return false;  // unrelated block: normal ordering path
 
     // Same block: order this request against the pre-stash state,
     // then retro-apply the stashed grant behind it.
     bool sufficient = false;
-    auto result = tracker_.applyIfSufficient(
+    auto result = tracker.applyIfSufficient(
         block, echo.requester, msg.type, msg.dests, sufficient, tick);
     echo.responder = result.responder;
     echo.required = result.required;
@@ -479,9 +512,8 @@ System::orderWithReorderMutation(Message &msg, BlockId block,
         echo.resolvedAttempt = msg.attempt;
         echo.granted = result.grantedState;
         chainResolved(block, msg, tick);
-        tracker_.apply(block, reorderStash_.requester,
-                       reorderStash_.type, tick);
-        reorderStash_.armed = false;
+        tracker.apply(block, stash.requester, stash.type, tick);
+        stash.armed = false;
     }
     return true;
 }
@@ -646,12 +678,14 @@ System::runUntilPhaseDone(const char *phase)
             return true;
         }
         if (params_.verify.stopAtTick != 0 &&
-            hubPort_.now() >= params_.verify.stopAtTick) {
+            hubPorts_[0].now() >= params_.verify.stopAtTick) {
             stopEarly_ = true;
             return true;
         }
         if (verify::armed(oracle_.get())) {
-            Tick safe = hubPort_.now();
+            Tick safe = hubPorts_[0].now();
+            for (const DomainPort &p : hubPorts_)
+                safe = std::min(safe, p.now());
             for (const DomainPort &p : nodePorts_)
                 safe = std::min(safe, p.now());
             if (oracle_->reconcile(safe))
@@ -700,7 +734,7 @@ System::functionalWarmup(std::uint64_t misses)
                 ? RequestType::GetExclusive
                 : RequestType::GetShared;
         BlockId block = blockOf(ref.addr);
-        auto txn = tracker_.apply(block, p, type);
+        auto txn = trackerFor(block).apply(block, p, type);
         // Shadow the warmup synchronously: same states, same write
         // seqnos, no checks (there is no timed history to check).
         if (verify::armed(oracle_.get()))
@@ -730,11 +764,11 @@ System::functionalWarmup(std::uint64_t misses)
         auto fill = caches.fill(ref.addr, txn.grantedState, &handle);
         if (fill.evicted) {
             if (isOwnerState(fill.victimState)) {
-                tracker_.evictOwned(fill.victim, p);
+                trackerFor(fill.victim).evictOwned(fill.victim, p);
                 if (verify::armed(oracle_.get()))
                     oracle_->warmupEvict(fill.victim, p, true);
             } else if (fill.victimState == MosiState::Shared) {
-                tracker_.evictShared(fill.victim, p);
+                trackerFor(fill.victim).evictShared(fill.victim, p);
                 if (verify::armed(oracle_.get()))
                     oracle_->warmupEvict(fill.victim, p, false);
             }
@@ -806,7 +840,7 @@ System::run()
     measuring_ = true;
     // Every shard's clock sits at the same window boundary between
     // phases, so this read is identical for every shard count.
-    measureStart_ = hubPort_.now();
+    measureStart_ = hubPorts_[0].now();
     std::uint64_t events_before = kernel_.executed();
     std::uint64_t crossings_before = kernel_.barrierCrossings();
     std::uint64_t windows_before = kernel_.windowsRun();
@@ -878,7 +912,8 @@ System::printReproBundle(std::FILE *out) const
         out,
         "DSP-REPRO {\"workload\":\"%s\",\"nodes\":%u,"
         "\"protocol\":\"%s\",\"policy\":\"%s\",\"cpu\":\"%s\","
-        "\"shards\":%u,\"hub_shard\":%s,\"data_chaining\":%s,"
+        "\"shards\":%u,\"hubs\":%u,\"cluster\":%u,"
+        "\"hub_shard\":%s,\"data_chaining\":%s,"
         "\"functional_warmup\":%llu,\"warmup_instr\":%llu,"
         "\"measure_instr\":%llu,\"mutation\":\"%s\","
         "\"stop_at\":%llu,\"violation_tick\":%llu,"
@@ -887,7 +922,9 @@ System::printReproBundle(std::FILE *out) const
         toString(params_.protocol).c_str(),
         toString(params_.policy).c_str(),
         params_.cpuModel == CpuModel::Simple ? "simple" : "detailed",
-        params_.shards, params_.hubShard ? "true" : "false",
+        params_.shards, params_.crossbar.topology.hubs,
+        params_.crossbar.topology.cluster_size,
+        params_.hubShard ? "true" : "false",
         params_.dataChaining ? "true" : "false",
         static_cast<unsigned long long>(
             params_.functionalWarmupMisses),

@@ -16,12 +16,14 @@
  *
  * Shard discipline (see sim/sharded_kernel.hh): every simulated node
  * is one kernel domain owning its CPU, caches, MSHRs, predictor, and
- * completion statistics; the ordering point plus the sharing tracker
- * form the hub domain. Handlers never read another domain's state --
- * the ordering point's verdict travels inside the messages (TxnEcho),
- * and cache evictions reach the tracker as hub-bound notices one link
- * hop later. A run with K shards is therefore bit-identical to a
- * single-shard run in every emitted statistic.
+ * completion statistics; each ordering point plus its slice of the
+ * sharing tracker forms one hub domain (block b is ordered at hub
+ * b mod H, so per-block functional state never spans hubs). Handlers
+ * never read another domain's state -- the ordering point's verdict
+ * travels inside the messages (TxnEcho), and cache evictions reach
+ * the tracker as hub-bound notices one link hop later. A run with K
+ * shards is therefore bit-identical to a single-shard run in every
+ * emitted statistic, at every node count and hub count.
  */
 
 #ifndef DSP_SYSTEM_SYSTEM_HH
@@ -84,7 +86,10 @@ enum class CpuModel : std::uint8_t {
     Detailed,  ///< ROB-window out-of-order (Figure 8)
 };
 
-/** Full system configuration (Table 4 defaults). */
+/** Full system configuration (Table 4 defaults). Larger machines
+ *  (up to maxNodes) and hierarchical interconnects are configured
+ *  through `crossbar.topology` (see interconnect/topology.hh and
+ *  docs/machine_topology.md). */
 struct SystemParams {
     NodeId nodes = 16;
     ProtocolKind protocol = ProtocolKind::Multicast;
@@ -281,8 +286,9 @@ class CacheController : public MemoryPort
     DomainPort port_;
     NodeCaches caches_;
     FlatMap<BlockId, Mshr> mshrs_;
-    /** Node-local transaction id generator: ids are (seq << 8) | node,
-     *  so allocation never crosses a shard boundary. */
+    /** Node-local transaction id generator: ids are (seq << 16) | node
+     *  (16 bits comfortably covers maxNodes), so allocation never
+     *  crosses a shard boundary. */
     std::uint64_t nextTxnSeq_ = 1;
 };
 
@@ -383,7 +389,7 @@ class System
     /** Schedule sendOrLocal(msg) at tick `when` (controller action). */
     void sendLater(Message msg, Tick when);
 
-    /** Route an eviction to the hub's tracker (one hop away). */
+    /** Route an eviction to its block's hub tracker (one hop away). */
     void notifyEviction(BlockId block, bool owned, NodeId node,
                         Tick tick);
 
@@ -443,21 +449,25 @@ class System
     static std::vector<unsigned> domainMapFor(const SystemParams &p);
 
     /**
-     * One crossbar hop in ticks: the single source of truth for both
-     * the kernel's lookahead and every hop-latency computation in
-     * this class. Every cross-domain interaction is >= one hop, so
-     * deriving both from here keeps the conservative-lookahead
-     * invariant true by construction (the crossbar computes the same
-     * value from the same parameter).
+     * The resolved machine topology: the single source of truth for
+     * both the kernel's lookahead (its minHop) and every hop-latency
+     * computation in this class. Every cross-domain interaction is
+     * >= minHop, so deriving both from here keeps the conservative-
+     * lookahead invariant true by construction (the crossbar computes
+     * the same topology from the same parameters).
      */
-    static Tick
-    hopTicks(const SystemParams &p)
+    static Topology
+    topologyFor(const SystemParams &p)
     {
-        return nsToTicks(p.crossbar.traversal_ns / 2.0);
+        return Topology(p.nodes, p.crossbar.topology,
+                        p.crossbar.traversal_ns);
     }
-    static std::uint8_t hubDomainFor(const SystemParams &p)
+
+    /** Kernel-domain layout: node n -> n + 1, hub h -> nodes + 1 + h. */
+    static std::uint16_t
+    hubDomainFor(const SystemParams &p, unsigned hub)
     {
-        return static_cast<std::uint8_t>(p.nodes + 1);
+        return static_cast<std::uint16_t>(p.nodes + 1 + hub);
     }
 
     Workload &workload_;
@@ -466,11 +476,21 @@ class System
     BlockId homeMask_ = 0;
 
     ShardedKernel kernel_;
-    DomainPort hubPort_;
+    std::vector<DomainPort> hubPorts_;  ///< one per ordering point
     std::vector<DomainPort> nodePorts_;
     OrderedCrossbar crossbar_;
-    SharingTracker tracker_;
-    Tick halfTraversal_ = 0;
+    /** Resolved geometry + hop latencies (== crossbar_.topology()). */
+    Topology topo_;
+    /** Functional sharing state, one slice per ordering hub; block b
+     *  lives in trackers_[topo_.hubOf(b)] and is only touched from
+     *  that hub's domain. */
+    std::vector<SharingTracker> trackers_;
+
+    SharingTracker &
+    trackerFor(BlockId block)
+    {
+        return trackers_[topo_.hubOf(block)];
+    }
 
     std::vector<std::unique_ptr<Predictor>> predictors_;
     std::vector<std::unique_ptr<CacheController>> cacheCtrls_;
@@ -480,22 +500,26 @@ class System
     /** Coherence oracle (params_.verify.oracle); see src/verify/. */
     std::unique_ptr<verify::Oracle> oracle_;
 
-    /** ReorderHubGrants mutation state (hub domain only): one GETX
+    /** ReorderHubGrants mutation state (per hub domain): one GETX
      *  whose tracker apply is withheld until the block's next
-     *  resolved order. */
+     *  resolved order. A stash only ever matches its own block, and a
+     *  block always orders at one hub, so per-hub stashes partition
+     *  the mutation exactly like the tracker slices. */
     struct ReorderStash {
         bool armed = false;
         BlockId block = 0;
         NodeId requester = 0;
         RequestType type = RequestType::GetExclusive;
-    } reorderStash_;
+    };
+    std::vector<ReorderStash> reorderStash_;
 
-    // -- data-availability chaining books (hub domain only). The maps
-    // record *expected-completion* (future) ticks at the instant the
+    // -- data-availability chaining books (one pair per hub domain;
+    // block b uses index topo_.hubOf(b)). The maps record
+    // *expected-completion* (future) ticks at the instant the
     // transfer is issued at the ordering point; readers prune entries
     // once they fall into the past.
-    FlatMap<BlockId, Tick> ownerDataAt_;  ///< owner's fill arrival
-    FlatMap<BlockId, Tick> memReadyAt_;   ///< in-flight WB at the home
+    std::vector<FlatMap<BlockId, Tick>> ownerDataAt_;  ///< owner fill
+    std::vector<FlatMap<BlockId, Tick>> memReadyAt_;   ///< in-flight WB
 
     // -- phase / stats state
     bool measuring_ = false;

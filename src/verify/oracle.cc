@@ -40,7 +40,8 @@ Oracle::Oracle(const Config &config) : config_(config)
 {
     dsp_assert(config_.nodes > 0 && config_.nodes <= maxNodes,
                "oracle node count out of range");
-    buffers_.resize(config_.nodes + std::size_t{1});
+    buffers_.resize(config_.nodes +
+                    static_cast<std::size_t>(config_.topo.hubs()));
     for (auto &buf : buffers_)
         buf.reserve(4096);
     shadow_.reserve(1 << 14);
@@ -64,8 +65,8 @@ Oracle::recordOrder(const Message &msg, Tick tick)
     r.block = msg.block();
     r.txn = msg.txn;
     r.aux = msg.echo.supplyEarliest;
-    r.destsMask = msg.dests.mask();
-    r.requiredMask = msg.echo.required.mask();
+    r.dests = msg.dests;
+    r.required = msg.echo.required;
     r.type = msg.type;
     r.granted = msg.echo.granted;
     r.attempt = msg.attempt;
@@ -73,7 +74,7 @@ Oracle::recordOrder(const Message &msg, Tick tick)
         msg.echo.resolved && msg.echo.resolvedAttempt == msg.attempt;
     r.node = msg.echo.requester;
     r.responder = msg.echo.responder;
-    hubBuffer().push_back(r);
+    hubBuffer(r.block).push_back(r);
 }
 
 void
@@ -87,7 +88,7 @@ Oracle::recordEvict(BlockId block, NodeId node, bool owned,
     r.aux = wbArrive;
     r.flag = owned;
     r.node = node;
-    hubBuffer().push_back(r);
+    hubBuffer(block).push_back(r);
 }
 
 void
@@ -358,21 +359,26 @@ Oracle::shadowSupplyBound(BlockId block, NodeId responder,
 void
 Oracle::shadowChainResolved(const Record &r, Tick bound)
 {
+    // Mirror of System::chainResolved: same topology hops, same home
+    // computation, so the shadow books carry identical ticks.
     if (!config_.dataChaining || r.type != RequestType::GetExclusive)
         return;
     if (r.responder == r.node) {
         ownerDataAt_.erase(r.block);
         return;
     }
-    Tick deliver = r.tick + config_.halfTraversal;
+    const Topology &topo = config_.topo;
+    NodeId home = homeOf(r.block, config_.nodes);
+    Tick deliver = r.tick + topo.hubHop();
     Tick start = std::max(deliver, bound);
+    NodeId supplier = r.responder == invalidNode ? home : r.responder;
     double supply_ns = r.responder == invalidNode ? config_.memory_ns
                                                   : config_.l2_ns;
-    Tick arrive =
-        start + nsToTicks(supply_ns) + 2 * config_.halfTraversal;
+    Tick arrive = start + nsToTicks(supply_ns) +
+                  topo.directHop(supplier, r.node);
     if (config_.directory && r.responder != invalidNode) {
-        arrive +=
-            nsToTicks(config_.memory_ns) + 2 * config_.halfTraversal;
+        arrive += nsToTicks(config_.memory_ns) +
+                  topo.directHop(home, r.responder);
     }
     ownerDataAt_[r.block] = arrive;
     memReadyAt_.erase(r.block);
@@ -386,7 +392,7 @@ Oracle::processOrder(const Record &r, ShadowBlock &sb)
     MosiState expectedGranted = MosiState::Invalid;
     expectedVerdict(sb, r.node, r.type, expectedRequired,
                     expectedResponder, expectedGranted);
-    DestinationSet dests = DestinationSet::fromMask(r.destsMask);
+    const DestinationSet &dests = r.dests;
 
     if (!r.resolved) {
         // A retry is only honest if some required observer was
@@ -401,7 +407,7 @@ Oracle::processOrder(const Record &r, ShadowBlock &sb)
     }
 
     if (r.responder != expectedResponder ||
-        r.requiredMask != expectedRequired.mask() ||
+        !(r.required == expectedRequired) ||
         r.granted != expectedGranted) {
         raise(ViolationKind::VerdictMismatch, r,
               "stamped responder=" + nodeName(r.responder) +
@@ -524,8 +530,7 @@ Oracle::processFill(const Record &r, ShadowBlock &sb)
     if (txn.responder == txn.requester) {
         // Upgrade: no data moved, the requester's held copy becomes
         // writable -- it must be the latest ordered write.
-        std::uint64_t bit = std::uint64_t{1} << r.node;
-        if ((sb.validMask & bit) != 0) {
+        if (sb.valid.contains(r.node)) {
             auto vit = nodeVersion_.find(versionKey(r.block, r.node));
             std::uint64_t held =
                 vit == nodeVersion_.end() ? 0 : vit->second;
@@ -626,11 +631,12 @@ Oracle::printReport(std::FILE *out) const
     const ShadowBlock &sb = it->second;
     std::fprintf(out,
                  "DSP-FORENSIC block=0x%" PRIx64
-                 " owner=%s sharers=0x%" PRIx64 " version=%" PRIu64
+                 " owner=%s sharers=%s version=%" PRIu64
                  " memVersion=%" PRIu64 " lastOrder=%" PRIu64
                  " (last %u events, oldest first)\n",
                  static_cast<std::uint64_t>(v.block),
-                 nodeName(sb.owner).c_str(), sb.sharers.mask(),
+                 nodeName(sb.owner).c_str(),
+                 sb.sharers.toString().c_str(),
                  sb.version, sb.memVersion,
                  static_cast<std::uint64_t>(sb.lastOrder),
                  static_cast<unsigned>(sb.ringCount));
@@ -643,7 +649,7 @@ Oracle::printReport(std::FILE *out) const
                      " node=%s txn=0x%" PRIx64 " type=%s"
                      " responder=%s granted=%s attempt=%u"
                      " resolved=%d flag=%d aux=%" PRIu64
-                     " dests=0x%" PRIx64 " required=0x%" PRIx64 "\n",
+                     " dests=%s required=%s\n",
                      i, toString(r.kind).c_str(),
                      static_cast<std::uint64_t>(r.tick),
                      nodeName(r.node).c_str(),
@@ -653,8 +659,9 @@ Oracle::printReport(std::FILE *out) const
                      toString(r.granted).c_str(),
                      static_cast<unsigned>(r.attempt),
                      r.resolved ? 1 : 0, r.flag ? 1 : 0,
-                     static_cast<std::uint64_t>(r.aux), r.destsMask,
-                     r.requiredMask);
+                     static_cast<std::uint64_t>(r.aux),
+                     r.dests.toString().c_str(),
+                     r.required.toString().c_str());
     }
 }
 

@@ -9,8 +9,8 @@
  * seqno).
  *
  * Shard safety (see docs/verify.md): hooks append fixed-size Records
- * to per-*domain* staging buffers -- one per node plus one for the
- * ordering-point hub -- so every append happens on the single shard
+ * to per-*domain* staging buffers -- one per node plus one per
+ * ordering hub -- so every append happens on the single shard
  * thread that executes that domain and no lock or atomic is needed.
  * A domain executes its events in nondecreasing tick order, so each
  * buffer is sorted by (tick, append index); reconcile() k-way merges
@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "interconnect/message.hh"
+#include "interconnect/topology.hh"
 #include "mem/destination_set.hh"
 #include "mem/mosi.hh"
 #include "mem/types.hh"
@@ -92,8 +93,8 @@ struct Record {
     BlockId block = 0;
     TxnId txn = 0;
     Tick aux = 0;
-    std::uint64_t destsMask = 0;     ///< Order: post-fan-out dests
-    std::uint64_t requiredMask = 0;  ///< Order: stamped required set
+    DestinationSet dests;     ///< Order: post-fan-out dests
+    DestinationSet required;  ///< Order: stamped required set
     RecordKind kind = RecordKind::Order;
     RequestType type = RequestType::GetShared;
     MosiState granted = MosiState::Invalid;
@@ -123,7 +124,10 @@ class Oracle
         NodeId nodes = 16;
         bool directory = false;   ///< 3-hop forward latency in chains
         bool dataChaining = true;
-        Tick halfTraversal = 0;   ///< one crossbar hop
+        /** Resolved machine topology: hop latencies for the shadow
+         *  chaining arithmetic and the hub map for record staging.
+         *  Must equal the System's (same params, same ticks). */
+        Topology topo;
         double l2_ns = 12.0;
         double memory_ns = 80.0;
     };
@@ -201,8 +205,8 @@ class Oracle
         std::uint64_t version = 0;
         /** Version memory holds (updated at owned evictions). */
         std::uint64_t memVersion = 0;
-        /** Bit n set: node n holds a copy with a known version. */
-        std::uint64_t validMask = 0;
+        /** Node n present: n holds a copy with a known version. */
+        DestinationSet valid;
         std::array<Record, ringDepth> ring;
         std::uint8_t ringPos = 0;
         std::uint8_t ringCount = 0;
@@ -232,7 +236,14 @@ class Oracle
         Tick tick;
     };
 
-    std::vector<Record> &hubBuffer() { return buffers_[config_.nodes]; }
+    /** Staging buffer of the hub domain that orders `block`: mirrors
+     *  the System's hub layout so each append still happens on the
+     *  one shard thread executing that hub. */
+    std::vector<Record> &
+    hubBuffer(BlockId block)
+    {
+        return buffers_[config_.nodes + config_.topo.hubOf(block)];
+    }
 
     // -- reconcile pipeline
     void process(const Record &r);
@@ -264,26 +275,29 @@ class Oracle
     std::uint64_t
     versionKey(BlockId block, NodeId node) const
     {
-        return (block << 6) | node;
+        // 8 node bits; widen if maxNodes ever exceeds 256.
+        static_assert(maxNodes <= 256, "versionKey node field");
+        return (block << 8) | node;
     }
     void
     setValid(ShadowBlock &sb, BlockId block, NodeId node,
              std::uint64_t version)
     {
-        sb.validMask |= std::uint64_t{1} << node;
+        sb.valid.add(node);
         nodeVersion_[versionKey(block, node)] = version;
     }
     void
     clearValid(ShadowBlock &sb, NodeId node)
     {
-        sb.validMask &= ~(std::uint64_t{1} << node);
+        sb.valid.remove(node);
     }
 
     Config config_;
 
-    /** Per-domain staging: [0, nodes) = node domains, [nodes] = hub.
-     *  Each inner vector is appended by exactly one shard thread and
-     *  is sorted by (tick, append index) by construction. */
+    /** Per-domain staging: [0, nodes) = node domains, [nodes,
+     *  nodes + hubs) = ordering hubs. Each inner vector is appended
+     *  by exactly one shard thread and is sorted by (tick, append
+     *  index) by construction. */
     std::vector<std::vector<Record>> buffers_;
 
     FlatMap<BlockId, ShadowBlock> shadow_;

@@ -22,6 +22,21 @@ scaled(double scale, Addr bytes, Addr floor_bytes = 64 * 1024)
     return (scaled_bytes + granule - 1) / granule * granule;
 }
 
+/**
+ * Floor for producer-consumer regions: one ring of buffer_blocks
+ * 64 B buffers per node. Up to 64 nodes this is covered by the
+ * generic 64 KB floor, so the paper's 16-node footprints (and every
+ * existing figure) are byte-identical; on larger machines the
+ * netbuf/boundary pools grow with the node count the way a scaled-up
+ * server's would, instead of rounding to zero buffers per node.
+ */
+Addr
+perNodeBufferFloor(NodeId nodes, std::uint32_t buffer_blocks)
+{
+    Addr per_node = static_cast<Addr>(nodes) * buffer_blocks * 64;
+    return per_node > 64 * 1024 ? per_node : 64 * 1024;
+}
+
 /** Builder that assigns region base addresses and collects regions. */
 class Mix
 {
@@ -100,7 +115,10 @@ makeApache(NodeId nodes, std::uint64_t seed, double scale)
                 nodes, MigratoryRegion::Config{2, 6, 1.10, 0.0}),
             0.040);
     mix.add(std::make_unique<ProducerConsumerRegion>(
-                mix.params("netbufs", scaled(scale, 2 * MB), 1500),
+                mix.params("netbufs",
+                           scaled(scale, 2 * MB,
+                                  perNodeBufferFloor(nodes, 16)),
+                           1500),
                 nodes, ProducerConsumerRegion::Config{16, 4, 0.5, 8}),
             0.030);
     mix.add(std::make_unique<ReadMostlyRegion>(
@@ -160,7 +178,10 @@ makeOcean(NodeId nodes, std::uint64_t seed, double scale)
                                       64, 8}),
             0.300);
     mix.add(std::make_unique<ProducerConsumerRegion>(
-                mix.params("boundaries", scaled(scale, 2 * MB), 4000),
+                mix.params("boundaries",
+                           scaled(scale, 2 * MB,
+                                  perNodeBufferFloor(nodes, 16)),
+                           4000),
                 nodes, ProducerConsumerRegion::Config{16, 1, 0.5, 8}),
             0.025);
     mix.add(std::make_unique<HotRegion>(

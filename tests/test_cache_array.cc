@@ -459,5 +459,48 @@ TEST(PackedCacheArray, RandomizedEquivalenceWithGenericArray)
     }
 }
 
+/**
+ * 64/256-node scaling regression for the 32-bit packed word: keys up
+ * to maxKey() round-trip through the compressed tag, one past it
+ * panics (always-on, so a too-small geometry can never silently alias
+ * tags), and the Table-4 L1/L2 geometries clear the largest block
+ * address any workload can generate at the full 256-node machine.
+ */
+TEST(PackedCacheArray, CompressedTagCeiling)
+{
+    PackedCacheArray<2> pow2(16, 4);  // tag = key >> 4, 30 bits
+    std::uint64_t top = pow2.maxKey();
+    EXPECT_EQ(top, (std::uint64_t{1} << 34) - 1);
+    EXPECT_FALSE(pow2.insert(top, 3).has_value());
+    ASSERT_NE(pow2.find(top), nullptr);
+    EXPECT_EQ(pow2.peek(top).value(), 3u);
+    {
+        PanicGuard guard;
+        EXPECT_THROW(pow2.insert(top + 1, 0), std::runtime_error);
+    }
+
+    PackedCacheArray<1> odd(3, 2);  // non-pow2 sets: key / 3 path
+    std::uint64_t odd_top = odd.maxKey();
+    EXPECT_FALSE(odd.insert(odd_top, 1).has_value());
+    EXPECT_EQ(odd.peek(odd_top).value(), 1u);
+    {
+        PanicGuard guard;
+        EXPECT_THROW(odd.insert(odd_top + 1, 0), std::runtime_error);
+    }
+
+    // The simulated L1/L2 planes, Table-4 geometry: the workload
+    // generator lays regions 1 GB apart starting at 1 GB, at most a
+    // handful of regions per preset and no node-count-dependent
+    // growth, so the top block id stays below 2^30 at every node
+    // count while both planes accept keys well past 2^40.
+    PackedCacheArray<1> l1(128 * 1024 / 64 / 4, 4);
+    PackedCacheArray<2> l2(4 * 1024 * 1024 / 64 / 4, 4);
+    constexpr std::uint64_t top_block = (std::uint64_t{1} << 30) - 1;
+    EXPECT_GE(l1.maxKey(), top_block);
+    EXPECT_GE(l2.maxKey(), top_block);
+    EXPECT_FALSE(l2.insert(top_block, 2).has_value());
+    EXPECT_EQ(l2.peek(top_block).value(), 2u);
+}
+
 } // namespace
 } // namespace dsp

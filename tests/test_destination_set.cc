@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "mem/destination_set.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -36,7 +38,10 @@ TEST(DestinationSet, AddRemoveContains)
 
 TEST(DestinationSet, AllCoversExactlyNNodes)
 {
-    for (NodeId n : {1u, 4u, 16u, 63u, 64u}) {
+    // Whole-word, partial-word, and boundary node counts, up to the
+    // full 256-node machine.
+    for (NodeId n : {1u, 4u, 16u, 63u, 64u, 65u, 127u, 128u, 129u,
+                     255u, 256u}) {
         DestinationSet s = DestinationSet::all(n);
         EXPECT_EQ(s.count(), n);
         for (NodeId i = 0; i < n; ++i)
@@ -94,9 +99,79 @@ TEST(DestinationSet, OutOfRangePanics)
 {
     DestinationSet s;
     PanicGuard guard;
-    EXPECT_THROW(s.add(64), std::runtime_error);
+    EXPECT_THROW(s.add(maxNodes), std::runtime_error);
     EXPECT_THROW(DestinationSet::all(0), std::runtime_error);
-    EXPECT_THROW(DestinationSet::all(65), std::runtime_error);
+    EXPECT_THROW(DestinationSet::all(maxNodes + 1),
+                 std::runtime_error);
+}
+
+TEST(DestinationSet, WordBoundaryMembership)
+{
+    // Nodes straddling every 64-bit word boundary of the backing
+    // array land in the right word with the right shift.
+    DestinationSet s;
+    const NodeId probes[] = {0,   31,  63,  64,  65,  127,
+                             128, 191, 192, 254, 255};
+    for (NodeId n : probes)
+        s.add(n);
+    EXPECT_EQ(s.count(), std::size(probes));
+    for (NodeId n : probes)
+        EXPECT_TRUE(s.contains(n));
+    EXPECT_FALSE(s.contains(62));
+    EXPECT_FALSE(s.contains(66));
+    EXPECT_FALSE(s.contains(129));
+    for (NodeId n : probes) {
+        s.remove(n);
+        EXPECT_FALSE(s.contains(n));
+    }
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DestinationSet, ForEachCrossesWords)
+{
+    DestinationSet s;
+    std::vector<NodeId> expect{5, 63, 64, 130, 200, 255};
+    for (NodeId n : expect)
+        s.add(n);
+    std::vector<NodeId> visited;
+    s.forEach([&](NodeId n) { visited.push_back(n); });
+    EXPECT_EQ(visited, expect);
+    EXPECT_EQ(s.toString(), "{5,63,64,130,200,255}");
+}
+
+TEST(DestinationSet, WideSetAlgebra)
+{
+    // Set operations over high words, where a uint64 mask cannot
+    // represent the members.
+    DestinationSet a = DestinationSet::all(256);
+    DestinationSet b;
+    b.add(10);
+    b.add(100);
+    b.add(250);
+    EXPECT_TRUE(a.containsAll(b));
+    EXPECT_FALSE(b.containsAll(a));
+    EXPECT_EQ((a & b), b);
+    EXPECT_EQ((a | b), a);
+    DestinationSet rest = a.minus(b);
+    EXPECT_EQ(rest.count(), 253u);
+    EXPECT_FALSE(rest.contains(100));
+    EXPECT_TRUE(rest.contains(99));
+    EXPECT_TRUE(rest.contains(255));
+    EXPECT_EQ((rest | b), a);
+}
+
+TEST(DestinationSet, MaskRoundTripsLowWord)
+{
+    // mask() remains the legacy <= 64-node interchange format (trace
+    // files, predictor training words); it must round-trip fromMask
+    // and reject sets with members above node 63.
+    DestinationSet s = DestinationSet::fromMask(0x8000000000000001ull);
+    EXPECT_EQ(s.mask(), 0x8000000000000001ull);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(63));
+    s.add(64);
+    PanicGuard guard;
+    EXPECT_THROW(s.mask(), std::runtime_error);
 }
 
 /** Property sweep over random sets: algebraic identities hold. */

@@ -466,6 +466,118 @@ TEST(SystemTiming, StaleWritebackRaceStaysDeterministic)
  * where ownership moves while the previous fill is still on the wire
  * -- so its Figure-7-style latency must shift up, deterministically.
  */
+// ------------------------------------------------- scaled machines
+
+SystemParams
+scaledParams(NodeId nodes, unsigned hubs = 1, unsigned shards = 1)
+{
+    SystemParams params;
+    params.nodes = nodes;
+    params.protocol = ProtocolKind::Multicast;
+    params.policy = PredictorPolicy::OwnerGroup;
+    params.predictor.entries = 1024;
+    params.warmupInstrPerCpu = 0;
+    params.measureInstrPerCpu = 1500;
+    params.shards = shards;
+    params.crossbar.topology.hubs = hubs;
+    return params;
+}
+
+/**
+ * 64-node regression for the latent 16-node assumptions fixed during
+ * parameterization: txn ids pack (seq << 16) | node (the 8-bit field
+ * collided at 256 nodes), and the oracle stages per-domain records in
+ * nodes + hubs buffers. Arming the oracle makes both checks real --
+ * any txn-id collision or mis-bucketed record surfaces as a coherence
+ * violation, which raiseOracleViolation turns into a panic.
+ */
+TEST(SystemScaling, SixtyFourNodesMultiHubOracleClean)
+{
+    auto workload = makeWorkload("oltp", 64, 11, 0.05);
+    SystemParams params = scaledParams(64, /* hubs */ 4);
+    params.verify.oracle = true;
+    System system(*workload, params);
+    SystemStats stats = system.run();
+    EXPECT_EQ(stats.instructions, 1500u * 64u);
+    EXPECT_GT(stats.misses, 0u);
+}
+
+/**
+ * With the ordering gap disabled, hub interleaving is pure
+ * partitioning: the order tick equals the hub-arrival tick whatever
+ * hub a block hashes to, so H=4 must reproduce the H=1 figure
+ * statistics bit-for-bit at 64 nodes. (With a nonzero gap the tiers
+ * legitimately differ -- four hubs serialize a quarter of the blocks
+ * each, relaxing the spacing a single hub would impose.)
+ */
+TEST(SystemScaling, MultiHubMatchesSingleHubBitForBit)
+{
+    auto run_once = [](unsigned hubs) {
+        auto workload = makeWorkload("apache", 64, 12, 0.05);
+        SystemParams params = scaledParams(64, hubs);
+        params.crossbar.ordering_gap_ns = 0.0;
+        System system(*workload, params);
+        return system.run();
+    };
+    SystemStats one = run_once(1);
+    SystemStats four = run_once(4);
+    EXPECT_EQ(one.runtimeTicks, four.runtimeTicks);
+    EXPECT_EQ(one.misses, four.misses);
+    EXPECT_EQ(one.retries, four.retries);
+    EXPECT_EQ(one.trafficBytes, four.trafficBytes);
+    EXPECT_EQ(one.indirections, four.indirections);
+    EXPECT_EQ(one.cacheToCache, four.cacheToCache);
+    EXPECT_EQ(one.writebacks, four.writebacks);
+}
+
+/** The determinism contract at scale: K=4 shards over a 64-node
+ *  4-hub machine match K=1 bit-for-bit on every figure statistic. */
+TEST(SystemScaling, ShardedBitEquivalenceAt64Nodes)
+{
+    auto run_once = [](unsigned shards) {
+        auto workload = makeWorkload("oltp", 64, 13, 0.05);
+        System system(*workload,
+                      scaledParams(64, /* hubs */ 4, shards));
+        return system.run();
+    };
+    SystemStats k1 = run_once(1);
+    SystemStats k4 = run_once(4);
+    EXPECT_EQ(k1.runtimeTicks, k4.runtimeTicks);
+    EXPECT_EQ(k1.misses, k4.misses);
+    EXPECT_EQ(k1.retries, k4.retries);
+    EXPECT_EQ(k1.trafficBytes, k4.trafficBytes);
+    EXPECT_EQ(k1.indirections, k4.indirections);
+    EXPECT_EQ(k1.writebacks, k4.writebacks);
+}
+
+/**
+ * A hierarchical 64-node machine (4 clusters of 16 behind a slow
+ * switch tier: 10 ns cluster links, 40 ns switch links) runs to
+ * completion and pays for cross-cluster transfers. Most sharer pairs
+ * straddle clusters (48 of every 64 peers are remote), so the 100 ns
+ * cross-cluster hop -- against the flat machine's uniform 50 ns --
+ * must raise average miss latency even though intra-cluster hops got
+ * cheaper (20 ns).
+ */
+TEST(SystemScaling, HierarchicalSwitchTierRaisesCrossClusterLatency)
+{
+    auto run_once = [](bool hierarchical) {
+        auto workload = makeWorkload("apache", 64, 14, 0.05);
+        SystemParams params = scaledParams(64, /* hubs */ 2);
+        if (hierarchical) {
+            params.crossbar.topology.cluster_size = 16;
+            params.crossbar.topology.cluster_link_ns = 10.0;
+            params.crossbar.topology.switch_link_ns = 40.0;
+        }
+        System system(*workload, params);
+        return system.run();
+    };
+    SystemStats flat = run_once(false);
+    SystemStats hier = run_once(true);
+    EXPECT_GT(flat.misses, 0u);
+    EXPECT_GT(hier.avgMissLatencyNs, flat.avgMissLatencyNs);
+}
+
 TEST(SystemTiming, DataChainingShiftsPingPongLatency)
 {
     auto run_once = [](bool chaining) {

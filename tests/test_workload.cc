@@ -357,6 +357,27 @@ TEST(Workload, AllPresetsConstructAndRun)
     }
 }
 
+/**
+ * Regression for the 256-node scaling sweep: at scale 0.05 apache's
+ * netbufs pool used to round to zero buffers per node once the node
+ * count outgrew the generic 64 KB footprint floor, panicking in the
+ * ProducerConsumerRegion constructor. Every preset must construct
+ * and generate references on every machine size the sweep supports.
+ */
+TEST(Workload, AllPresetsScaleTo256Nodes)
+{
+    for (NodeId nodes : {NodeId(64), NodeId(256)}) {
+        for (const std::string &name : workloadNames()) {
+            auto w = makeWorkload(name, nodes, 1, 0.05);
+            ASSERT_EQ(w->numNodes(), nodes);
+            for (int i = 0; i < 2000; ++i) {
+                MemRef ref = w->next(static_cast<NodeId>(i % nodes));
+                ASSERT_NE(ref.addr, 0u);
+            }
+        }
+    }
+}
+
 TEST(Workload, UnknownPresetFatals)
 {
     PanicGuard guard;
