@@ -33,6 +33,14 @@
  *                  the run must die with exit 77 and a repro bundle
  *   --stop-at T    stop at the first window boundary at/after tick T
  *                  (replays a repro bundle up to its violation)
+ *   --checkpoint-every N   snapshot the run every N simulated ticks
+ *                  (requires --config: one simulation per process)
+ *   --checkpoint-dir D     directory for ckpt_<tick>.dsp snapshots
+ *   --restore      resume from the newest valid checkpoint in the
+ *                  checkpoint dir (fresh start when none validates)
+ *   --restore-from FILE    resume from one specific checkpoint file
+ *                  (violation replay from the repro bundle's
+ *                  "checkpoint" field; combine with --stop-at)
  *
  * Oracle-shadowed runs are slower by design, so without an explicit
  * --out they write BENCH_hotpath.oracle.json: the perf-guarded
@@ -53,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "interconnect/message.hh"
 #include "sim/event.hh"
 #include "sim/interrupt.hh"
@@ -84,6 +93,10 @@ struct HotpathOptions {
     bool oracle = false;
     verify::Mutation mutate = verify::Mutation::None;
     std::uint64_t stopAt = 0;
+    std::uint64_t ckptEvery = 0;
+    std::string ckptDir;
+    bool restore = false;
+    std::string restoreFrom;
 };
 
 HotpathOptions
@@ -138,17 +151,46 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--stop-at") {
             opt.stopAt = std::strtoull(next(), nullptr, 10);
             opt.oracle = true;
+        } else if (arg == "--checkpoint-every") {
+            opt.ckptEvery = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--checkpoint-dir") {
+            opt.ckptDir = next();
+        } else if (arg == "--restore") {
+            opt.restore = true;
+        } else if (arg == "--restore-from") {
+            opt.restoreFrom = next();
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "options: --measure N --warmup N --workload W "
                          "--threads N --hub-shard --nodes N --hubs N "
                          "--cluster N --switch-ns F --seed S "
                          "--out FILE --config NAME --repeat N "
-                         "--oracle --mutate M --stop-at T\n");
+                         "--oracle --mutate M --stop-at T "
+                         "--checkpoint-every N --checkpoint-dir D "
+                         "--restore --restore-from FILE\n");
             std::exit(0);
         } else {
             dsp_fatal("unknown option '%s'", arg.c_str());
         }
+    }
+    // A checkpoint directory holds one simulation's snapshot stream;
+    // the default 4-config bench would interleave four. Scope any
+    // checkpoint/restore use to a single --config run.
+    if ((opt.ckptEvery != 0 || opt.restore ||
+         !opt.restoreFrom.empty()) &&
+        opt.onlyConfig.empty()) {
+        dsp_fatal("--checkpoint-every/--restore require --config "
+                  "(one simulation per checkpoint directory)");
+    }
+    if (opt.ckptEvery != 0 && opt.ckptDir.empty())
+        dsp_fatal("--checkpoint-every requires --checkpoint-dir");
+    if (opt.restore && opt.ckptDir.empty() && opt.restoreFrom.empty())
+        dsp_fatal("--restore requires --checkpoint-dir (or "
+                  "--restore-from FILE)");
+    if ((opt.restore || !opt.restoreFrom.empty()) && opt.repeat != 1) {
+        dsp_warn("--restore forces --repeat 1 (every repetition would "
+                 "resume from the same snapshot)");
+        opt.repeat = 1;
     }
     return opt;
 }
@@ -222,6 +264,12 @@ runConfig(const HotpathOptions &opt, const std::string &name,
         params.verify.oracle = opt.oracle;
         params.verify.mutation = opt.mutate;
         params.verify.stopAtTick = opt.stopAt;
+        params.checkpoint.every = opt.ckptEvery;
+        params.checkpoint.dir = opt.ckptDir;
+        params.checkpoint.restore = opt.restore;
+        params.checkpoint.restorePath = opt.restoreFrom;
+        if (!opt.ckptDir.empty())
+            ckpt::makeDirs(opt.ckptDir);
 
         activeConfig = name;
         System system(*workload, params);
@@ -292,9 +340,14 @@ bool
 writeJson(const HotpathOptions &opt,
           const std::vector<ConfigResult> &results)
 {
-    std::FILE *f = std::fopen(opt.out.c_str(), "w");
+    // Compose in memory, then land atomically (temp + fsync +
+    // rename): the guarded baseline this refreshes must never exist
+    // in a torn state, even across a crash or SIGKILL mid-write.
+    char *mem = nullptr;
+    std::size_t mem_len = 0;
+    std::FILE *f = open_memstream(&mem, &mem_len);
     if (!f) {
-        dsp_warn("cannot write '%s'", opt.out.c_str());
+        dsp_warn("cannot compose '%s'", opt.out.c_str());
         return false;
     }
 
@@ -405,6 +458,12 @@ writeJson(const HotpathOptions &opt,
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
+    std::string json(mem, mem_len);
+    std::free(mem);
+    if (!ckpt::atomicWriteFile(opt.out, json)) {
+        dsp_warn("cannot write '%s'", opt.out.c_str());
+        return false;
+    }
     return true;
 }
 

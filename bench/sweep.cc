@@ -40,6 +40,7 @@
 #include <cstring>
 #include <string>
 
+#include "checkpoint/checkpoint.hh"
 #include "sim/interrupt.hh"
 #include "sim/logging.hh"
 #include "sweep/config.hh"
@@ -167,12 +168,13 @@ main(int argc, char **argv)
 
     // The aggregate table is rebuilt from the journal every run --
     // fresh and resumed sweeps of one config produce identical bytes.
+    // Written atomically (temp + fsync + rename) so an interrupt or
+    // crash mid-write can never leave a torn table under the name a
+    // byte-comparison (or a dashboard) reads.
     JournalRecovery recovery;
     std::vector<JournalRow> rows = readJournal(opt.journal, recovery);
     std::string table = aggregateTable(rows);
-    if (std::FILE *f = std::fopen(opt.table.c_str(), "w")) {
-        std::fwrite(table.data(), 1, table.size(), f);
-        std::fclose(f);
+    if (ckpt::atomicWriteFile(opt.table, table)) {
         std::printf("wrote %s (%zu row(s))\n", opt.table.c_str(),
                     recovery.rows);
     } else {

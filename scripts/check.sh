@@ -336,6 +336,39 @@ done
 # fault-free aggregate table byte-for-byte.
 SWEEP_BIN=./build/bench_sweep scripts/sweep_smoke.sh
 
+# Checkpoint/restore smoke (scripts/checkpoint_smoke.sh): a run
+# SIGKILLed mid-flight resumes from its newest snapshot with
+# byte-identical figure stats; a violation replays from the repro
+# bundle's nearest checkpoint re-raising the identical DSP-VIOLATION
+# line; the committed configs/nightly.conf sweep survives kill+resume
+# with a byte-identical aggregate table.
+scripts/checkpoint_smoke.sh
+
+# The checkpoint tests again under AddressSanitizer: restore rebuilds
+# every in-flight event through the component pools, exactly where a
+# stale pointer or double-release would hide. A dedicated build tree
+# keeps the instrumented objects out of the Release build. Skipped
+# (with a warning) only if the toolchain lacks libasan.
+if echo 'int main(){}' | g++ -fsanitize=address -x c++ - \
+        -o build/asan_probe 2> /dev/null; then
+    rm -f build/asan_probe
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address" > /dev/null
+    cmake --build build-asan --target test_checkpoint -j"$JOBS"
+    ASAN_OUT=$(./build-asan/test_checkpoint \
+        --gtest_filter='CheckpointFile.*:Checkpoint.FlatRestoreBitEquivalentAcrossShardCounts')
+    if ! grep -q "3 tests from 2 test suites ran" <<< "$ASAN_OUT"; then
+        echo "check.sh: ASan checkpoint tests did not run (filter out" \
+             "of sync with test_checkpoint?)" >&2
+        exit 1
+    fi
+    echo "checkpoint tests clean under AddressSanitizer"
+else
+    echo "check.sh: warning: g++ lacks -fsanitize=address --" \
+         "skipping the ASan checkpoint leg" >&2
+fi
+
 # Docs hygiene: markdown links resolve, and every src/ subsystem is
 # mentioned in the docs index.
 scripts/docs_check.sh

@@ -1,0 +1,210 @@
+#!/usr/bin/env bash
+#
+# Checkpoint/restore end-to-end smoke (used by check.sh and CI), three
+# legs over the deterministic snapshot machinery (docs/checkpoint.md):
+#
+#   1. kill-and-resume: a bench_perf_hotpath run SIGKILLs itself right
+#      after its 2nd snapshot (DSP_CKPT_KILL_AFTER); rerunning with
+#      --restore must resume from the newest valid snapshot and emit
+#      figure statistics byte-identical to an uninterrupted run.
+#      Both sides run with checkpointing ON: each snapshot stop ends a
+#      kernel lookahead window, so a checkpoint-free run legitimately
+#      differs in windows/crossings (and only there).
+#   2. nearest-checkpoint violation replay: a mutated oracle run with
+#      checkpointing on dies with exit 77 and a DSP-REPRO bundle whose
+#      "checkpoint" field names the newest pre-violation snapshot;
+#      replaying with --restore-from <that> --stop-at <bundle stop_at>
+#      must re-raise the byte-identical DSP-VIOLATION line while
+#      executing only the suffix.
+#   3. sweep kill+resume: the committed configs/nightly.conf (verify
+#      =on row, checkpointing enabled) under seeded crash injection,
+#      then resumed fault-free -- the resumed aggregate table must be
+#      byte-identical to an uninterrupted reference sweep, with the
+#      killed jobs restoring from their per-job snapshots.
+#
+# Env: HOTPATH_BIN (default ./build/bench_perf_hotpath), SWEEP_BIN
+# (default ./build/bench_sweep), CKPT_WORK (scratch dir, default
+# build/ckpt_smoke).
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOTPATH="${HOTPATH_BIN:-./build/bench_perf_hotpath}"
+SWEEP="${SWEEP_BIN:-./build/bench_sweep}"
+WORK="${CKPT_WORK:-build/ckpt_smoke}"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# The deterministic figure statistics of a bench JSON (the same
+# extraction check.sh's shard-count cross-check uses); wall-clock and
+# events/sec are excluded by construction.
+extract_det() {
+    awk -F: '
+        /"events"|"misses"|"retries"|"traffic_bytes"|"avg_miss_latency_ns"|"sim_runtime_ms"|"l0_hit_rate"|"touched_words_per_access"/ {
+            gsub(/[ ",]/, "", $1); gsub(/[ ,]/, "", $2)
+            print $1, $2
+        }' "$1"
+}
+
+RUN_ARGS=(--config multicast-owner-group --measure 20000 --warmup 5000
+          --checkpoint-every 20000000)
+
+# --- 1. kill-and-resume ----------------------------------------------
+echo "checkpoint_smoke: uninterrupted reference (checkpointing on)"
+"$HOTPATH" "${RUN_ARGS[@]}" --checkpoint-dir "$WORK/ref_ckpts" \
+    --out "$WORK/ref.json" > /dev/null 2> "$WORK/ref.log"
+WRITES=$(grep -c '^DSP-CKPT {"op":"write"' "$WORK/ref.log" || true)
+if [[ "$WRITES" -lt 2 ]]; then
+    echo "checkpoint_smoke: reference run wrote $WRITES snapshot(s)," \
+         "need >= 2 for the kill-after-2nd leg -- cadence out of tune" \
+         "with the run length" >&2
+    exit 1
+fi
+
+echo "checkpoint_smoke: SIGKILL after 2nd snapshot, then --restore"
+rc=0
+DSP_CKPT_KILL_AFTER=2 \
+    "$HOTPATH" "${RUN_ARGS[@]}" --checkpoint-dir "$WORK/kill_ckpts" \
+    --out "$WORK/killed.json" > /dev/null 2> "$WORK/kill.log" || rc=$?
+if [[ "$rc" -ne 137 ]]; then
+    echo "checkpoint_smoke: self-kill run exited $rc, expected 137" \
+         "(SIGKILL)" >&2
+    cat "$WORK/kill.log" >&2
+    exit 1
+fi
+if [[ -e "$WORK/killed.json" ]]; then
+    echo "checkpoint_smoke: SIGKILLed run left a bench JSON -- the" \
+         "kill fired after the run finished instead of mid-flight" >&2
+    exit 1
+fi
+rc=0
+DSP_CKPT_KILL_AFTER=2 \
+    "$HOTPATH" "${RUN_ARGS[@]}" --checkpoint-dir "$WORK/kill_ckpts" \
+    --restore --out "$WORK/resumed.json" > /dev/null \
+    2> "$WORK/resume.log" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+    echo "checkpoint_smoke: restored run exited $rc" >&2
+    cat "$WORK/resume.log" >&2
+    exit 1
+fi
+if ! grep -q '^DSP-CKPT {"op":"restore"' "$WORK/resume.log"; then
+    echo "checkpoint_smoke: restored run never restored (no DSP-CKPT" \
+         "restore line) -- it silently reran from scratch" >&2
+    exit 1
+fi
+# Guard the guard: the extraction must keep finding every field.
+for f in "$WORK/ref.json" "$WORK/resumed.json"; do
+    n="$(extract_det "$f" | wc -l)"
+    if [[ "$n" -ne 8 ]]; then
+        echo "checkpoint_smoke: determinism extraction found $n/8" \
+             "fields in $f -- extractor out of sync" >&2
+        exit 1
+    fi
+done
+if ! diff <(extract_det "$WORK/ref.json") \
+          <(extract_det "$WORK/resumed.json"); then
+    echo "checkpoint_smoke: RESTORE DETERMINISM FAILURE --" \
+         "kill+resume diverged from the uninterrupted run" >&2
+    exit 1
+fi
+echo "checkpoint_smoke: kill+resume figure stats byte-identical"
+
+# --- 2. nearest-checkpoint violation replay --------------------------
+echo "checkpoint_smoke: mutated run with snapshots, then bounded" \
+     "replay from the bundle's checkpoint"
+rc=0
+"$HOTPATH" --config multicast-owner-group --measure 20000 \
+    --warmup 5000 --mutate drop-inval --checkpoint-every 5000000 \
+    --checkpoint-dir "$WORK/viol_ckpts" > /dev/null \
+    2> "$WORK/viol.log" || rc=$?
+if [[ "$rc" -ne 77 ]]; then
+    echo "checkpoint_smoke: mutated run exited $rc, expected 77" >&2
+    cat "$WORK/viol.log" >&2
+    exit 1
+fi
+VIOLATION=$(grep -m1 '^DSP-VIOLATION ' "$WORK/viol.log" || true)
+STOP_AT=$(grep -m1 -o '"stop_at":[0-9]*' "$WORK/viol.log" | cut -d: -f2)
+CKPT=$(grep -m1 -o '"checkpoint":"[^"]*"' "$WORK/viol.log" \
+       | sed 's/^"checkpoint":"//; s/"$//')
+if [[ -z "$VIOLATION" || -z "$STOP_AT" ]]; then
+    echo "checkpoint_smoke: mutated run printed no violation/bundle" >&2
+    cat "$WORK/viol.log" >&2
+    exit 1
+fi
+if [[ -z "$CKPT" || ! -f "$CKPT" ]]; then
+    echo "checkpoint_smoke: repro bundle names no usable checkpoint" \
+         "('$CKPT') -- no snapshot landed before the violation" >&2
+    cat "$WORK/viol.log" >&2
+    exit 1
+fi
+rc=0
+"$HOTPATH" --config multicast-owner-group --measure 20000 \
+    --warmup 5000 --mutate drop-inval --stop-at "$STOP_AT" \
+    --restore-from "$CKPT" > /dev/null 2> "$WORK/replay.log" || rc=$?
+if [[ "$rc" -ne 77 ]]; then
+    echo "checkpoint_smoke: checkpointed replay exited $rc," \
+         "expected 77" >&2
+    cat "$WORK/replay.log" >&2
+    exit 1
+fi
+if ! grep -q '^DSP-CKPT {"op":"restore"' "$WORK/replay.log"; then
+    echo "checkpoint_smoke: replay never restored the snapshot" >&2
+    exit 1
+fi
+REPLAYED=$(grep -m1 '^DSP-VIOLATION ' "$WORK/replay.log" || true)
+if [[ "$VIOLATION" != "$REPLAYED" ]]; then
+    echo "checkpoint_smoke: REPLAY DIVERGENCE from the nearest" \
+         "checkpoint:" >&2
+    echo "  full run: $VIOLATION" >&2
+    echo "  replay:   $REPLAYED" >&2
+    exit 1
+fi
+echo "checkpoint_smoke: suffix replay re-raised the identical" \
+     "violation (checkpoint tick $(grep -m1 -o \
+     '"checkpoint_tick":[0-9]*' "$WORK/viol.log" | cut -d: -f2))"
+
+# --- 3. sweep kill+resume over the committed nightly matrix ----------
+echo "checkpoint_smoke: nightly sweep reference (no faults)"
+rm -rf build/nightly_ckpts
+"$SWEEP" --config configs/nightly.conf \
+    --journal "$WORK/nightly_ref.jsonl" \
+    --table "$WORK/nightly_ref.table" --fresh --no-fsync --jobs 2 \
+    > /dev/null
+
+echo "checkpoint_smoke: nightly sweep under crash+hang injection"
+rm -rf build/nightly_ckpts
+rc=0
+SWEEP_FAULT_INJECT="crash=0.4,hang=0.25,seed=7" \
+    "$SWEEP" --config configs/nightly.conf \
+    --journal "$WORK/nightly.jsonl" \
+    --table "$WORK/nightly.table" --fresh --no-fsync --jobs 2 \
+    --retries 1 --timeout 10 --backoff 0.01 > /dev/null || rc=$?
+if [[ "$rc" -ne 2 ]]; then
+    echo "checkpoint_smoke: faulted nightly sweep exited $rc," \
+         "expected 2 (completed with failed rows)" >&2
+    exit 1
+fi
+if ! ls build/nightly_ckpts/*/ckpt_*.dsp > /dev/null 2>&1; then
+    echo "checkpoint_smoke: nightly jobs wrote no snapshots --" \
+         "checkpoint_every/checkpoint_dir not reaching the workers" >&2
+    exit 1
+fi
+
+echo "checkpoint_smoke: resuming the nightly sweep fault-free"
+"$SWEEP" --config configs/nightly.conf \
+    --journal "$WORK/nightly.jsonl" \
+    --table "$WORK/nightly_resumed.table" --no-fsync --jobs 2 \
+    > "$WORK/nightly_resume.out"
+if ! grep -q "skipped (resumed)" "$WORK/nightly_resume.out"; then
+    echo "checkpoint_smoke: nightly resume did not skip completed" \
+         "rows" >&2
+    exit 1
+fi
+if ! diff "$WORK/nightly_ref.table" "$WORK/nightly_resumed.table"; then
+    echo "checkpoint_smoke: SWEEP RESUME DETERMINISM FAILURE --" \
+         "kill+resumed nightly table differs from the reference" >&2
+    exit 1
+fi
+echo "checkpoint_smoke: nightly kill+resume aggregate table" \
+     "byte-identical OK"

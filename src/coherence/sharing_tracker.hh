@@ -124,6 +124,31 @@ class SharingTracker
      */
     void reserve(std::size_t blocks) { blocks_.reserve(blocks); }
 
+    /**
+     * Checkpoint the whole block table. BlockState is trivially
+     * copyable, so the FlatMap raw-layout path captures it verbatim
+     * (including probe/iteration order).
+     */
+    template <typename W>
+    void
+    ckptSave(W &w) const
+    {
+        w.u64(numNodes_);
+        blocks_.ckptSave(w);
+    }
+
+    template <typename R>
+    void
+    ckptLoad(R &r)
+    {
+        std::uint64_t nodes = r.u64();
+        dsp_assert(nodes == numNodes_,
+                   "checkpoint sharing tracker built for %llu nodes, "
+                   "this machine has %u",
+                   static_cast<unsigned long long>(nodes), numNodes_);
+        blocks_.ckptLoad(r);
+    }
+
   private:
     struct BlockState {
         NodeId owner = invalidNode;  ///< invalidNode = memory owns

@@ -11,6 +11,7 @@
 #ifndef DSP_CORE_BROADCAST_IF_SHARED_HH
 #define DSP_CORE_BROADCAST_IF_SHARED_HH
 
+#include "checkpoint/checkpoint.hh"
 #include "core/predictor.hh"
 #include "core/predictor_table.hh"
 
@@ -57,6 +58,9 @@ class BroadcastIfSharedPredictor : public Predictor
     unsigned entryBits() const override { return 2; }
 
     PredictorTable<SharedCounterEntry> &table() { return table_; }
+
+    void ckptSave(ckpt::Writer &w) const override { table_.ckptSave(w); }
+    void ckptLoad(ckpt::Reader &r) override { table_.ckptLoad(r); }
 
   private:
     PredictorTable<SharedCounterEntry> table_;

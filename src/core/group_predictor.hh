@@ -15,6 +15,7 @@
 
 #include <array>
 
+#include "checkpoint/checkpoint.hh"
 #include "core/predictor.hh"
 #include "core/predictor_table.hh"
 
@@ -121,6 +122,9 @@ class GroupPredictor : public Predictor
     }
 
     PredictorTable<GroupEntry> &table() { return table_; }
+
+    void ckptSave(ckpt::Writer &w) const override { table_.ckptSave(w); }
+    void ckptLoad(ckpt::Reader &r) override { table_.ckptLoad(r); }
 
   private:
     PredictorTable<GroupEntry> table_;

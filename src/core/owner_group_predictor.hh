@@ -59,6 +59,9 @@ class OwnerGroupPredictor : public Predictor
 
     PredictorTable<OwnerGroupEntry> &table() { return table_; }
 
+    void ckptSave(ckpt::Writer &w) const override { table_.ckptSave(w); }
+    void ckptLoad(ckpt::Reader &r) override { table_.ckptLoad(r); }
+
   private:
     PredictorTable<OwnerGroupEntry> table_;
 };

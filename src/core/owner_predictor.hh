@@ -10,6 +10,7 @@
 #ifndef DSP_CORE_OWNER_PREDICTOR_HH
 #define DSP_CORE_OWNER_PREDICTOR_HH
 
+#include "checkpoint/checkpoint.hh"
 #include "core/predictor.hh"
 #include "core/predictor_table.hh"
 
@@ -53,6 +54,9 @@ class OwnerPredictor : public Predictor
 
     /** Expose the table for whitebox tests. */
     PredictorTable<OwnerEntry> &table() { return table_; }
+
+    void ckptSave(ckpt::Writer &w) const override { table_.ckptSave(w); }
+    void ckptLoad(ckpt::Reader &r) override { table_.ckptLoad(r); }
 
   private:
     PredictorTable<OwnerEntry> table_;

@@ -23,6 +23,11 @@
 
 namespace dsp {
 
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Common predictor configuration. */
 struct PredictorConfig {
     NodeId numNodes = 16;
@@ -135,6 +140,14 @@ class Predictor
 
     /** Modelled entry size in bits (Table 3 row 2), tag excluded. */
     virtual unsigned entryBits() const = 0;
+
+    /**
+     * Checkpoint the learned state (tables + counters). The defaults
+     * cover the stateless baselines; every stateful predictor must
+     * override both, symmetrically.
+     */
+    virtual void ckptSave(ckpt::Writer &w) const { (void)w; }
+    virtual void ckptLoad(ckpt::Reader &r) { (void)r; }
 
     const PredictorConfig &config() const { return config_; }
 

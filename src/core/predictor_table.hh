@@ -145,6 +145,35 @@ class PredictorTable
     std::uint64_t allocations() const { return allocations_; }
     std::uint64_t evictions() const { return evictions_; }
 
+    /** Checkpoint the backing store (whichever variant) + counters. */
+    template <typename W>
+    void
+    ckptSave(W &w) const
+    {
+        if (finite_)
+            finite_->ckptSave(w);
+        else
+            unbounded_.ckptSave(w);
+        w.u64(lookups_);
+        w.u64(hits_);
+        w.u64(allocations_);
+        w.u64(evictions_);
+    }
+
+    template <typename R>
+    void
+    ckptLoad(R &r)
+    {
+        if (finite_)
+            finite_->ckptLoad(r);
+        else
+            unbounded_.ckptLoad(r);
+        lookups_ = r.u64();
+        hits_ = r.u64();
+        allocations_ = r.u64();
+        evictions_ = r.u64();
+    }
+
   private:
     /**
      * 32-bit compressed tags: predictor keys are block numbers,

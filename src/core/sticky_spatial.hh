@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "core/predictor.hh"
 #include "sim/flat_map.hh"
 
@@ -51,6 +52,20 @@ class StickySpatialPredictor : public Predictor
     std::string name() const override { return "sticky-spatial"; }
     std::size_t entryCount() const override;
     unsigned entryBits() const override { return config_.numNodes; }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.podVec(finite_);
+        unbounded_.ckptSave(w);
+    }
+
+    void
+    ckptLoad(ckpt::Reader &r) override
+    {
+        finite_ = r.podVec<Entry>();
+        unbounded_.ckptLoad(r);
+    }
 
   private:
     struct Entry {

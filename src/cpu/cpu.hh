@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "checkpoint/checkpoint.hh"
 #include "mem/types.hh"
 #include "sim/sharded_kernel.hh"
 #include "workload/workload.hh"
@@ -130,10 +131,63 @@ class Cpu
     /** Instructions retired since construction. */
     std::uint64_t retired() const { return retired_; }
 
+    /** True once the current phase target has been reached (the
+     *  phase-done callback fired); a restore only re-arms CPUs for
+     *  which this is false. */
+    bool targetReached() const { return retired_ >= target_; }
+
     /** Tick at which the last target was reached. */
     Tick finishTick() const { return finishTick_; }
 
     NodeId node() const { return node_; }
+
+    /**
+     * Checkpoint architectural + timing state. Whether a member
+     * continuation event is scheduled (and when) is captured by the
+     * kernel's pending-event enumeration, not here; `onDone_` is
+     * re-supplied by the orchestrator via ckptRearm().
+     */
+    virtual void
+    ckptSave(ckpt::Writer &w) const
+    {
+        w.u64(retired_);
+        w.u64(target_);
+        w.u64(finishTick_);
+    }
+
+    virtual void
+    ckptLoad(ckpt::Reader &r)
+    {
+        retired_ = r.u64();
+        target_ = r.u64();
+        finishTick_ = r.u64();
+    }
+
+    /**
+     * Rebuild the POD completion this CPU hands to the memory port
+     * from the token an MSHR-resident copy carried at save time.
+     */
+    virtual MemoryPort::Completion ckptCompletion(std::uint64_t token)
+        = 0;
+
+    /**
+     * Restore one of this CPU's member continuation events: consume
+     * the event's payload from `r` and return the member event for
+     * the kernel to re-schedule.
+     */
+    virtual Event &ckptRestoreEvent(ckpt::EventTag tag,
+                                    ckpt::Reader &r) = 0;
+
+    /**
+     * Re-arm the end-of-phase callback after a restore. runFor() was
+     * called in the original run (its counters were checkpointed);
+     * the restored run re-supplies only the callback.
+     */
+    void
+    ckptRearm(std::function<void()> on_done)
+    {
+        onDone_ = std::move(on_done);
+    }
 
   protected:
     DomainPort queue_;

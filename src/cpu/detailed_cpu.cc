@@ -193,4 +193,67 @@ DetailedCpu::retireSweep()
     }
 }
 
+void
+DetailedCpu::ckptSave(ckpt::Writer &w) const
+{
+    Cpu::ckptSave(w);
+    // The whole ring is saved verbatim (stale slots included) so the
+    // restored ring is bit-identical, not merely behaviourally equal.
+    w.podVec(window_);
+    w.u64(windowHead_);
+    w.u64(windowCount_);
+    w.u64(windowBaseSeq_);
+    w.u64(nextSeq_);
+    w.u64(fetchedInstrs_);
+    w.u64(fetchTime_);
+    w.u64(lastRetire_);
+    w.u64(lastRetireInstr_);
+    w.u32(outstanding_);
+    w.u32(peakOutstanding_);
+    w.b(stalledOnMshr_);
+    w.u64(stalledOnRetire_);
+    w.b(havePending_);
+    w.pod(pending_);
+}
+
+void
+DetailedCpu::ckptLoad(ckpt::Reader &r)
+{
+    Cpu::ckptLoad(r);
+    auto ring = r.podVec<WindowRef>();
+    dsp_assert(ring.size() == window_.size(),
+               "cpu %u window ring size mismatch (rob changed?)",
+               node_);
+    window_ = std::move(ring);
+    windowHead_ = static_cast<std::size_t>(r.u64());
+    windowCount_ = static_cast<std::size_t>(r.u64());
+    windowBaseSeq_ = r.u64();
+    nextSeq_ = r.u64();
+    fetchedInstrs_ = r.u64();
+    fetchTime_ = r.u64();
+    lastRetire_ = r.u64();
+    lastRetireInstr_ = r.u64();
+    outstanding_ = r.u32();
+    peakOutstanding_ = r.u32();
+    stalledOnMshr_ = r.b();
+    stalledOnRetire_ = r.u64();
+    havePending_ = r.b();
+    pending_ = r.pod<MemRef>();
+}
+
+MemoryPort::Completion
+DetailedCpu::ckptCompletion(std::uint64_t token)
+{
+    return MemoryPort::Completion{&accessDoneTrampoline, this, token};
+}
+
+Event &
+DetailedCpu::ckptRestoreEvent(ckpt::EventTag tag, ckpt::Reader &)
+{
+    dsp_assert(tag == ckpt::EventTag::CpuFetch,
+               "detailed cpu %u asked to restore event tag %u", node_,
+               static_cast<unsigned>(tag));
+    return fetchEvent_;
+}
+
 } // namespace dsp

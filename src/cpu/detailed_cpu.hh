@@ -32,6 +32,12 @@ class DetailedCpu : public Cpu
     /** Peak outstanding misses observed (for MLP reporting). */
     unsigned peakOutstanding() const { return peakOutstanding_; }
 
+    void ckptSave(ckpt::Writer &w) const override;
+    void ckptLoad(ckpt::Reader &r) override;
+    MemoryPort::Completion ckptCompletion(std::uint64_t token) override;
+    Event &ckptRestoreEvent(ckpt::EventTag tag,
+                            ckpt::Reader &r) override;
+
   private:
     struct WindowRef {
         std::uint64_t instrEnd;  ///< cumulative instr number (inclusive)
@@ -49,6 +55,14 @@ class DetailedCpu : public Cpu
     struct FetchEvent final : Event {
         explicit FetchEvent(DetailedCpu &c) : cpu(c) {}
         void process() override { cpu.fetchLoop(); }
+
+        void
+        ckptSave(ckpt::Writer &w) const override
+        {
+            w.u8(static_cast<std::uint8_t>(ckpt::EventTag::CpuFetch));
+            w.u16(static_cast<std::uint16_t>(cpu.node()));
+        }
+
         DetailedCpu &cpu;
     };
 

@@ -83,4 +83,36 @@ SimpleCpu::execute(Tick local)
     }
 }
 
+void
+SimpleCpu::ckptSave(ckpt::Writer &w) const
+{
+    Cpu::ckptSave(w);
+    w.u64(localTime_);
+    w.b(blocked_);
+}
+
+void
+SimpleCpu::ckptLoad(ckpt::Reader &r)
+{
+    Cpu::ckptLoad(r);
+    localTime_ = r.u64();
+    blocked_ = r.b();
+}
+
+MemoryPort::Completion
+SimpleCpu::ckptCompletion(std::uint64_t /* token */)
+{
+    return missDone_;
+}
+
+Event &
+SimpleCpu::ckptRestoreEvent(ckpt::EventTag tag, ckpt::Reader &r)
+{
+    dsp_assert(tag == ckpt::EventTag::CpuResume,
+               "simple cpu %u asked to restore event tag %u", node_,
+               static_cast<unsigned>(tag));
+    resumeEvent_.at = r.u64();
+    return resumeEvent_;
+}
+
 } // namespace dsp

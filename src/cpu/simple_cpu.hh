@@ -23,6 +23,12 @@ class SimpleCpu : public Cpu
     void runFor(std::uint64_t instructions,
                 std::function<void()> on_done) override;
 
+    void ckptSave(ckpt::Writer &w) const override;
+    void ckptLoad(ckpt::Reader &r) override;
+    MemoryPort::Completion ckptCompletion(std::uint64_t token) override;
+    Event &ckptRestoreEvent(ckpt::EventTag tag,
+                            ckpt::Reader &r) override;
+
   private:
     /**
      * Quantum-yield continuation. A blocking CPU has at most one
@@ -32,6 +38,15 @@ class SimpleCpu : public Cpu
     struct ResumeEvent final : Event {
         explicit ResumeEvent(SimpleCpu &c) : cpu(c) {}
         void process() override { cpu.execute(at); }
+
+        void
+        ckptSave(ckpt::Writer &w) const override
+        {
+            w.u8(static_cast<std::uint8_t>(ckpt::EventTag::CpuResume));
+            w.u16(static_cast<std::uint16_t>(cpu.node()));
+            w.u64(at);
+        }
+
         SimpleCpu &cpu;
         Tick at = 0;
     };

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "checkpoint/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace dsp {
@@ -52,6 +53,16 @@ struct OrderedCrossbar::OrderEvent final : Event {
         EventPool<OrderEvent>::instance().release(this);
     }
 
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(ckpt::EventTag::XbarOrder));
+        w.pod(*msg);
+        w.u32(hub);
+        w.u64(tick);
+        w.b(serialized);
+    }
+
     OrderedCrossbar &xbar;
     MessageRef msg;
     unsigned hub;
@@ -81,6 +92,16 @@ struct OrderedCrossbar::DeliverEvent final : Event {
     release() override
     {
         EventPool<DeliverEvent>::instance().release(this);
+    }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(ckpt::EventTag::XbarDeliver));
+        w.pod(*msg);
+        w.u32(dest);
+        w.u64(when);
+        w.b(booked);
     }
 
     OrderedCrossbar &xbar;
@@ -250,6 +271,66 @@ OrderedCrossbar::resetStats()
 {
     for (NodeState &node : nodes_)
         node.traffic.fill(TrafficStats{});
+}
+
+void
+OrderedCrossbar::ckptSave(ckpt::Writer &w) const
+{
+    w.section(0x58424152u);  // "XBAR"
+    w.u64(hubs_.size());
+    for (const HubState &hub : hubs_)
+        w.u64(hub.lastOrder);
+    w.u64(nodes_.size());
+    for (const NodeState &node : nodes_) {
+        w.u64(node.ingressFree);
+        w.u64(node.egressFree);
+        for (const TrafficStats &t : node.traffic) {
+            w.u64(t.messages);
+            w.u64(t.bytes);
+        }
+    }
+}
+
+void
+OrderedCrossbar::ckptLoad(ckpt::Reader &r)
+{
+    r.section(0x58424152u);
+    dsp_assert(r.u64() == hubs_.size(),
+               "checkpoint crossbar hub count mismatch");
+    for (HubState &hub : hubs_)
+        hub.lastOrder = r.u64();
+    dsp_assert(r.u64() == nodes_.size(),
+               "checkpoint crossbar node count mismatch");
+    for (NodeState &node : nodes_) {
+        node.ingressFree = r.u64();
+        node.egressFree = r.u64();
+        for (TrafficStats &t : node.traffic) {
+            t.messages = r.u64();
+            t.bytes = r.u64();
+        }
+    }
+}
+
+Event &
+OrderedCrossbar::ckptRestoreOrder(ckpt::Reader &r)
+{
+    Message m = r.pod<Message>();
+    unsigned hub = r.u32();
+    Tick tick = r.u64();
+    bool serialized = r.b();
+    return *EventPool<OrderEvent>::instance().acquire(
+        *this, MessageRef(std::move(m)), hub, tick, serialized);
+}
+
+Event &
+OrderedCrossbar::ckptRestoreDeliver(ckpt::Reader &r)
+{
+    Message m = r.pod<Message>();
+    NodeId dest = r.u32();
+    Tick when = r.u64();
+    bool booked = r.b();
+    return *EventPool<DeliverEvent>::instance().acquire(
+        *this, MessageRef(std::move(m)), dest, when, booked);
 }
 
 } // namespace dsp

@@ -136,6 +136,23 @@ class OrderedCrossbar
 
     const Topology &topology() const { return topo_; }
 
+    /**
+     * Checkpoint link/ordering-point state + traffic counters.
+     * In-flight Order/Deliver events are captured separately by the
+     * kernel's pending-event enumeration (each serializes itself and
+     * is rebuilt via ckptRestoreOrder/ckptRestoreDeliver).
+     */
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+
+    /** Reconstruct one in-flight crossbar event from its saved
+     *  payload (the tag byte has already been consumed). Restored
+     *  payloads are independent pooled copies -- sharing between the
+     *  original fan-out's deliveries is a memory optimization, not
+     *  semantics. */
+    Event &ckptRestoreOrder(ckpt::Reader &r);
+    Event &ckptRestoreDeliver(ckpt::Reader &r);
+
   private:
     /** Pooled event: one message reaching (or, once serialized,
      *  leaving) its ordering point. */

@@ -401,6 +401,45 @@ class CacheArray
         useClock_ = value;
     }
 
+    /**
+     * Checkpoint all three planes plus the LRU clock/epoch and walk
+     * counters. Payloads must be trivially copyable (predictor-table
+     * entries are small POD structs); geometry is rebuilt from
+     * parameters and verified by the plane sizes.
+     */
+    template <typename W>
+    void
+    ckptSave(W &w) const
+    {
+        w.podVec(tags_);
+        w.podVec(lastUse_);
+        w.podVec(payloads_);
+        w.u64(valid_);
+        w.u32(useClock_);
+        w.u32(renormEpoch_);
+        w.u64(walks_);
+        w.u64(rewalks_);
+    }
+
+    template <typename R>
+    void
+    ckptLoad(R &r)
+    {
+        auto tags = r.template podVec<Tag>();
+        dsp_assert(tags.size() == tags_.size(),
+                   "checkpointed tag plane has %zu lines, machine has "
+                   "%zu (configuration mismatch)",
+                   tags.size(), tags_.size());
+        tags_ = std::move(tags);
+        lastUse_ = r.template podVec<std::uint32_t>();
+        payloads_ = r.template podVec<Payload>();
+        valid_ = r.u64();
+        useClock_ = r.u32();
+        renormEpoch_ = r.u32();
+        walks_ = r.u64();
+        rewalks_ = r.u64();
+    }
+
   private:
     static constexpr std::size_t npos =
         std::numeric_limits<std::size_t>::max();

@@ -317,6 +317,54 @@ class NodeCaches
     std::uint32_t debugL1Clock() const { return l1_.useClock(); }
     void debugAdvanceL1Clock(std::uint32_t v) { l1_.debugSetUseClock(v); }
 
+    /**
+     * Checkpoint both packed planes, the L0 filter, and all counters.
+     * Not captured: lastMiss_, the convenience-API latch -- the system
+     * hot path carries its fill cursors in the StagedAccess/MSHR, and
+     * a stale handle only ever costs a re-walk, never correctness.
+     */
+    template <typename W>
+    void
+    ckptSave(W &w) const
+    {
+        l1_.ckptSave(w);
+        l2_.ckptSave(w);
+        for (const L0Entry &entry : l0_)
+            w.pod(entry);
+        w.u64(accesses_);
+        w.u64(l1Hits_);
+        w.u64(l2Hits_);
+        w.u64(l2Misses_);
+        w.u64(upgrades_);
+        w.u64(writebacks_);
+        w.u64(l0Hits_);
+        w.u64(l0Absorbed_);
+        w.u64(probeWalks_);
+        w.u64(commitWalks_);
+        w.u64(fillWalks_);
+    }
+
+    template <typename R>
+    void
+    ckptLoad(R &r)
+    {
+        l1_.ckptLoad(r);
+        l2_.ckptLoad(r);
+        for (L0Entry &entry : l0_)
+            entry = r.template pod<L0Entry>();
+        accesses_ = r.u64();
+        l1Hits_ = r.u64();
+        l2Hits_ = r.u64();
+        l2Misses_ = r.u64();
+        upgrades_ = r.u64();
+        writebacks_ = r.u64();
+        l0Hits_ = r.u64();
+        l0Absorbed_ = r.u64();
+        probeWalks_ = r.u64();
+        commitWalks_ = r.u64();
+        fillWalks_ = r.u64();
+    }
+
   private:
     /** One L0 filter entry: a resolved block -> L1-line result. */
     struct L0Entry {

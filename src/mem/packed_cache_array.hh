@@ -530,6 +530,43 @@ class PackedCacheArray
         useClock_ = value;
     }
 
+    /**
+     * Checkpoint the raw line words plus the LRU clock/epoch and the
+     * debug walk counters; geometry is rebuilt from parameters, so the
+     * loader's array must already have this array's sets x ways.
+     */
+    template <typename W>
+    void
+    ckptSave(W &w) const
+    {
+        std::size_t lines = sets_ * ways_;
+        w.u64(lines);
+        w.bytes(entries_, lines * sizeof(Entry));
+        w.u64(valid_);
+        w.u32(useClock_);
+        w.u32(renormEpochs_);
+        w.u64(walks_);
+        w.u64(rewalks_);
+    }
+
+    template <typename R>
+    void
+    ckptLoad(R &r)
+    {
+        std::size_t lines = sets_ * ways_;
+        std::uint64_t saved = r.u64();
+        dsp_assert(saved == lines,
+                   "checkpointed cache plane has %llu lines, machine "
+                   "has %zu (configuration mismatch)",
+                   static_cast<unsigned long long>(saved), lines);
+        r.bytes(entries_, lines * sizeof(Entry));
+        valid_ = r.u64();
+        useClock_ = r.u32();
+        renormEpochs_ = r.u32();
+        walks_ = r.u64();
+        rewalks_ = r.u64();
+    }
+
   private:
     std::size_t
     setOf(std::uint64_t key) const

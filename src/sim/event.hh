@@ -34,14 +34,21 @@
 #include <utility>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/pool_registry.hh"
 #include "sim/slab_pool.hh"
 #include "sim/types.hh"
+
+#include <typeinfo>
 
 namespace dsp {
 
 class EventQueue;
 class ShardedKernel;
+
+namespace ckpt {
+class Writer;
+} // namespace ckpt
 
 /**
  * Base class of everything the EventQueue can schedule.
@@ -69,6 +76,21 @@ class Event
      * Default: no-op (member / statically-owned events).
      */
     virtual void release() {}
+
+    /**
+     * Serialize this in-flight event (tag byte + payload) into a
+     * checkpoint. Every event type that can be pending at a quiescent
+     * kernel barrier must override this; the default panics naming the
+     * concrete type so an unserializable event (e.g. a raw lambda via
+     * CallbackEvent) fails the checkpoint loudly instead of being
+     * silently dropped.
+     */
+    virtual void
+    ckptSave(ckpt::Writer &) const
+    {
+        dsp_panic("event type %s is not checkpoint-serializable",
+                  typeid(*this).name());
+    }
 
     /** True while the event sits in a queue. */
     bool scheduled() const { return scheduled_; }

@@ -174,6 +174,30 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Restore the lifetime executed counter from a checkpoint. */
+    void ckptSetExecuted(std::uint64_t n) { executed_ = n; }
+
+    /**
+     * Visit every pending event (both planes, no particular order)
+     * with its scheduling coordinates: fn(ev, when, key, domain).
+     * Checkpointing uses this to enumerate in-flight events at a
+     * quiescent barrier; callers sort by (when, key) themselves to
+     * get the shard-count-independent canonical order.
+     */
+    template <typename Fn>
+    void
+    forEachPending(Fn &&fn) const
+    {
+        for (const Bucket &bucket : buckets_) {
+            for (Event *ev = bucket.head; ev != nullptr;
+                 ev = ev->next_) {
+                fn(*ev, ev->when_, ev->key_, ev->domain_);
+            }
+        }
+        for (const HeapEntry &entry : heap_)
+            fn(*entry.ev, entry.when, entry.key, entry.ev->domain_);
+    }
+
     // ---- calendar geometry (public so tests can straddle it) -------------
 
     /** log2 of the tick width of one calendar bucket. */

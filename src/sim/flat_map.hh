@@ -228,6 +228,61 @@ class FlatMap
             rehash(needed);
     }
 
+    /**
+     * Checkpoint the exact physical layout -- control bytes (including
+     * tombstones), live/used counts, and each full slot in index order
+     * -- so a restored map reproduces probe chains, iteration order,
+     * and future rehash points bit-for-bit. `saveValue(w, v)` writes
+     * one mapped value; keys are written as raw pod bytes.
+     */
+    template <typename W, typename SaveValue>
+    void
+    ckptSave(W &w, SaveValue &&saveValue) const
+    {
+        w.podVec(ctrl_);
+        w.u64(size_);
+        w.u64(used_);
+        for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+            if (ctrl_[i] != slotFull)
+                continue;
+            w.pod(slots_[i].first);
+            saveValue(w, slots_[i].second);
+        }
+    }
+
+    /** Layout save for trivially copyable mapped values. */
+    template <typename W>
+    void
+    ckptSave(W &w) const
+    {
+        ckptSave(w, [](W &out, const V &v) { out.pod(v); });
+    }
+
+    /** Inverse of ckptSave: `loadValue(r, v)` fills one mapped value. */
+    template <typename R, typename LoadValue>
+    void
+    ckptLoad(R &r, LoadValue &&loadValue)
+    {
+        ctrl_ = r.template podVec<std::uint8_t>();
+        size_ = r.u64();
+        used_ = r.u64();
+        slots_ = std::vector<value_type>(ctrl_.size());
+        for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+            if (ctrl_[i] != slotFull)
+                continue;
+            slots_[i].first = r.template pod<K>();
+            loadValue(r, slots_[i].second);
+        }
+    }
+
+    /** Layout load for trivially copyable mapped values. */
+    template <typename R>
+    void
+    ckptLoad(R &r)
+    {
+        ckptLoad(r, [](R &in, V &v) { v = in.template pod<V>(); });
+    }
+
   private:
     static constexpr std::size_t minCapacity = 16;
 

@@ -93,6 +93,22 @@ class Rng
     /** Geometric-ish positive integer with given mean (>= 1). */
     std::uint64_t geometric(double mean);
 
+    /** Raw xoshiro state, exposed for checkpoint save/restore only. */
+    std::array<std::uint64_t, 4>
+    ckptState() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    void
+    ckptRestore(const std::array<std::uint64_t, 4> &s)
+    {
+        s_[0] = s[0];
+        s_[1] = s[1];
+        s_[2] = s[2];
+        s_[3] = s[3];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,5 +1,8 @@
 #include "sim/sharded_kernel.hh"
 
+#include <algorithm>
+
+#include "checkpoint/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/panic_hooks.hh"
 
@@ -509,6 +512,74 @@ std::size_t
 ShardedKernel::pending(unsigned shard) const
 {
     return shards_[shard]->queue.pending();
+}
+
+std::vector<ShardedKernel::CkptPending>
+ShardedKernel::ckptCollectPending() const
+{
+    std::vector<CkptPending> pend;
+    for (const auto &shard : shards_) {
+        shard->queue.forEachPending(
+            [&](Event &ev, Tick when, std::uint64_t key,
+                std::uint16_t domain) {
+                pend.push_back(CkptPending{when, key, domain, &ev});
+            });
+    }
+    std::sort(pend.begin(), pend.end(),
+              [](const CkptPending &a, const CkptPending &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.key < b.key;
+              });
+    return pend;
+}
+
+void
+ShardedKernel::ckptAdvanceTo(Tick t)
+{
+    for (auto &shard : shards_)
+        shard->queue.advanceTo(t);
+}
+
+void
+ShardedKernel::ckptSchedule(Event &ev, std::uint16_t domain, Tick when,
+                            std::uint64_t key)
+{
+    dsp_assert(domain >= 1 && domain < domainShard_.size(),
+               "checkpointed event has bad domain %u", domain);
+    ev.domain_ = domain;
+    shards_[domainShard_[domain]]->queue.scheduleWithKey(ev, when, key);
+}
+
+void
+ShardedKernel::ckptSaveCounters(ckpt::Writer &w) const
+{
+    w.section(0x4b524e4cu);  // "KRNL"
+    w.u64(domainSeq_.size());
+    for (const DomainSeq &seq : domainSeq_)
+        w.u64(seq.next);
+    w.u64(crossings_);
+    w.u64(windows_);
+    w.u64(batchedWindows_);
+    w.u64(executed());
+}
+
+void
+ShardedKernel::ckptLoadCounters(ckpt::Reader &r)
+{
+    r.section(0x4b524e4cu);
+    std::uint64_t n = r.u64();
+    dsp_assert(n == domainSeq_.size(),
+               "checkpoint domain count %llu != machine's %zu",
+               static_cast<unsigned long long>(n), domainSeq_.size());
+    for (DomainSeq &seq : domainSeq_)
+        seq.next = r.u64();
+    crossings_ = r.u64();
+    windows_ = r.u64();
+    batchedWindows_ = r.u64();
+    // The per-shard split of the executed count is partition-dependent;
+    // the lifetime total is not. Park it all on shard 0.
+    shards_[0]->queue.ckptSetExecuted(r.u64());
 }
 
 } // namespace dsp

@@ -62,6 +62,10 @@ namespace dsp {
 
 class ShardedKernel;
 
+namespace ckpt {
+class Reader;
+} // namespace ckpt
+
 /**
  * Scheduling interface handed to simulator components: either a thin
  * wrapper over a standalone EventQueue (implicit conversion keeps
@@ -189,6 +193,44 @@ class ShardedKernel
 
     /** Per-shard pending event count (quiescent state only). */
     std::size_t pending(unsigned shard) const;
+
+    // ---- checkpoint support (quiescent state only) ------------------------
+    //
+    // At run() exit every shard clock sits at the same window boundary
+    // and all mailboxes are drained, so (clock, pending events, domain
+    // sequence counters, kernel counters) is the complete kernel state
+    // and is identical for every shard count K.
+
+    /** One pending event with its full scheduling coordinates. */
+    struct CkptPending {
+        Tick when;
+        std::uint64_t key;
+        std::uint16_t domain;
+        Event *ev;
+    };
+
+    /** All pending events across shards, sorted by (when, key) -- the
+     *  canonical K-independent order ((when, key) is total: the key
+     *  embeds the scheduling domain and its sequence number). */
+    std::vector<CkptPending> ckptCollectPending() const;
+
+    /** The common quiescent shard clock. */
+    Tick ckptNow() const { return shards_[0]->queue.now(); }
+
+    /** Advance every (fresh) shard queue to the checkpointed clock,
+     *  reproducing each queue's calendar-window position. Must run
+     *  before any ckptSchedule() call. */
+    void ckptAdvanceTo(Tick t);
+
+    /** Re-insert a restored event with its original key; routed to the
+     *  owning shard through this kernel's domain map, so any K works. */
+    void ckptSchedule(Event &ev, std::uint16_t domain, Tick when,
+                      std::uint64_t key);
+
+    /** Per-domain sequence counters + kernel window/crossing counters
+     *  + lifetime executed total. */
+    void ckptSaveCounters(ckpt::Writer &w) const;
+    void ckptLoadCounters(ckpt::Reader &r);
 
   private:
     friend class DomainPort;

@@ -103,6 +103,9 @@ expandMatrix(const SweepConfig &config)
         config.valueUnsigned("warmup_instr", base.warmupInstr);
     base.measureInstr =
         config.valueUnsigned("measure_instr", base.measureInstr);
+    base.checkpointEvery =
+        config.valueUnsigned("checkpoint_every", base.checkpointEvery);
+    base.checkpointDir = config.value("checkpoint_dir", "");
 
     std::vector<std::string> workloads =
         config.values("workload", base.workload);

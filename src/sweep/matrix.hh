@@ -41,6 +41,15 @@ struct JobSpec {
     std::uint64_t warmupInstr = 10000;
     std::uint64_t measureInstr = 100000;
 
+    /** Checkpoint cadence in simulated ticks (0 = off) and the sweep's
+     *  checkpoint root; each job writes under its own subdirectory and
+     *  a retried attempt resumes from its newest valid snapshot.
+     *  Deliberately NOT part of id(): checkpointing changes no figure
+     *  statistic, so rows from checkpointed and plain sweeps aggregate
+     *  interchangeably. */
+    std::uint64_t checkpointEvery = 0;
+    std::string checkpointDir;
+
     /**
      * Canonical identity: every axis value in fixed order. This is
      * the journal's resume key, so it must be a pure function of the

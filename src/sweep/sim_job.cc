@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "checkpoint/checkpoint.hh"
 #include "core/factory.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
@@ -22,6 +23,23 @@ parseProtocol(const std::string &name)
     if (name == "multicast")
         return ProtocolKind::Multicast;
     dsp_fatal("unknown protocol '%s'", name.c_str());
+}
+
+/** The job's private checkpoint directory under the sweep's root:
+ *  the canonical id with every non-filename character flattened.
+ *  Pure function of the id, so a retried (or resumed) attempt lands
+ *  in the same directory and finds the earlier attempt's snapshots. */
+std::string
+checkpointSubdir(const std::string &root, const std::string &id)
+{
+    std::string name;
+    name.reserve(id.size());
+    for (char c : id) {
+        bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+        name += keep ? c : '_';
+    }
+    return root + "/" + name;
 }
 
 } // namespace
@@ -49,6 +67,20 @@ runSimJob(const JobSpec &spec)
     // worker with verify::violationExitCode, which the supervisor
     // journals immediately instead of retrying.
     params.verify.oracle = spec.verify == "on";
+
+    // Checkpointing (docs/checkpoint.md): each job snapshots into its
+    // own subdirectory, and restore is unconditionally on -- a first
+    // attempt finds no checkpoint and starts fresh, while a retry
+    // after a crash or watchdog kill resumes from the newest valid
+    // snapshot instead of repaying the whole run.
+    if (spec.checkpointEvery != 0 && !spec.checkpointDir.empty()) {
+        std::string dir =
+            checkpointSubdir(spec.checkpointDir, spec.id());
+        ckpt::makeDirs(dir);
+        params.checkpoint.every = spec.checkpointEvery;
+        params.checkpoint.dir = dir;
+        params.checkpoint.restore = true;
+    }
 
     System system(*workload, params);
     SystemStats stats = system.run();

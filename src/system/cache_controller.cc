@@ -11,6 +11,45 @@ CacheController::CacheController(System &system, NodeId node,
 {
 }
 
+struct CacheController::IssueEvent final : Event {
+    IssueEvent(CacheController &c, BlockId b, Addr a, Addr p,
+               RequestType t, Tick w)
+        : ctrl(c), block(b), addr(a), pc(p), type(t), when(w)
+    {
+    }
+
+    void
+    process() override
+    {
+        ctrl.issueRequest(block, addr, pc, type, when);
+    }
+
+    void
+    release() override
+    {
+        EventPool<IssueEvent>::instance().release(this);
+    }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(ckpt::EventTag::CacheIssue));
+        w.u16(static_cast<std::uint16_t>(ctrl.node_));
+        w.u64(block);
+        w.u64(addr);
+        w.u64(pc);
+        w.u8(static_cast<std::uint8_t>(type));
+        w.u64(when);
+    }
+
+    CacheController &ctrl;
+    BlockId block;
+    Addr addr;
+    Addr pc;
+    RequestType type;
+    Tick when;
+};
+
 AccessReply
 CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
                         const Completion &on_complete, Addr next_hint)
@@ -61,11 +100,9 @@ CacheController::access(Addr addr, Addr pc, bool is_write, Tick when,
     if (when < port_.now())
         when = port_.now();
     port_.schedule(
-        when,
-        [this, block, addr, pc, type, when]() {
-            issueRequest(block, addr, pc, type, when);
-        },
-        EventPriority::Controller);
+        *EventPool<IssueEvent>::instance().acquire(*this, block, addr,
+                                                   pc, type, when),
+        when, EventPriority::Controller);
     return AccessReply::Miss;
 }
 
@@ -299,6 +336,68 @@ CacheController::complete(const Message &msg, Tick tick)
             queued.done(tick + nsToTicks(sys_.params().latency.l2_ns));
         }
     }
+}
+
+void
+CacheController::ckptSave(ckpt::Writer &w) const
+{
+    caches_.ckptSave(w);
+    // Completions are {trampoline, cpu, token} PODs: only the token
+    // survives serialization; the fn/ctx pair is rebuilt through the
+    // owning CPU at load (host pointers never enter the file).
+    mshrs_.ckptSave(w, [](ckpt::Writer &out, const Mshr &m) {
+        out.u64(m.txn);
+        out.u8(static_cast<std::uint8_t>(m.type));
+        out.b(m.invalidateAfterFill);
+        out.pod(m.handle);
+        out.u64(m.waiters.size());
+        for (const Completion &c : m.waiters)
+            out.u64(c.token);
+        out.u64(m.queued.size());
+        for (const Mshr::Queued &q : m.queued) {
+            out.u64(q.addr);
+            out.u64(q.pc);
+            out.b(q.write);
+            out.u64(q.done.token);
+        }
+    });
+    w.u64(nextTxnSeq_);
+}
+
+void
+CacheController::ckptLoad(ckpt::Reader &r)
+{
+    caches_.ckptLoad(r);
+    Cpu &cpu = *sys_.cpus_[node_];
+    mshrs_.ckptLoad(r, [&cpu](ckpt::Reader &in, Mshr &m) {
+        m.txn = in.u64();
+        m.type = static_cast<RequestType>(in.u8());
+        m.invalidateAfterFill = in.b();
+        m.handle = in.pod<NodeCaches::FillHandle>();
+        m.waiters.resize(static_cast<std::size_t>(in.u64()));
+        for (Completion &c : m.waiters)
+            c = cpu.ckptCompletion(in.u64());
+        m.queued.resize(static_cast<std::size_t>(in.u64()));
+        for (Mshr::Queued &q : m.queued) {
+            q.addr = in.u64();
+            q.pc = in.u64();
+            q.write = in.b();
+            q.done = cpu.ckptCompletion(in.u64());
+        }
+    });
+    nextTxnSeq_ = r.u64();
+}
+
+Event &
+CacheController::ckptRestoreIssue(ckpt::Reader &r)
+{
+    BlockId block = r.u64();
+    Addr addr = r.u64();
+    Addr pc = r.u64();
+    auto type = static_cast<RequestType>(r.u8());
+    Tick when = r.u64();
+    return *EventPool<IssueEvent>::instance().acquire(
+        *this, block, addr, pc, type, when);
 }
 
 } // namespace dsp

@@ -10,6 +10,79 @@ MemoryController::MemoryController(System &system, NodeId node,
 {
 }
 
+struct MemoryController::DirContinueEvent final : Event {
+    DirContinueEvent(MemoryController &c, Message m)
+        : ctrl(c), msg(std::move(m))
+    {
+    }
+
+    void process() override { ctrl.directoryContinue(msg); }
+
+    void
+    release() override
+    {
+        EventPool<DirContinueEvent>::instance().release(this);
+    }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(
+            ckpt::EventTag::MemDirContinue));
+        w.u16(static_cast<std::uint16_t>(ctrl.node_));
+        w.pod(msg);
+    }
+
+    MemoryController &ctrl;
+    Message msg;
+};
+
+struct MemoryController::RetryEvent final : Event {
+    RetryEvent(MemoryController &c, Message m)
+        : ctrl(c), msg(std::move(m))
+    {
+    }
+
+    void
+    process() override
+    {
+        ctrl.sys_.crossbar_.sendOrdered(std::move(msg));
+    }
+
+    void
+    release() override
+    {
+        EventPool<RetryEvent>::instance().release(this);
+    }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(ckpt::EventTag::MemRetry));
+        w.u16(static_cast<std::uint16_t>(ctrl.node_));
+        w.pod(msg);
+    }
+
+    MemoryController &ctrl;
+    Message msg;
+};
+
+Event &
+MemoryController::ckptRestoreEvent(ckpt::EventTag tag,
+                                   ckpt::Reader &r)
+{
+    Message m = r.pod<Message>();
+    if (tag == ckpt::EventTag::MemDirContinue) {
+        return *EventPool<DirContinueEvent>::instance().acquire(
+            *this, std::move(m));
+    }
+    dsp_assert(tag == ckpt::EventTag::MemRetry,
+               "memory controller %u asked to restore event tag %u",
+               node_, static_cast<unsigned>(tag));
+    return *EventPool<RetryEvent>::instance().acquire(*this,
+                                                      std::move(m));
+}
+
 void
 MemoryController::onHomeRequest(const Message &msg, Tick tick)
 {
@@ -30,84 +103,85 @@ MemoryController::handleDirectory(const Message &msg, Tick tick)
     Tick done = tick + memory;
 
     port_.schedule(
-        done,
-        [this, msg, memory]() {
-            const TxnEcho &echo = msg.echo;
-            // Invalidate every sharer (GS320: the totally-ordered
-            // interconnect removes the need for acks).
-            if (msg.type == RequestType::GetExclusive) {
-                echo.required.forEach([&](NodeId q) {
-                    if (q == echo.responder)
-                        return;  // the owner learns via the forward
-                    Message inval;
-                    inval.kind = MessageKind::Invalidate;
-                    inval.txn = msg.txn;
-                    inval.addr = msg.addr;
-                    inval.type = msg.type;
-                    inval.src = node_;
-                    inval.dest = q;
-                    inval.echo = echo;
-                    sys_.sendOrLocal(inval);
-                });
-            }
+        *EventPool<DirContinueEvent>::instance().acquire(*this, msg),
+        done, EventPriority::Controller);
+}
 
-            if (echo.responder == invalidNode) {
-                // Memory supplies the data -- the read itself (one
-                // memory latency, already elapsed since the delivery)
-                // cannot *start* before an in-flight writeback for
-                // the block has landed, same as the multicast home's
-                // chaining below.
-                Tick now = port_.now();
-                Tick start =
-                    std::max(now, echo.supplyEarliest + memory);
-                // Read-start semantics: the memory read ran over the
-                // directory-access latency that just elapsed (or is
-                // re-issued at the chained bound).
-                if (verify::armed(sys_.oracle())) {
-                    sys_.oracle()->recordSupply(
-                        node_, invalidNode, msg.block(), msg.txn,
-                        std::max(now - memory, echo.supplyEarliest),
-                        now);
-                }
-                Message data;
-                data.kind = MessageKind::Data;
-                data.txn = msg.txn;
-                data.addr = msg.addr;
-                data.pc = msg.pc;
-                data.type = msg.type;
-                data.src = node_;
-                data.dest = echo.requester;
-                data.echo = echo;
-                if (start > now)
-                    sys_.sendLater(std::move(data), start);
-                else
-                    sys_.sendOrLocal(std::move(data));
-            } else if (echo.responder == echo.requester) {
-                // Upgrade: dataless grant back to the requester.
-                Message grant;
-                grant.kind = MessageKind::Grant;
-                grant.txn = msg.txn;
-                grant.addr = msg.addr;
-                grant.type = msg.type;
-                grant.src = node_;
-                grant.dest = echo.requester;
-                grant.echo = echo;
-                sys_.sendOrLocal(std::move(grant));
-            } else {
-                // 3-hop: forward to the owner.
-                Message fwd;
-                fwd.kind = MessageKind::Forward;
-                fwd.txn = msg.txn;
-                fwd.addr = msg.addr;
-                fwd.pc = msg.pc;
-                fwd.type = msg.type;
-                fwd.src = node_;
-                fwd.dest = echo.responder;
-                fwd.echo = echo;
-                sys_.sendOrLocal(std::move(fwd));
-            }
-        },
-        EventPriority::Controller);
+void
+MemoryController::directoryContinue(const Message &msg)
+{
+    Tick memory = nsToTicks(sys_.params().latency.memory_ns);
+    const TxnEcho &echo = msg.echo;
+    // Invalidate every sharer (GS320: the totally-ordered
+    // interconnect removes the need for acks).
+    if (msg.type == RequestType::GetExclusive) {
+        echo.required.forEach([&](NodeId q) {
+            if (q == echo.responder)
+                return;  // the owner learns via the forward
+            Message inval;
+            inval.kind = MessageKind::Invalidate;
+            inval.txn = msg.txn;
+            inval.addr = msg.addr;
+            inval.type = msg.type;
+            inval.src = node_;
+            inval.dest = q;
+            inval.echo = echo;
+            sys_.sendOrLocal(inval);
+        });
+    }
+
+    if (echo.responder == invalidNode) {
+        // Memory supplies the data -- the read itself (one memory
+        // latency, already elapsed since the delivery) cannot *start*
+        // before an in-flight writeback for the block has landed,
+        // same as the multicast home's chaining below.
+        Tick now = port_.now();
+        Tick start = std::max(now, echo.supplyEarliest + memory);
+        // Read-start semantics: the memory read ran over the
+        // directory-access latency that just elapsed (or is
+        // re-issued at the chained bound).
+        if (verify::armed(sys_.oracle())) {
+            sys_.oracle()->recordSupply(
+                node_, invalidNode, msg.block(), msg.txn,
+                std::max(now - memory, echo.supplyEarliest), now);
+        }
+        Message data;
+        data.kind = MessageKind::Data;
+        data.txn = msg.txn;
+        data.addr = msg.addr;
+        data.pc = msg.pc;
+        data.type = msg.type;
+        data.src = node_;
+        data.dest = echo.requester;
+        data.echo = echo;
+        if (start > now)
+            sys_.sendLater(std::move(data), start);
+        else
+            sys_.sendOrLocal(std::move(data));
+    } else if (echo.responder == echo.requester) {
+        // Upgrade: dataless grant back to the requester.
+        Message grant;
+        grant.kind = MessageKind::Grant;
+        grant.txn = msg.txn;
+        grant.addr = msg.addr;
+        grant.type = msg.type;
+        grant.src = node_;
+        grant.dest = echo.requester;
+        grant.echo = echo;
+        sys_.sendOrLocal(std::move(grant));
+    } else {
+        // 3-hop: forward to the owner.
+        Message fwd;
+        fwd.kind = MessageKind::Forward;
+        fwd.txn = msg.txn;
+        fwd.addr = msg.addr;
+        fwd.pc = msg.pc;
+        fwd.type = msg.type;
+        fwd.src = node_;
+        fwd.dest = echo.responder;
+        fwd.echo = echo;
+        sys_.sendOrLocal(std::move(fwd));
+    }
 }
 
 void
@@ -129,6 +203,16 @@ MemoryController::handleMulticastHome(const Message &msg, Tick tick)
         // unexpressible, and the invariant holds structurally.)
         std::uint8_t next_attempt =
             static_cast<std::uint8_t>(msg.attempt + 1);
+
+        // Mutation: the home re-issues the retry with the *same*
+        // attempt number -- the predictor-learning invariant (retries
+        // must make monotone forward progress) breaks and the oracle
+        // flags a retry-regression at the next window boundary.
+        if (verify::armed(sys_.oracle()) &&
+            sys_.params().verify.mutation ==
+                verify::Mutation::DuplicateRetry) {
+            next_attempt = msg.attempt;
+        }
 
         Message retry;
         retry.kind = MessageKind::Retry;
@@ -155,12 +239,9 @@ MemoryController::handleMulticastHome(const Message &msg, Tick tick)
             retry.dests.add(echo.requester);
             retry.dests.add(node_);
         }
-        port_.schedule(
-            tick + memory,
-            [this, retry]() mutable {
-                sys_.crossbar_.sendOrdered(std::move(retry));
-            },
-            EventPriority::Controller);
+        port_.schedule(*EventPool<RetryEvent>::instance().acquire(
+                           *this, std::move(retry)),
+                       tick + memory, EventPriority::Controller);
         return;
     }
 

@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -190,6 +191,16 @@ struct System::LocalDeliverEvent final : Event {
         EventPool<LocalDeliverEvent>::instance().release(this);
     }
 
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(
+            ckpt::EventTag::SysLocalDeliver));
+        w.pod(*msg);
+        w.u32(dest);
+        w.u64(at);
+    }
+
     System &sys;
     MessageRef msg;
     NodeId dest;
@@ -205,6 +216,13 @@ struct System::SendEvent final : Event {
     release() override
     {
         EventPool<SendEvent>::instance().release(this);
+    }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(ckpt::EventTag::SysSend));
+        w.pod(msg);
     }
 
     System &sys;
@@ -265,6 +283,17 @@ struct System::EvictEvent final : Event {
     release() override
     {
         EventPool<EvictEvent>::instance().release(this);
+    }
+
+    void
+    ckptSave(ckpt::Writer &w) const override
+    {
+        w.u8(static_cast<std::uint8_t>(ckpt::EventTag::SysEvict));
+        w.u64(block);
+        w.u32(node);
+        w.b(owned);
+        w.u64(evictTick);
+        w.u64(wbArrive);
     }
 
     System &sys;
@@ -641,22 +670,26 @@ System::recordCompletion(const Message &msg, Tick tick)
         ++acc.indirections;
 }
 
+std::function<void()>
+System::cpuDoneCallback()
+{
+    return [this]() {
+        // Counting-only: the final value (and hence the window in
+        // which the flag flips) is independent of thread timing.
+        if (cpusDone_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            params_.nodes) {
+            phaseDone_.store(true, std::memory_order_release);
+        }
+    };
+}
+
 void
 System::startPhase(std::uint64_t instructions)
 {
     phaseDone_.store(false, std::memory_order_relaxed);
     cpusDone_.store(0, std::memory_order_relaxed);
-    for (auto &cpu : cpus_) {
-        cpu->runFor(instructions, [this]() {
-            // Counting-only: the final value (and hence the window in
-            // which the flag flips) is independent of thread timing.
-            if (cpusDone_.fetch_add(1, std::memory_order_acq_rel) +
-                    1 ==
-                params_.nodes) {
-                phaseDone_.store(true, std::memory_order_release);
-            }
-        });
-    }
+    for (auto &cpu : cpus_)
+        cpu->runFor(instructions, cpuDoneCallback());
 }
 
 void
@@ -672,31 +705,55 @@ System::runUntilPhaseDone(const char *phase)
     // it is also where the oracle reconciles its staged records: the
     // merge consumes only ticks every domain has advanced past, and
     // the stop-at tick from a repro bundle halts the run here.
-    bool stopped = kernel_.run([this] {
-        if (phaseDone_.load(std::memory_order_acquire) ||
-            interruptRequested()) {
-            return true;
-        }
-        if (params_.verify.stopAtTick != 0 &&
-            hubPorts_[0].now() >= params_.verify.stopAtTick) {
-            stopEarly_ = true;
-            return true;
-        }
-        if (verify::armed(oracle_.get())) {
-            Tick safe = hubPorts_[0].now();
-            for (const DomainPort &p : hubPorts_)
-                safe = std::min(safe, p.now());
-            for (const DomainPort &p : nodePorts_)
-                safe = std::min(safe, p.now());
-            if (oracle_->reconcile(safe))
+    for (;;) {
+        ckptStop_ = false;
+        bool stopped = kernel_.run([this] {
+            if (phaseDone_.load(std::memory_order_acquire) ||
+                interruptRequested()) {
                 return true;
-        }
-        return false;
-    });
-    dsp_assert(stopped,
-               "%s wedged: event queues drained with CPUs still "
-               "running",
-               phase);
+            }
+            if (params_.verify.stopAtTick != 0 &&
+                hubPorts_[0].now() >= params_.verify.stopAtTick) {
+                stopEarly_ = true;
+                return true;
+            }
+            if (verify::armed(oracle_.get())) {
+                Tick safe = hubPorts_[0].now();
+                for (const DomainPort &p : hubPorts_)
+                    safe = std::min(safe, p.now());
+                for (const DomainPort &p : nodePorts_)
+                    safe = std::min(safe, p.now());
+                if (oracle_->reconcile(safe))
+                    return true;
+            }
+            // Checkpoint leg last: a violation found at the same
+            // barrier wins over the snapshot (checkpoints only ever
+            // capture a violation-free prefix).
+            if (ckptEnabled() &&
+                hubPorts_[0].now() >= nextCkptTick_) {
+                ckptStop_ = true;
+                return true;
+            }
+            return false;
+        });
+        dsp_assert(stopped,
+                   "%s wedged: event queues drained with CPUs still "
+                   "running",
+                   phase);
+        if (!ckptStop_)
+            break;
+        // Quiescent barrier at (or just past) a due boundary: snap
+        // the whole machine, then keep running the same phase.
+        writeCheckpoint();
+    }
+
+    // A preempted run (SIGTERM/SIGINT) leaves one final checkpoint so
+    // a resumed attempt loses no progress; guarded so the phases
+    // unwinding behind this one do not each write another.
+    if (interruptRequested() && ckptEnabled() && !finalCkptWritten_) {
+        finalCkptWritten_ = true;
+        writeCheckpoint();
+    }
 
     // Phase boundary: every appended record is final (events executed
     // so far all precede the barrier tick), so the merge can drain
@@ -821,19 +878,9 @@ System::cacheCounters() const
     return sums;
 }
 
-SystemStats
-System::run()
+void
+System::beginMeasure()
 {
-    if (params_.functionalWarmupMisses > 0)
-        functionalWarmup(params_.functionalWarmupMisses);
-
-    // Timing warmup: fill caches and train predictors, stats
-    // discarded.
-    if (params_.warmupInstrPerCpu > 0 && !stopEarly_) {
-        startPhase(params_.warmupInstrPerCpu);
-        runUntilPhaseDone("warmup");
-    }
-
     crossbar_.resetStats();
     for (NodeAccum &acc : nodeStats_)
         acc = NodeAccum{};
@@ -841,14 +888,46 @@ System::run()
     // Every shard's clock sits at the same window boundary between
     // phases, so this read is identical for every shard count.
     measureStart_ = hubPorts_[0].now();
-    std::uint64_t events_before = kernel_.executed();
-    std::uint64_t crossings_before = kernel_.barrierCrossings();
-    std::uint64_t windows_before = kernel_.windowsRun();
-    CacheCounters caches_before = cacheCounters();
+    eventsBefore_ = kernel_.executed();
+    crossingsBefore_ = kernel_.barrierCrossings();
+    windowsBefore_ = kernel_.windowsRun();
+    cachesBefore_ = cacheCounters();
+    phaseIndex_ = phaseMeasure;
+    if (!stopEarly_)
+        startPhase(params_.measureInstrPerCpu);
+}
+
+SystemStats
+System::run()
+{
+    killAfter_ = ckpt::killAfterFromEnv();
+    restoredFromCkpt_ = restoreIfRequested();
+
+    if (!restoredFromCkpt_) {
+        nextCkptTick_ = params_.checkpoint.every;
+
+        if (params_.functionalWarmupMisses > 0)
+            functionalWarmup(params_.functionalWarmupMisses);
+
+        // Timing warmup: fill caches and train predictors, stats
+        // discarded.
+        if (params_.warmupInstrPerCpu > 0 && !stopEarly_) {
+            phaseIndex_ = phaseWarmup;
+            startPhase(params_.warmupInstrPerCpu);
+        } else {
+            beginMeasure();
+        }
+    }
+
+    if (phaseIndex_ == phaseWarmup) {
+        runUntilPhaseDone("warmup");
+        beginMeasure();
+    }
+
     auto wall_start = std::chrono::steady_clock::now();
 
-    if (!stopEarly_) {
-        startPhase(params_.measureInstrPerCpu);
+    if (!stopEarly_ &&
+        !phaseDone_.load(std::memory_order_acquire)) {
         runUntilPhaseDone("measured phase");
     }
 
@@ -881,17 +960,18 @@ System::run()
     stats.writebacks =
         crossbar_.traffic(MessageKind::Writeback).messages;
     stats.trafficBytes = crossbar_.totalBytes();
-    stats.eventsExecuted = kernel_.executed() - events_before;
+    stats.eventsExecuted = kernel_.executed() - eventsBefore_;
     stats.barrierCrossings =
-        kernel_.barrierCrossings() - crossings_before;
-    stats.windowsRun = kernel_.windowsRun() - windows_before;
+        kernel_.barrierCrossings() - crossingsBefore_;
+    stats.windowsRun = kernel_.windowsRun() - windowsBefore_;
     CacheCounters caches_after = cacheCounters();
-    stats.cacheAccesses = caches_after.accesses - caches_before.accesses;
-    stats.l0Hits = caches_after.l0Hits - caches_before.l0Hits;
+    stats.cacheAccesses =
+        caches_after.accesses - cachesBefore_.accesses;
+    stats.l0Hits = caches_after.l0Hits - cachesBefore_.l0Hits;
     stats.l0Absorbed =
-        caches_after.l0Absorbed - caches_before.l0Absorbed;
+        caches_after.l0Absorbed - cachesBefore_.l0Absorbed;
     stats.wordTouches =
-        caches_after.wordTouches - caches_before.wordTouches;
+        caches_after.wordTouches - cachesBefore_.wordTouches;
     stats.wallSeconds = wall_seconds;
     stats.stoppedEarly = stopEarly_;
     Tick latency_sum = 0;
@@ -902,6 +982,297 @@ System::run()
                            static_cast<double>(stats.misses)
                      : 0.0;
     return stats;
+}
+
+void
+System::ckptSaveState(ckpt::Writer &w) const
+{
+    // META: config identity (restore asserts an identical machine)
+    // plus the run-phase bookkeeping.
+    w.section(0x4d455441u);  // "META"
+    w.str(workload_.name());
+    w.u32(params_.nodes);
+    w.u8(static_cast<std::uint8_t>(params_.protocol));
+    w.u8(static_cast<std::uint8_t>(params_.policy));
+    w.u8(static_cast<std::uint8_t>(params_.cpuModel));
+    w.u32(topo_.hubs());
+    w.b(params_.dataChaining);
+    w.u64(params_.functionalWarmupMisses);
+    w.u64(params_.warmupInstrPerCpu);
+    w.u64(params_.measureInstrPerCpu);
+    w.b(verify::armed(oracle_.get()));
+    w.u64(kernel_.ckptNow());
+    w.u8(phaseIndex_);
+    w.b(measuring_);
+    w.b(stopEarly_);
+    w.u64(measureStart_);
+    w.u32(cpusDone_.load(std::memory_order_acquire));
+    w.u64(eventsBefore_);
+    w.u64(crossingsBefore_);
+    w.u64(windowsBefore_);
+    w.pod(cachesBefore_);
+    w.u64(nextCkptTick_);
+
+    kernel_.ckptSaveCounters(w);
+    workload_.ckptSave(w);
+
+    w.section(0x4e4f4445u);  // "NODE"
+    for (NodeId n = 0; n < params_.nodes; ++n) {
+        cacheCtrls_[n]->ckptSave(w);
+        cpus_[n]->ckptSave(w);
+        if (params_.protocol == ProtocolKind::Multicast)
+            predictors_[n]->ckptSave(w);
+    }
+
+    w.section(0x48554253u);  // "HUBS"
+    for (unsigned h = 0; h < topo_.hubs(); ++h) {
+        trackers_[h].ckptSave(w);
+        ownerDataAt_[h].ckptSave(w);
+        memReadyAt_[h].ckptSave(w);
+        w.pod(reorderStash_[h]);
+    }
+
+    crossbar_.ckptSave(w);
+
+    w.section(0x53544154u);  // "STAT"
+    w.podVec(nodeStats_);
+
+    if (verify::armed(oracle_.get()))
+        oracle_->ckptSave(w);
+
+    // Every in-flight event, in the canonical (when, key) order the
+    // kernel exposes -- identical at every shard count.
+    w.section(0x45565453u);  // "EVTS"
+    std::vector<ShardedKernel::CkptPending> pending =
+        kernel_.ckptCollectPending();
+    w.u64(pending.size());
+    for (const ShardedKernel::CkptPending &p : pending) {
+        w.u64(p.when);
+        w.u64(p.key);
+        w.u16(p.domain);
+        p.ev->ckptSave(w);
+    }
+}
+
+void
+System::ckptLoadState(ckpt::Reader &r)
+{
+    r.section(0x4d455441u);  // "META"
+    std::string wl = r.str();
+    std::uint32_t nodes = r.u32();
+    auto protocol = static_cast<ProtocolKind>(r.u8());
+    auto policy = static_cast<PredictorPolicy>(r.u8());
+    auto cpu_model = static_cast<CpuModel>(r.u8());
+    std::uint32_t hubs = r.u32();
+    bool chaining = r.b();
+    std::uint64_t fw_misses = r.u64();
+    std::uint64_t warmup_instr = r.u64();
+    std::uint64_t measure_instr = r.u64();
+    bool armed = r.b();
+    dsp_assert(wl == workload_.name(),
+               "checkpoint taken of workload '%s', this run drives "
+               "'%s'",
+               wl.c_str(), workload_.name().c_str());
+    dsp_assert(nodes == params_.nodes && hubs == topo_.hubs(),
+               "checkpoint machine is %u nodes / %u hubs, this run "
+               "is %u / %u",
+               nodes, hubs, params_.nodes, topo_.hubs());
+    dsp_assert(protocol == params_.protocol &&
+                   policy == params_.policy &&
+                   cpu_model == params_.cpuModel &&
+                   chaining == params_.dataChaining,
+               "checkpoint protocol/policy/cpu/chaining configuration "
+               "differs from this run's");
+    dsp_assert(fw_misses == params_.functionalWarmupMisses &&
+                   warmup_instr == params_.warmupInstrPerCpu &&
+                   measure_instr == params_.measureInstrPerCpu,
+               "checkpoint warmup/measure lengths differ from this "
+               "run's");
+    dsp_assert(armed == verify::armed(oracle_.get()),
+               "checkpoint %s the oracle armed, this run %s",
+               armed ? "had" : "did not have",
+               verify::armed(oracle_.get()) ? "does" : "does not");
+
+    Tick now = r.u64();
+    phaseIndex_ = r.u8();
+    measuring_ = r.b();
+    stopEarly_ = r.b();
+    measureStart_ = r.u64();
+    std::uint32_t cpus_done = r.u32();
+    eventsBefore_ = r.u64();
+    crossingsBefore_ = r.u64();
+    windowsBefore_ = r.u64();
+    cachesBefore_ = r.pod<CacheCounters>();
+    nextCkptTick_ = r.u64();
+
+    // Queues must sit at the checkpointed clock before any event is
+    // re-inserted (calendar-window positioning).
+    kernel_.ckptAdvanceTo(now);
+    kernel_.ckptLoadCounters(r);
+    workload_.ckptLoad(r);
+
+    r.section(0x4e4f4445u);  // "NODE"
+    for (NodeId n = 0; n < params_.nodes; ++n) {
+        cacheCtrls_[n]->ckptLoad(r);
+        cpus_[n]->ckptLoad(r);
+        if (params_.protocol == ProtocolKind::Multicast)
+            predictors_[n]->ckptLoad(r);
+    }
+
+    r.section(0x48554253u);  // "HUBS"
+    for (unsigned h = 0; h < topo_.hubs(); ++h) {
+        trackers_[h].ckptLoad(r);
+        ownerDataAt_[h].ckptLoad(r);
+        memReadyAt_[h].ckptLoad(r);
+        reorderStash_[h] = r.pod<ReorderStash>();
+    }
+
+    crossbar_.ckptLoad(r);
+
+    r.section(0x53544154u);  // "STAT"
+    nodeStats_ = r.podVec<NodeAccum>();
+    dsp_assert(nodeStats_.size() == params_.nodes,
+               "checkpoint carries %zu node accumulators for %u nodes",
+               nodeStats_.size(), params_.nodes);
+
+    if (verify::armed(oracle_.get()))
+        oracle_->ckptLoad(r);
+
+    r.section(0x45565453u);  // "EVTS"
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Tick when = r.u64();
+        std::uint64_t key = r.u64();
+        std::uint16_t domain = r.u16();
+        kernel_.ckptSchedule(restoreOneEvent(r), domain, when, key);
+    }
+
+    cpusDone_.store(cpus_done, std::memory_order_relaxed);
+    phaseDone_.store(cpus_done == params_.nodes,
+                     std::memory_order_relaxed);
+    // runFor() ran in the original process (its counters were just
+    // restored); only the end-of-phase callback needs re-supplying,
+    // and only on CPUs that had not finished the phase.
+    for (auto &cpu : cpus_) {
+        if (!cpu->targetReached())
+            cpu->ckptRearm(cpuDoneCallback());
+    }
+}
+
+Event &
+System::restoreOneEvent(ckpt::Reader &r)
+{
+    auto tag = static_cast<ckpt::EventTag>(r.u8());
+    switch (tag) {
+      case ckpt::EventTag::SysLocalDeliver: {
+        Message m = r.pod<Message>();
+        NodeId dest = r.u32();
+        Tick at = r.u64();
+        return *EventPool<LocalDeliverEvent>::instance().acquire(
+            *this, MessageRef(std::move(m)), dest, at);
+      }
+      case ckpt::EventTag::SysSend: {
+        Message m = r.pod<Message>();
+        return *EventPool<SendEvent>::instance().acquire(
+            *this, std::move(m));
+      }
+      case ckpt::EventTag::SysEvict: {
+        BlockId block = r.u64();
+        NodeId node = r.u32();
+        bool owned = r.b();
+        Tick evict_tick = r.u64();
+        Tick wb_arrive = r.u64();
+        return *EventPool<EvictEvent>::instance().acquire(
+            *this, block, node, owned, evict_tick, wb_arrive);
+      }
+      case ckpt::EventTag::XbarOrder:
+        return crossbar_.ckptRestoreOrder(r);
+      case ckpt::EventTag::XbarDeliver:
+        return crossbar_.ckptRestoreDeliver(r);
+      case ckpt::EventTag::CacheIssue: {
+        NodeId n = r.u16();
+        return cacheCtrls_[n]->ckptRestoreIssue(r);
+      }
+      case ckpt::EventTag::MemDirContinue:
+      case ckpt::EventTag::MemRetry: {
+        NodeId n = r.u16();
+        return memCtrls_[n]->ckptRestoreEvent(tag, r);
+      }
+      case ckpt::EventTag::CpuResume:
+      case ckpt::EventTag::CpuFetch: {
+        NodeId n = r.u16();
+        return cpus_[n]->ckptRestoreEvent(tag, r);
+      }
+    }
+    dsp_panic("checkpoint event tag %u unknown",
+              static_cast<unsigned>(tag));
+}
+
+void
+System::writeCheckpoint()
+{
+    Tick now = kernel_.ckptNow();
+    // Advance the due boundary past `now` before serializing: the
+    // snapshot then carries the same forward schedule an
+    // uninterrupted run would follow, so a restored run writes its
+    // later checkpoints at exactly the same ticks.
+    while (nextCkptTick_ <= now)
+        nextCkptTick_ += params_.checkpoint.every;
+
+    ckpt::Writer w;
+    ckptSaveState(w);
+    std::string path =
+        ckpt::checkpointPath(params_.checkpoint.dir, now);
+    if (ckpt::writeCheckpointFile(path, w.buffer())) {
+        lastCkptPath_ = path;
+        lastCkptTick_ = now;
+        ++ckptsWritten_;
+        std::fprintf(stderr,
+                     "DSP-CKPT {\"op\":\"write\",\"tick\":%llu,"
+                     "\"path\":\"%s\"}\n",
+                     static_cast<unsigned long long>(now),
+                     path.c_str());
+    }
+
+    if (killAfter_ != 0 && !restoredFromCkpt_ &&
+        ckptsWritten_ >= killAfter_) {
+        // Deterministic preemption: die exactly after the Nth write,
+        // like a batch job SIGKILL'd mid-flight (killAfterFromEnv()).
+        std::fflush(nullptr);
+        std::raise(SIGKILL);
+    }
+}
+
+bool
+System::restoreIfRequested()
+{
+    const CheckpointControl &ctl = params_.checkpoint;
+    if (!ctl.restore && ctl.restorePath.empty())
+        return false;
+    std::string path = ctl.restorePath;
+    if (path.empty() && !ctl.dir.empty())
+        path = ckpt::newestValidCheckpoint(ctl.dir);
+    if (path.empty())
+        return false;
+    std::string payload;
+    if (!ckpt::readCheckpointFile(path, payload)) {
+        dsp_warn("checkpoint %s failed validation; starting fresh",
+                 path.c_str());
+        return false;
+    }
+    ckpt::Reader r(payload);
+    ckptLoadState(r);
+    dsp_assert(r.atEnd(),
+               "checkpoint %s has trailing bytes past the event list",
+               path.c_str());
+    lastCkptPath_ = path;
+    lastCkptTick_ = kernel_.ckptNow();
+    std::fprintf(stderr,
+                 "DSP-CKPT {\"op\":\"restore\",\"tick\":%llu,"
+                 "\"path\":\"%s\"}\n",
+                 static_cast<unsigned long long>(lastCkptTick_),
+                 path.c_str());
+    return true;
 }
 
 void
@@ -916,7 +1287,8 @@ System::printReproBundle(std::FILE *out) const
         "\"hub_shard\":%s,\"data_chaining\":%s,"
         "\"functional_warmup\":%llu,\"warmup_instr\":%llu,"
         "\"measure_instr\":%llu,\"mutation\":\"%s\","
-        "\"stop_at\":%llu,\"violation_tick\":%llu,"
+        "\"stop_at\":%llu,\"checkpoint\":\"%s\","
+        "\"checkpoint_tick\":%llu,\"violation_tick\":%llu,"
         "\"violation_kind\":\"%s\",\"draws\":[",
         workload_.name().c_str(), params_.nodes,
         toString(params_.protocol).c_str(),
@@ -932,6 +1304,8 @@ System::printReproBundle(std::FILE *out) const
         static_cast<unsigned long long>(params_.measureInstrPerCpu),
         verify::toString(params_.verify.mutation).c_str(),
         static_cast<unsigned long long>(v.tick + 1),
+        lastCkptPath_.c_str(),
+        static_cast<unsigned long long>(lastCkptTick_),
         static_cast<unsigned long long>(v.tick),
         verify::toString(v.kind).c_str());
     for (NodeId p = 0; p < params_.nodes; ++p) {

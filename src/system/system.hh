@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "coherence/latency.hh"
 #include "coherence/sharing_tracker.hh"
 #include "core/factory.hh"
@@ -68,6 +69,24 @@ struct VerifyParams {
     /** Stop the run once the hub reaches this tick (0 = never). Used
      *  by violation repro bundles to halt just past the violation. */
     Tick stopAtTick = 0;
+};
+
+/** Checkpoint/restore control (src/checkpoint/, docs/checkpoint.md).
+ *  Checkpoints are written at the first quiescent kernel barrier at
+ *  or after each `every`-tick boundary, so the snapshot (and the set
+ *  of snapshot ticks) is identical at every shard count. */
+struct CheckpointControl {
+    /** Simulated ticks between checkpoints; 0 disables. */
+    std::uint64_t every = 0;
+    /** Directory checkpoints are written to / restored from. */
+    std::string dir;
+    /** Resume from the newest valid checkpoint in `dir` (or from
+     *  `restorePath`) instead of starting fresh; falls back to a
+     *  fresh run when none validates. */
+    bool restore = false;
+    /** Explicit checkpoint file to restore (overrides the
+     *  newest-in-dir scan); used by violation replay. */
+    std::string restorePath;
 };
 
 /** Which coherence protocol the system runs. */
@@ -140,6 +159,7 @@ struct SystemParams {
     std::uint64_t measureInstrPerCpu = 2000000;
 
     VerifyParams verify;
+    CheckpointControl checkpoint;
 };
 
 /** Results of one execution-driven run (measured phase only). */
@@ -250,7 +270,23 @@ class CacheController : public MemoryPort
     NodeCaches &caches() { return caches_; }
     std::size_t outstandingMshrs() const { return mshrs_.size(); }
 
+    /** Checkpoint caches, the MSHR file (waiter completions are saved
+     *  as tokens and rebuilt through the owning CPU), and the txn-id
+     *  generator. In-flight IssueEvents are captured separately by
+     *  the kernel's pending-event enumeration. */
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+
+    /** Rebuild one in-flight request-issue event from its saved
+     *  payload (tag and node already consumed). */
+    Event &ckptRestoreIssue(ckpt::Reader &r);
+
   private:
+    /** Pooled event: issue the coherence request for a freshly opened
+     *  miss at its access tick (was an allocating lambda; a named
+     *  event checkpoints itself and keeps the hot path heap-free). */
+    struct IssueEvent;
+
     struct Mshr {
         TxnId txn = 0;
         RequestType type = RequestType::GetShared;
@@ -306,9 +342,28 @@ class MemoryController
      *  the ordering point's verdict rides in msg.echo. */
     void onHomeRequest(const Message &msg, Tick tick);
 
+    /** Rebuild one in-flight home-side event (directory continuation
+     *  or retry re-issue) from its saved payload (tag and node
+     *  already consumed). The controller itself is stateless, so
+     *  these events are its entire checkpoint surface. */
+    Event &ckptRestoreEvent(ckpt::EventTag tag, ckpt::Reader &r);
+
   private:
+    /** Pooled event: the directory-access continuation (invalidation
+     *  fan-out + data/grant/forward) one memory latency after the
+     *  ordered delivery reached the home. */
+    struct DirContinueEvent;
+
+    /** Pooled event: hand a home-built Retry to the ordered network
+     *  after the directory access that composed it. */
+    struct RetryEvent;
+
     void handleDirectory(const Message &msg, Tick tick);
     void handleMulticastHome(const Message &msg, Tick tick);
+
+    /** Body of the directory continuation (shared by the timed path
+     *  and checkpoint-restored events). */
+    void directoryContinue(const Message &msg);
 
     System &sys_;
     NodeId node_;
@@ -337,6 +392,12 @@ class System
     /** The coherence oracle shadowing this run, or nullptr. Hook call
      *  sites gate on verify::armed(oracle()). */
     verify::Oracle *oracle() { return oracle_.get(); }
+
+    /** True once run() resumed from a checkpoint instead of starting
+     *  fresh. Tests gate on this so a silently failed restore (which
+     *  would rerun from scratch and still match, by determinism)
+     *  cannot masquerade as a restore round-trip. */
+    bool restoredFromCheckpoint() const { return restoredFromCkpt_; }
 
   private:
     friend class CacheController;
@@ -438,11 +499,49 @@ class System
     // -- run-phase plumbing
     void startPhase(std::uint64_t instructions);
 
+    /** The per-CPU phase-completion callback startPhase installs and
+     *  a checkpoint restore re-arms on unfinished CPUs. */
+    std::function<void()> cpuDoneCallback();
+
+    /** Enter the measured phase: reset stats, record the measure
+     *  baselines, and (unless stopped early) start the phase. */
+    void beginMeasure();
+
     /** Event-free cache/predictor warming (Section 5.2). */
     void functionalWarmup(std::uint64_t misses);
 
-    /** Run kernel windows until all CPUs reached their target. */
+    /** Run kernel windows until all CPUs reached their target,
+     *  writing checkpoints at the due barriers along the way. */
     void runUntilPhaseDone(const char *phase);
+
+    // -- checkpoint/restore (src/checkpoint/, docs/checkpoint.md)
+    bool ckptEnabled() const
+    {
+        return params_.checkpoint.every != 0 &&
+               !params_.checkpoint.dir.empty();
+    }
+
+    /** Serialize/restore the complete quiescent simulation state:
+     *  config identity, phase bookkeeping, kernel counters, workload,
+     *  per-node controllers + CPUs + predictors, per-hub trackers +
+     *  chain books, crossbar, stats accumulators, the oracle (when
+     *  armed), and every pending event with its (when, key, domain)
+     *  coordinates. */
+    void ckptSaveState(ckpt::Writer &w) const;
+    void ckptLoadState(ckpt::Reader &r);
+
+    /** Dispatch one saved pending event to its owning subsystem by
+     *  tag; returns the reconstructed (pooled or member) event. */
+    Event &restoreOneEvent(ckpt::Reader &r);
+
+    /** Write a checkpoint at the current quiescent barrier (advances
+     *  the next-due tick first so the schedule is restore-stable),
+     *  then honour any DSP_CKPT_KILL_AFTER preemption hook. */
+    void writeCheckpoint();
+
+    /** Restore from params_.checkpoint (newest valid in dir, or the
+     *  explicit restorePath); false = start fresh. */
+    bool restoreIfRequested();
 
     // -- static construction helpers (domain/shard geometry)
     static unsigned shardCountFor(const SystemParams &params);
@@ -529,6 +628,30 @@ class System
     Tick measureStart_ = 0;
     std::atomic<NodeId> cpusDone_{0};
     std::atomic<bool> phaseDone_{false};
+
+    /** Which phase runUntilPhaseDone is (or will next be) driving.
+     *  Members, not run() locals, so a checkpoint can capture and a
+     *  restore re-enter mid-phase. */
+    static constexpr std::uint8_t phaseWarmup = 0;
+    static constexpr std::uint8_t phaseMeasure = 1;
+    std::uint8_t phaseIndex_ = phaseWarmup;
+
+    /** Measure baselines (diffed against end-of-run totals); members
+     *  for the same reason as phaseIndex_. */
+    std::uint64_t eventsBefore_ = 0;
+    std::uint64_t crossingsBefore_ = 0;
+    std::uint64_t windowsBefore_ = 0;
+    CacheCounters cachesBefore_;
+
+    // -- checkpoint state (main thread only; see docs/checkpoint.md)
+    Tick nextCkptTick_ = 0;        ///< next due boundary
+    bool ckptStop_ = false;        ///< predicate stopped for a write
+    bool finalCkptWritten_ = false;  ///< interrupt checkpoint guard
+    unsigned ckptsWritten_ = 0;
+    bool restoredFromCkpt_ = false;
+    unsigned killAfter_ = 0;       ///< DSP_CKPT_KILL_AFTER hook
+    std::string lastCkptPath_;     ///< newest written/restored file
+    Tick lastCkptTick_ = 0;
 
     std::vector<NodeAccum> nodeStats_;
 };

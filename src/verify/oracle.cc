@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "checkpoint/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace dsp {
@@ -49,6 +50,7 @@ Oracle::Oracle(const Config &config) : config_(config)
     txns_.reserve(1 << 10);
     ownerDataAt_.reserve(1 << 10);
     memReadyAt_.reserve(1 << 10);
+    retryAttempts_.reserve(1 << 10);
 }
 
 // ---------------------------------------------------------------------
@@ -387,6 +389,24 @@ Oracle::shadowChainResolved(const Record &r, Tick bound)
 void
 Oracle::processOrder(const Record &r, ShadowBlock &sb)
 {
+    // Predictor-learning invariant: a mispredicted destination set may
+    // only cost extra retries -- attempts of one transaction serialize
+    // strictly sequentially (the home issues attempt a+1 only from
+    // attempt a's own delivery). A repeated or regressed attempt
+    // number means the home duplicated a retry: two orderings of the
+    // same attempt race, and a resolved verdict can be torn between
+    // them.
+    if (auto it = retryAttempts_.find(r.txn);
+        it != retryAttempts_.end() && r.attempt <= it->second) {
+        raise(ViolationKind::RetryRegression, r,
+              "attempt " + std::to_string(r.attempt) +
+                  " ordered after attempt " +
+                  std::to_string(it->second) +
+                  " of the same transaction");
+        return;
+    }
+    retryAttempts_[r.txn] = r.attempt;
+
     DestinationSet expectedRequired;
     NodeId expectedResponder = invalidNode;
     MosiState expectedGranted = MosiState::Invalid;
@@ -551,6 +571,7 @@ Oracle::processFill(const Record &r, ShadowBlock &sb)
         setValid(sb, r.block, r.node, txn.fillVersion);
     }
     txns_.erase(r.txn);
+    retryAttempts_.erase(r.txn);
 }
 
 void
@@ -608,6 +629,44 @@ Oracle::pushRing(ShadowBlock &sb, const Record &r)
     sb.ringPos = static_cast<std::uint8_t>((sb.ringPos + 1) % ringDepth);
     if (sb.ringCount < ringDepth)
         ++sb.ringCount;
+}
+
+void
+Oracle::ckptSave(ckpt::Writer &w) const
+{
+    dsp_assert(!hasViolation(),
+               "checkpointing an oracle that already found a "
+               "violation");
+    w.section(0x4f52434cu);  // "ORCL"
+    w.u64(buffers_.size());
+    for (const std::vector<Record> &buf : buffers_)
+        w.podVec(buf);
+    shadow_.ckptSave(w);
+    nodeVersion_.ckptSave(w);
+    txns_.ckptSave(w);
+    ownerDataAt_.ckptSave(w);
+    memReadyAt_.ckptSave(w);
+    retryAttempts_.ckptSave(w);
+    w.podVec(pendingDues_);
+    w.u64(checksPerformed_);
+}
+
+void
+Oracle::ckptLoad(ckpt::Reader &r)
+{
+    r.section(0x4f52434cu);
+    dsp_assert(r.u64() == buffers_.size(),
+               "checkpoint oracle domain count mismatch");
+    for (std::vector<Record> &buf : buffers_)
+        buf = r.podVec<Record>();
+    shadow_.ckptLoad(r);
+    nodeVersion_.ckptLoad(r);
+    txns_.ckptLoad(r);
+    ownerDataAt_.ckptLoad(r);
+    memReadyAt_.ckptLoad(r);
+    retryAttempts_.ckptLoad(r);
+    pendingDues_ = r.podVec<PendingDue>();
+    checksPerformed_ = r.u64();
 }
 
 void

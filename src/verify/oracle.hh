@@ -44,6 +44,12 @@
 #include "verify/violation.hh"
 
 namespace dsp {
+
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 namespace verify {
 
 /** False when the library is built with -DDSP_DISABLE_VERIFY: every
@@ -189,6 +195,18 @@ class Oracle
     /** DSP-VIOLATION machine line plus the block's forensic ring. */
     void printReport(std::FILE *out) const;
 
+    /**
+     * Checkpoint the complete shadow: staged (not-yet-reconciled)
+     * per-domain record buffers, shadow blocks with their forensic
+     * rings, per-node version books, in-flight shadow transactions,
+     * chain books, retry-attempt books, and pending invalidation
+     * obligations. Checkpoints are only written on a violation-free
+     * prefix, so the violation itself is never serialized. Caller
+     * must have all shards quiescent (same contract as reconcile()).
+     */
+    void ckptSave(ckpt::Writer &w) const;
+    void ckptLoad(ckpt::Reader &r);
+
   private:
     /** Forensic depth: the last N records touching a block. */
     static constexpr unsigned ringDepth = 8;
@@ -305,6 +323,10 @@ class Oracle
     FlatMap<TxnId, ShadowTxn> txns_;
     FlatMap<BlockId, Tick> ownerDataAt_;
     FlatMap<BlockId, Tick> memReadyAt_;
+    /** Last ordered attempt number per live transaction: attempts
+     *  must be strictly increasing (a misprediction may only cost
+     *  retries, never repeat one). Erased at the fill. */
+    FlatMap<TxnId, std::uint8_t> retryAttempts_;
     std::vector<PendingDue> pendingDues_;
 
     Violation violation_;

@@ -17,6 +17,7 @@ toString(ViolationKind kind)
       case ViolationKind::InvalidationNotAcked: return "invalidation-not-acked";
       case ViolationKind::StaleUpgradeGrant:    return "stale-upgrade-grant";
       case ViolationKind::OrderRegression:      return "order-regression";
+      case ViolationKind::RetryRegression:      return "retry-regression";
     }
     return "unknown";
 }
@@ -32,6 +33,7 @@ toString(Mutation m)
       case Mutation::SubsetDelivery:   return "subset-delivery";
       case Mutation::ReorderHubGrants: return "reorder-grants";
       case Mutation::StaleDataSupply:  return "stale-data";
+      case Mutation::DuplicateRetry:   return "duplicate-retry";
     }
     return "unknown";
 }
@@ -43,7 +45,7 @@ parseMutation(const std::string &name, Mutation &out)
         Mutation::None,           Mutation::DropInvalidation,
         Mutation::StaleOwnerSupply, Mutation::SkipVerdictStamp,
         Mutation::SubsetDelivery, Mutation::ReorderHubGrants,
-        Mutation::StaleDataSupply,
+        Mutation::StaleDataSupply, Mutation::DuplicateRetry,
     };
     for (Mutation m : all) {
         if (name == toString(m)) {
@@ -65,6 +67,7 @@ expectedKind(Mutation m)
       case Mutation::SubsetDelivery:   return ViolationKind::InsufficientResolved;
       case Mutation::ReorderHubGrants: return ViolationKind::VerdictMismatch;
       case Mutation::StaleDataSupply:  return ViolationKind::StaleDataSupply;
+      case Mutation::DuplicateRetry:   return ViolationKind::RetryRegression;
     }
     return ViolationKind::None;
 }

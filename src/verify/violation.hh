@@ -61,6 +61,11 @@ enum class ViolationKind : std::uint8_t {
     StaleUpgradeGrant,
     /** A block's serialization tick ran backwards. */
     OrderRegression,
+    /** A transaction re-ordered with a non-increasing attempt number:
+     *  a mispredicted destination set may only cost extra retries
+     *  (strictly sequential attempts), never repeat or regress one --
+     *  the predictor-learning invariant (Section 4.1). */
+    RetryRegression,
 };
 
 std::string toString(ViolationKind kind);
@@ -89,6 +94,7 @@ enum class Mutation : std::uint8_t {
     SubsetDelivery,     ///< fan-out drops one required destination
     ReorderHubGrants,   ///< a GETX's tracker apply swaps with the next
     StaleDataSupply,    ///< owner ignores the chained supply bound
+    DuplicateRetry,     ///< home re-issues a retry without bumping attempt
 };
 
 std::string toString(Mutation m);

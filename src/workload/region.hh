@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "mem/types.hh"
 #include "sim/rng.hh"
 #include "workload/zipf.hh"
@@ -61,6 +62,15 @@ class Region
     Addr bytes() const { return bytes_; }
     std::uint64_t blocks() const { return bytes_ / blockBytes; }
     NodeId numNodes() const { return numNodes_; }
+
+    /**
+     * Checkpoint mutable generator state. Samplers and geometry are
+     * config-derived (rebuilt identically on construction), so only
+     * the per-processor cursors need capturing; regions without any
+     * (ReadMostly, Group, Hot) inherit the no-ops.
+     */
+    virtual void ckptSave(ckpt::Writer &w) const { (void)w; }
+    virtual void ckptLoad(ckpt::Reader &r) { (void)r; }
 
   protected:
     /** Byte address of block index b within the region, with a random
@@ -116,6 +126,17 @@ class PrivateRegion : public Region
                   const Config &cfg);
 
     RegionRef gen(NodeId p, Rng &rng) override;
+
+    void ckptSave(ckpt::Writer &w) const override { w.podVec(procs_); }
+
+    void
+    ckptLoad(ckpt::Reader &r) override
+    {
+        auto v = r.podVec<ProcState>();
+        dsp_assert(v.size() == procs_.size(),
+                   "region proc-state count mismatch");
+        procs_ = std::move(v);
+    }
 
   private:
     Config cfg_;
@@ -179,6 +200,17 @@ class MigratoryRegion : public Region
 
     RegionRef gen(NodeId p, Rng &rng) override;
 
+    void ckptSave(ckpt::Writer &w) const override { w.podVec(procs_); }
+
+    void
+    ckptLoad(ckpt::Reader &r) override
+    {
+        auto v = r.podVec<ProcState>();
+        dsp_assert(v.size() == procs_.size(),
+                   "region proc-state count mismatch");
+        procs_ = std::move(v);
+    }
+
   private:
     Config cfg_;
     std::uint64_t items_;
@@ -214,6 +246,17 @@ class ProducerConsumerRegion : public Region
                            const Config &cfg);
 
     RegionRef gen(NodeId p, Rng &rng) override;
+
+    void ckptSave(ckpt::Writer &w) const override { w.podVec(procs_); }
+
+    void
+    ckptLoad(ckpt::Reader &r) override
+    {
+        auto v = r.podVec<ProcState>();
+        dsp_assert(v.size() == procs_.size(),
+                   "region proc-state count mismatch");
+        procs_ = std::move(v);
+    }
 
   private:
     Config cfg_;

@@ -8,11 +8,13 @@
 #ifndef DSP_WORKLOAD_WORKLOAD_HH
 #define DSP_WORKLOAD_WORKLOAD_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hh"
 #include "mem/types.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -116,6 +118,54 @@ class Workload
 
     /** Sum of all region footprints, in bytes. */
     Addr totalFootprint() const;
+
+    /**
+     * Checkpoint every per-processor stream: RNG state, episode
+     * cursor, and the refill buffer verbatim. Restoring the buffer
+     * (rather than regenerating) keeps the stream byte-identical even
+     * if the restored run uses a different refill batch.
+     */
+    void
+    ckptSave(ckpt::Writer &w) const
+    {
+        w.section(0x574b4c44u);  // "WKLD"
+        w.u64(procs_.size());
+        for (const ProcState &st : procs_) {
+            for (std::uint64_t v : st.rng.ckptState())
+                w.u64(v);
+            w.u64(st.region);
+            w.u64(st.episodeLeft);
+            w.podVec(st.buf);
+            w.u64(st.bufPos);
+            w.u64(st.consumed);
+        }
+        w.u64(regions_.size());
+        for (const auto &region : regions_)
+            region->ckptSave(w);
+    }
+
+    void
+    ckptLoad(ckpt::Reader &r)
+    {
+        r.section(0x574b4c44u);
+        dsp_assert(r.u64() == procs_.size(),
+                   "checkpoint workload processor count mismatch");
+        for (ProcState &st : procs_) {
+            std::array<std::uint64_t, 4> s;
+            for (std::uint64_t &v : s)
+                v = r.u64();
+            st.rng.ckptRestore(s);
+            st.region = static_cast<std::size_t>(r.u64());
+            st.episodeLeft = r.u64();
+            st.buf = r.podVec<MemRef>();
+            st.bufPos = static_cast<std::size_t>(r.u64());
+            st.consumed = r.u64();
+        }
+        dsp_assert(r.u64() == regions_.size(),
+                   "checkpoint workload region count mismatch");
+        for (auto &region : regions_)
+            region->ckptLoad(r);
+    }
 
   private:
     struct ProcState;

@@ -169,6 +169,17 @@ TEST(VerifyMutation, ReorderHubGrantsCaught)
                   ProtocolKind::Multicast, 20000);
 }
 
+TEST(VerifyMutation, DuplicateRetryCaught)
+{
+    // The home re-issues a retry without bumping the attempt number;
+    // the oracle's per-transaction monotone-attempt invariant flags
+    // the first repeated attempt as a retry-regression. Multicast has
+    // real retry round-trips (window-of-vulnerability races), so the
+    // mutation binds quickly.
+    checkMutation(verify::Mutation::DuplicateRetry,
+                  ProtocolKind::Multicast, 20000);
+}
+
 TEST(VerifyMutation, StaleDataSupplyCaught)
 {
     // Needs a *binding* chained supply bound: a second same-block
@@ -191,6 +202,7 @@ TEST(VerifyVocab, MutationFlagNamesRoundTrip)
         verify::Mutation::SubsetDelivery,
         verify::Mutation::ReorderHubGrants,
         verify::Mutation::StaleDataSupply,
+        verify::Mutation::DuplicateRetry,
     };
     for (verify::Mutation m : all) {
         verify::Mutation parsed = verify::Mutation::None;
