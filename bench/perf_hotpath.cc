@@ -36,6 +36,10 @@
  *   --checkpoint-every N   snapshot the run every N simulated ticks
  *                  (requires --config: one simulation per process)
  *   --checkpoint-dir D     directory for ckpt_<tick>.dsp snapshots
+ *   --checkpoint-keep N    after each successful snapshot, prune all
+ *                  but the newest N valid snapshots in the directory
+ *                  (corrupt/quarantined files are never counted or
+ *                  deleted); 0 = keep everything (default)
  *   --restore      resume from the newest valid checkpoint in the
  *                  checkpoint dir (fresh start when none validates)
  *   --restore-from FILE    resume from one specific checkpoint file
@@ -93,8 +97,10 @@ struct HotpathOptions {
     bool oracle = false;
     verify::Mutation mutate = verify::Mutation::None;
     std::uint64_t stopAt = 0;
+    bool noFuse = false;  ///< A/B knob: disable fused hop chains
     std::uint64_t ckptEvery = 0;
     std::string ckptDir;
+    unsigned ckptKeep = 0;
     bool restore = false;
     std::string restoreFrom;
 };
@@ -141,6 +147,8 @@ parseArgs(int argc, char **argv)
             opt.outExplicit = true;
         } else if (arg == "--config") {
             opt.onlyConfig = next();
+        } else if (arg == "--no-fuse") {
+            opt.noFuse = true;
         } else if (arg == "--oracle") {
             opt.oracle = true;
         } else if (arg == "--mutate") {
@@ -155,6 +163,8 @@ parseArgs(int argc, char **argv)
             opt.ckptEvery = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--checkpoint-dir") {
             opt.ckptDir = next();
+        } else if (arg == "--checkpoint-keep") {
+            opt.ckptKeep = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--restore") {
             opt.restore = true;
         } else if (arg == "--restore-from") {
@@ -164,9 +174,11 @@ parseArgs(int argc, char **argv)
                          "options: --measure N --warmup N --workload W "
                          "--threads N --hub-shard --nodes N --hubs N "
                          "--cluster N --switch-ns F --seed S "
-                         "--out FILE --config NAME --repeat N "
+                         "--out FILE --config NAME --no-fuse "
+                         "--repeat N "
                          "--oracle --mutate M --stop-at T "
                          "--checkpoint-every N --checkpoint-dir D "
+                         "--checkpoint-keep N "
                          "--restore --restore-from FILE\n");
             std::exit(0);
         } else {
@@ -258,6 +270,7 @@ runConfig(const HotpathOptions &opt, const std::string &name,
         params.crossbar.topology.hubs = opt.hubs;
         params.crossbar.topology.cluster_size = opt.cluster;
         params.crossbar.topology.switch_link_ns = opt.switchNs;
+        params.crossbar.fuse_chains = !opt.noFuse;
         params.functionalWarmupMisses = opt.warmupMisses;
         params.warmupInstrPerCpu = opt.measureInstr / 10;
         params.measureInstrPerCpu = opt.measureInstr;
@@ -266,6 +279,7 @@ runConfig(const HotpathOptions &opt, const std::string &name,
         params.verify.stopAtTick = opt.stopAt;
         params.checkpoint.every = opt.ckptEvery;
         params.checkpoint.dir = opt.ckptDir;
+        params.checkpoint.keep = opt.ckptKeep;
         params.checkpoint.restore = opt.restore;
         params.checkpoint.restorePath = opt.restoreFrom;
         if (!opt.ckptDir.empty())
@@ -412,6 +426,15 @@ writeJson(const HotpathOptions &opt,
                      r.stats.touchedWordsPerAccess());
         std::fprintf(f, "      \"barriers_per_window\": %.4f,\n",
                      r.barriersPerWindow());
+        // Host performance counters, not figure statistics: fused
+        // chains skip calendar inserts/pops, and prefetch hints are
+        // same-shard gated, so both are partition-dependent and stay
+        // out of the determinism / repeat-divergence comparisons.
+        std::fprintf(f, "      \"calendar_ops_per_miss\": %.4f,\n",
+                     r.stats.calendarOpsPerMiss());
+        std::fprintf(f, "      \"prefetch_issued\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         r.stats.prefetchIssued));
         std::fprintf(f, "      \"sim_runtime_ms\": %.3f\n",
                      r.stats.runtimeMs());
         std::fprintf(f, "    }%s\n",

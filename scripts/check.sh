@@ -145,7 +145,8 @@ for c in configs:
     if c.get("partial"):
         sys.exit("config %r is marked partial" % c.get("name"))
     for field in ("events_per_sec", "barriers_per_window",
-                  "l0_hit_rate", "events", "misses"):
+                  "l0_hit_rate", "events", "misses",
+                  "calendar_ops_per_miss", "prefetch_issued"):
         v = c.get(field)
         if not isinstance(v, (int, float)) or isinstance(v, bool) \
                 or not math.isfinite(v):
@@ -158,7 +159,8 @@ PYEOF
             and (.configs | length > 0)
             and ([.configs[] | (.partial // false) | not] | all)
             and ([.configs[] | .events_per_sec, .barriers_per_window,
-                  .l0_hit_rate, .events, .misses]
+                  .l0_hit_rate, .events, .misses,
+                  .calendar_ops_per_miss, .prefetch_issued]
                  | all(type == "number" and (isinfinite | not)
                        and (isnan | not)))' "$file" > /dev/null
     else
@@ -238,6 +240,66 @@ if [[ -f "$BASELINE" ]]; then
              "if intentional)" >&2
         exit 1
     fi
+fi
+
+# Hot-path counter guards (PR 10). calendar_ops_per_miss pins the
+# chain-fusion win: a >15% rise vs the committed baseline on a
+# multicast config means fusion quietly stopped firing. The comparison
+# is skipped when the baseline predates the field (first run after it
+# landed). prefetch_issued must be non-zero on the single-threaded
+# configs: at K=1 every hint is same-shard, so zero means the hint
+# sites are dead. Both are host performance counters, deliberately
+# absent from the determinism extraction below (they are
+# partition-dependent by design).
+extract_field() {
+    awk -F: -v field="$2" '
+        /"name"/ { gsub(/[ ",]/, "", $2); name = $2 }
+        $0 ~ "\"" field "\"" && name != "" {
+            gsub(/[ ,]/, "", $2); print name, $2
+        }' "$1"
+}
+PREFETCH_ZERO=$(extract_field "$FRESH" prefetch_issued | awk '
+    ($1 == "snooping" || $1 == "multicast-owner-group") && $2 + 0 == 0 \
+        { print $1 }')
+if [[ -n "$PREFETCH_ZERO" ]]; then
+    echo "check.sh: prefetch_issued is zero on:" $PREFETCH_ZERO "--" \
+         "the send-time prefetch hints are not firing" >&2
+    exit 1
+fi
+echo "prefetch_issued: non-zero on the single-threaded configs"
+if [[ -f "$BASELINE" ]] && grep -q '"calendar_ops_per_miss"' "$BASELINE"
+then
+    if ! { extract_field "$BASELINE" calendar_ops_per_miss; echo "--"
+           extract_field "$FRESH" calendar_ops_per_miss; } | awk -v \
+        enforce="$([[ "$ALLOW_PERF_REGRESSION" == "1" ]] || echo 1)" '
+        $1 == "--"  { fresh_section = 1; next }
+        !fresh_section { base[$1] = $2; next }
+        { fresh[$1] = $2 }
+        END {
+            status = 0
+            for (name in fresh) {
+                if (name !~ /^multicast/) continue
+                if (!(name in base) || base[name] <= 0) continue
+                ratio = fresh[name] / base[name]
+                printf "calendar guard: %-32s %8.3f -> %8.3f " \
+                       "ops/miss (%.2fx)\n", \
+                       name, base[name], fresh[name], ratio
+                if (ratio > 1.15 && enforce == "1") {
+                    printf "calendar guard: FAIL %s " \
+                           "calendar_ops_per_miss rose >15%%\n", name
+                    status = 1
+                }
+            }
+            exit status
+        }'; then
+        echo "check.sh: calendar_ops_per_miss regression vs committed" \
+             "BENCH_hotpath.json -- chain fusion lost ground (rerun" \
+             "with --allow-perf-regression if intentional)" >&2
+        exit 1
+    fi
+else
+    echo "check.sh: baseline lacks calendar_ops_per_miss -- skipping" \
+         "the chain-fusion guard (first run after the field landed)"
 fi
 
 # Sharded-kernel determinism cross-check: a K-shard run must emit
@@ -358,7 +420,7 @@ if echo 'int main(){}' | g++ -fsanitize=address -x c++ - \
     cmake --build build-asan --target test_checkpoint -j"$JOBS"
     ASAN_OUT=$(./build-asan/test_checkpoint \
         --gtest_filter='CheckpointFile.*:Checkpoint.FlatRestoreBitEquivalentAcrossShardCounts')
-    if ! grep -q "3 tests from 2 test suites ran" <<< "$ASAN_OUT"; then
+    if ! grep -q "4 tests from 2 test suites ran" <<< "$ASAN_OUT"; then
         echo "check.sh: ASan checkpoint tests did not run (filter out" \
              "of sync with test_checkpoint?)" >&2
         exit 1

@@ -1,9 +1,11 @@
 #include "checkpoint/checkpoint.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <dirent.h>
+#include <vector>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -124,15 +126,27 @@ checkpointPath(const std::string &dir, std::uint64_t tick)
     return dir + "/ckpt_" + std::to_string(tick) + ".dsp";
 }
 
-std::string
-newestValidCheckpoint(const std::string &dir)
+namespace {
+
+struct CkptFile {
+    std::uint64_t tick;
+    std::string path;
+};
+
+/**
+ * Enumerate the valid ckpt_<tick>.dsp files under `dir` (unsorted),
+ * quarantining every candidate that fails validation by renaming it
+ * to <name>.corrupt -- shared by the newest-scan and the pruner so
+ * both agree on what "valid" means.
+ */
+std::vector<CkptFile>
+scanValidCheckpoints(const std::string &dir)
 {
+    std::vector<CkptFile> found;
     DIR *d = ::opendir(dir.c_str());
     if (!d)
-        return "";
+        return found;
 
-    std::uint64_t bestTick = 0;
-    std::string best;
     while (struct dirent *e = ::readdir(d)) {
         std::string name = e->d_name;
         if (name.rfind("ckpt_", 0) != 0)
@@ -158,13 +172,52 @@ newestValidCheckpoint(const std::string &dir)
             }
             continue;
         }
-        if (best.empty() || tick > bestTick) {
-            bestTick = tick;
-            best = path;
-        }
+        found.push_back(CkptFile{tick, std::move(path)});
     }
     ::closedir(d);
+    return found;
+}
+
+} // namespace
+
+std::string
+newestValidCheckpoint(const std::string &dir)
+{
+    std::vector<CkptFile> valid = scanValidCheckpoints(dir);
+    std::uint64_t bestTick = 0;
+    std::string best;
+    for (CkptFile &f : valid) {
+        if (best.empty() || f.tick > bestTick) {
+            bestTick = f.tick;
+            best = std::move(f.path);
+        }
+    }
     return best;
+}
+
+std::size_t
+pruneCheckpoints(const std::string &dir, unsigned keep)
+{
+    if (keep == 0)
+        return 0;
+    std::vector<CkptFile> valid = scanValidCheckpoints(dir);
+    if (valid.size() <= keep)
+        return 0;
+    // Newest first; everything past the first `keep` goes.
+    std::sort(valid.begin(), valid.end(),
+              [](const CkptFile &a, const CkptFile &b) {
+                  return a.tick > b.tick;
+              });
+    std::size_t removed = 0;
+    for (std::size_t i = keep; i < valid.size(); ++i) {
+        if (::unlink(valid[i].path.c_str()) == 0) {
+            ++removed;
+        } else {
+            dsp_warn("pruneCheckpoints: unlink %s failed: %s",
+                     valid[i].path.c_str(), std::strerror(errno));
+        }
+    }
+    return removed;
 }
 
 void

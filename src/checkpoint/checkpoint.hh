@@ -35,7 +35,7 @@ namespace ckpt {
  *  change to any subsystem's save layout bumps the version; restore
  *  refuses a version mismatch instead of misreading old bytes. */
 constexpr std::uint32_t fileMagic = 0x43505344u;
-constexpr std::uint32_t formatVersion = 1;
+constexpr std::uint32_t formatVersion = 2;
 
 /**
  * Append-only byte-buffer serializer. All integers are written in
@@ -233,6 +233,7 @@ enum class EventTag : std::uint8_t {
     SysEvict,         ///< System: eviction notice in flight to its hub
     XbarOrder,        ///< crossbar: message at/leaving an ordering point
     XbarDeliver,      ///< crossbar: (payload, destination) delivery hop
+    XbarChain,        ///< crossbar: fused same-tick delivery chain
     CacheIssue,       ///< cache controller: request issue after MSHR fill
     MemDirContinue,   ///< memory controller: directory-access continuation
     MemRetry,         ///< memory controller: home-reissued retry
@@ -266,6 +267,16 @@ bool readCheckpointFile(const std::string &path, std::string &payload);
  * considered again and remain on disk for forensics.
  */
 std::string newestValidCheckpoint(const std::string &dir);
+
+/**
+ * Delete all but the newest `keep` *valid* checkpoints under `dir`
+ * (0 = keep everything; no-op). Candidates that fail validation are
+ * quarantined exactly as newestValidCheckpoint would -- they never
+ * count toward `keep` and are never deleted, so a torn newest file
+ * can't cause the last good snapshot to be pruned away. Returns the
+ * number of files removed.
+ */
+std::size_t pruneCheckpoints(const std::string &dir, unsigned keep);
 
 /** Conventional file name for the checkpoint at `tick` under `dir`. */
 std::string checkpointPath(const std::string &dir, std::uint64_t tick);

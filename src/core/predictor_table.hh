@@ -124,6 +124,18 @@ class PredictorTable
         return &unbounded_.try_emplace(key).first->second;
     }
 
+    /** Host-prefetch the planes a lookup of `key` will walk (the
+     *  finite table's set, or the hash map's home slot). Semantically
+     *  a no-op. */
+    void
+    prefetch(std::uint64_t key) const
+    {
+        if (finite_)
+            finite_->prefetchSet(key);
+        else
+            unbounded_.prefetch(key);
+    }
+
     /** Number of live entries. */
     std::size_t
     size() const

@@ -175,6 +175,16 @@ class CacheArray
         return line == npos ? nullptr : &payloads_[line];
     }
 
+    /** Issue host prefetches for the key's set in the planes a walk
+     *  reads (tags + validity stamps). Semantically a no-op. */
+    void
+    prefetchSet(std::uint64_t key) const
+    {
+        std::size_t base = setOf(key) * ways_;
+        __builtin_prefetch(tags_.data() + base, 0, 3);
+        __builtin_prefetch(lastUse_.data() + base, 0, 3);
+    }
+
     /**
      * Walk `key`'s set once, recording the match (if any) and the
      * victim insert() would choose. Does not disturb LRU state; pair

@@ -71,6 +71,20 @@ class PackedCacheArray
     static constexpr unsigned tagBits = 32 - PayloadBits;
     static constexpr Entry payloadMask = (Entry{1} << PayloadBits) - 1;
     static constexpr Entry tagMask = (Entry{1} << tagBits) - 1;
+    /** The tag field shifted into place -- the bits a way compare
+     *  actually examines. */
+    static constexpr Entry tagFieldMask = tagMask << PayloadBits;
+
+    // The SWAR way-compare (matchWay4) packs two ways' masked tag
+    // XORs into one 64-bit word, a 32-bit lane each; the layout
+    // invariants it rides on are structural, so pin them at compile
+    // time rather than trusting the prose above.
+    static_assert(PayloadBits + tagBits == 32,
+                  "tag+payload must fill the word's low half");
+    static_assert((tagFieldMask >> 32) == 0,
+                  "masked tag XOR must fit one 32-bit SWAR lane");
+    static_assert((tagFieldMask & payloadMask) == 0,
+                  "tag and payload fields must not overlap");
 
     /** See CacheArray: debug builds count tag-plane walks. */
 #ifndef NDEBUG
@@ -182,16 +196,11 @@ class PackedCacheArray
     {
         countWalk();
         Entry *set_base = entries_ + setOf(key) * ways_;
-        Entry tag_probe = tagFieldOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry entry = set_base[w];
-            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
-                (entry >> 32) != 0) {
-                touch(set_base[w]);
-                return set_base + w;
-            }
-        }
-        return nullptr;
+        std::size_t w = matchWay(set_base, tagFieldOf(key));
+        if (w == ways_)
+            return nullptr;
+        touch(set_base[w]);
+        return set_base + w;
     }
 
     /** Issue a host prefetch for the key's set (a 4-way set is one
@@ -219,15 +228,8 @@ class PackedCacheArray
         countWalk();
         std::size_t set = setOf(key);
         const Entry *set_base = entries_ + set * ways_;
-        Entry tag_probe = tagFieldOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry entry = set_base[w];
-            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
-                (entry >> 32) != 0) {
-                return set * ways_ + w;
-            }
-        }
-        return lineNpos;
+        std::size_t w = matchWay(set_base, tagFieldOf(key));
+        return w == ways_ ? lineNpos : set * ways_ + w;
     }
 
     /** Look up without disturbing LRU state; 0-stamp lines are
@@ -236,15 +238,10 @@ class PackedCacheArray
     peek(std::uint64_t key) const
     {
         const Entry *set_base = entries_ + setOf(key) * ways_;
-        Entry tag_probe = tagFieldOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry entry = set_base[w];
-            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
-                (entry >> 32) != 0) {
-                return payloadOf(entry);
-            }
-        }
-        return std::nullopt;
+        std::size_t w = matchWay(set_base, tagFieldOf(key));
+        if (w == ways_)
+            return std::nullopt;
+        return payloadOf(set_base[w]);
     }
 
     /**
@@ -263,18 +260,23 @@ class PackedCacheArray
         h.probed = true;
 
         const Entry *set_base = entries_ + set * ways_;
-        Entry tag_probe = tagFieldOf(key);
+        std::size_t match = matchWay(set_base, tagFieldOf(key));
+        if (match != ways_) {
+            // Snapshot up to and including the match: exactly what
+            // the per-way walk recorded before stopping, and all
+            // revalidation reads on a hit.
+            for (std::size_t w = 0; w <= match && w < Handle::maxWays;
+                 ++w)
+                h.snapshot[w] = set_base[w];
+            h.way = static_cast<std::uint32_t>(match);
+            return h;
+        }
         std::uint32_t victim_use = 0;
         for (std::size_t w = 0; w < ways_; ++w) {
             Entry entry = set_base[w];
             if (w < Handle::maxWays)
                 h.snapshot[w] = entry;
             std::uint32_t use = static_cast<std::uint32_t>(entry >> 32);
-            if (use != 0 &&
-                ((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0) {
-                h.way = static_cast<std::uint32_t>(w);
-                return h;
-            }
             // First way seeds the victim unconditionally (a stamp can
             // legitimately be UINT32_MAX right before renormalization);
             // free ways (use 0) always win thereafter.
@@ -377,21 +379,17 @@ class PackedCacheArray
         countWalk();
         std::size_t set = setOf(key);
         Entry *set_base = entries_ + set * ways_;
-        Entry tag_probe = tagFieldOf(key);
-        std::size_t match = ways_;
+        std::size_t match = matchWay(set_base, tagFieldOf(key));
         std::size_t victim = ways_;
         std::uint32_t victim_use = 0;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry entry = set_base[w];
-            std::uint32_t use = static_cast<std::uint32_t>(entry >> 32);
-            if (use != 0 &&
-                ((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0) {
-                match = w;
-                break;
-            }
-            if (victim == ways_ || use < victim_use) {
-                victim = w;
-                victim_use = use;
+        if (match == ways_) {
+            for (std::size_t w = 0; w < ways_; ++w) {
+                std::uint32_t use =
+                    static_cast<std::uint32_t>(set_base[w] >> 32);
+                if (victim == ways_ || use < victim_use) {
+                    victim = w;
+                    victim_use = use;
+                }
             }
         }
 
@@ -419,17 +417,13 @@ class PackedCacheArray
     {
         countWalk();
         Entry *set_base = entries_ + setOf(key) * ways_;
-        Entry tag_probe = tagFieldOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry entry = set_base[w];
-            if (((entry ^ tag_probe) & (tagMask << PayloadBits)) == 0 &&
-                (entry >> 32) != 0) {
-                set_base[w] = 0;
-                --valid_;
-                return payloadOf(entry);
-            }
-        }
-        return std::nullopt;
+        std::size_t w = matchWay(set_base, tagFieldOf(key));
+        if (w == ways_)
+            return std::nullopt;
+        std::uint32_t payload = payloadOf(set_base[w]);
+        set_base[w] = 0;
+        --valid_;
+        return payload;
     }
 
     /** Drop all lines. */
@@ -568,6 +562,71 @@ class PackedCacheArray
     }
 
   private:
+    /**
+     * SWAR compare of a 4-way set against one tag probe: two packed
+     * haszero tests instead of four compare-and-branch way checks.
+     *
+     * Per way, x = (word ^ probe) & tagFieldMask is zero exactly on a
+     * tag match and fits one 32-bit lane (static_asserts above), so
+     * two ways pack into one 64-bit word and HZ(v) = (v - lane ones)
+     * & ~v & lane signs flags the zero lanes. The subtraction can
+     * borrow into the *upper* lane only, and only when the lower lane
+     * is zero -- so testing lanes low-to-high and stopping at the
+     * first flag never reads a borrow artifact: the lowest flagged
+     * lane is always a true zero.
+     *
+     * Validity needs no lane of its own: the caller guarantees
+     * probe != 0, an invalid line's word is all-zero (every write is
+     * either a full word with a fresh nonzero stamp or plain zero),
+     * and a match forces the word's tag field equal to the nonzero
+     * probe -- so any flagged lane is a live line.
+     *
+     * @return the matching way, or 4 if none.
+     */
+    static std::size_t
+    matchWay4(const Entry *set_base, Entry tag_probe)
+    {
+        constexpr std::uint64_t laneOnes = 0x0000000100000001ull;
+        constexpr std::uint64_t laneSigns = 0x8000000080000000ull;
+        std::uint64_t x0 = (set_base[0] ^ tag_probe) & tagFieldMask;
+        std::uint64_t x1 = (set_base[1] ^ tag_probe) & tagFieldMask;
+        std::uint64_t x2 = (set_base[2] ^ tag_probe) & tagFieldMask;
+        std::uint64_t x3 = (set_base[3] ^ tag_probe) & tagFieldMask;
+        std::uint64_t pair01 = x0 | (x1 << 32);
+        std::uint64_t pair23 = x2 | (x3 << 32);
+        std::uint64_t hz01 = (pair01 - laneOnes) & ~pair01 & laneSigns;
+        std::uint64_t hz23 = (pair23 - laneOnes) & ~pair23 & laneSigns;
+        if (hz01 != 0)
+            return (hz01 & 0x80000000ull) != 0 ? 0 : 1;
+        if (hz23 != 0)
+            return (hz23 & 0x80000000ull) != 0 ? 2 : 3;
+        return 4;
+    }
+
+    /**
+     * The way of `set_base` holding `tag_probe`, or ways() if none --
+     * the one tag walk every lookup shape shares. 4-way sets (every
+     * real geometry) take the SWAR compare; other widths, an all-zero
+     * probe (whose lanes could falsely match an invalid line), and
+     * -DDSP_NO_SWAR builds take the scalar reference walk.
+     */
+    std::size_t
+    matchWay(const Entry *set_base, Entry tag_probe) const
+    {
+#ifndef DSP_NO_SWAR
+        if (ways_ == 4 && tag_probe != 0)
+            return matchWay4(set_base, tag_probe);
+#endif
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry entry = set_base[w];
+            if (((entry ^ tag_probe) & tagFieldMask) == 0 &&
+                (entry >> 32) != 0) {
+                return w;
+            }
+        }
+        return ways_;
+    }
+
     std::size_t
     setOf(std::uint64_t key) const
     {

@@ -56,8 +56,10 @@ class Writer;
  * An Event may be in at most one queue at a time. process() runs at
  * the scheduled tick; release() is called by the queue once the event
  * leaves it (after process(), on deschedule, or at queue destruction)
- * and returns pooled events to their pool. An event whose process()
- * reschedules itself must therefore keep the default no-op release().
+ * and returns pooled events to their pool. process() may re-insert
+ * the event itself (self-rescheduling order/delivery retries, fused
+ * hop chains); the queue skips release() while the event is
+ * scheduled, so pooled self-rescheduling events are safe.
  */
 class Event
 {

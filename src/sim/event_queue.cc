@@ -48,6 +48,10 @@ EventQueue::~EventQueue()
         entry.ev->heapIndex_ = Event::invalidHeapIndex;
         entry.ev->release();
     }
+    for (std::size_t i = 0; i < runNextLive_; ++i) {
+        runNext_[i]->scheduled_ = false;
+        runNext_[i]->release();
+    }
 }
 
 void
@@ -74,10 +78,18 @@ EventQueue::schedule(Event &ev, Tick when, EventPriority prio)
     ev.when_ = when;
     ev.key_ = (prio_bits << seqBits) | nextSeq_++;
     ev.scheduled_ = true;
-    if (when < ringLimit_)
-        ringInsert(ev);
-    else
-        heapPush(ev);
+    enqueuePrepared(ev);
+}
+
+std::uint64_t
+EventQueue::allocKey(EventPriority prio)
+{
+    const auto prio_bits = static_cast<std::uint64_t>(prio);
+    dsp_assert(prio_bits < 256, "priority %d does not fit the packed "
+                                "tiebreak key",
+               static_cast<int>(prio));
+    dsp_assert(nextSeq_ <= seqMask, "insertion sequence overflow");
+    return (prio_bits << seqBits) | nextSeq_++;
 }
 
 void
@@ -90,16 +102,97 @@ EventQueue::scheduleWithKey(Event &ev, Tick when, std::uint64_t key)
     ev.when_ = when;
     ev.key_ = key;
     ev.scheduled_ = true;
-    if (when < ringLimit_)
+    enqueuePrepared(ev);
+}
+
+void
+EventQueue::enqueuePrepared(Event &ev)
+{
+    if (running_) {
+        std::size_t n = runNextLive_;
+        if (n == runNextCap) {
+            // Full: the latest-ordering event loses its seat --
+            // either the newcomer goes straight to a calendar plane,
+            // or the current back is spilled to make room.
+            Event *back = runNext_[n - 1];
+            if (ev.when_ > back->when_ ||
+                (ev.when_ == back->when_ && ev.key_ > back->key_)) {
+                insertPrepared(ev);
+                return;
+            }
+            insertPrepared(*back);
+            --n;
+        }
+        // Sorted insert scanned from the back: a freshly scheduled
+        // hop usually orders after the hops already parked.
+        std::size_t i = n;
+        while (i > 0 &&
+               (runNext_[i - 1]->when_ > ev.when_ ||
+                (runNext_[i - 1]->when_ == ev.when_ &&
+                 runNext_[i - 1]->key_ > ev.key_))) {
+            runNext_[i] = runNext_[i - 1];
+            --i;
+        }
+        runNext_[i] = &ev;
+        runNextLive_ = n + 1;
+        return;
+    }
+    insertPrepared(ev);
+}
+
+void
+EventQueue::insertPrepared(Event &ev)
+{
+    ++inserts_;
+    if (ev.when_ < ringLimit_)
         ringInsert(ev);
     else
         heapPush(ev);
+}
+
+bool
+EventQueue::chainAdvance(Tick when, std::uint64_t key,
+                         std::uint16_t domain)
+{
+    dsp_assert(when >= now_,
+               "chain hop at %llu behind the clock %llu",
+               static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(now_));
+    // A fused hop may not outrun the window the scheduler planned
+    // around: past runLimit_ other shards (or the planner) are
+    // entitled to insert earlier work first.
+    if (when > runLimit_)
+        return false;
+    // Nothing already queued may order before the hop, or inlining it
+    // would reorder against the calendar's total order.
+    if (!empty()) {
+        const Event *min = peekEarliest();
+        if (min->when_ < when ||
+            (min->when_ == when && min->key_ < key)) {
+            return false;
+        }
+    }
+    now_ = when;
+    advanceWindow(now_);
+    ++executed_;  // a fused hop is still one executed event
+    *domainSink_ = domain;
+    return true;
 }
 
 void
 EventQueue::deschedule(Event &ev)
 {
     dsp_assert(ev.scheduled_, "deschedule of unscheduled event");
+    for (std::size_t i = 0; i < runNextLive_; ++i) {
+        if (runNext_[i] == &ev) {
+            for (std::size_t j = i + 1; j < runNextLive_; ++j)
+                runNext_[j - 1] = runNext_[j];
+            --runNextLive_;
+            ev.scheduled_ = false;
+            ev.release();
+            return;
+        }
+    }
     if (ev.heapIndex_ != Event::invalidHeapIndex) {
         dsp_assert(ev.heapIndex_ < heap_.size() &&
                        heap_[ev.heapIndex_].ev == &ev,
@@ -269,7 +362,7 @@ EventQueue::nextOccupiedAfter(std::size_t b) const
 }
 
 void
-EventQueue::earliestTwo(Tick &first, Tick &second) const
+EventQueue::planesEarliestTwo(Tick &first, Tick &second) const
 {
     first = maxTick;
     second = maxTick;
@@ -303,6 +396,23 @@ EventQueue::earliestTwo(Tick &first, Tick &second) const
 }
 
 void
+EventQueue::earliestTwo(Tick &first, Tick &second) const
+{
+    planesEarliestTwo(first, second);
+    // The buffer is sorted, so its first two entries are the only
+    // candidates for the global two-smallest multiset.
+    for (std::size_t i = 0; i < runNextLive_ && i < 2; ++i) {
+        Tick t = runNext_[i]->when_;
+        if (t < first) {
+            second = first;
+            first = t;
+        } else if (t < second) {
+            second = t;
+        }
+    }
+}
+
+void
 EventQueue::advanceTo(Tick t)
 {
     if (t <= now_ || t == maxTick)
@@ -321,13 +431,24 @@ EventQueue::peekEarliest() const
 {
     // Ring events always precede overflow events (the heap only holds
     // when >= ringLimit_), so the ring wins whenever it is non-empty;
-    // otherwise the heap front is the minimum directly. No side
-    // effects: peeking must never advance the calendar window, or a
-    // run(limit) that peeks a far-future event without executing it
-    // would leave later near-tick schedules in aliased buckets.
+    // otherwise the heap front is the plane minimum directly. The
+    // run-next buffer's front competes on (when, key) like a third
+    // plane. No side effects: peeking must never advance the calendar
+    // window, or a run(limit) that peeks a far-future event without
+    // executing it would leave later near-tick schedules in aliased
+    // buckets.
+    Event *min = nullptr;
     if (ringLive_ != 0)
-        return buckets_[firstOccupiedBucket()].head;
-    return heap_.front().ev;
+        min = buckets_[firstOccupiedBucket()].head;
+    else if (!heap_.empty())
+        min = heap_.front().ev;
+    if (runNextLive_ != 0) {
+        Event *parked = runNext_[0];
+        if (min == nullptr || parked->when_ < min->when_ ||
+            (parked->when_ == min->when_ && parked->key_ < min->key_))
+            return parked;
+    }
+    return min;
 }
 
 // ---- overflow plane -------------------------------------------------------
@@ -399,17 +520,30 @@ EventQueue::heapRemoveAt(std::size_t i)
 void
 EventQueue::execute(Event *ev)
 {
-    if (ev->heapIndex_ != Event::invalidHeapIndex)
-        heapRemoveAt(ev->heapIndex_);
-    else
-        ringRemove(*ev);
+    if (runNextLive_ != 0 && ev == runNext_[0]) {
+        // Served straight from the run-next buffer: neither calendar
+        // plane was ever touched, so no pop is counted (its insert
+        // was skipped too).
+        --runNextLive_;
+        for (std::size_t i = 0; i < runNextLive_; ++i)
+            runNext_[i] = runNext_[i + 1];
+    } else {
+        if (ev->heapIndex_ != Event::invalidHeapIndex)
+            heapRemoveAt(ev->heapIndex_);
+        else
+            ringRemove(*ev);
+        ++pops_;
+    }
     ev->scheduled_ = false;
     now_ = ev->when_;
     advanceWindow(now_);
     ++executed_;
     *domainSink_ = ev->domain_;
     ev->process();
-    ev->release();
+    // A process() that rescheduled the event itself (fused chains
+    // re-inserting at their next hop) still owns its slot.
+    if (!ev->scheduled_)
+        ev->release();
 }
 
 void
@@ -422,6 +556,8 @@ EventQueue::step()
 std::uint64_t
 EventQueue::run(Tick limit)
 {
+    runLimit_ = limit;
+    running_ = true;
     std::uint64_t n = 0;
     while (!empty()) {
         Event *ev = peekEarliest();
@@ -430,10 +566,12 @@ EventQueue::run(Tick limit)
         execute(ev);
         ++n;
     }
+    running_ = false;
     if (now_ < limit && limit != maxTick) {
         now_ = limit;
         advanceWindow(now_);
     }
+    runLimit_ = maxTick;
     return n;
 }
 

@@ -121,8 +121,47 @@ class EventQueue
      */
     void deschedule(Event &ev);
 
+    /**
+     * Allocate the tiebreak key the next schedule() at this priority
+     * would assign, consuming the same sequence counter. Chain fusion
+     * pre-assigns hop keys with this so a fused run's key stream is
+     * bit-identical to the unfused one; pair with scheduleWithKey().
+     */
+    std::uint64_t allocKey(EventPriority prio);
+
+    /**
+     * Inline-advance to a fused chain hop at (when, key): legal only
+     * when nothing pending orders before it and `when` lies inside the
+     * current run() limit (a fused hop must never leak past a window
+     * boundary the scheduler planned around). On success the clock
+     * moves to `when`, the hop counts as an executed event, and the
+     * hop's domain is published to the domain sink exactly as a real
+     * pop would; the caller then runs the hop's work inline. On
+     * refusal nothing changes -- the caller re-inserts itself with
+     * scheduleWithKey() and the calendar serves the hop normally.
+     */
+    bool chainAdvance(Tick when, std::uint64_t key,
+                      std::uint16_t domain);
+
+    /** Calendar work over the queue's lifetime: schedule insertions
+     *  plus executed pops. Fused chain hops skip both planes, so this
+     *  is the counter chain fusion exists to shrink. */
+    std::uint64_t calendarOps() const { return inserts_ + pops_; }
+
+    /** Restore the lifetime calendar-op counter from a checkpoint. */
+    void
+    ckptSetCalendarOps(std::uint64_t n)
+    {
+        inserts_ = n;
+        pops_ = 0;
+    }
+
     /** True if no events remain. */
-    bool empty() const { return ringLive_ == 0 && heap_.empty(); }
+    bool
+    empty() const
+    {
+        return ringLive_ == 0 && heap_.empty() && runNextLive_ == 0;
+    }
 
     /** Tick of the earliest pending event (maxTick when empty). */
     Tick
@@ -160,7 +199,11 @@ class EventQueue
     }
 
     /** Number of pending events. */
-    std::size_t pending() const { return ringLive_ + heap_.size(); }
+    std::size_t
+    pending() const
+    {
+        return ringLive_ + heap_.size() + runNextLive_;
+    }
 
     /** Execute the single earliest event, advancing time. */
     void step();
@@ -196,6 +239,10 @@ class EventQueue
         }
         for (const HeapEntry &entry : heap_)
             fn(*entry.ev, entry.when, entry.key, entry.ev->domain_);
+        for (std::size_t i = 0; i < runNextLive_; ++i) {
+            Event *ev = runNext_[i];
+            fn(*ev, ev->when_, ev->key_, ev->domain_);
+        }
     }
 
     // ---- calendar geometry (public so tests can straddle it) -------------
@@ -278,6 +325,34 @@ class EventQueue
      *  bucketCount if none. */
     std::size_t nextOccupiedAfter(std::size_t b) const;
 
+    /** earliestTwo over the two calendar planes only (the public
+     *  earliestTwo merges the run-next buffer on top). */
+    void planesEarliestTwo(Tick &first, Tick &second) const;
+
+    /**
+     * Enqueue a prepared event (when_/key_/scheduled_ set). An event
+     * scheduled from inside run() parks in the small sorted run-next
+     * buffer instead of entering a calendar plane: the hops the
+     * in-flight transactions schedule next are overwhelmingly the
+     * next things to run, and consuming one from the buffer skips the
+     * bucket insert and pop entirely (the sequential half of chain
+     * fusion -- the request->order->deliver->supply ladder -- without
+     * touching any call site). The buffer competes with the calendar
+     * planes on exact (when, key) order everywhere the queue compares
+     * events, so execution order is bit-identical to a pure calendar;
+     * when it fills, the latest-ordering parked event spills to a
+     * calendar plane. Parked events survive run() boundaries -- every
+     * observer (pending counts, earliest queries, checkpoints via
+     * forEachPending, deschedule) treats the buffer as a third plane.
+     * Only the calendar-op counter notices: buffer-served events cost
+     * no insert and no pop, which is the point.
+     */
+    void enqueuePrepared(Event &ev);
+
+    /** Insert a prepared event into a calendar plane, counting the
+     *  insert. */
+    void insertPrepared(Event &ev);
+
     /** Insert a prepared event (when_/key_ set) into its bucket's
      *  sorted list. */
     void ringInsert(Event &ev);
@@ -323,9 +398,31 @@ class EventQueue
 
     std::vector<HeapEntry> heap_;
 
+    /** Capacity of the run-next buffer: enough seats for every
+     *  in-flight transaction's next hop at the contention levels the
+     *  workloads produce, small enough that the sorted insert is a
+     *  few pointer moves within two cache lines. */
+    static constexpr std::size_t runNextCap = 16;
+
+    /** Run-next buffer: events parked outside both calendar planes,
+     *  sorted ascending by (when, key) so runNext_[0] is its minimum
+     *  (see enqueuePrepared). */
+    Event *runNext_[runNextCap] = {};
+    std::size_t runNextLive_ = 0;
+
+    /** True while run() is executing events (parking is legal). */
+    bool running_ = false;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t pops_ = 0;
+
+    /** Inclusive upper tick of the run() in progress (maxTick outside
+     *  run()); chainAdvance() refuses hops beyond it so fusion cannot
+     *  cross a window boundary. */
+    Tick runLimit_ = maxTick;
 
     /** Where execute() publishes the running event's domain id.
      *  Defaults to an internal dummy so the store is unconditional. */

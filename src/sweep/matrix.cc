@@ -55,6 +55,20 @@ JobSpec::idHash() const
     return h;
 }
 
+std::string
+JobSpec::checkpointSubdir(const std::string &root) const
+{
+    std::string canonical = id();
+    std::string name;
+    name.reserve(canonical.size());
+    for (char c : canonical) {
+        bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+        name += keep ? c : '_';
+    }
+    return root + "/" + name;
+}
+
 namespace {
 
 std::uint64_t

@@ -64,6 +64,13 @@ struct JobSpec {
 
     /** FNV-1a of id(): the fault-injection and shard keys. */
     std::uint64_t idHash() const;
+
+    /** The job's private checkpoint directory under `root`: the
+     *  canonical id with every non-filename character flattened to
+     *  '_'. A pure function of the id, so a retried (or resumed)
+     *  attempt lands in the same directory and finds the earlier
+     *  attempt's snapshots. */
+    std::string checkpointSubdir(const std::string &root) const;
 };
 
 /** Expand the config's cross-product (fatal on invalid axis values). */

@@ -25,23 +25,6 @@ parseProtocol(const std::string &name)
     dsp_fatal("unknown protocol '%s'", name.c_str());
 }
 
-/** The job's private checkpoint directory under the sweep's root:
- *  the canonical id with every non-filename character flattened.
- *  Pure function of the id, so a retried (or resumed) attempt lands
- *  in the same directory and finds the earlier attempt's snapshots. */
-std::string
-checkpointSubdir(const std::string &root, const std::string &id)
-{
-    std::string name;
-    name.reserve(id.size());
-    for (char c : id) {
-        bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '-' || c == '.';
-        name += keep ? c : '_';
-    }
-    return root + "/" + name;
-}
-
 } // namespace
 
 std::string
@@ -75,7 +58,7 @@ runSimJob(const JobSpec &spec)
     // snapshot instead of repaying the whole run.
     if (spec.checkpointEvery != 0 && !spec.checkpointDir.empty()) {
         std::string dir =
-            checkpointSubdir(spec.checkpointDir, spec.id());
+            spec.checkpointSubdir(spec.checkpointDir);
         ckpt::makeDirs(dir);
         params.checkpoint.every = spec.checkpointEvery;
         params.checkpoint.dir = dir;

@@ -670,6 +670,49 @@ System::recordCompletion(const Message &msg, Tick tick)
         ++acc.indirections;
 }
 
+bool
+System::sameShard(std::uint16_t a, std::uint16_t b) const
+{
+    return kernel_.shardOf(a) == kernel_.shardOf(b);
+}
+
+void
+System::prefetchTracker(BlockId block, NodeId issuer)
+{
+    unsigned hub = topo_.hubOf(block);
+    // Node n lives in domain n + 1 (see hubDomainFor's layout note).
+    if (!sameShard(static_cast<std::uint16_t>(issuer + 1),
+                   hubDomainFor(params_, hub)))
+        return;
+    trackers_[hub].prefetch(block);
+    if (measuring_)
+        ++nodeStats_[issuer].prefetches;
+}
+
+void
+System::prefetchPredictor(NodeId node, Addr addr, Addr pc)
+{
+    if (params_.protocol != ProtocolKind::Multicast)
+        return;
+    unsigned warmed = predictors_[node]->prefetchTables(addr, pc);
+    if (measuring_)
+        nodeStats_[node].prefetches += warmed;
+}
+
+void
+System::prefetchCompletion(NodeId requester, BlockId block,
+                           std::uint16_t from_domain)
+{
+    if (!sameShard(from_domain,
+                   static_cast<std::uint16_t>(requester + 1)))
+        return;
+    cacheCtrls_[requester]->prefetchFill(block);
+    // Single-writer: the gate above means this runs on the shard (and
+    // thus the worker thread) that owns the requester's accumulator.
+    if (measuring_)
+        ++nodeStats_[requester].prefetches;
+}
+
 std::function<void()>
 System::cpuDoneCallback()
 {
@@ -891,6 +934,7 @@ System::beginMeasure()
     eventsBefore_ = kernel_.executed();
     crossingsBefore_ = kernel_.barrierCrossings();
     windowsBefore_ = kernel_.windowsRun();
+    calOpsBefore_ = kernel_.calendarOps();
     cachesBefore_ = cacheCounters();
     phaseIndex_ = phaseMeasure;
     if (!stopEarly_)
@@ -951,6 +995,7 @@ System::run()
         stats.doubleRetries += acc.doubleRetries;
         stats.upgrades += acc.upgrades;
         stats.cacheToCache += acc.cacheToCache;
+        stats.prefetchIssued += acc.prefetches;
     }
     stats.requestMessages =
         crossbar_.traffic(MessageKind::Request).messages +
@@ -964,6 +1009,7 @@ System::run()
     stats.barrierCrossings =
         kernel_.barrierCrossings() - crossingsBefore_;
     stats.windowsRun = kernel_.windowsRun() - windowsBefore_;
+    stats.calendarOps = kernel_.calendarOps() - calOpsBefore_;
     CacheCounters caches_after = cacheCounters();
     stats.cacheAccesses =
         caches_after.accesses - cachesBefore_.accesses;
@@ -1010,6 +1056,7 @@ System::ckptSaveState(ckpt::Writer &w) const
     w.u64(eventsBefore_);
     w.u64(crossingsBefore_);
     w.u64(windowsBefore_);
+    w.u64(calOpsBefore_);
     w.pod(cachesBefore_);
     w.u64(nextCkptTick_);
 
@@ -1102,6 +1149,7 @@ System::ckptLoadState(ckpt::Reader &r)
     eventsBefore_ = r.u64();
     crossingsBefore_ = r.u64();
     windowsBefore_ = r.u64();
+    calOpsBefore_ = r.u64();
     cachesBefore_ = r.pod<CacheCounters>();
     nextCkptTick_ = r.u64();
 
@@ -1189,6 +1237,8 @@ System::restoreOneEvent(ckpt::Reader &r)
         return crossbar_.ckptRestoreOrder(r);
       case ckpt::EventTag::XbarDeliver:
         return crossbar_.ckptRestoreDeliver(r);
+      case ckpt::EventTag::XbarChain:
+        return crossbar_.ckptRestoreChain(r, kernel_);
       case ckpt::EventTag::CacheIssue: {
         NodeId n = r.u16();
         return cacheCtrls_[n]->ckptRestoreIssue(r);
@@ -1232,6 +1282,10 @@ System::writeCheckpoint()
                      "\"path\":\"%s\"}\n",
                      static_cast<unsigned long long>(now),
                      path.c_str());
+        // Compact only after a *successful* write: a failed write
+        // must never shrink the set of restore points.
+        ckpt::pruneCheckpoints(params_.checkpoint.dir,
+                               params_.checkpoint.keep);
     }
 
     if (killAfter_ != 0 && !restoredFromCkpt_ &&

@@ -87,6 +87,11 @@ struct CheckpointControl {
     /** Explicit checkpoint file to restore (overrides the
      *  newest-in-dir scan); used by violation replay. */
     std::string restorePath;
+    /** After each successful write, prune all but the newest `keep`
+     *  valid snapshots in the directory (0 = unlimited). Long sweeps
+     *  with frequent checkpoints otherwise accumulate gigabytes of
+     *  stale restore points that will never be chosen. */
+    unsigned keep = 0;
 };
 
 /** Which coherence protocol the system runs. */
@@ -206,6 +211,30 @@ struct SystemStats {
      *  the debug walk counters: 0 when built with NDEBUG. */
     std::uint64_t wordTouches = 0;
 
+    /** Calendar insertions + pops in the measured phase. Fused hop
+     *  chains execute their intermediate hops without re-entering the
+     *  calendar, so this (divided by misses) is the figure of merit
+     *  the fusion optimisation moves. Partition-dependent: a chain
+     *  advance can be refused near a shard-window boundary and fall
+     *  back to a real insert, so the count may differ across shard
+     *  counts -- a host performance counter, never a figure
+     *  statistic. */
+    std::uint64_t calendarOps = 0;
+    /** Host-side prefetch hints issued in the measured phase (tracker
+     *  buckets and predictor sets at request send, MSHR bucket + L2
+     *  sets at data send). Cross-domain hints only fire when issuer
+     *  and target share a shard, so this too is partition-dependent
+     *  and excluded from the determinism cross-checks. */
+    std::uint64_t prefetchIssued = 0;
+
+    double
+    calendarOpsPerMiss() const
+    {
+        return misses ? static_cast<double>(calendarOps) /
+                            static_cast<double>(misses)
+                      : 0.0;
+    }
+
     double
     l0HitRate() const
     {
@@ -269,6 +298,15 @@ class CacheController : public MemoryPort
 
     NodeCaches &caches() { return caches_; }
     std::size_t outstandingMshrs() const { return mshrs_.size(); }
+
+    /** Host-cache hint on the completion path: warm the MSHR bucket
+     *  and the cache sets the imminent fill will walk. */
+    void
+    prefetchFill(BlockId block)
+    {
+        mshrs_.prefetch(block);
+        caches_.prefetchSets(block);
+    }
 
     /** Checkpoint caches, the MSHR file (waiter completions are saved
      *  as tokens and rebuilt through the owning CPU), and the txn-id
@@ -424,6 +462,7 @@ class System
         std::uint64_t upgrades = 0;
         std::uint64_t cacheToCache = 0;
         Tick latencySum = 0;
+        std::uint64_t prefetches = 0;  ///< host-side hints issued
     };
 
     // -- crossbar callbacks
@@ -463,6 +502,27 @@ class System
 
     /** Train the requester's predictor at completion time. */
     void trainRequester(const Message &msg);
+
+    // -- host-side prefetch hints (semantic no-ops; see
+    // docs/access_pipeline.md). Cross-domain hints are legal only
+    // within one shard: another shard's worker thread may be mutating
+    // the target structure, and even a speculative read of its table
+    // geometry would race.
+    /** True when both domains run on one shard (one worker thread). */
+    bool sameShard(std::uint16_t a, std::uint16_t b) const;
+
+    /** Warm the hub's tracker bucket for `block` at request send, one
+     *  hop before the ordering point applies the request. */
+    void prefetchTracker(BlockId block, NodeId issuer);
+
+    /** Warm the issuing node's own predictor-table set ahead of the
+     *  issue event's destinationsFor() walk. */
+    void prefetchPredictor(NodeId node, Addr addr, Addr pc);
+
+    /** Warm the requester's MSHR bucket and cache sets when its data
+     *  (or grant) goes on the wire, ~one hop before complete(). */
+    void prefetchCompletion(NodeId requester, BlockId block,
+                            std::uint16_t from_domain);
 
     // -- ordering-point (hub domain) helpers
     /** Fill the echo's supplyEarliest and update the expected
@@ -641,6 +701,7 @@ class System
     std::uint64_t eventsBefore_ = 0;
     std::uint64_t crossingsBefore_ = 0;
     std::uint64_t windowsBefore_ = 0;
+    std::uint64_t calOpsBefore_ = 0;
     CacheCounters cachesBefore_;
 
     // -- checkpoint state (main thread only; see docs/checkpoint.md)

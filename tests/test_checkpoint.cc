@@ -322,6 +322,71 @@ TEST(CheckpointFile, CorruptAndTruncatedRejectedAndQuarantined)
     EXPECT_EQ(ckpt::newestValidCheckpoint(dir.path), std::string());
 }
 
+TEST(CheckpointFile, PruneKeepsNewestAndNeverCountsCorrupt)
+{
+    TempDir dir;
+    std::string payload(2048, '\x3c');
+    std::vector<std::string> paths;
+    for (std::uint64_t tick = 100; tick <= 500; tick += 100) {
+        paths.push_back(ckpt::checkpointPath(dir.path, tick));
+        ASSERT_TRUE(ckpt::writeCheckpointFile(paths.back(), payload));
+    }
+
+    // keep == 0 means unlimited: a no-op.
+    EXPECT_EQ(ckpt::pruneCheckpoints(dir.path, 0), 0u);
+    EXPECT_EQ(listCheckpoints(dir.path).size(), 5u);
+
+    // Corrupt the newest snapshot. Pruning to 2 must quarantine it
+    // (it is *not* one of the two kept), keep the newest two valid
+    // ones (400, 300), and delete the other two (200, 100) -- a torn
+    // newest file can never push the last good snapshots out.
+    corruptFile(paths[4]);
+    EXPECT_EQ(ckpt::pruneCheckpoints(dir.path, 2), 2u);
+
+    auto left = listCheckpoints(dir.path);
+    ASSERT_EQ(left.size(), 2u);
+    EXPECT_EQ(left[0].first, 300u);
+    EXPECT_EQ(left[1].first, 400u);
+    EXPECT_EQ(ckpt::newestValidCheckpoint(dir.path), paths[3]);
+
+    // The corrupt file was renamed aside, not deleted.
+    struct stat st;
+    EXPECT_EQ(::stat((paths[4] + ".corrupt").c_str(), &st), 0);
+
+    // Already within budget: nothing further to remove.
+    EXPECT_EQ(ckpt::pruneCheckpoints(dir.path, 2), 0u);
+}
+
+TEST(Checkpoint, KeepCompactsAfterEachWriteAndStillRestores)
+{
+    TempDir dir;
+    SystemParams params = ckptParams(16, 1, 1, 20000, dir.path, kEvery);
+    RunResult full = runOnce(params);
+    auto all = listCheckpoints(dir.path);
+    ASSERT_GE(all.size(), 2u)
+        << "cadence too coarse: compaction needs multiple snapshots";
+
+    // Same run with keep=1: only the newest snapshot survives each
+    // write, and it is the same newest snapshot the unlimited run
+    // left behind (pruning changes nothing about what gets written).
+    TempDir kept;
+    SystemParams compact =
+        ckptParams(16, 1, 1, 20000, kept.path, kEvery);
+    compact.checkpoint.keep = 1;
+    RunResult compacted = runOnce(compact);
+    expectFigureEqual(compacted.stats, full.stats);
+    auto remaining = listCheckpoints(kept.path);
+    ASSERT_EQ(remaining.size(), 1u);
+    EXPECT_EQ(remaining.back().first, all.back().first);
+
+    // The surviving snapshot restores to identical figures.
+    SystemParams resume = compact;
+    resume.checkpoint.restore = true;
+    RunResult resumed = runOnce(resume);
+    EXPECT_TRUE(resumed.restored);
+    expectFigureEqual(resumed.stats, full.stats);
+}
+
 TEST(CheckpointFile, AtomicWriteReplacesWholeFile)
 {
     TempDir dir;

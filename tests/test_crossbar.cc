@@ -230,10 +230,13 @@ TEST(Crossbar, MulticastFanOutIsZeroCopy)
 
     // Pool accounting: exactly one payload entered the pool for the
     // whole fan-out, refs (not copies) covered the deliveries, and
-    // the payload was returned once the last delivery ran.
+    // the payload was returned once the last delivery ran. Fused hop
+    // chains take one ref per chain (up to 8 same-queue deliveries),
+    // so the ref count sits between 1 and one-per-destination.
     EXPECT_EQ(after.acquires - before.acquires, 1u);
     EXPECT_EQ(after.releases - before.releases, 1u);
-    EXPECT_GE(after.refsShared - before.refsShared,
+    EXPECT_GE(after.refsShared - before.refsShared, 1u);
+    EXPECT_LE(after.refsShared - before.refsShared,
               static_cast<std::uint64_t>(kNodes - 1));
     EXPECT_EQ(after.live(), before.live());
 }

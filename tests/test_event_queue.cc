@@ -449,6 +449,140 @@ TEST(EventQueueCalendar, PendingOverflowEventsReleasedOnDestruction)
     EXPECT_TRUE(log.empty());
 }
 
+// ---- run-next buffer ------------------------------------------------------
+
+TEST(EventQueueRunNext, HandlerScheduledChainSkipsTheCalendar)
+{
+    // A ladder of events, each scheduled from the previous one's
+    // handler, is served entirely from the run-next buffer: only the
+    // seed (scheduled outside run()) touches a calendar plane, so the
+    // whole chain costs exactly one insert and one pop.
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        if (++fired < 6)
+            q.scheduleIn(5, chain);
+    };
+    q.schedule(10, chain);
+    const std::uint64_t before = q.calendarOps();
+    EXPECT_EQ(before, 1u);  // the seed's insert
+    q.run();
+    EXPECT_EQ(fired, 6);
+    EXPECT_EQ(q.executed(), 6u);
+    EXPECT_EQ(q.calendarOps(), before + 1);  // ... and its pop
+}
+
+TEST(EventQueueRunNext, ParkedEventsCompeteInExactTickOrder)
+{
+    // Events parked by a handler interleave with calendar events in
+    // strict tick order, exactly as if they had been inserted.
+    EventQueue q;
+    std::vector<int> log;
+    q.schedule(30, [&]() { log.push_back(30); });
+    q.schedule(10, [&]() {
+        q.schedule(40, [&]() { log.push_back(40); });
+        q.schedule(20, [&]() { log.push_back(20); });
+        log.push_back(10);
+    });
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{10, 20, 30, 40}));
+}
+
+TEST(EventQueueRunNext, OverflowSpillsToCalendarAndKeepsOrder)
+{
+    // Far more handler-scheduled events than the buffer can seat: the
+    // spill path must hand the excess to the calendar planes without
+    // perturbing the total order.
+    EventQueue q;
+    std::vector<int> log;
+    q.schedule(5, [&]() {
+        // Descending ticks, so every newcomer displaces the back.
+        for (int i = 40; i >= 1; --i) {
+            q.schedule(static_cast<Tick>(10 * i),
+                       [&log, i]() { log.push_back(i); });
+        }
+    });
+    q.run();
+    ASSERT_EQ(log.size(), 40u);
+    for (int i = 1; i <= 40; ++i)
+        EXPECT_EQ(log[static_cast<std::size_t>(i - 1)], i);
+}
+
+TEST(EventQueueRunNext, ParkedEventsSurviveRunBoundaries)
+{
+    // Events parked during one run() stay parked across the window
+    // boundary: pending counts, earliest queries, forEachPending, and
+    // a later run() all see them as if they sat in a calendar plane.
+    EventQueue q;
+    std::vector<int> log;
+    q.schedule(10, [&]() {
+        q.schedule(100, [&]() { log.push_back(100); });
+        q.schedule(200, [&]() { log.push_back(200); });
+    });
+    EXPECT_EQ(q.run(50), 1u);
+    EXPECT_EQ(q.pending(), 2u);
+
+    Tick e1 = 0;
+    Tick e2 = 0;
+    q.earliestTwo(e1, e2);
+    EXPECT_EQ(e1, 100u);
+    EXPECT_EQ(e2, 200u);
+
+    std::vector<Tick> seen;
+    q.forEachPending([&](const Event &, Tick when, std::uint64_t,
+                         std::uint16_t) { seen.push_back(when); });
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<Tick>{100, 200}));
+
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{100, 200}));
+}
+
+TEST(EventQueueRunNext, DescheduleOfParkedEventRecyclesIt)
+{
+    // A pooled event cancelled while parked in the run-next buffer is
+    // released back to its pool, and the remaining parked events keep
+    // their order.
+    EventQueue q;
+    std::vector<int> log;
+    auto &pool = EventPool<PooledTestEvent>::instance();
+
+    PooledTestEvent *cancelled = pool.acquire(&log, 99);
+    q.schedule(10, [&]() {
+        q.schedule(*pool.acquire(&log, 1), 20);
+        q.schedule(*cancelled, 30);
+        q.schedule(*pool.acquire(&log, 2), 40);
+    });
+    EXPECT_EQ(q.run(15), 1u);
+    EXPECT_EQ(q.pending(), 3u);
+
+    EventPoolStats before = pool.stats();
+    q.deschedule(*cancelled);
+    EXPECT_EQ(pool.stats().releases, before.releases + 1);
+    EXPECT_EQ(q.pending(), 2u);
+
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));  // 99 never ran
+}
+
+TEST(EventQueueRunNext, PendingParkedEventsReleasedOnDestruction)
+{
+    auto &pool = EventPool<PooledTestEvent>::instance();
+    std::vector<int> log;
+    EventPoolStats before = pool.stats();
+    {
+        EventQueue q;
+        q.schedule(5, [&q, &pool, &log]() {
+            q.schedule(*pool.acquire(&log, 1), 50);  // parks
+        });
+        q.run(10);
+    }
+    EventPoolStats after = pool.stats();
+    EXPECT_EQ(after.acquires - before.acquires, 1u);
+    EXPECT_EQ(after.releases - before.releases, 1u);
+    EXPECT_TRUE(log.empty());
+}
+
 /**
  * Randomized equivalence check: the calendar queue must produce
  * exactly the total order of a reference model that sorts stably by

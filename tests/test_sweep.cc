@@ -175,6 +175,33 @@ TEST(SweepMatrix, ExpandsCrossProductInFixedAxisOrder)
     EXPECT_NE(jobs[0].id().find("seed=1"), std::string::npos);
 }
 
+TEST(SweepMatrix, CheckpointSubdirIsStableAcrossAttempts)
+{
+    std::vector<JobSpec> jobs = smallMatrix();
+    ASSERT_GE(jobs.size(), 2u);
+
+    // A resumed attempt rebuilds its JobSpec from the same matrix and
+    // must land in the same subdirectory to find the earlier
+    // attempt's snapshots: the path is a pure function of the id.
+    JobSpec rebuilt = jobs[0];
+    EXPECT_EQ(jobs[0].checkpointSubdir("/tmp/ck"),
+              rebuilt.checkpointSubdir("/tmp/ck"));
+
+    // Distinct jobs get distinct directories.
+    EXPECT_NE(jobs[0].checkpointSubdir("/tmp/ck"),
+              jobs[1].checkpointSubdir("/tmp/ck"));
+
+    // Every non-filename character of the id is flattened to '_':
+    // the subdir name itself contains no separators or spaces.
+    std::string sub = jobs[0].checkpointSubdir("/tmp/ck");
+    ASSERT_EQ(sub.rfind("/tmp/ck/", 0), 0u);
+    std::string leaf = sub.substr(std::string("/tmp/ck/").size());
+    EXPECT_EQ(leaf.find('/'), std::string::npos);
+    EXPECT_EQ(leaf.find('='), std::string::npos);
+    EXPECT_EQ(leaf.find(' '), std::string::npos);
+    EXPECT_FALSE(leaf.empty());
+}
+
 TEST(SweepMatrix, RejectsUnknownProtocol)
 {
     PanicGuard guard;
